@@ -1,0 +1,117 @@
+#ifndef DOPPLER_BENCH_BENCH_COMMON_H_
+#define DOPPLER_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the experiment harnesses: every bench reproduces
+// one table or figure from the paper and prints the paper's reported
+// numbers next to ours. The synthetic fleets substitute for the
+// proprietary Azure telemetry (see DESIGN.md §2), so the comparison is
+// about shape — who wins, orderings, rough magnitudes — not digits.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "catalog/pricing.h"
+#include "core/backtest.h"
+#include "core/recommender.h"
+#include "core/throttling.h"
+#include "dma/preprocess.h"
+#include "util/random.h"
+#include "workload/population.h"
+
+namespace doppler::bench {
+
+/// Prints the standard experiment banner.
+inline void Banner(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("Reproduction: %s\n", experiment);
+  std::printf("Paper reports: %s\n", paper_claim);
+  std::printf("==============================================================="
+              "=========\n\n");
+}
+
+/// The standard evaluation fleets. Sizes are chosen so every bench runs in
+/// seconds on one core; raise `num_customers` for tighter estimates.
+struct FleetConfig {
+  int num_customers = 300;
+  double duration_days = 14.0;
+  std::uint64_t seed = 2024;
+};
+
+/// Builds the labelled backtest dataset for one deployment.
+inline StatusOr<core::BacktestDataset> BuildFleetDataset(
+    catalog::Deployment deployment, const catalog::SkuCatalog& catalog,
+    const catalog::PricingService& pricing,
+    const core::ThrottlingEstimator& estimator,
+    const FleetConfig& config = {}) {
+  workload::PopulationOptions options;
+  options.num_customers = config.num_customers;
+  options.deployment = deployment;
+  options.duration_days = config.duration_days;
+  options.seed = config.seed;
+  DOPPLER_ASSIGN_OR_RETURN(std::vector<workload::SyntheticCustomer> fleet,
+                           workload::GeneratePopulation(options));
+  Rng rng(config.seed ^ 0x5bf03635ULL);
+  return core::BuildBacktestDataset(std::move(fleet), catalog, pricing,
+                                    estimator, &rng);
+}
+
+/// A fully wired Doppler engine for one deployment: catalog, pricing,
+/// estimator, offline-fitted group model, profiler and elastic recommender.
+/// Heap-held because the recommender borrows the other members.
+struct Engine {
+  catalog::SkuCatalog catalog;
+  catalog::DefaultPricing pricing;
+  core::NonParametricEstimator estimator;
+  core::GroupModel group_model;
+  std::unique_ptr<core::CustomerProfiler> profiler;
+  std::unique_ptr<core::ElasticRecommender> recommender;
+};
+
+inline std::unique_ptr<Engine> MakeEngine(catalog::Deployment deployment,
+                                          int training_customers = 150,
+                                          std::uint64_t seed = 11) {
+  auto engine = std::make_unique<Engine>();
+  engine->catalog = catalog::BuildAzureLikeCatalog();
+  StatusOr<core::GroupModel> model = dma::FitGroupModelOffline(
+      engine->catalog, engine->pricing, engine->estimator, deployment,
+      training_customers, seed);
+  if (!model.ok()) {
+    std::fprintf(stderr, "FATAL: group model fit: %s\n",
+                 model.status().ToString().c_str());
+    std::exit(1);
+  }
+  engine->group_model = *std::move(model);
+  engine->profiler = std::make_unique<core::CustomerProfiler>(
+      std::make_shared<core::ThresholdingStrategy>(),
+      workload::ProfilingDims(deployment));
+  engine->recommender = std::make_unique<core::ElasticRecommender>(
+      &engine->catalog, &engine->pricing, &engine->estimator,
+      engine->profiler.get(), &engine->group_model);
+  return engine;
+}
+
+/// Exits with a message when a StatusOr fails (benches are straight-line
+/// programs; any failure is a bug worth a loud stop).
+template <typename T>
+T Unwrap(StatusOr<T> value, const char* what) {
+  if (!value.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what,
+                 value.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(value);
+}
+
+inline void Unwrap(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace doppler::bench
+
+#endif  // DOPPLER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,79 @@
+// Figure 10: "Confidence score distribution for the SKU recommended based
+// on 30-day data."
+//
+// The paper varies the bootstrap window size over customers with >= 30
+// days of telemetry and finds that confidence shifts up once windows pass
+// one week — the basis for DMA's "run the tool for at least seven days"
+// guidance. We reproduce the sweep over a synthetic fleet.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/confidence.h"
+#include "stats/descriptive.h"
+#include "util/ascii_plot.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace doppler;
+
+int main() {
+  bench::Banner(
+      "Figure 10 - confidence vs bootstrap window size",
+      "scores shift up past the 1-week window; 1 week is the minimum "
+      "collection period for a reasonable recommendation");
+
+  auto engine = bench::MakeEngine(catalog::Deployment::kSqlDb);
+  core::RecommendFn recommend = [&](const telemetry::PerfTrace& t) {
+    return engine->recommender->RecommendDb(t);
+  };
+
+  // A fleet with 30 days of telemetry (the paper's filter).
+  workload::PopulationOptions population;
+  population.num_customers = 40;
+  population.duration_days = 30.0;
+  population.seed = 1010;
+  const std::vector<workload::SyntheticCustomer> fleet = bench::Unwrap(
+      workload::GeneratePopulation(population), "population generation");
+
+  const double windows_days[] = {1.0, 3.0, 7.0, 14.0, 21.0};
+  TablePrinter table({"Bootstrap window", "Mean confidence", "P25", "Median",
+                      "Share >= 90%"});
+  std::vector<double> means;
+  for (double window : windows_days) {
+    std::vector<double> scores;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      core::ConfidenceOptions options;
+      options.runs = 15;
+      options.window_days = window;
+      Rng rng(2000 + i);
+      StatusOr<core::ConfidenceResult> result =
+          core::ScoreConfidence(fleet[i].trace, recommend, options, &rng);
+      if (result.ok()) scores.push_back(result->score);
+    }
+    double high = 0.0;
+    for (double s : scores) high += s >= 0.9;
+    high /= static_cast<double>(scores.size());
+    means.push_back(stats::Mean(scores));
+    table.AddRow({FormatDouble(window, 0) + " day(s)",
+                  FormatPercent(stats::Mean(scores), 1),
+                  FormatPercent(stats::Quantile(scores, 0.25), 1),
+                  FormatPercent(stats::Median(scores), 1),
+                  FormatPercent(high, 1)});
+  }
+  table.Print(std::cout);
+
+  PlotOptions plot;
+  plot.title = "\nmean confidence by bootstrap window (1, 3, 7, 14, 21 days)";
+  plot.height = 10;
+  plot.width = 50;
+  std::cout << LinePlot(means, plot);
+
+  std::printf(
+      "\nShape check: confidence at the 7-day window exceeds the 1-day "
+      "window by %.1f points (paper: scores 'shift up as the time window "
+      "... increases past the 1-week interval').\n",
+      (means[2] - means[0]) * 100.0);
+  return 0;
+}

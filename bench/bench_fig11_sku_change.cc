@@ -1,0 +1,127 @@
+// Figure 11: "Example of a set of price-performance curves before (dotted
+// line) and after (solid line) a SKU change."
+//
+// The paper's worked case: a customer on SQL DB GP 2 cores whose workload
+// grew; sticking with GP 2 would have meant >40% throttling, and the
+// customer moved to BC 6 cores, which meets the new needs at 100%. The
+// curves pick the change up automatically.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/drift.h"
+#include "dma/resource_report.h"
+#include "util/ascii_plot.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+
+using namespace doppler;
+using catalog::Deployment;
+using catalog::ResourceDim;
+
+namespace {
+
+telemetry::PerfTrace Phase(bool after, std::uint64_t seed) {
+  Rng rng(seed);
+  workload::WorkloadSpec spec;
+  spec.name = after ? "after-change" : "before-change";
+  if (!after) {
+    // Light, latency-insensitive: comfortably inside GP 2.
+    spec.dims[ResourceDim::kCpu] =
+        workload::DimensionSpec::DailyPeriodic(0.6, 0.5);
+    spec.dims[ResourceDim::kIops] =
+        workload::DimensionSpec::DailyPeriodic(180.0, 120.0);
+    spec.dims[ResourceDim::kIoLatencyMs] =
+        workload::DimensionSpec::Steady(7.5, 0.04);
+  } else {
+    // Grown and latency-bound: needs BC-class IO.
+    spec.dims[ResourceDim::kCpu] =
+        workload::DimensionSpec::DailyPeriodic(3.2, 1.8);
+    spec.dims[ResourceDim::kIops] =
+        workload::DimensionSpec::DailyPeriodic(9000.0, 6000.0);
+    spec.dims[ResourceDim::kIoLatencyMs] =
+        workload::DimensionSpec::Steady(2.2, 0.05);
+  }
+  return bench::Unwrap(workload::GenerateTrace(spec, 10.0, &rng),
+                       "trace generation");
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Figure 11 - curves before/after a SKU change",
+      "customer moved GP 2 cores -> BC 6 cores; staying put meant >40% "
+      "throttling, the new SKU meets needs at 100%");
+
+  const catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+  const std::vector<catalog::Sku> candidates =
+      catalog.ForDeployment(Deployment::kSqlDb);
+
+  const telemetry::PerfTrace before = Phase(false, 111);
+  const telemetry::PerfTrace after = Phase(true, 112);
+  const core::PricePerformanceCurve curve_before = bench::Unwrap(
+      core::PricePerformanceCurve::Build(before, candidates, pricing,
+                                         estimator),
+      "curve before");
+  const core::PricePerformanceCurve curve_after = bench::Unwrap(
+      core::PricePerformanceCurve::Build(after, candidates, pricing,
+                                         estimator),
+      "curve after");
+
+  PlotOptions plot;
+  plot.title = "performance vs price rank: '*' = before change, "
+               "'o' = after change";
+  plot.height = 14;
+  std::cout << DualLinePlot(curve_before.Performances(),
+                            curve_after.Performances(), plot)
+            << "\n";
+
+  const core::PricePerformancePoint old_before =
+      bench::Unwrap(curve_before.FindSku("DB_GP_Gen5_2"), "GP2 before");
+  const core::PricePerformancePoint old_after =
+      bench::Unwrap(curve_after.FindSku("DB_GP_Gen5_2"), "GP2 after");
+  const core::PricePerformancePoint new_after =
+      bench::Unwrap(curve_after.CheapestFullySatisfying(), "new choice");
+
+  std::printf("Original SKU (GP 2 cores) before the change: %s of needs met\n",
+              FormatPercent(old_before.performance, 1).c_str());
+  std::printf(
+      "Original SKU after the change: %s throttling (paper: '>40%%')\n",
+      FormatPercent(old_after.MonotoneProbability(), 1).c_str());
+  std::printf(
+      "Cheapest fully-satisfying SKU after the change: %s (paper: BC 6 "
+      "cores) — meets needs at %s\n",
+      new_after.sku.DisplayName().c_str(),
+      FormatPercent(new_after.performance, 1).c_str());
+
+  // The automated form: concatenate the two phases into one stream and let
+  // the drift detector find the change (paper: "Doppler can automatically
+  // detect the need to change SKUs").
+  telemetry::PerfTrace stream(before.interval_seconds());
+  stream.set_id("before+after");
+  for (catalog::ResourceDim dim : before.PresentDims()) {
+    std::vector<double> joined = before.Values(dim);
+    const std::vector<double>& tail = after.Values(dim);
+    joined.insert(joined.end(), tail.begin(), tail.end());
+    bench::Unwrap(stream.SetSeries(dim, std::move(joined)), "join");
+  }
+  core::DriftOptions drift_options;
+  drift_options.recent_fraction = 0.5;
+  const core::DriftReport drift = bench::Unwrap(
+      core::DetectSkuDrift(stream, candidates, pricing, estimator,
+                           "DB_GP_Gen5_2", drift_options),
+      "drift detection");
+  std::printf(
+      "\nAutomated drift detection on the combined stream: baseline %s -> "
+      "recent %s throttling on GP 2; change needed: %s; suggested target: "
+      "%s\n",
+      FormatPercent(drift.baseline_probability, 1).c_str(),
+      FormatPercent(drift.recent_probability, 1).c_str(),
+      drift.needs_change ? "YES" : "no",
+      drift.recommended_display_name.c_str());
+  return 0;
+}

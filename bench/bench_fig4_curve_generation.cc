@@ -1,0 +1,87 @@
+// Figure 4: "Example of price-performance curve generation from
+// performance history."
+//
+// (a) A customer whose CPU usage shows short, uncommon periods of high
+//     utilisation; (b) the resulting price-performance curve. The paper's
+//     worked example: the cheapest 100%-satisfying SKU would be an
+//     expensive GP 24-core machine, but similar customers negotiate the
+//     spikes away and pick a much cheaper SKU.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/price_performance.h"
+#include "core/throttling.h"
+#include "dma/resource_report.h"
+#include "util/ascii_plot.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+
+using namespace doppler;
+using catalog::ResourceDim;
+
+int main() {
+  bench::Banner(
+      "Figure 4 - price-performance curve generation",
+      "spiky-CPU customer; cheapest 100%-needs SKU is GP 24 cores, but "
+      "negotiating the spikes allows a far cheaper choice");
+
+  // (a) The performance history: rare short CPU spikes over a modest base.
+  Rng rng(404);
+  workload::WorkloadSpec spec;
+  spec.name = "fig4-customer";
+  workload::DimensionSpec cpu = workload::DimensionSpec::Spiky(
+      /*base=*/4.0, /*spike_height=*/17.0, /*rate_per_day=*/0.8,
+      /*duration_minutes=*/30.0);
+  cpu.base_amplitude = 3.0;
+  spec.dims[ResourceDim::kCpu] = cpu;
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      workload::DimensionSpec::Steady(7.0, 0.03);
+  const telemetry::PerfTrace trace = bench::Unwrap(
+      workload::GenerateTrace(spec, 14.0, &rng), "trace generation");
+
+  PlotOptions plot;
+  plot.title = "(a) CPU usage by time (vCores, 14 days)";
+  plot.height = 12;
+  std::cout << LinePlot(trace.Values(ResourceDim::kCpu), plot) << "\n";
+
+  // (b) The curve over the Gen5 GP ladder (the paper's example names GP
+  // sizes).
+  catalog::CatalogOptions catalog_options;
+  catalog_options.hardware = {catalog::HardwareGen::kGen5};
+  catalog_options.include_sql_mi = false;
+  const catalog::SkuCatalog catalog =
+      catalog::BuildAzureLikeCatalog(catalog_options);
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+  const core::PricePerformanceCurve curve = bench::Unwrap(
+      core::PricePerformanceCurve::Build(
+          trace,
+          catalog.ForDeploymentAndTier(catalog::Deployment::kSqlDb,
+                                       catalog::ServiceTier::kGeneralPurpose),
+          pricing, estimator),
+      "curve build");
+
+  std::cout << "(b) " << dma::RenderCurveReport(curve, 16) << "\n";
+
+  const core::PricePerformancePoint full =
+      bench::Unwrap(curve.CheapestFullySatisfying(), "cheapest 100%");
+  std::printf(
+      "Cheapest SKU meeting 100%% of needs: %s at %s/month.\n",
+      full.sku.DisplayName().c_str(),
+      FormatDollars(full.monthly_price, 0).c_str());
+
+  // What negotiating the spikes buys (a ~5% tolerance).
+  const core::PricePerformancePoint negotiated =
+      bench::Unwrap(curve.ClosestBelowTarget(0.05), "negotiated point");
+  std::printf(
+      "Negotiating the rare spikes (<=5%% throttling): %s at %s/month — "
+      "%.0f%% cheaper.\n"
+      "Paper: the 100%% point pushes to an expensive GP 24-core machine; "
+      "similar customers pick a cheaper SKU and accept brief throttling.\n",
+      negotiated.sku.DisplayName().c_str(),
+      FormatDollars(negotiated.monthly_price, 0).c_str(),
+      100.0 * (1.0 - negotiated.monthly_price / full.monthly_price));
+  return 0;
+}

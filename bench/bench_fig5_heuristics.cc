@@ -1,0 +1,103 @@
+// Figure 5: "Example of a complex price-performance curve. Customer chosen
+// SKU is SQL DB General Purpose 14 cores."
+//
+// The paper's point (§3.2, Limitation): on complex curves the three
+// curve-shape heuristics disagree with each other and with the customer's
+// actual choice — Largest Performance Increase picks GP 6, Largest Slope
+// picks GP 4, the 95% Performance Threshold picks GP 12, while the
+// customer fixed GP 14. We reproduce a workload with a staircase demand
+// distribution and show the same disagreement pattern.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/heuristics.h"
+#include "core/price_performance.h"
+#include "dma/resource_report.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace doppler;
+using catalog::ResourceDim;
+
+int main() {
+  bench::Banner(
+      "Figure 5 - heuristics disagree on a complex curve",
+      "LargestPerfIncrease -> GP 6; LargestSlope -> GP 4; Threshold(95%) -> "
+      "GP 12; customer chose GP 14");
+
+  // A multi-plateau CPU demand: the workload runs at several distinct
+  // levels through the week, so the GP ladder cuts many quantiles.
+  Rng rng(505);
+  std::vector<double> cpu;
+  struct Level {
+    double cores;
+    int share;  // Out of 100.
+  };
+  // Mass at ~3.5, ~5.5, ~9, ~11.5 and ~13.5 vCores.
+  const Level levels[] = {{3.5, 38}, {5.5, 27}, {9.0, 19}, {11.5, 11},
+                          {13.5, 5}};
+  for (const Level& level : levels) {
+    for (int i = 0; i < level.share * 20; ++i) {
+      cpu.push_back(level.cores * (1.0 + rng.Normal(0.0, 0.02)));
+    }
+  }
+  rng.Shuffle(cpu);
+  telemetry::PerfTrace trace;
+  trace.set_id("fig5-customer");
+  bench::Unwrap(trace.SetSeries(ResourceDim::kCpu, std::move(cpu)),
+                "set series");
+
+  catalog::CatalogOptions catalog_options;
+  catalog_options.hardware = {catalog::HardwareGen::kGen5};
+  catalog_options.include_sql_mi = false;
+  const catalog::SkuCatalog catalog =
+      catalog::BuildAzureLikeCatalog(catalog_options);
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+  const core::PricePerformanceCurve curve = bench::Unwrap(
+      core::PricePerformanceCurve::Build(
+          trace,
+          catalog.ForDeploymentAndTier(catalog::Deployment::kSqlDb,
+                                       catalog::ServiceTier::kGeneralPurpose),
+          pricing, estimator),
+      "curve build");
+
+  std::cout << dma::RenderCurveReport(curve, 16) << "\n";
+
+  const core::PricePerformancePoint lpi = bench::Unwrap(
+      core::LargestPerformanceIncrease(curve), "largest perf increase");
+  const core::PricePerformancePoint slope =
+      bench::Unwrap(core::LargestSlope(curve), "largest slope");
+  const core::PricePerformancePoint threshold = bench::Unwrap(
+      core::PerformanceThreshold(curve, 0.95), "performance threshold");
+  // The "customer" tolerates almost nothing: their fixed SKU is the
+  // cheapest 100% point (GP 14 on this staircase).
+  const core::PricePerformancePoint chosen =
+      bench::Unwrap(curve.CheapestFullySatisfying(), "customer choice");
+
+  TablePrinter table({"Strategy", "Paper picks", "We pick", "Throttling"});
+  table.AddRow({"Largest Performance Increase (eps=.001)", "GP 6 cores",
+                lpi.sku.DisplayName(),
+                FormatPercent(lpi.MonotoneProbability(), 1)});
+  table.AddRow({"Largest Slope", "GP 4 cores", slope.sku.DisplayName(),
+                FormatPercent(slope.MonotoneProbability(), 1)});
+  table.AddRow({"Performance Threshold (gamma=95%)", "GP 12 cores",
+                threshold.sku.DisplayName(),
+                FormatPercent(threshold.MonotoneProbability(), 1)});
+  table.AddRow({"Customer's fixed SKU", "GP 14 cores",
+                chosen.sku.DisplayName(),
+                FormatPercent(chosen.MonotoneProbability(), 1)});
+  table.Print(std::cout);
+
+  const bool all_disagree = lpi.sku.id != threshold.sku.id &&
+                            slope.sku.id != threshold.sku.id &&
+                            lpi.sku.id != chosen.sku.id;
+  std::printf(
+      "\nHeuristics mutually disagree and miss the customer's choice: %s "
+      "(the paper's motivation for the profiling module).\n",
+      all_disagree ? "YES" : "no");
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Engine micro-benchmarks (google-benchmark), backing the paper's
+// scalability claims:
+//
+//  - §3.2: the non-parametric joint-frequency estimator is what makes
+//    curve generation over a full catalog practical; the Gaussian-KDE
+//    alternative "can do a sufficient job ... but the time it takes to do
+//    so is impractical".
+//  - §3.1: "Make sure the solution can scale" — end-to-end assessment
+//    latency must support hundreds of requests per day on commodity
+//    hardware.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/catalog.h"
+#include "core/negotiability.h"
+#include "core/price_performance.h"
+#include "core/recommender.h"
+#include "core/throttling.h"
+#include "dma/preprocess.h"
+#include "stats/stl.h"
+#include "util/random.h"
+#include "workload/generator.h"
+#include "workload/population.h"
+
+namespace {
+
+using namespace doppler;
+using catalog::ResourceDim;
+
+telemetry::PerfTrace MakeTrace(int days, std::uint64_t seed) {
+  Rng rng(seed);
+  workload::WorkloadSpec spec;
+  spec.name = "bench";
+  workload::DimensionSpec cpu =
+      workload::DimensionSpec::Spiky(3.0, 8.0, 1.0, 30.0);
+  cpu.base_amplitude = 3.0;
+  spec.dims[ResourceDim::kCpu] = cpu;
+  spec.dims[ResourceDim::kMemoryGb] =
+      workload::DimensionSpec::DailyPeriodic(18.0, 10.0);
+  spec.dims[ResourceDim::kIops] =
+      workload::DimensionSpec::DailyPeriodic(1800.0, 1200.0);
+  spec.dims[ResourceDim::kLogRateMbps] =
+      workload::DimensionSpec::DailyPeriodic(5.0, 3.0);
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      workload::DimensionSpec::Steady(6.5, 0.03);
+  StatusOr<telemetry::PerfTrace> trace =
+      workload::GenerateTrace(spec, days, &rng);
+  if (!trace.ok()) std::abort();
+  return *std::move(trace);
+}
+
+const catalog::SkuCatalog& Catalog() {
+  static const auto* const kCatalog =
+      new catalog::SkuCatalog(catalog::BuildAzureLikeCatalog());
+  return *kCatalog;
+}
+
+// ---- Throttling probability: non-parametric vs KDE, per SKU.
+
+void BM_ThrottlingNonParametric(benchmark::State& state) {
+  const telemetry::PerfTrace trace =
+      MakeTrace(static_cast<int>(state.range(0)), 1);
+  const catalog::Sku sku = Catalog().skus()[40];
+  const core::NonParametricEstimator estimator;
+  const catalog::ResourceVector caps = sku.Capacities();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Probability(trace, caps));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.num_samples()));
+}
+BENCHMARK(BM_ThrottlingNonParametric)->Arg(7)->Arg(14)->Arg(30);
+
+void BM_ThrottlingKde(benchmark::State& state) {
+  const telemetry::PerfTrace trace =
+      MakeTrace(static_cast<int>(state.range(0)), 1);
+  const catalog::Sku sku = Catalog().skus()[40];
+  const core::KdeEstimator estimator;
+  const catalog::ResourceVector caps = sku.Capacities();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Probability(trace, caps));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.num_samples()));
+}
+BENCHMARK(BM_ThrottlingKde)->Arg(7)->Arg(14)->Arg(30);
+
+void BM_ThrottlingCopula(benchmark::State& state) {
+  const telemetry::PerfTrace trace =
+      MakeTrace(static_cast<int>(state.range(0)), 1);
+  const catalog::Sku sku = Catalog().skus()[40];
+  const core::GaussianCopulaEstimator estimator;
+  const catalog::ResourceVector caps = sku.Capacities();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Probability(trace, caps));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.num_samples()));
+}
+BENCHMARK(BM_ThrottlingCopula)->Arg(7)->Arg(14)->Arg(30);
+
+// ---- Full price-performance curve over the whole catalog.
+
+template <typename Estimator>
+void CurveOverCatalog(benchmark::State& state) {
+  const telemetry::PerfTrace trace =
+      MakeTrace(static_cast<int>(state.range(0)), 2);
+  const catalog::DefaultPricing pricing;
+  const Estimator estimator;
+  const std::vector<catalog::Sku> candidates =
+      Catalog().ForDeployment(catalog::Deployment::kSqlDb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PricePerformanceCurve::Build(
+        trace, candidates, pricing, estimator));
+  }
+  state.SetLabel(std::to_string(candidates.size()) + " SKUs");
+}
+
+void BM_CurveNonParametric(benchmark::State& state) {
+  CurveOverCatalog<core::NonParametricEstimator>(state);
+}
+BENCHMARK(BM_CurveNonParametric)->Arg(7)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_CurveKde(benchmark::State& state) {
+  CurveOverCatalog<core::KdeEstimator>(state);
+}
+BENCHMARK(BM_CurveKde)->Arg(7)->Arg(30)->Unit(benchmark::kMillisecond);
+
+// ---- Negotiability strategies (the Table 4 cost axis).
+
+void BM_StrategyThresholding(benchmark::State& state) {
+  const telemetry::PerfTrace trace = MakeTrace(14, 3);
+  const core::ThresholdingStrategy strategy;
+  const std::vector<ResourceDim> dims =
+      workload::ProfilingDims(catalog::Deployment::kSqlDb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.Evaluate(trace, dims));
+  }
+}
+BENCHMARK(BM_StrategyThresholding);
+
+void BM_StrategyMinMaxAuc(benchmark::State& state) {
+  const telemetry::PerfTrace trace = MakeTrace(14, 3);
+  const core::MinMaxAucStrategy strategy;
+  const std::vector<ResourceDim> dims =
+      workload::ProfilingDims(catalog::Deployment::kSqlDb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.Evaluate(trace, dims));
+  }
+}
+BENCHMARK(BM_StrategyMinMaxAuc);
+
+void BM_StrategyStl(benchmark::State& state) {
+  const telemetry::PerfTrace trace = MakeTrace(14, 3);
+  const core::StlVarianceStrategy strategy;
+  const std::vector<ResourceDim> dims =
+      workload::ProfilingDims(catalog::Deployment::kSqlDb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strategy.Evaluate(trace, dims));
+  }
+}
+BENCHMARK(BM_StrategyStl)->Unit(benchmark::kMillisecond);
+
+// ---- End-to-end elastic recommendation (pipeline-equivalent path).
+
+void BM_EndToEndRecommendation(benchmark::State& state) {
+  const telemetry::PerfTrace trace = MakeTrace(14, 4);
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+  static const core::GroupModel* const kModel = [] {
+    StatusOr<core::GroupModel> model = dma::FitGroupModelOffline(
+        Catalog(), catalog::DefaultPricing(), core::NonParametricEstimator(),
+        catalog::Deployment::kSqlDb, 60, 5);
+    if (!model.ok()) std::abort();
+    return new core::GroupModel(*std::move(model));
+  }();
+  const core::CustomerProfiler profiler(
+      std::make_shared<core::ThresholdingStrategy>(),
+      workload::ProfilingDims(catalog::Deployment::kSqlDb));
+  const core::ElasticRecommender recommender(&Catalog(), &pricing, &estimator,
+                                             &profiler, kModel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recommender.RecommendDb(trace));
+  }
+  state.SetLabel("14-day trace, full DB catalog");
+}
+BENCHMARK(BM_EndToEndRecommendation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// Section 5.3: "Data from On-Prem Workloads: Comparison with Baseline
+// Strategy."
+//
+// The paper examined 10 on-prem instances where Doppler out-recommends the
+// legacy baseline: in 80% of them Doppler's SKU actually meets the
+// workload's latency requirement while the baseline specifies a lower-end
+// SKU (the deployed baseline collapses the classic counters — CPU, memory,
+// IOPS — and does not reason about latency); in the remaining cases the
+// baseline returns NO recommendation because no SKU meets 100% of every
+// scalar. We reproduce both failure modes and validate the picks by
+// replaying each workload on both recommended SKUs.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/replayer.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/generator.h"
+
+using namespace doppler;
+using catalog::Deployment;
+using catalog::ResourceDim;
+
+namespace {
+
+// An on-prem instance whose storage serves IO at low latency (the app is
+// tuned for it), plus ordinary CPU/memory/IO demand.
+telemetry::PerfTrace LatencyBoundInstance(std::uint64_t seed) {
+  Rng rng(seed);
+  workload::WorkloadSpec spec;
+  spec.name = "latency-bound-" + std::to_string(seed);
+  spec.dims[ResourceDim::kCpu] =
+      workload::DimensionSpec::DailyPeriodic(rng.Uniform(1.5, 3.0), 1.5);
+  spec.dims[ResourceDim::kMemoryGb] =
+      workload::DimensionSpec::Steady(rng.Uniform(8.0, 16.0), 0.03);
+  spec.dims[ResourceDim::kIops] =
+      workload::DimensionSpec::DailyPeriodic(rng.Uniform(800.0, 1500.0), 600.0);
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      workload::DimensionSpec::Steady(rng.Uniform(1.5, 2.8), 0.05);
+  return bench::Unwrap(workload::GenerateTrace(spec, 7.0, &rng), "trace");
+}
+
+// An instance with sustained bursts above every SKU's log-rate cap: the
+// baseline's 95th-percentile scalar is unsatisfiable.
+telemetry::PerfTrace UnsatisfiableInstance(std::uint64_t seed) {
+  Rng rng(seed);
+  workload::WorkloadSpec spec;
+  spec.name = "bursty-log-" + std::to_string(seed);
+  spec.dims[ResourceDim::kCpu] =
+      workload::DimensionSpec::DailyPeriodic(2.0, 1.0);
+  spec.dims[ResourceDim::kMemoryGb] =
+      workload::DimensionSpec::Steady(10.0, 0.03);
+  // Bursts reach ~200 MB/s for hours at a time; the largest DB cap is 96.
+  spec.dims[ResourceDim::kLogRateMbps] =
+      workload::DimensionSpec::Bursty(20.0, 190.0, 4.0, 180.0, 0.05);
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      workload::DimensionSpec::Steady(7.0, 0.03);
+  return bench::Unwrap(workload::GenerateTrace(spec, 7.0, &rng), "trace");
+}
+
+// The deployed baseline's view: the classic counters only.
+telemetry::PerfTrace BaselineView(const telemetry::PerfTrace& trace) {
+  telemetry::PerfTrace view(trace.interval_seconds());
+  view.set_id(trace.id());
+  for (ResourceDim dim : trace.PresentDims()) {
+    if (dim == ResourceDim::kIoLatencyMs) continue;
+    bench::Unwrap(view.SetSeries(dim, trace.Values(dim)), "view");
+  }
+  return view;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Section 5.3 - Doppler vs baseline on on-prem workloads",
+      "10 instances: 80% Doppler meets the latency requirement where the "
+      "baseline picks a lower-end SKU; for the rest the baseline returns "
+      "no SKU at all");
+
+  auto engine = bench::MakeEngine(Deployment::kSqlDb);
+  const core::BaselineRecommender baseline(&engine->catalog, &engine->pricing,
+                                           0.95);
+
+  TablePrinter table({"Instance", "Doppler SKU", "Doppler meets latency?",
+                      "Baseline SKU", "Baseline meets latency?"});
+  int doppler_meets = 0;
+  int baseline_meets = 0;
+  int baseline_none = 0;
+  int total = 0;
+
+  std::vector<telemetry::PerfTrace> instances;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    instances.push_back(LatencyBoundInstance(5300 + seed));
+  }
+  instances.push_back(UnsatisfiableInstance(5391));
+  instances.push_back(UnsatisfiableInstance(5392));
+
+  for (const telemetry::PerfTrace& trace : instances) {
+    ++total;
+    const core::Recommendation doppler = bench::Unwrap(
+        engine->recommender->RecommendDb(trace), "doppler recommendation");
+    // Validate by replaying the workload's own demand on each SKU and
+    // checking the latency dimension.
+    const sim::ReplayResult doppler_replay =
+        bench::Unwrap(sim::ReplayOnSku(trace, doppler.sku), "replay");
+    const bool doppler_latency_ok =
+        doppler_replay.report.FractionFor(ResourceDim::kIoLatencyMs) < 0.05;
+    doppler_meets += doppler_latency_ok;
+
+    StatusOr<core::Recommendation> base =
+        baseline.Recommend(BaselineView(trace), Deployment::kSqlDb);
+    std::string baseline_sku = "(no SKU fits)";
+    std::string baseline_ok = "-";
+    if (base.ok()) {
+      const sim::ReplayResult base_replay =
+          bench::Unwrap(sim::ReplayOnSku(trace, base->sku), "replay");
+      const bool ok =
+          base_replay.report.FractionFor(ResourceDim::kIoLatencyMs) < 0.05;
+      baseline_meets += ok;
+      baseline_sku = base->sku.DisplayName();
+      baseline_ok = ok ? "yes" : "NO";
+    } else {
+      ++baseline_none;
+    }
+    table.AddRow({trace.id(), doppler.sku.DisplayName(),
+                  doppler_latency_ok ? "yes" : "NO", baseline_sku,
+                  baseline_ok});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nDoppler meets the latency requirement on %d/%d instances "
+      "(paper: 80%%).\n"
+      "Baseline meets it on %d/%d, and returns NO recommendation for %d "
+      "instances (paper: 'the baseline strategy actually fails to provide "
+      "any SKU recommendation').\n",
+      doppler_meets, total, baseline_meets, total - baseline_none,
+      baseline_none);
+  return 0;
+}

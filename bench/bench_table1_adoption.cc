@@ -1,0 +1,84 @@
+// Table 1: "DMA tool adoption since its release."
+//
+// Pure deployment telemetry in the paper (Oct-21 ... Jan-22 request
+// volumes), not an algorithmic result — we reproduce the HARNESS that
+// emits it: the assessment service processes a simulated stream of
+// monthly assessment requests and reports the same columns.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "dma/assessment.h"
+#include "dma/pipeline.h"
+#include "util/table_printer.h"
+#include "workload/population.h"
+
+using namespace doppler;
+
+int main() {
+  bench::Banner(
+      "Table 1 - DMA adoption counters",
+      "Oct-21: 185 instances / 3,905 DBs / 6,503 recs ... Jan-22: 231 / "
+      "9,090 / 10,674 (production telemetry; we reproduce the harness at "
+      "simulation scale)");
+
+  catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+  core::GroupModel model = bench::Unwrap(
+      dma::FitGroupModelOffline(catalog, pricing, estimator,
+                                catalog::Deployment::kSqlDb, 80, 13),
+      "group model");
+  dma::SkuRecommendationPipeline pipeline = bench::Unwrap(
+      dma::SkuRecommendationPipeline::Create({std::move(catalog),
+                                              std::move(model)}),
+      "pipeline");
+  dma::AssessmentService service(&pipeline);
+
+  // A month-over-month growing request stream (1/20th of production scale
+  // so the bench stays fast). Each instance hosts several databases.
+  struct Month {
+    const char* label;
+    int instances;
+  };
+  const Month months[] = {{"Oct-21", 9}, {"Nov-21", 11}, {"Dec-21", 3},
+                          {"Jan-22", 12}};
+  Rng rng(111);
+  std::uint64_t seed = 0;
+  for (const Month& month : months) {
+    workload::PopulationOptions options;
+    options.num_customers = month.instances;
+    options.duration_days = 3.0;
+    options.seed = 3000 + seed++;
+    const std::vector<workload::SyntheticCustomer> fleet = bench::Unwrap(
+        workload::GeneratePopulation(options), "population");
+    for (const workload::SyntheticCustomer& customer : fleet) {
+      dma::AssessmentRequest request;
+      request.customer_id = customer.id;
+      request.target = catalog::Deployment::kSqlDb;
+      // Several databases per instance: reuse the trace with per-db scale.
+      const int databases = 1 + static_cast<int>(rng.UniformInt(4));
+      for (int d = 0; d < databases; ++d) {
+        request.database_traces.push_back(customer.trace);
+      }
+      (void)service.Assess(month.label, request);
+    }
+  }
+
+  TablePrinter table({"Month", "Unique instances assessed",
+                      "Unique databases assessed",
+                      "Total recommendations generated"});
+  for (const dma::AdoptionRow& row : service.AdoptionReport()) {
+    table.AddRow({row.period, std::to_string(row.unique_instances),
+                  std::to_string(row.unique_databases),
+                  std::to_string(row.recommendations)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\n(%d failed assessments; every row's recommendation count exceeds "
+      "its instance count because the elastic and baseline engines both "
+      "emit one, as in production.)\n",
+      service.failed_assessments());
+  return 0;
+}

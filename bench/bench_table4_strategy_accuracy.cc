@@ -1,0 +1,85 @@
+// Table 4: "Accuracy of Doppler in identifying the optimal SKU based on
+// standard k-means clustering" — the six negotiability definitions
+// compared on SQL DB and SQL MI fleets.
+//
+// Paper values range 73.9%-78.5%; Max Scaler AUC wins narrowly, the
+// thresholding algorithm is within a point and ships in production because
+// it is cheaper and interpretable. Table 4 does NOT exclude the
+// over-provisioned segment (that exclusion is Table 5), which is why its
+// accuracies sit in the 70s.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/negotiability.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace doppler;
+
+int main() {
+  bench::Banner(
+      "Table 4 - accuracy by negotiability definition (k-means grouping, "
+      "over-provisioned included)",
+      "MinMaxAUC 77.3/74.3, MaxAUC 78.5/73.9, Thresholding 77.6/75.1, "
+      "Outlier 78.1/74.1, STL 78.1/74.6, MinMaxAUC+ts 77.8/75.5 (DB/MI)");
+
+  const catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+
+  bench::FleetConfig config;
+  config.num_customers = 300;
+  config.duration_days = 14.0;
+
+  config.seed = 404;
+  const core::BacktestDataset db_dataset = bench::Unwrap(
+      bench::BuildFleetDataset(catalog::Deployment::kSqlDb, catalog, pricing,
+                               estimator, config),
+      "DB fleet");
+  config.seed = 405;
+  const core::BacktestDataset mi_dataset = bench::Unwrap(
+      bench::BuildFleetDataset(catalog::Deployment::kSqlMi, catalog, pricing,
+                               estimator, config),
+      "MI fleet");
+
+  const char* paper[] = {"77.3% / 74.3%", "78.5% / 73.9%", "77.6% / 75.1%",
+                         "78.1% / 74.1%", "78.1% / 74.6%", "77.8% / 75.5%"};
+
+  core::BacktestOptions options;
+  options.grouping = core::GroupingMethod::kKMeans;
+  options.exclude_over_provisioned = false;
+
+  TablePrinter table(
+      {"Negotiability Definition", "DB", "MI", "Paper (DB / MI)"});
+  // AllStrategies returns them in the paper's Table 4 row order.
+  int row = 0;
+  for (const auto& strategy : core::AllStrategies()) {
+    const core::BacktestResult db = bench::Unwrap(
+        core::RunBacktest(db_dataset, *strategy, options), "DB backtest");
+    const core::BacktestResult mi = bench::Unwrap(
+        core::RunBacktest(mi_dataset, *strategy, options), "MI backtest");
+    table.AddRow({strategy->name(), FormatPercent(db.accuracy, 1),
+                  FormatPercent(mi.accuracy, 1), paper[row]});
+    ++row;
+  }
+  table.Print(std::cout);
+
+  // Production configuration: thresholding + straight enumeration.
+  const core::ThresholdingStrategy production;
+  core::BacktestOptions enumeration = options;
+  enumeration.grouping = core::GroupingMethod::kEnumeration;
+  const core::BacktestResult db_enum = bench::Unwrap(
+      core::RunBacktest(db_dataset, production, enumeration), "DB enum");
+  const core::BacktestResult mi_enum = bench::Unwrap(
+      core::RunBacktest(mi_dataset, production, enumeration), "MI enum");
+  std::printf(
+      "\nProduction configuration (thresholding + straightforward "
+      "enumeration): DB %s, MI %s.\n"
+      "Paper: 'straightforward enumeration is sufficient in separating "
+      "customers into distinct groups'.\n",
+      FormatPercent(db_enum.accuracy, 1).c_str(),
+      FormatPercent(mi_enum.accuracy, 1).c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table 5: "Elastic strategy performance excluding over-provisioned
+// customers."
+//
+// Paper: DB 89.4% (micro: GP 89.0% / BC 95.6%), MI 96.7% (micro: GP 97.6%
+// / BC 86.9%). Excluding the over-provisioned segment is what lifts
+// accuracy out of Table 4's 70s — we print both so the delta is visible.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/negotiability.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace doppler;
+using catalog::ServiceTier;
+
+int main() {
+  bench::Banner(
+      "Table 5 - elastic accuracy excluding over-provisioned customers",
+      "DB 89.4% (GP 89.0% / BC 95.6%); MI 96.7% (GP 97.6% / BC 86.9%)");
+
+  const catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+  const core::ThresholdingStrategy strategy;
+
+  TablePrinter table({"Customer Type", "Accuracy", "Micro Accuracy",
+                      "Incl. over-prov", "Paper"});
+  struct Row {
+    const char* label;
+    catalog::Deployment deployment;
+    std::uint64_t seed;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {"DB", catalog::Deployment::kSqlDb, 505,
+       "89.4% (GP 89.0% / BC 95.6%)"},
+      {"MI", catalog::Deployment::kSqlMi, 506,
+       "96.7% (GP 97.6% / BC 86.9%)"},
+  };
+
+  for (const Row& row : rows) {
+    bench::FleetConfig config;
+    config.num_customers = 400;
+    config.duration_days = 14.0;
+    config.seed = row.seed;
+    const core::BacktestDataset dataset = bench::Unwrap(
+        bench::BuildFleetDataset(row.deployment, catalog, pricing, estimator,
+                                 config),
+        "fleet dataset");
+
+    core::BacktestOptions excluded;
+    excluded.exclude_over_provisioned = true;
+    core::BacktestOptions included;
+    included.exclude_over_provisioned = false;
+    const core::BacktestResult clean = bench::Unwrap(
+        core::RunBacktest(dataset, strategy, excluded), "backtest excl");
+    const core::BacktestResult dirty = bench::Unwrap(
+        core::RunBacktest(dataset, strategy, included), "backtest incl");
+
+    std::string micro = "GP: ";
+    const auto gp = clean.by_tier.find(ServiceTier::kGeneralPurpose);
+    const auto bc = clean.by_tier.find(ServiceTier::kBusinessCritical);
+    micro += gp != clean.by_tier.end()
+                 ? FormatPercent(gp->second.accuracy, 1)
+                 : "n/a";
+    micro += " / BC: ";
+    micro += bc != clean.by_tier.end()
+                 ? FormatPercent(bc->second.accuracy, 1)
+                 : "n/a";
+
+    table.AddRow({row.label, FormatPercent(clean.accuracy, 1), micro,
+                  FormatPercent(dirty.accuracy, 1), row.paper});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nPaper: 'the accuracy of Doppler drastically improves when "
+      "over-provisioned customers are excluded from the ground truth "
+      "labels' — compare the 'Accuracy' and 'Incl. over-prov' columns.\n");
+  return 0;
+}

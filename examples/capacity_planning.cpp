@@ -1,0 +1,113 @@
+// Capacity planning: when will this workload outgrow its SKU, and has it
+// already started?
+//
+// Combines two Doppler components built on the paper's machinery:
+//  - the drift detector (the automated form of §5.2.3 / Fig. 11): compare
+//    the price-performance curve of the recent telemetry window against
+//    the baseline window;
+//  - the growth forecaster: extrapolate fitted per-dimension growth and
+//    walk the curve month by month.
+//
+// Build & run:   ./build/examples/capacity_planning
+
+#include <cstdio>
+#include <iostream>
+
+#include "catalog/catalog.h"
+#include "core/drift.h"
+#include "core/forecast.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/generator.h"
+
+namespace {
+
+using doppler::catalog::Deployment;
+using doppler::catalog::ResourceDim;
+
+// A SaaS tenant database growing ~18% per month, currently on GP 4.
+doppler::telemetry::PerfTrace GrowingTenant() {
+  doppler::Rng rng(555);
+  doppler::workload::WorkloadSpec spec;
+  spec.name = "tenant-db";
+  spec.dims[ResourceDim::kCpu] =
+      doppler::workload::DimensionSpec::Trending(2.2, 0.5, 0.04);
+  spec.dims[ResourceDim::kMemoryGb] =
+      doppler::workload::DimensionSpec::Trending(12.0, 2.0, 0.02);
+  spec.dims[ResourceDim::kIops] =
+      doppler::workload::DimensionSpec::Trending(800.0, 180.0, 0.04);
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      doppler::workload::DimensionSpec::Steady(7.0, 0.03);
+  auto trace = doppler::workload::GenerateTrace(spec, 30.0, &rng);
+  if (!trace.ok()) std::exit(1);
+  return *std::move(trace);
+}
+
+}  // namespace
+
+int main() {
+  const std::string current_sku = "DB_GP_Gen5_4";
+  const doppler::telemetry::PerfTrace telemetry = GrowingTenant();
+  const doppler::catalog::SkuCatalog catalog =
+      doppler::catalog::BuildAzureLikeCatalog();
+  const doppler::catalog::DefaultPricing pricing;
+  const doppler::core::NonParametricEstimator estimator;
+  const std::vector<doppler::catalog::Sku> candidates =
+      catalog.ForDeployment(Deployment::kSqlDb);
+
+  std::printf("Tenant database on %s, 30 days of telemetry.\n\n",
+              current_sku.c_str());
+
+  // -- Has the workload already drifted past the SKU?
+  auto drift = doppler::core::DetectSkuDrift(telemetry, candidates, pricing,
+                                             estimator, current_sku);
+  if (!drift.ok()) {
+    std::cerr << drift.status() << "\n";
+    return 1;
+  }
+  std::printf(
+      "Drift check: baseline window %s throttling -> recent window %s; "
+      "change needed now: %s\n\n",
+      doppler::FormatPercent(drift->baseline_probability, 1).c_str(),
+      doppler::FormatPercent(drift->recent_probability, 1).c_str(),
+      drift->needs_change ? "YES" : "not yet");
+
+  // -- When will it outgrow the SKU, and what should it move to?
+  doppler::core::ForecastOptions options;
+  options.horizon_months = 9;
+  auto forecast = doppler::core::ForecastUpgrades(
+      telemetry, candidates, pricing, estimator, current_sku, options);
+  if (!forecast.ok()) {
+    std::cerr << forecast.status() << "\n";
+    return 1;
+  }
+
+  std::printf("Fitted growth: %.2f vCores/month, %.0f IOPS/month, "
+              "%.1f GB memory/month.\n\n",
+              forecast->monthly_growth.Get(ResourceDim::kCpu),
+              forecast->monthly_growth.Get(ResourceDim::kIops),
+              forecast->monthly_growth.Get(ResourceDim::kMemoryGb));
+
+  doppler::TablePrinter table({"Month", "Current-SKU throttling",
+                               "Right-sized SKU", "Monthly"});
+  for (const doppler::core::HorizonPoint& point : forecast->timeline) {
+    table.AddRow(
+        {std::to_string(point.month),
+         doppler::FormatPercent(point.current_sku_probability, 1),
+         point.recommended_sku_id.empty() ? "(nothing fits)"
+                                          : point.recommended_display_name,
+         doppler::FormatDollars(point.recommended_monthly_cost, 0)});
+  }
+  table.Print(std::cout);
+
+  if (forecast->upgrade_due_month > 0) {
+    std::printf(
+        "\nPlan the upgrade before month %d: that is when %s starts "
+        "throttling past the 5%% tolerance.\n",
+        forecast->upgrade_due_month, current_sku.c_str());
+  } else {
+    std::puts("\nThe current SKU holds through the planning horizon.");
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Quickstart: the five-minute tour of the Doppler public API.
+//
+//  1. Produce (or load) a customer's performance history — here a
+//     simulated 7-day DMA collection of a business-hours OLTP workload.
+//  2. Build the static inputs the engine ships with: the SKU catalog and
+//     the customer-profile group model.
+//  3. Ask the SKU Recommendation Pipeline for the optimal Azure SQL DB
+//     target, with a bootstrap confidence score.
+//  4. Print the full Resource Use Module report explaining the choice.
+//
+// Build & run:   ./build/examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "catalog/catalog.h"
+#include "dma/pipeline.h"
+#include "dma/preprocess.h"
+#include "dma/resource_report.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace {
+
+using doppler::catalog::Deployment;
+using doppler::catalog::ResourceDim;
+
+// A mid-size OLTP workload: business-hour CPU/IO cycles, steady memory,
+// comfortable on-prem storage latency.
+doppler::telemetry::PerfTrace SimulateWeekOfTelemetry() {
+  doppler::Rng rng(2022);
+  doppler::workload::WorkloadSpec spec;
+  spec.name = "orders-db";
+  spec.dims[ResourceDim::kCpu] =
+      doppler::workload::DimensionSpec::DailyPeriodic(/*base=*/2.5,
+                                                      /*amplitude=*/2.0);
+  spec.dims[ResourceDim::kMemoryGb] =
+      doppler::workload::DimensionSpec::Steady(12.0);
+  spec.dims[ResourceDim::kIops] =
+      doppler::workload::DimensionSpec::DailyPeriodic(900.0, 700.0);
+  spec.dims[ResourceDim::kLogRateMbps] =
+      doppler::workload::DimensionSpec::DailyPeriodic(4.0, 3.0);
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      doppler::workload::DimensionSpec::Steady(6.5);
+  spec.dims[ResourceDim::kStorageGb] =
+      doppler::workload::DimensionSpec::Trending(220.0, 8.0, 0.002);
+
+  auto trace = doppler::workload::GenerateTrace(spec, /*duration_days=*/7.0,
+                                                &rng);
+  if (!trace.ok()) {
+    std::cerr << "trace generation failed: " << trace.status() << "\n";
+    std::exit(1);
+  }
+  return *std::move(trace);
+}
+
+}  // namespace
+
+int main() {
+  // -- Step 1: the customer's performance history (counters only; Doppler
+  //    never sees data or queries).
+  doppler::telemetry::PerfTrace history = SimulateWeekOfTelemetry();
+  std::printf("Collected %zu samples over %.1f days for '%s'\n\n",
+              history.num_samples(), history.DurationDays(),
+              history.id().c_str());
+
+  // -- Step 2: static inputs. The catalog mirrors the Azure SQL PaaS
+  //    vCore ladder; the group model is fitted offline from migrated
+  //    customers (here: a simulated fleet).
+  doppler::catalog::SkuCatalog catalog =
+      doppler::catalog::BuildAzureLikeCatalog();
+  const doppler::catalog::DefaultPricing pricing;
+  const doppler::core::NonParametricEstimator estimator;
+  auto group_model = doppler::dma::FitGroupModelOffline(
+      catalog, pricing, estimator, Deployment::kSqlDb,
+      /*num_customers=*/120, /*seed=*/7);
+  if (!group_model.ok()) {
+    std::cerr << "group model fit failed: " << group_model.status() << "\n";
+    return 1;
+  }
+
+  auto pipeline = doppler::dma::SkuRecommendationPipeline::Create(
+      {std::move(catalog), *std::move(group_model)});
+  if (!pipeline.ok()) {
+    std::cerr << "pipeline creation failed: " << pipeline.status() << "\n";
+    return 1;
+  }
+
+  // -- Step 3: one assessment request, as the DMA tool would submit it.
+  doppler::dma::AssessmentRequest request;
+  request.customer_id = "contoso-orders";
+  request.target = Deployment::kSqlDb;
+  request.database_traces = {history};
+  request.compute_confidence = true;
+
+  auto outcome = pipeline->Assess(request);
+  if (!outcome.ok()) {
+    std::cerr << "assessment failed: " << outcome.status() << "\n";
+    return 1;
+  }
+
+  // -- Step 4: the explanation.
+  std::cout << doppler::dma::RenderRecommendationReport(
+      outcome->instance_trace, outcome->elastic);
+
+  if (outcome->confidence.has_value()) {
+    std::printf("\nConfidence score: %.0f%% (%d/%d bootstrap runs agree)\n",
+                outcome->confidence->score * 100.0,
+                outcome->confidence->matching_runs,
+                outcome->confidence->runs);
+  }
+  if (outcome->baseline.ok()) {
+    std::printf(
+        "Legacy baseline would have picked: %s ($%.0f/month vs Doppler's "
+        "$%.0f/month)\n",
+        outcome->baseline->sku.DisplayName().c_str(),
+        outcome->baseline->monthly_cost, outcome->elastic.monthly_cost);
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Right-sizing: find cost savings for an over-provisioned cloud customer.
+//
+// The paper (§5.1-5.2) found ~10% of Azure SQL PaaS customers
+// over-provisioned — one ran an 80-core machine for a workload a 2-core
+// SKU hosts, worth >$100k/year. This example reproduces that analysis:
+// a cloud customer's telemetry is assessed against their current SKU and
+// Doppler proposes the right-size target with the savings estimate.
+//
+// Build & run:   ./build/examples/right_sizing
+
+#include <cstdio>
+#include <iostream>
+
+#include "catalog/catalog.h"
+#include "core/recommender.h"
+#include "core/rightsizing.h"
+#include "dma/preprocess.h"
+#include "dma/resource_report.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/generator.h"
+
+namespace {
+
+using doppler::catalog::Deployment;
+using doppler::catalog::ResourceDim;
+
+// What the over-provisioned customer actually runs: a light reporting
+// workload with an occasional spike, currently hosted on 80 cores.
+doppler::telemetry::PerfTrace CloudTelemetry() {
+  doppler::Rng rng(4096);
+  doppler::workload::WorkloadSpec spec;
+  spec.name = "reporting-db";
+  spec.dims[ResourceDim::kCpu] =
+      doppler::workload::DimensionSpec::Spiky(/*base=*/0.8, /*spike=*/0.9,
+                                              /*rate_per_day=*/0.5,
+                                              /*duration_minutes=*/30.0);
+  spec.dims[ResourceDim::kMemoryGb] =
+      doppler::workload::DimensionSpec::Steady(6.0);
+  spec.dims[ResourceDim::kIops] =
+      doppler::workload::DimensionSpec::DailyPeriodic(250.0, 150.0);
+  spec.dims[ResourceDim::kLogRateMbps] =
+      doppler::workload::DimensionSpec::Steady(2.0);
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      doppler::workload::DimensionSpec::Steady(6.0);
+  spec.dims[ResourceDim::kStorageGb] =
+      doppler::workload::DimensionSpec::Steady(350.0, 0.005);
+  auto trace = doppler::workload::GenerateTrace(spec, 30.0, &rng);
+  if (!trace.ok()) std::exit(1);
+  return *std::move(trace);
+}
+
+}  // namespace
+
+int main() {
+  const std::string current_sku_id = "DB_GP_Gen5_80";
+
+  const doppler::catalog::SkuCatalog catalog =
+      doppler::catalog::BuildAzureLikeCatalog();
+  const doppler::catalog::DefaultPricing pricing;
+  const doppler::core::NonParametricEstimator estimator;
+
+  const doppler::telemetry::PerfTrace telemetry = CloudTelemetry();
+  auto current_sku = catalog.FindById(current_sku_id);
+  if (!current_sku.ok()) {
+    std::cerr << current_sku.status() << "\n";
+    return 1;
+  }
+  std::printf(
+      "Customer runs '%s' on %s (%s/month).\n"
+      "30 days of telemetry collected (%zu samples).\n\n",
+      telemetry.id().c_str(), current_sku->DisplayName().c_str(),
+      doppler::FormatDollars(pricing.MonthlyCost(*current_sku), 0).c_str(),
+      telemetry.num_samples());
+
+  // Build the price-performance curve over all SQL DB SKUs.
+  auto curve = doppler::core::PricePerformanceCurve::Build(
+      telemetry, catalog.ForDeployment(Deployment::kSqlDb), pricing,
+      estimator);
+  if (!curve.ok()) {
+    std::cerr << curve.status() << "\n";
+    return 1;
+  }
+
+  auto assessment = doppler::core::AssessRightSizing(*curve, current_sku_id);
+  if (!assessment.ok()) {
+    std::cerr << assessment.status() << "\n";
+    return 1;
+  }
+
+  doppler::TablePrinter table({"", "Current", "Right-sized"});
+  table.AddRow({"SKU", assessment->current.sku.DisplayName(),
+                assessment->recommended.sku.DisplayName()});
+  table.AddRow({"Monthly cost",
+                doppler::FormatDollars(assessment->current.monthly_price, 0),
+                doppler::FormatDollars(assessment->recommended.monthly_price,
+                                       0)});
+  table.AddRow(
+      {"Resource needs met",
+       doppler::FormatPercent(assessment->current.performance, 1),
+       doppler::FormatPercent(assessment->recommended.performance, 1)});
+  table.Print(std::cout);
+
+  std::printf(
+      "\nOver-provisioned: %s (paying %.1fx the cheapest fully-satisfying "
+      "SKU)\nMonthly savings: %s   Annual savings: %s\n\n",
+      assessment->over_provisioned ? "YES" : "no",
+      assessment->price_headroom,
+      doppler::FormatDollars(assessment->monthly_savings, 0).c_str(),
+      doppler::FormatDollars(assessment->annual_savings, 0).c_str());
+
+  std::cout << doppler::dma::RenderCurveReport(*curve, 12);
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Synthesize-and-replay: validate a recommendation without touching
+// customer data (the paper's §5.4 methodology).
+//
+//  1. Start from a customer's perf-counter history only.
+//  2. Synthesise a benchmark mix (TPC-C/H/DS/YCSB pieces at fitted scale,
+//     rate and concurrency) whose steady demand mimics the history.
+//  3. Recommend a SKU from the history with Doppler.
+//  4. Replay the synthetic demand on the recommended SKU and its
+//     neighbours on the price-performance curve; confirm the cheaper SKU
+//     throttles (latency blows up) while the recommendation holds.
+//
+// Build & run:   ./build/examples/synthesize_and_replay
+
+#include <cstdio>
+#include <iostream>
+
+#include "catalog/catalog.h"
+#include "core/recommender.h"
+#include "dma/preprocess.h"
+#include "sim/replayer.h"
+#include "stats/descriptive.h"
+#include "util/ascii_plot.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/benchmark_mix.h"
+#include "workload/generator.h"
+#include "workload/population.h"
+
+namespace {
+
+using doppler::catalog::Deployment;
+using doppler::catalog::ResourceDim;
+
+doppler::telemetry::PerfTrace CustomerHistory() {
+  doppler::Rng rng(31337);
+  doppler::workload::WorkloadSpec spec;
+  spec.name = "erp-db";
+  spec.dims[ResourceDim::kCpu] =
+      doppler::workload::DimensionSpec::DailyPeriodic(4.0, 3.0);
+  spec.dims[ResourceDim::kMemoryGb] =
+      doppler::workload::DimensionSpec::Steady(22.0);
+  spec.dims[ResourceDim::kIops] =
+      doppler::workload::DimensionSpec::DailyPeriodic(3200.0, 2200.0);
+  spec.dims[ResourceDim::kLogRateMbps] =
+      doppler::workload::DimensionSpec::DailyPeriodic(7.0, 4.0);
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      doppler::workload::DimensionSpec::Steady(6.0);
+  auto trace = doppler::workload::GenerateTrace(spec, 14.0, &rng);
+  if (!trace.ok()) std::exit(1);
+  return *std::move(trace);
+}
+
+}  // namespace
+
+int main() {
+  const doppler::telemetry::PerfTrace history = CustomerHistory();
+
+  // -- Synthesise a workload from counters alone.
+  auto synth = doppler::workload::SynthesizeFromHistory(history);
+  if (!synth.ok()) {
+    std::cerr << synth.status() << "\n";
+    return 1;
+  }
+  std::printf("Synthesised workload: %s (fit error %.1f%%)\n\n",
+              synth->Describe().c_str(), synth->fit_error * 100.0);
+
+  doppler::Rng render_rng(99);
+  auto demand = doppler::workload::RenderDemandTrace(*synth, 7.0, &render_rng);
+  if (!demand.ok()) {
+    std::cerr << demand.status() << "\n";
+    return 1;
+  }
+
+  // -- Recommend from the history.
+  const doppler::catalog::SkuCatalog catalog =
+      doppler::catalog::BuildAzureLikeCatalog();
+  const doppler::catalog::DefaultPricing pricing;
+  const doppler::core::NonParametricEstimator estimator;
+  auto group_model = doppler::dma::FitGroupModelOffline(
+      catalog, pricing, estimator, Deployment::kSqlDb, 100, 3);
+  if (!group_model.ok()) {
+    std::cerr << group_model.status() << "\n";
+    return 1;
+  }
+  const doppler::core::CustomerProfiler profiler(
+      std::make_shared<doppler::core::ThresholdingStrategy>(),
+      doppler::workload::ProfilingDims(Deployment::kSqlDb));
+  const doppler::core::ElasticRecommender recommender(
+      &catalog, &pricing, &estimator, &profiler, &*group_model);
+  auto rec = recommender.RecommendDb(history);
+  if (!rec.ok()) {
+    std::cerr << rec.status() << "\n";
+    return 1;
+  }
+  std::printf("Doppler recommends: %s (%s/month, predicted throttling "
+              "%.1f%%)\n\n",
+              rec->sku.DisplayName().c_str(),
+              doppler::FormatDollars(rec->monthly_cost, 0).c_str(),
+              rec->throttling_probability * 100.0);
+
+  // -- Replay on the recommendation and on curve neighbours.
+  // Compare against neighbours in the same tier/hardware series, so the
+  // only variable is size (the paper's Table 6 ladder).
+  std::vector<std::size_t> series;
+  std::size_t recommended_pos = 0;
+  for (std::size_t i = 0; i < rec->curve.size(); ++i) {
+    const doppler::catalog::Sku& sku = rec->curve.points()[i].sku;
+    if (sku.tier == rec->sku.tier && sku.hardware == rec->sku.hardware &&
+        sku.deployment == rec->sku.deployment) {
+      if (sku.id == rec->sku.id) recommended_pos = series.size();
+      series.push_back(i);
+    }
+  }
+  std::vector<std::size_t> candidates;
+  if (recommended_pos >= 2) candidates.push_back(series[recommended_pos - 2]);
+  if (recommended_pos >= 1) candidates.push_back(series[recommended_pos - 1]);
+  candidates.push_back(series[recommended_pos]);
+  if (recommended_pos + 1 < series.size()) {
+    candidates.push_back(series[recommended_pos + 1]);
+  }
+
+  doppler::TablePrinter table(
+      {"SKU", "Monthly", "Observed throttling", "Mean latency (ms)",
+       "P95 latency (ms)"});
+  for (std::size_t i : candidates) {
+    const doppler::catalog::Sku& sku = rec->curve.points()[i].sku;
+    auto replay = doppler::sim::ReplayOnSku(*demand, sku);
+    if (!replay.ok()) continue;
+    const std::vector<double>& latency =
+        replay->observed.Values(ResourceDim::kIoLatencyMs);
+    table.AddRow(
+        {sku.DisplayName() +
+             (sku.id == rec->sku.id ? "  <== recommended" : ""),
+         doppler::FormatDollars(rec->curve.points()[i].monthly_price, 0),
+         doppler::FormatPercent(replay->report.any_fraction, 1),
+         doppler::FormatDouble(doppler::stats::Mean(latency), 2),
+         doppler::FormatDouble(doppler::stats::Quantile(latency, 0.95), 2)});
+  }
+  std::puts("=== Replay of the synthesised workload (paper Fig. 13) ===");
+  table.Print(std::cout);
+
+  // Show the latency trace on the cheapest candidate vs the recommended.
+  auto cheap_replay = doppler::sim::ReplayOnSku(
+      *demand, rec->curve.points()[candidates.front()].sku);
+  auto rec_replay = doppler::sim::ReplayOnSku(*demand, rec->sku);
+  if (cheap_replay.ok() && rec_replay.ok()) {
+    doppler::PlotOptions options;
+    options.title = "\nIO latency under replay: '*' = undersized SKU, "
+                    "'o' = recommended";
+    options.height = 12;
+    std::cout << doppler::DualLinePlot(
+        cheap_replay->observed.Values(ResourceDim::kIoLatencyMs),
+        rec_replay->observed.Values(ResourceDim::kIoLatencyMs), options);
+  }
+  return 0;
+}

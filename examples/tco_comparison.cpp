@@ -1,0 +1,101 @@
+// TCO comparison: should this estate stay on-prem, and if not, where
+// should it go?
+//
+// The paper's §5.5 describes Doppler feeding a broader total-cost-of-
+// ownership tool that compares staying on-premises against right-sized
+// targets on Azure, AWS and GCP. This example runs that comparison for one
+// estate: the elastic recommender picks the right-sized SKU under each
+// provider's price book, and an on-prem cost model prices the status quo.
+//
+// Build & run:   ./build/examples/tco_comparison
+
+#include <cstdio>
+#include <iostream>
+
+#include "catalog/catalog.h"
+#include "dma/preprocess.h"
+#include "tco/tco.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+#include "workload/population.h"
+
+namespace {
+
+using doppler::catalog::Deployment;
+using doppler::catalog::ResourceDim;
+
+doppler::telemetry::PerfTrace EstateTelemetry() {
+  doppler::Rng rng(2026);
+  doppler::workload::WorkloadSpec spec;
+  spec.name = "finance-erp";
+  spec.dims[ResourceDim::kCpu] =
+      doppler::workload::DimensionSpec::DailyPeriodic(2.2, 1.6);
+  spec.dims[ResourceDim::kMemoryGb] =
+      doppler::workload::DimensionSpec::Steady(14.0);
+  spec.dims[ResourceDim::kIops] =
+      doppler::workload::DimensionSpec::DailyPeriodic(900.0, 600.0);
+  spec.dims[ResourceDim::kLogRateMbps] =
+      doppler::workload::DimensionSpec::DailyPeriodic(3.5, 2.0);
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      doppler::workload::DimensionSpec::Steady(6.8);
+  spec.dims[ResourceDim::kStorageGb] =
+      doppler::workload::DimensionSpec::Trending(420.0, 15.0, 0.003);
+  auto trace = doppler::workload::GenerateTrace(spec, 14.0, &rng);
+  if (!trace.ok()) std::exit(1);
+  return *std::move(trace);
+}
+
+}  // namespace
+
+int main() {
+  const doppler::telemetry::PerfTrace telemetry = EstateTelemetry();
+  std::printf("Estate '%s': %.0f days of telemetry (%zu samples).\n\n",
+              telemetry.id().c_str(), telemetry.DurationDays(),
+              telemetry.num_samples());
+
+  // The engine.
+  const doppler::catalog::SkuCatalog catalog =
+      doppler::catalog::BuildAzureLikeCatalog();
+  const doppler::catalog::DefaultPricing pricing;
+  const doppler::core::NonParametricEstimator estimator;
+  auto groups = doppler::dma::FitGroupModelOffline(
+      catalog, pricing, estimator, Deployment::kSqlDb, 100, 23);
+  if (!groups.ok()) {
+    std::cerr << groups.status() << "\n";
+    return 1;
+  }
+  const doppler::core::CustomerProfiler profiler(
+      std::make_shared<doppler::core::ThresholdingStrategy>(),
+      doppler::workload::ProfilingDims(Deployment::kSqlDb));
+
+  // What the estate costs today: an aging 8-core host, full SQL licensing.
+  doppler::tco::OnPremCostModel on_prem;
+  on_prem.server_capex = 28000.0;
+  on_prem.amortization_months = 48.0;
+  on_prem.license_per_core_monthly = 230.0;
+  on_prem.licensed_cores = 8;
+  on_prem.admin_monthly = 1100.0;
+  on_prem.facilities_monthly = 380.0;
+  on_prem.storage_per_gb_monthly = 0.09;
+
+  auto comparison = doppler::tco::CompareTco(telemetry, on_prem, catalog,
+                                             estimator, profiler, *groups);
+  if (!comparison.ok()) {
+    std::cerr << comparison.status() << "\n";
+    return 1;
+  }
+  std::cout << doppler::tco::RenderTcoReport(*comparison);
+
+  // Sensitivity: a freshly bought host shifts the balance.
+  std::puts("\nSensitivity: same estate, hardware just refreshed (capex "
+            "re-amortising):");
+  doppler::tco::OnPremCostModel fresh = on_prem;
+  fresh.server_capex = 12000.0;   // Commodity refresh.
+  fresh.licensed_cores = 4;       // Right-sized licensing after the audit.
+  fresh.admin_monthly = 500.0;    // Shared DBA.
+  auto cheap = doppler::tco::CompareTco(telemetry, fresh, catalog, estimator,
+                                        profiler, *groups);
+  if (cheap.ok()) std::cout << doppler::tco::RenderTcoReport(*cheap);
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "adf/ir_recommender.h"
+
+#include "core/throttling.h"
+
+namespace doppler::adf {
+
+namespace {
+
+using catalog::ResourceDim;
+
+// Per-core-hour rates, mirroring the public ADF data-flow price sheet's
+// family split.
+constexpr double kGeneralPerCoreHour = 0.274;
+constexpr double kMemoryOptimizedPerCoreHour = 0.343;
+
+}  // namespace
+
+const char* IrFamilyName(IrFamily family) {
+  switch (family) {
+    case IrFamily::kGeneralPurpose:
+      return "General";
+    case IrFamily::kMemoryOptimized:
+      return "MemoryOptimized";
+  }
+  return "?";
+}
+
+catalog::SkuCatalog BuildIrCatalog() {
+  static const int kCores[] = {4, 8, 16, 32, 48, 64, 96, 144, 272};
+  catalog::SkuCatalog ladder;
+  for (IrFamily family :
+       {IrFamily::kGeneralPurpose, IrFamily::kMemoryOptimized}) {
+    const bool memory_optimized = family == IrFamily::kMemoryOptimized;
+    for (int cores : kCores) {
+      catalog::Sku node;
+      node.id = std::string("IR_") + (memory_optimized ? "MO" : "GP") + "_" +
+                std::to_string(cores);
+      node.vcores = cores;
+      node.max_memory_gb = (memory_optimized ? 8.0 : 4.0) * cores;
+      // Pipelines are not IO- or storage-bound on the node itself; leave
+      // those capacities effectively unconstrained.
+      node.max_iops = 1e9;
+      node.max_log_rate_mbps = 1e9;
+      node.min_io_latency_ms = 0.0;
+      node.max_data_gb = 1e9;
+      node.max_workers = 1e9;
+      node.price_per_hour =
+          (memory_optimized ? kMemoryOptimizedPerCoreHour
+                            : kGeneralPerCoreHour) *
+          cores;
+      ladder.Add(std::move(node));
+    }
+  }
+  return ladder;
+}
+
+StatusOr<telemetry::PerfTrace> TraceFromRuns(
+    const std::vector<PipelineRun>& runs) {
+  if (runs.empty()) {
+    return InvalidArgumentError("no pipeline runs in the history");
+  }
+  std::vector<double> cores;
+  std::vector<double> memory;
+  cores.reserve(runs.size());
+  memory.reserve(runs.size());
+  for (const PipelineRun& run : runs) {
+    if (run.duration_minutes <= 0.0) {
+      return InvalidArgumentError("pipeline run with non-positive duration");
+    }
+    cores.push_back(run.avg_cores_used);
+    memory.push_back(run.peak_memory_gb);
+  }
+  telemetry::PerfTrace trace;
+  trace.set_id("adf-pipeline-history");
+  DOPPLER_RETURN_IF_ERROR(trace.SetSeries(ResourceDim::kCpu, std::move(cores)));
+  DOPPLER_RETURN_IF_ERROR(
+      trace.SetSeries(ResourceDim::kMemoryGb, std::move(memory)));
+  return trace;
+}
+
+StatusOr<IrRecommendation> RecommendIntegrationRuntime(
+    const std::vector<PipelineRun>& runs, double monthly_run_hours,
+    double overload_tolerance) {
+  if (monthly_run_hours <= 0.0) {
+    return InvalidArgumentError("monthly run-hours must be positive");
+  }
+  DOPPLER_ASSIGN_OR_RETURN(telemetry::PerfTrace trace, TraceFromRuns(runs));
+  const catalog::SkuCatalog ladder = BuildIrCatalog();
+  const AdfPricing pricing(monthly_run_hours);
+  const core::NonParametricEstimator estimator;
+  DOPPLER_ASSIGN_OR_RETURN(
+      core::PricePerformanceCurve curve,
+      core::PricePerformanceCurve::Build(trace, ladder.skus(), pricing,
+                                         estimator));
+  DOPPLER_ASSIGN_OR_RETURN(core::PricePerformancePoint point,
+                           curve.ClosestBelowTarget(overload_tolerance));
+  IrRecommendation recommendation;
+  recommendation.node = point.sku;
+  recommendation.monthly_cost = point.monthly_price;
+  recommendation.overload_probability = point.MonotoneProbability();
+  recommendation.curve = std::move(curve);
+  return recommendation;
+}
+
+}  // namespace doppler::adf

@@ -1,0 +1,88 @@
+#ifndef DOPPLER_ADF_IR_RECOMMENDER_H_
+#define DOPPLER_ADF_IR_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/pricing.h"
+#include "core/price_performance.h"
+#include "telemetry/perf_trace.h"
+#include "util/statusor.h"
+
+namespace doppler::adf {
+
+/// The Azure Data Factory adaptation (paper §7: "One concrete example is
+/// our engagement with Azure Data Factory, in which Doppler has been
+/// adapted to recommend appropriate compute infrastructure optimized by
+/// cost and performance"). Data-flow pipelines run on integration-runtime
+/// (IR) nodes; picking the node family/size is the same problem as SKU
+/// selection: offered shapes with capacities and prices, a demand history,
+/// and a cost/performance trade-off. The adaptation below reuses the
+/// price-performance machinery end to end — IR shapes are expressed as
+/// Sku records, pipeline-run telemetry as a PerfTrace, and ADF's
+/// hours-of-use billing as a PricingService.
+
+/// One executed pipeline run, as ADF's run telemetry reports it.
+struct PipelineRun {
+  double duration_minutes = 10.0;
+  /// Mean cores the data flow actually used during the run.
+  double avg_cores_used = 4.0;
+  /// Peak executor memory across the run, GB.
+  double peak_memory_gb = 16.0;
+};
+
+/// IR node families (memory per core differs, as with the SQL hardware
+/// generations).
+enum class IrFamily { kGeneralPurpose, kMemoryOptimized };
+
+const char* IrFamilyName(IrFamily family);
+
+/// The IR shape ladder as a SkuCatalog: ids "IR_GP_<cores>" /
+/// "IR_MO_<cores>", cores in {4, 8, 16, 32, 48, 64, 96, 144, 272}.
+/// price_per_hour is the full-node hourly rate; billing multiplies by the
+/// hours the pipelines actually run (AdfPricing).
+catalog::SkuCatalog BuildIrCatalog();
+
+/// Converts run telemetry into the engine's trace format: one sample per
+/// run, cpu = mean cores used, memory = peak executor memory. Fails on an
+/// empty history.
+StatusOr<telemetry::PerfTrace> TraceFromRuns(
+    const std::vector<PipelineRun>& runs);
+
+/// ADF bills IR nodes for the hours pipelines run, not for the month:
+/// monthly cost = node hourly rate x monthly run-hours.
+class AdfPricing : public catalog::PricingService {
+ public:
+  explicit AdfPricing(double monthly_run_hours)
+      : monthly_run_hours_(monthly_run_hours) {}
+
+  double MonthlyCost(const catalog::Sku& sku) const override {
+    return sku.price_per_hour * monthly_run_hours_;
+  }
+
+ private:
+  double monthly_run_hours_;
+};
+
+/// The answer: which node shape to configure for the pipeline fleet.
+struct IrRecommendation {
+  catalog::Sku node;
+  double monthly_cost = 0.0;
+  /// Probability that a run's demand exceeds the node (slow/failed runs).
+  double overload_probability = 0.0;
+  core::PricePerformanceCurve curve;
+};
+
+/// Recommends the IR node: builds the price-performance curve over the IR
+/// ladder from the run history and picks the point closest below
+/// `overload_tolerance` (data flows tolerate occasional slow runs exactly
+/// like workloads tolerate brief throttling). `monthly_run_hours` scales
+/// billing. Fails when the history is empty or nothing fits.
+StatusOr<IrRecommendation> RecommendIntegrationRuntime(
+    const std::vector<PipelineRun>& runs, double monthly_run_hours,
+    double overload_tolerance = 0.02);
+
+}  // namespace doppler::adf
+
+#endif  // DOPPLER_ADF_IR_RECOMMENDER_H_

@@ -1,0 +1,239 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace doppler::catalog {
+
+SkuCatalog::SkuCatalog(std::vector<Sku> skus) : skus_(std::move(skus)) {}
+
+void SkuCatalog::Add(Sku sku) { skus_.push_back(std::move(sku)); }
+
+StatusOr<Sku> SkuCatalog::FindById(const std::string& id) const {
+  for (const Sku& sku : skus_) {
+    if (sku.id == id) return sku;
+  }
+  return NotFoundError("no SKU with id '" + id + "'");
+}
+
+std::vector<Sku> SkuCatalog::ForDeployment(Deployment deployment) const {
+  return Filter([deployment](const Sku& sku) {
+    return sku.deployment == deployment;
+  });
+}
+
+std::vector<Sku> SkuCatalog::ForDeploymentAndTier(Deployment deployment,
+                                                  ServiceTier tier) const {
+  return Filter([deployment, tier](const Sku& sku) {
+    return sku.deployment == deployment && sku.tier == tier;
+  });
+}
+
+std::vector<Sku> SkuCatalog::Filter(
+    const std::function<bool(const Sku&)>& predicate) const {
+  std::vector<Sku> matches;
+  for (const Sku& sku : skus_) {
+    if (predicate(sku)) matches.push_back(sku);
+  }
+  std::sort(matches.begin(), matches.end(), CheaperThan);
+  return matches;
+}
+
+namespace {
+
+// Max data size ladder for SQL DB (GB), keyed by vCores. Mirrors the shape
+// of the public resource-limit tables (and Figure 1's 1024/1536 steps).
+double DbMaxDataGb(int vcores) {
+  if (vcores <= 4) return 1024.0;
+  if (vcores <= 6) return 1536.0;
+  if (vcores <= 10) return 2048.0;
+  if (vcores <= 14) return 3072.0;
+  return 4096.0;
+}
+
+// MI reserves storage per instance; GP up to 8 TB, BC up to 4 TB, smaller
+// instances less.
+double MiMaxDataGb(int vcores, ServiceTier tier) {
+  const double cap = tier == ServiceTier::kBusinessCritical ? 4096.0 : 8192.0;
+  return std::min(cap, 2048.0 + 256.0 * vcores);
+}
+
+// Memory per vCore by hardware generation (GB).
+double MemoryPerVcore(HardwareGen gen) {
+  switch (gen) {
+    case HardwareGen::kGen5:
+      return 5.2;
+    case HardwareGen::kPremiumSeries:
+      return 7.0;
+    case HardwareGen::kPremiumSeriesMemoryOptimized:
+      return 13.6;
+  }
+  return 5.2;
+}
+
+// Price uplift by hardware generation.
+double PriceMultiplier(HardwareGen gen) {
+  switch (gen) {
+    case HardwareGen::kGen5:
+      return 1.0;
+    case HardwareGen::kPremiumSeries:
+      return 1.15;
+    case HardwareGen::kPremiumSeriesMemoryOptimized:
+      return 1.45;
+  }
+  return 1.0;
+}
+
+Sku MakeDbSku(ServiceTier tier, HardwareGen gen, int vcores) {
+  Sku sku;
+  sku.deployment = Deployment::kSqlDb;
+  sku.tier = tier;
+  sku.hardware = gen;
+  sku.vcores = vcores;
+  sku.max_memory_gb = MemoryPerVcore(gen) * vcores;
+  sku.max_data_gb = DbMaxDataGb(vcores);
+  if (tier == ServiceTier::kBusinessCritical) {
+    // Figure 1: BC 2 vCores -> 8000 IOPS, 24 MB/s log, 1 ms latency,
+    // $1.36/h.
+    sku.max_iops = 4000.0 * vcores;
+    sku.max_log_rate_mbps = std::min(12.0 * vcores, 96.0);
+    sku.min_io_latency_ms = 1.0;
+    sku.price_per_hour = 0.68 * vcores * PriceMultiplier(gen);
+  } else {
+    // Figure 1: GP 2 vCores -> 640 IOPS, 7.5 MB/s log, 5 ms latency,
+    // $0.51/h.
+    sku.max_iops = 320.0 * vcores;
+    sku.max_log_rate_mbps = std::min(3.75 * vcores, 50.0);
+    sku.min_io_latency_ms = 5.0;
+    sku.price_per_hour = 0.2525 * vcores * PriceMultiplier(gen);
+  }
+  sku.max_workers = 105.0 * vcores;
+  sku.id = std::string("DB_") + ServiceTierName(tier) + "_" +
+           HardwareGenName(gen) + "_" + std::to_string(vcores);
+  return sku;
+}
+
+Sku MakeMiSku(ServiceTier tier, HardwareGen gen, int vcores) {
+  Sku sku;
+  sku.deployment = Deployment::kSqlMi;
+  sku.tier = tier;
+  sku.hardware = gen;
+  sku.vcores = vcores;
+  sku.max_memory_gb = MemoryPerVcore(gen) * vcores;
+  sku.max_data_gb = MiMaxDataGb(vcores, tier);
+  if (tier == ServiceTier::kBusinessCritical) {
+    sku.max_iops = std::min(4000.0 * vcores, 200000.0);
+    sku.max_log_rate_mbps = std::min(12.0 * vcores, 120.0);
+    sku.min_io_latency_ms = 1.0;
+    sku.price_per_hour = 0.66 * vcores * PriceMultiplier(gen);
+  } else {
+    // The GP IOPS limit here is the instance-level cap; the effective
+    // limit is derived from the premium-disk file layout (core/mi_filter).
+    sku.max_iops = std::min(1375.0 * vcores, 50000.0);
+    sku.max_log_rate_mbps = std::min(3.0 * vcores, 120.0);
+    sku.min_io_latency_ms = 5.0;
+    sku.price_per_hour = 0.2475 * vcores * PriceMultiplier(gen);
+  }
+  sku.max_workers = 105.0 * vcores;
+  sku.id = std::string("MI_") + ServiceTierName(tier) + "_" +
+           HardwareGenName(gen) + "_" + std::to_string(vcores);
+  return sku;
+}
+
+// Serverless compute (paper §7): SQL DB GP Gen5 ladder billed per
+// vCore-hour used, auto-scaling between max/8 and max vCores.
+Sku MakeServerlessSku(int max_vcores) {
+  Sku sku = MakeDbSku(ServiceTier::kGeneralPurpose, HardwareGen::kGen5,
+                      max_vcores);
+  sku.serverless = true;
+  sku.min_vcores = std::max(0.5, max_vcores / 8.0);
+  // The usage rate carries a premium over the provisioned rate; an
+  // always-busy serverless database costs ~1.4x its provisioned twin.
+  sku.price_per_vcore_hour = 0.000145 * 2500.0;  // ~$0.3625/vCore-hour.
+  // MonthlyPrice() (used when no usage information exists) assumes the
+  // worst case: pegged at max vCores.
+  sku.price_per_hour = sku.price_per_vcore_hour * max_vcores;
+  sku.id = "DB_GP_Serverless_" + std::to_string(max_vcores);
+  return sku;
+}
+
+// Hyperscale (paper §7): log-structured storage to 100 TB, near-BC IO.
+Sku MakeHyperscaleSku(HardwareGen gen, int vcores) {
+  Sku sku;
+  sku.deployment = Deployment::kSqlDb;
+  sku.tier = ServiceTier::kHyperscale;
+  sku.hardware = gen;
+  sku.vcores = vcores;
+  sku.max_memory_gb = MemoryPerVcore(gen) * vcores;
+  sku.max_data_gb = 102400.0;  // 100 TB.
+  sku.max_iops = std::min(8000.0 * vcores, 204800.0);
+  sku.max_log_rate_mbps = 100.0;  // Fixed service-level log throughput.
+  sku.min_io_latency_ms = 3.0;    // Between GP (5) and BC (1).
+  sku.price_per_hour = 0.46 * vcores * PriceMultiplier(gen);
+  sku.max_workers = 105.0 * vcores;
+  sku.id = std::string("DB_HS_") + HardwareGenName(gen) + "_" +
+           std::to_string(vcores);
+  return sku;
+}
+
+// SQL Server on Azure VM (paper §7, IaaS): Ebdsv5-like shapes with local
+// NVMe cache (sub-millisecond IO), license included in the hourly rate.
+Sku MakeVmSku(int vcores) {
+  Sku sku;
+  sku.deployment = Deployment::kSqlVm;
+  sku.tier = ServiceTier::kGeneralPurpose;
+  sku.hardware = HardwareGen::kGen5;
+  sku.vcores = vcores;
+  sku.max_memory_gb = 8.0 * vcores;
+  sku.max_data_gb = std::min(4096.0 + 512.0 * vcores, 32768.0);
+  sku.max_iops = std::min(9600.0 * vcores, 260000.0);
+  sku.max_log_rate_mbps = std::min(8.0 * vcores, 160.0);
+  sku.min_io_latency_ms = 0.5;
+  // Compute + premium storage + SQL license.
+  sku.price_per_hour = (0.24 + 0.55) * vcores * 0.85;
+  sku.max_workers = 105.0 * vcores;
+  sku.id = "VM_Ebdsv5_" + std::to_string(vcores);
+  return sku;
+}
+
+}  // namespace
+
+SkuCatalog BuildAzureLikeCatalog(const CatalogOptions& options) {
+  static const int kDbVcores[] = {2,  4,  6,  8,  10, 12, 14, 16,
+                                  18, 20, 24, 32, 40, 64, 80, 128};
+  static const int kMiVcores[] = {4, 8, 16, 24, 32, 40, 48, 56, 64, 80};
+  static const int kServerlessMaxVcores[] = {1, 2, 4, 6, 8, 10, 12, 16,
+                                             20, 24, 32, 40};
+  static const int kHyperscaleVcores[] = {2, 4, 6, 8, 12, 16, 24, 32, 48,
+                                          64, 80};
+  static const int kVmVcores[] = {2, 4, 8, 16, 32, 48, 64, 96};
+
+  SkuCatalog catalog;
+  for (HardwareGen gen : options.hardware) {
+    for (ServiceTier tier :
+         {ServiceTier::kGeneralPurpose, ServiceTier::kBusinessCritical}) {
+      if (options.include_sql_db) {
+        for (int vcores : kDbVcores) catalog.Add(MakeDbSku(tier, gen, vcores));
+      }
+      if (options.include_sql_mi) {
+        for (int vcores : kMiVcores) catalog.Add(MakeMiSku(tier, gen, vcores));
+      }
+    }
+    if (options.include_hyperscale) {
+      for (int vcores : kHyperscaleVcores) {
+        catalog.Add(MakeHyperscaleSku(gen, vcores));
+      }
+    }
+  }
+  if (options.include_serverless) {
+    for (int max_vcores : kServerlessMaxVcores) {
+      catalog.Add(MakeServerlessSku(max_vcores));
+    }
+  }
+  if (options.include_sql_vm) {
+    for (int vcores : kVmVcores) catalog.Add(MakeVmSku(vcores));
+  }
+  return catalog;
+}
+
+}  // namespace doppler::catalog

@@ -1,0 +1,73 @@
+#ifndef DOPPLER_CATALOG_CATALOG_H_
+#define DOPPLER_CATALOG_CATALOG_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/resource.h"
+#include "catalog/sku.h"
+#include "util/statusor.h"
+
+namespace doppler::catalog {
+
+/// Container of candidate cloud targets plus the filter operations the
+/// recommendation pipeline needs (paper §3.1: "all the possible cloud
+/// target PaaS SKUs" are an input to the PPM).
+class SkuCatalog {
+ public:
+  SkuCatalog() = default;
+  explicit SkuCatalog(std::vector<Sku> skus);
+
+  /// Adds one SKU.
+  void Add(Sku sku);
+
+  std::size_t size() const { return skus_.size(); }
+  bool empty() const { return skus_.empty(); }
+  const std::vector<Sku>& skus() const { return skus_; }
+
+  /// Finds a SKU by id; NOT_FOUND when absent.
+  StatusOr<Sku> FindById(const std::string& id) const;
+
+  /// SKUs of the given deployment, ordered by monthly price (then id).
+  std::vector<Sku> ForDeployment(Deployment deployment) const;
+
+  /// SKUs matching deployment and tier, ordered by monthly price.
+  std::vector<Sku> ForDeploymentAndTier(Deployment deployment,
+                                        ServiceTier tier) const;
+
+  /// SKUs matching an arbitrary predicate, ordered by monthly price.
+  std::vector<Sku> Filter(
+      const std::function<bool(const Sku&)>& predicate) const;
+
+ private:
+  std::vector<Sku> skus_;
+};
+
+/// Knobs of the generated catalog. Defaults reproduce an Azure-like ladder
+/// whose Gen5 rows match the paper's Figure 1 (e.g. DB GP 4 vCores:
+/// 20.8 GB memory, 1280 IOPS, 15 MB/s log, 5 ms latency, $1.01/h).
+struct CatalogOptions {
+  bool include_sql_db = true;
+  bool include_sql_mi = true;
+  /// Extended offerings (paper §7 future work). Off by default so the
+  /// paper-reproduction experiments run against the paper's SKU universe;
+  /// bench_ext_offerings and the serverless example enable them.
+  bool include_serverless = false;   ///< SQL DB GP serverless compute.
+  bool include_hyperscale = false;   ///< SQL DB Hyperscale tier.
+  bool include_sql_vm = false;       ///< SQL Server on Azure VM (IaaS).
+  /// Hardware generations to multiply the ladder by.
+  std::vector<HardwareGen> hardware = {
+      HardwareGen::kGen5, HardwareGen::kPremiumSeries,
+      HardwareGen::kPremiumSeriesMemoryOptimized};
+};
+
+/// Builds the synthetic Azure SQL PaaS catalog: DB and MI, GP and BC, a
+/// vCore ladder per deployment, one row per hardware generation — 150+
+/// SKUs in total. This substitutes for the proprietary production catalog;
+/// see DESIGN.md §2 for the calibration sources.
+SkuCatalog BuildAzureLikeCatalog(const CatalogOptions& options = {});
+
+}  // namespace doppler::catalog
+
+#endif  // DOPPLER_CATALOG_CATALOG_H_

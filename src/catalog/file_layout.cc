@@ -1,0 +1,43 @@
+#include "catalog/file_layout.h"
+
+#include <algorithm>
+
+namespace doppler::catalog {
+
+double FileLayout::TotalSizeGib() const {
+  double total = 0.0;
+  for (const DatabaseFile& file : files) total += file.size_gib;
+  return total;
+}
+
+StatusOr<LayoutLimits> ComputeLayoutLimits(const FileLayout& layout) {
+  if (layout.files.empty()) {
+    return InvalidArgumentError("file layout has no files");
+  }
+  LayoutLimits limits;
+  limits.tiers.reserve(layout.files.size());
+  for (const DatabaseFile& file : layout.files) {
+    DOPPLER_ASSIGN_OR_RETURN(PremiumDiskTier tier,
+                             TierForFileSize(file.size_gib));
+    limits.total_iops += tier.iops;
+    limits.total_throughput_mibps += tier.throughput_mibps;
+    limits.total_size_gib += file.size_gib;
+    limits.tiers.push_back(std::move(tier));
+  }
+  return limits;
+}
+
+FileLayout UniformLayout(double data_size_gib, int num_files) {
+  num_files = std::max(1, num_files);
+  data_size_gib = std::max(0.1, data_size_gib);
+  FileLayout layout;
+  layout.files.reserve(static_cast<std::size_t>(num_files));
+  const double per_file = data_size_gib / num_files;
+  for (int i = 0; i < num_files; ++i) {
+    layout.files.push_back(
+        {"data" + std::to_string(i) + ".mdf", per_file});
+  }
+  return layout;
+}
+
+}  // namespace doppler::catalog

@@ -1,0 +1,49 @@
+#ifndef DOPPLER_CATALOG_FILE_LAYOUT_H_
+#define DOPPLER_CATALOG_FILE_LAYOUT_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/premium_disk.h"
+#include "util/statusor.h"
+
+namespace doppler::catalog {
+
+/// One database file as discovered by the DMA collector.
+struct DatabaseFile {
+  std::string name;       ///< e.g. "sales.mdf".
+  double size_gib = 1.0;  ///< Allocated size.
+};
+
+/// The file layout of an instance migrating to SQL MI: each file lands on
+/// its own premium disk, and the instance IOPS/throughput limits are the
+/// sums of the per-file disk limits (paper §3.2, "Determining file storage
+/// tier for MI", Step 2).
+struct FileLayout {
+  std::vector<DatabaseFile> files;
+
+  /// Total allocated size across files, GiB.
+  double TotalSizeGib() const;
+};
+
+/// Aggregate limits implied by a layout.
+struct LayoutLimits {
+  double total_iops = 0.0;
+  double total_throughput_mibps = 0.0;
+  double total_size_gib = 0.0;
+  /// Disk tier assigned to each file, in file order.
+  std::vector<PremiumDiskTier> tiers;
+};
+
+/// Maps every file to its premium-disk tier and sums the limits. Fails when
+/// a file cannot be placed (non-positive or above the 8 TiB bound).
+StatusOr<LayoutLimits> ComputeLayoutLimits(const FileLayout& layout);
+
+/// Builds a plausible layout for a database of `data_size_gib` split into
+/// `num_files` equally sized files — the default the DMA tool assumes when
+/// the customer has not customised their layout.
+FileLayout UniformLayout(double data_size_gib, int num_files);
+
+}  // namespace doppler::catalog
+
+#endif  // DOPPLER_CATALOG_FILE_LAYOUT_H_

@@ -1,0 +1,30 @@
+#include "catalog/premium_disk.h"
+
+namespace doppler::catalog {
+
+const std::vector<PremiumDiskTier>& PremiumDiskTiers() {
+  // Paper Table 2 lists P10, P20, P50 and P60 explicitly; P30/P40 are the
+  // intermediate tiers from the Azure premium-disk ladder the table elides.
+  static const auto* const kTiers = new std::vector<PremiumDiskTier>{
+      {"P10", 0.0, 128.0, 500.0, 100.0},
+      {"P20", 128.0, 512.0, 2300.0, 150.0},
+      {"P30", 512.0, 1024.0, 5000.0, 200.0},
+      {"P40", 1024.0, 2048.0, 7500.0, 250.0},
+      {"P50", 2048.0, 4096.0, 7500.0, 250.0},
+      {"P60", 4096.0, 8192.0, 12500.0, 480.0},
+  };
+  return *kTiers;
+}
+
+StatusOr<PremiumDiskTier> TierForFileSize(double file_size_gib) {
+  if (file_size_gib <= 0.0) {
+    return OutOfRangeError("file size must be positive");
+  }
+  for (const PremiumDiskTier& tier : PremiumDiskTiers()) {
+    if (file_size_gib <= tier.max_size_gib) return tier;
+  }
+  return OutOfRangeError("file of " + std::to_string(file_size_gib) +
+                         " GiB exceeds the largest premium disk (8 TiB)");
+}
+
+}  // namespace doppler::catalog

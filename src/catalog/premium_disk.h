@@ -1,0 +1,34 @@
+#ifndef DOPPLER_CATALOG_PREMIUM_DISK_H_
+#define DOPPLER_CATALOG_PREMIUM_DISK_H_
+
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace doppler::catalog {
+
+/// One Azure Premium Disk storage tier (paper Table 2). SQL MI General
+/// Purpose places every database file on its own premium disk, so the
+/// instance's effective IOPS/throughput limits derive from the file layout
+/// rather than from the SKU record.
+struct PremiumDiskTier {
+  std::string name;          ///< "P10" ... "P60".
+  double min_size_gib;       ///< Exclusive lower bound (0 for P10).
+  double max_size_gib;       ///< Inclusive upper bound.
+  double iops;               ///< Per-disk IOPS limit.
+  double throughput_mibps;   ///< Per-disk throughput limit.
+};
+
+/// The tier ladder, smallest first (paper Table 2 plus the intermediate
+/// tiers it elides: P10 through P60).
+const std::vector<PremiumDiskTier>& PremiumDiskTiers();
+
+/// Smallest tier whose size range can hold a file of `file_size_gib`.
+/// Fails with OUT_OF_RANGE for non-positive sizes or sizes above the P60
+/// bound (8 TiB).
+StatusOr<PremiumDiskTier> TierForFileSize(double file_size_gib);
+
+}  // namespace doppler::catalog
+
+#endif  // DOPPLER_CATALOG_PREMIUM_DISK_H_

@@ -1,0 +1,5 @@
+#include "catalog/pricing.h"
+
+// PricingService is header-only; this file anchors the vtable.
+
+namespace doppler::catalog {}  // namespace doppler::catalog

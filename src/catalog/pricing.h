@@ -1,0 +1,68 @@
+#ifndef DOPPLER_CATALOG_PRICING_H_
+#define DOPPLER_CATALOG_PRICING_H_
+
+#include "catalog/sku.h"
+
+namespace doppler::catalog {
+
+/// Billing interface (paper §4: "A billing interface exists to compute the
+/// prices for each SKU"). The price-performance curve consumes monthly
+/// bills through this abstraction so that region uplifts or reserved-
+/// capacity discounts change the curve without touching the engine.
+class PricingService {
+ public:
+  virtual ~PricingService() = default;
+
+  /// Monthly bill for running `sku` for a full month, USD. For serverless
+  /// SKUs this is the worst case (pegged at max vCores).
+  virtual double MonthlyCost(const Sku& sku) const = 0;
+
+  /// Monthly bill given the workload's mean CPU demand in vCores, which
+  /// usage-billed (serverless) SKUs need; provisioned SKUs ignore it. The
+  /// curve builder calls this so serverless offerings are priced by what
+  /// the workload would actually consume (paper §7 extension).
+  virtual double MonthlyCostForUsage(const Sku& sku,
+                                     double mean_cpu_vcores) const {
+    (void)mean_cpu_vcores;
+    return MonthlyCost(sku);
+  }
+};
+
+/// Pay-as-you-go pricing with an optional regional uplift and reserved-
+/// capacity discount.
+class DefaultPricing : public PricingService {
+ public:
+  /// `regional_multiplier` scales the list price (1.0 = the reference
+  /// region); `reserved_discount` in [0, 1) is the fractional discount for
+  /// reserved capacity (0 = pay-as-you-go).
+  explicit DefaultPricing(double regional_multiplier = 1.0,
+                          double reserved_discount = 0.0)
+      : regional_multiplier_(regional_multiplier),
+        reserved_discount_(reserved_discount) {}
+
+  double MonthlyCost(const Sku& sku) const override {
+    return sku.MonthlyPrice() * regional_multiplier_ *
+           (1.0 - reserved_discount_);
+  }
+
+  double MonthlyCostForUsage(const Sku& sku,
+                             double mean_cpu_vcores) const override {
+    if (!sku.serverless) return MonthlyCost(sku);
+    // Serverless bills the vCores actually provisioned each second: demand
+    // clamped between the auto-scale floor and the max. A small burst
+    // head-room factor models scale-up lag billing.
+    double effective = mean_cpu_vcores * 1.1;
+    if (effective < sku.min_vcores) effective = sku.min_vcores;
+    if (effective > sku.vcores) effective = static_cast<double>(sku.vcores);
+    return effective * sku.price_per_vcore_hour * 730.0 *
+           regional_multiplier_ * (1.0 - reserved_discount_);
+  }
+
+ private:
+  double regional_multiplier_;
+  double reserved_discount_;
+};
+
+}  // namespace doppler::catalog
+
+#endif  // DOPPLER_CATALOG_PRICING_H_

@@ -1,0 +1,43 @@
+#include "catalog/resource.h"
+
+namespace doppler::catalog {
+
+const char* ResourceDimName(ResourceDim dim) {
+  switch (dim) {
+    case ResourceDim::kCpu:
+      return "cpu";
+    case ResourceDim::kMemoryGb:
+      return "memory";
+    case ResourceDim::kIops:
+      return "iops";
+    case ResourceDim::kLogRateMbps:
+      return "log_rate";
+    case ResourceDim::kIoLatencyMs:
+      return "io_latency";
+    case ResourceDim::kStorageGb:
+      return "storage";
+    case ResourceDim::kWorkers:
+      return "workers";
+  }
+  return "?";
+}
+
+bool ParseResourceDim(const std::string& name, ResourceDim* dim) {
+  for (ResourceDim candidate : kAllResourceDims) {
+    if (name == ResourceDimName(candidate)) {
+      *dim = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ResourceDim> ResourceVector::PresentDims() const {
+  std::vector<ResourceDim> dims;
+  for (ResourceDim dim : kAllResourceDims) {
+    if (Has(dim)) dims.push_back(dim);
+  }
+  return dims;
+}
+
+}  // namespace doppler::catalog

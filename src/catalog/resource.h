@@ -1,0 +1,96 @@
+#ifndef DOPPLER_CATALOG_RESOURCE_H_
+#define DOPPLER_CATALOG_RESOURCE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace doppler::catalog {
+
+/// The performance dimensions Doppler models (paper §3.2). CPU, memory,
+/// IOPS and latency are used for every scenario; log rate and storage are
+/// added for Azure SQL DB targets.
+enum class ResourceDim : int {
+  kCpu = 0,         ///< Compute demand, in vCores.
+  kMemoryGb = 1,    ///< Working-set memory, in GB.
+  kIops = 2,        ///< IO operations per second.
+  kLogRateMbps = 3, ///< Transaction-log write rate, MB/s.
+  kIoLatencyMs = 4, ///< IO latency, milliseconds (lower is better).
+  kStorageGb = 5,   ///< Allocated data size, GB.
+  /// Concurrent worker threads — the extension dimension demonstrating
+  /// §3.2's claim that "the throttling probability definition can be
+  /// extended" as more counters become available (Azure enforces
+  /// per-SKU worker caps; exhausting them rejects new requests).
+  kWorkers = 6,
+};
+
+/// Number of modelled dimensions.
+inline constexpr int kNumResourceDims = 7;
+
+/// All dimensions, in enum order, for iteration.
+inline constexpr std::array<ResourceDim, kNumResourceDims> kAllResourceDims = {
+    ResourceDim::kCpu,         ResourceDim::kMemoryGb,
+    ResourceDim::kIops,        ResourceDim::kLogRateMbps,
+    ResourceDim::kIoLatencyMs, ResourceDim::kStorageGb,
+    ResourceDim::kWorkers,
+};
+
+/// Stable short name ("cpu", "memory", "iops", "log_rate", "io_latency",
+/// "storage").
+const char* ResourceDimName(ResourceDim dim);
+
+/// Inverse of ResourceDimName; returns true and sets `dim` on success.
+bool ParseResourceDim(const std::string& name, ResourceDim* dim);
+
+/// True for dimensions where *smaller* observed values indicate a tighter
+/// requirement (IO latency): the throttling test inverts the comparison for
+/// these (paper §3.2: "IO latency is taken as the inverse ... relative to an
+/// upper bound").
+constexpr bool IsInvertedDim(ResourceDim dim) {
+  return dim == ResourceDim::kIoLatencyMs;
+}
+
+/// A per-dimension vector of values with a presence mask. Used both for SKU
+/// capacities and for point-in-time resource demand.
+class ResourceVector {
+ public:
+  ResourceVector() { values_.fill(0.0); present_.fill(false); }
+
+  /// Sets the value for a dimension (and marks it present).
+  void Set(ResourceDim dim, double value) {
+    values_[Index(dim)] = value;
+    present_[Index(dim)] = true;
+  }
+
+  /// Clears a dimension.
+  void Clear(ResourceDim dim) { present_[Index(dim)] = false; }
+
+  /// True when the dimension carries a value.
+  bool Has(ResourceDim dim) const { return present_[Index(dim)]; }
+
+  /// Value for the dimension; 0 when absent.
+  double Get(ResourceDim dim) const {
+    return present_[Index(dim)] ? values_[Index(dim)] : 0.0;
+  }
+
+  /// Dimensions currently present, in enum order.
+  std::vector<ResourceDim> PresentDims() const;
+
+  /// True when a demand of `demand` in `dim` would exceed (be throttled by)
+  /// a capacity of `capacity`, honouring inverted dimensions.
+  static bool Exceeds(ResourceDim dim, double demand, double capacity) {
+    return IsInvertedDim(dim) ? demand < capacity : demand > capacity;
+  }
+
+ private:
+  static constexpr std::size_t Index(ResourceDim dim) {
+    return static_cast<std::size_t>(static_cast<int>(dim));
+  }
+
+  std::array<double, kNumResourceDims> values_;
+  std::array<bool, kNumResourceDims> present_;
+};
+
+}  // namespace doppler::catalog
+
+#endif  // DOPPLER_CATALOG_RESOURCE_H_

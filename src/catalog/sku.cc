@@ -1,0 +1,85 @@
+#include "catalog/sku.h"
+
+namespace doppler::catalog {
+
+const char* DeploymentName(Deployment deployment) {
+  switch (deployment) {
+    case Deployment::kSqlDb:
+      return "SQL DB";
+    case Deployment::kSqlMi:
+      return "SQL MI";
+    case Deployment::kSqlVm:
+      return "SQL VM";
+  }
+  return "?";
+}
+
+const char* ServiceTierName(ServiceTier tier) {
+  switch (tier) {
+    case ServiceTier::kGeneralPurpose:
+      return "GP";
+    case ServiceTier::kBusinessCritical:
+      return "BC";
+    case ServiceTier::kHyperscale:
+      return "HS";
+  }
+  return "?";
+}
+
+const char* ServiceTierLongName(ServiceTier tier) {
+  switch (tier) {
+    case ServiceTier::kGeneralPurpose:
+      return "General Purpose";
+    case ServiceTier::kBusinessCritical:
+      return "Business Critical";
+    case ServiceTier::kHyperscale:
+      return "Hyperscale";
+  }
+  return "?";
+}
+
+const char* HardwareGenName(HardwareGen gen) {
+  switch (gen) {
+    case HardwareGen::kGen5:
+      return "Gen5";
+    case HardwareGen::kPremiumSeries:
+      return "Premium";
+    case HardwareGen::kPremiumSeriesMemoryOptimized:
+      return "PremiumMemOpt";
+  }
+  return "?";
+}
+
+std::string Sku::DisplayName() const {
+  return std::string(DeploymentName(deployment)) + " " +
+         ServiceTierLongName(tier) + (serverless ? " Serverless" : "") +
+         " " + std::to_string(vcores) + " vCores (" +
+         HardwareGenName(hardware) + ")";
+}
+
+ResourceVector Sku::Capacities() const {
+  ResourceVector capacities;
+  capacities.Set(ResourceDim::kCpu, static_cast<double>(vcores));
+  capacities.Set(ResourceDim::kMemoryGb, max_memory_gb);
+  capacities.Set(ResourceDim::kIops, max_iops);
+  capacities.Set(ResourceDim::kLogRateMbps, max_log_rate_mbps);
+  capacities.Set(ResourceDim::kIoLatencyMs, min_io_latency_ms);
+  capacities.Set(ResourceDim::kStorageGb, max_data_gb);
+  capacities.Set(ResourceDim::kWorkers, max_workers);
+  return capacities;
+}
+
+ResourceVector Sku::CapacitiesWithIopsLimit(double iops_limit) const {
+  ResourceVector capacities = Capacities();
+  capacities.Set(ResourceDim::kIops, iops_limit);
+  return capacities;
+}
+
+bool CheaperThan(const Sku& a, const Sku& b) {
+  if (a.price_per_hour != b.price_per_hour) {
+    return a.price_per_hour < b.price_per_hour;
+  }
+  return a.id < b.id;
+}
+
+}  // namespace doppler::catalog

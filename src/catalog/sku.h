@@ -1,0 +1,90 @@
+#ifndef DOPPLER_CATALOG_SKU_H_
+#define DOPPLER_CATALOG_SKU_H_
+
+#include <string>
+
+#include "catalog/resource.h"
+
+namespace doppler::catalog {
+
+/// PaaS deployment model (paper §2).
+enum class Deployment {
+  kSqlDb,  ///< Azure SQL Database: fully managed single databases.
+  kSqlMi,  ///< Azure SQL Managed Instance: managed servers hosting many DBs.
+  kSqlVm,  ///< SQL Server on Azure VM (IaaS) - the paper's §7 extension
+           ///< target for lift-and-shift estates.
+};
+
+/// vCore service tier (paper §2): Business Critical offers higher
+/// transaction rates and lower-latency IO than General Purpose.
+enum class ServiceTier {
+  kGeneralPurpose,
+  kBusinessCritical,
+  /// Hyperscale (paper §7): log-structured storage scaling to 100 TB with
+  /// near-BC IO; SQL DB only in the generated catalog.
+  kHyperscale,
+};
+
+/// Hardware generation of the offering. The generated catalog spans three
+/// generations with different memory-per-vCore ratios, mirroring how the
+/// real Azure catalog multiplies out to 200+ SKUs.
+enum class HardwareGen {
+  kGen5,
+  kPremiumSeries,
+  kPremiumSeriesMemoryOptimized,
+};
+
+const char* DeploymentName(Deployment deployment);
+const char* ServiceTierName(ServiceTier tier);        ///< "GP" / "BC".
+const char* ServiceTierLongName(ServiceTier tier);    ///< "General Purpose".
+const char* HardwareGenName(HardwareGen gen);
+
+/// One cloud target: a deployment/tier/hardware/vCore combination with its
+/// resource capacities and pay-as-you-go price (paper Fig. 1).
+struct Sku {
+  std::string id;             ///< Stable identifier, e.g. "DB_GP_Gen5_4".
+  Deployment deployment = Deployment::kSqlDb;
+  ServiceTier tier = ServiceTier::kGeneralPurpose;
+  HardwareGen hardware = HardwareGen::kGen5;
+  int vcores = 2;
+  double max_memory_gb = 10.4;
+  double max_data_gb = 1024.0;
+  double max_iops = 640.0;       ///< For MI GP this is the cap; the
+                                 ///< effective limit comes from the file
+                                 ///< layout (core/mi_filter.h).
+  double max_log_rate_mbps = 7.5;
+  double min_io_latency_ms = 5.0;
+  double max_workers = 210.0;  ///< Concurrent worker cap (~105/vCore).
+  double price_per_hour = 0.51;  ///< USD, pay-as-you-go.
+
+  /// Serverless compute (paper §7): the SKU auto-scales between
+  /// `min_vcores` and `vcores` and bills per vCore-hour actually used
+  /// (price_per_vcore_hour) instead of the flat price_per_hour. The
+  /// capacity vector still reports the max (throttling happens at the
+  /// auto-scale ceiling).
+  bool serverless = false;
+  double min_vcores = 0.0;
+  double price_per_vcore_hour = 0.0;
+
+  /// Human-readable label, e.g. "SQL DB General Purpose 4 vCores (Gen5)".
+  std::string DisplayName() const;
+
+  /// Monthly cost at 730 hours/month (the price-performance x-axis).
+  double MonthlyPrice() const { return price_per_hour * 730.0; }
+
+  /// Capacity vector across all six dimensions. For kIoLatencyMs the
+  /// capacity is the SKU's minimum achievable IO latency; the throttling
+  /// test treats the dimension as inverted.
+  ResourceVector Capacities() const;
+
+  /// Capacity with a per-dimension override applied (used by the MI path,
+  /// where the IOPS limit is derived from the chosen file layout).
+  ResourceVector CapacitiesWithIopsLimit(double iops_limit) const;
+};
+
+/// Orders by monthly price, breaking ties by id so sorts are deterministic.
+bool CheaperThan(const Sku& a, const Sku& b);
+
+}  // namespace doppler::catalog
+
+#endif  // DOPPLER_CATALOG_SKU_H_

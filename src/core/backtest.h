@@ -1,0 +1,101 @@
+#ifndef DOPPLER_CORE_BACKTEST_H_
+#define DOPPLER_CORE_BACKTEST_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/pricing.h"
+#include "core/negotiability.h"
+#include "core/price_performance.h"
+#include "core/profiler.h"
+#include "core/throttling.h"
+#include "util/random.h"
+#include "util/statusor.h"
+#include "workload/population.h"
+
+namespace doppler::core {
+
+/// A synthetic customer with the SKU choice the paper's migrated customers
+/// would have made: the behavioural model fixes each customer at the point
+/// of their own price-performance curve closest (from below) to their
+/// personal throttling tolerance; the over-provisioned segment instead
+/// overshoots the cheapest fully-satisfying SKU by 2-5x in price (§5.1).
+struct LabeledCustomer {
+  workload::SyntheticCustomer customer;
+  std::string chosen_sku_id;
+  /// Monotone throttling probability at the chosen point.
+  double chosen_probability = 0.0;
+  /// True tier of the chosen SKU (drives Table 5's micro accuracy).
+  catalog::ServiceTier chosen_tier = catalog::ServiceTier::kGeneralPurpose;
+  CurveShape curve_shape = CurveShape::kComplex;
+};
+
+/// A labelled fleet plus its (expensive) per-customer curves, so the many
+/// experiments over one fleet build each curve once.
+struct BacktestDataset {
+  std::vector<LabeledCustomer> customers;
+  /// Curves aligned with `customers`.
+  std::vector<PricePerformanceCurve> curves;
+  catalog::Deployment deployment = catalog::Deployment::kSqlDb;
+};
+
+/// Builds the dataset: generates curves for every customer (via the MI
+/// premium-disk path for MI fleets) and assigns chosen SKUs.
+StatusOr<BacktestDataset> BuildBacktestDataset(
+    std::vector<workload::SyntheticCustomer> fleet,
+    const catalog::SkuCatalog& catalog, const catalog::PricingService& pricing,
+    const ThrottlingEstimator& estimator, Rng* rng);
+
+/// How customers are grouped from their negotiability summaries.
+enum class GroupingMethod {
+  kEnumeration,   ///< 2^k groups straight from the binary flags (production).
+  kKMeans,        ///< k-means on the continuous score vectors.
+  kHierarchical,  ///< Agglomerative clustering on the score vectors.
+};
+
+const char* GroupingMethodName(GroupingMethod method);
+
+struct BacktestOptions {
+  GroupingMethod grouping = GroupingMethod::kEnumeration;
+  /// Exclude the over-provisioned segment from evaluation (Table 5 on,
+  /// Table 4 off).
+  bool exclude_over_provisioned = true;
+  /// Cluster count for kKMeans/kHierarchical; 0 = 2^(num profiling dims).
+  int num_clusters = 0;
+  std::uint64_t seed = 7;
+};
+
+/// Per-tier slice of the accuracy (Table 5's "micro accuracy").
+struct TierAccuracy {
+  int correct = 0;
+  int total = 0;
+  double accuracy = 0.0;
+};
+
+struct BacktestResult {
+  double accuracy = 0.0;
+  int correct = 0;
+  int evaluated = 0;
+  /// Accuracy sliced by the tier of the customer's true chosen SKU.
+  std::map<catalog::ServiceTier, TierAccuracy> by_tier;
+  /// Group statistics of the fitted model (Table 3).
+  std::vector<GroupStats> group_stats;
+};
+
+/// Back-tests one negotiability strategy against the labelled fleet: fit
+/// the group model on the evaluated customers' (group, chosen probability)
+/// pairs, then check how often the Eq. 4-6 selection reproduces each
+/// customer's chosen SKU (paper §5.2: match frequency against migrated
+/// customers is the accuracy proxy).
+StatusOr<BacktestResult> RunBacktest(const BacktestDataset& dataset,
+                                     const NegotiabilityStrategy& strategy,
+                                     const BacktestOptions& options);
+
+/// Fraction of customers per curve shape (paper Fig. 9).
+std::map<CurveShape, double> CurveShapeBreakdown(const BacktestDataset& dataset);
+
+}  // namespace doppler::core
+
+#endif  // DOPPLER_CORE_BACKTEST_H_

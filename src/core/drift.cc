@@ -1,0 +1,58 @@
+#include "core/drift.h"
+
+#include <algorithm>
+
+namespace doppler::core {
+
+StatusOr<DriftReport> DetectSkuDrift(const telemetry::PerfTrace& trace,
+                                     const std::vector<catalog::Sku>& candidates,
+                                     const catalog::PricingService& pricing,
+                                     const ThrottlingEstimator& estimator,
+                                     const std::string& current_sku_id,
+                                     const DriftOptions& options) {
+  if (options.recent_fraction <= 0.0 || options.recent_fraction >= 1.0) {
+    return InvalidArgumentError("recent fraction must be in (0, 1)");
+  }
+  const std::size_t n = trace.num_samples();
+  const std::size_t recent_samples = std::max<std::size_t>(
+      2, static_cast<std::size_t>(static_cast<double>(n) *
+                                  options.recent_fraction));
+  if (n < recent_samples + 2) {
+    return InvalidArgumentError(
+        "trace too short to split into baseline and recent windows");
+  }
+
+  const telemetry::PerfTrace baseline = trace.Window(0, n - recent_samples);
+  const telemetry::PerfTrace recent =
+      trace.Window(n - recent_samples, recent_samples);
+
+  DOPPLER_ASSIGN_OR_RETURN(
+      PricePerformanceCurve baseline_curve,
+      PricePerformanceCurve::Build(baseline, candidates, pricing, estimator));
+  DOPPLER_ASSIGN_OR_RETURN(
+      PricePerformanceCurve recent_curve,
+      PricePerformanceCurve::Build(recent, candidates, pricing, estimator));
+
+  DOPPLER_ASSIGN_OR_RETURN(PricePerformancePoint baseline_point,
+                           baseline_curve.FindSku(current_sku_id));
+  DOPPLER_ASSIGN_OR_RETURN(PricePerformancePoint recent_point,
+                           recent_curve.FindSku(current_sku_id));
+
+  DriftReport report;
+  report.baseline_probability = baseline_point.MonotoneProbability();
+  report.recent_probability = recent_point.MonotoneProbability();
+  report.needs_change =
+      report.baseline_probability <= options.tolerance &&
+      report.recent_probability > options.tolerance;
+
+  StatusOr<PricePerformancePoint> best =
+      recent_curve.CheapestFullySatisfying();
+  if (best.ok()) {
+    report.recommended_sku_id = best->sku.id;
+    report.recommended_display_name = best->sku.DisplayName();
+    report.recommended_monthly_cost = best->monthly_price;
+  }
+  return report;
+}
+
+}  // namespace doppler::core

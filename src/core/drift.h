@@ -1,0 +1,53 @@
+#ifndef DOPPLER_CORE_DRIFT_H_
+#define DOPPLER_CORE_DRIFT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/price_performance.h"
+#include "telemetry/perf_trace.h"
+#include "util/statusor.h"
+
+namespace doppler::core {
+
+/// Automated SKU-change detection (paper §5.2.3: "Since changes in
+/// resource utilization patterns trigger changes in the price-performance
+/// curves, Doppler can automatically detect the need to change SKUs to
+/// accommodate changing workload requirements"). The detector splits the
+/// customer's telemetry into a baseline window and a recent window, builds
+/// the curve on each, and compares where the current SKU lands.
+
+struct DriftReport {
+  /// Current SKU's monotone throttling probability on each window's curve.
+  double baseline_probability = 0.0;
+  double recent_probability = 0.0;
+  /// True when the recent window pushes the current SKU past the
+  /// tolerance while the baseline was within it — the Fig. 11 situation.
+  bool needs_change = false;
+  /// Cheapest SKU fully satisfying the recent window (empty id when none).
+  std::string recommended_sku_id;
+  std::string recommended_display_name;
+  double recommended_monthly_cost = 0.0;
+};
+
+struct DriftOptions {
+  /// Fraction of the trace forming the recent window (taken from the end).
+  double recent_fraction = 0.3;
+  /// Throttling probability above which the current SKU counts as
+  /// outgrown.
+  double tolerance = 0.05;
+};
+
+/// Runs the comparison. Fails when the trace is too short to split (each
+/// window needs at least two samples), the candidate list is empty, or the
+/// current SKU is not among the candidates.
+StatusOr<DriftReport> DetectSkuDrift(const telemetry::PerfTrace& trace,
+                                     const std::vector<catalog::Sku>& candidates,
+                                     const catalog::PricingService& pricing,
+                                     const ThrottlingEstimator& estimator,
+                                     const std::string& current_sku_id,
+                                     const DriftOptions& options = {});
+
+}  // namespace doppler::core
+
+#endif  // DOPPLER_CORE_DRIFT_H_

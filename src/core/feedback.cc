@@ -1,0 +1,66 @@
+#include "core/feedback.h"
+
+namespace doppler::core {
+
+FeedbackLoop::FeedbackLoop(GroupModel initial, Options options)
+    : options_(options), model_(std::move(initial)) {}
+
+void FeedbackLoop::Record(MigrationFeedback feedback) {
+  records_.push_back(std::move(feedback));
+}
+
+bool FeedbackLoop::MaybeRefresh() {
+  // Retained, not-yet-processed records form the fresh training set.
+  std::vector<std::pair<int, double>> fresh;
+  for (std::size_t i = processed_; i < records_.size(); ++i) {
+    const MigrationFeedback& record = records_[i];
+    if (record.adopted_sku_id.empty()) continue;
+    if (record.retention_days < options_.retention_threshold_days) continue;
+    fresh.emplace_back(record.group_id, record.adopted_probability);
+  }
+  if (static_cast<int>(fresh.size()) < options_.min_feedback_per_refresh) {
+    return false;
+  }
+  StatusOr<GroupModel> refreshed =
+      GroupModel::FitWithPrior(fresh, model_, options_.prior_weight);
+  if (!refreshed.ok()) return false;
+  model_ = *std::move(refreshed);
+  processed_ = records_.size();
+  ++refreshes_;
+  return true;
+}
+
+double FeedbackLoop::MigrationRate() const {
+  if (records_.empty()) return 0.0;
+  std::size_t migrated = 0;
+  for (const MigrationFeedback& record : records_) {
+    migrated += !record.adopted_sku_id.empty();
+  }
+  return static_cast<double>(migrated) / static_cast<double>(records_.size());
+}
+
+double FeedbackLoop::AdoptionRate() const {
+  std::size_t migrated = 0;
+  std::size_t adopted = 0;
+  for (const MigrationFeedback& record : records_) {
+    if (record.adopted_sku_id.empty()) continue;
+    ++migrated;
+    adopted += record.adopted_sku_id == record.recommended_sku_id;
+  }
+  if (migrated == 0) return 0.0;
+  return static_cast<double>(adopted) / static_cast<double>(migrated);
+}
+
+double FeedbackLoop::RetentionRate() const {
+  std::size_t migrated = 0;
+  std::size_t retained = 0;
+  for (const MigrationFeedback& record : records_) {
+    if (record.adopted_sku_id.empty()) continue;
+    ++migrated;
+    retained += record.retention_days >= options_.retention_threshold_days;
+  }
+  if (migrated == 0) return 0.0;
+  return static_cast<double>(retained) / static_cast<double>(migrated);
+}
+
+}  // namespace doppler::core

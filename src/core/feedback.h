@@ -1,0 +1,85 @@
+#ifndef DOPPLER_CORE_FEEDBACK_H_
+#define DOPPLER_CORE_FEEDBACK_H_
+
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "util/statusor.h"
+
+namespace doppler::core {
+
+/// One tracked migration journey (paper §4: once DMA integrates with Azure
+/// Migrate, "we will be able to keep a record of all the recommended SKUs
+/// from Doppler and whether these SKUs were selected for migration, and we
+/// will be able to examine the retention of each customer").
+struct MigrationFeedback {
+  std::string customer_id;
+  /// Enumeration group the customer profiled into at assessment time.
+  int group_id = 0;
+  /// What Doppler recommended.
+  std::string recommended_sku_id;
+  /// What the customer actually migrated to; empty = did not migrate.
+  std::string adopted_sku_id;
+  /// Monotone throttling probability at the adopted curve point (only
+  /// meaningful when adopted_sku_id is set).
+  double adopted_probability = 0.0;
+  /// Days the customer has kept the adopted SKU so far.
+  double retention_days = 0.0;
+};
+
+/// The §5.5 feedback loop: accumulates migration outcomes, surfaces
+/// adoption/retention metrics, and periodically re-trains the group model
+/// from the retained customers' adopted throttling probabilities — the
+/// same signal the offline fit used, now observed live.
+class FeedbackLoop {
+ public:
+  struct Options {
+    /// Retention horizon after which an adopted SKU counts as "optimal"
+    /// (the paper's 40-day rule).
+    double retention_threshold_days = 40.0;
+    /// Minimum retained-and-unprocessed records before a refresh fires.
+    int min_feedback_per_refresh = 20;
+    /// Pseudo-count weight of the shipped model per group when blending.
+    double prior_weight = 25.0;
+  };
+
+  /// Starts from the shipped (offline-fitted) model.
+  FeedbackLoop(GroupModel initial, Options options);
+  explicit FeedbackLoop(GroupModel initial)
+      : FeedbackLoop(std::move(initial), Options()) {}
+
+  /// Records one journey.
+  void Record(MigrationFeedback feedback);
+
+  /// Re-trains when enough retained records accumulated since the last
+  /// refresh; returns true when the model changed.
+  bool MaybeRefresh();
+
+  /// The current (possibly refreshed) model.
+  const GroupModel& model() const { return model_; }
+
+  /// Fraction of recorded journeys that migrated at all.
+  double MigrationRate() const;
+
+  /// Among migrated journeys: fraction that adopted exactly the
+  /// recommended SKU.
+  double AdoptionRate() const;
+
+  /// Among migrated journeys: fraction retained past the threshold.
+  double RetentionRate() const;
+
+  std::size_t total_recorded() const { return records_.size(); }
+  int refreshes() const { return refreshes_; }
+
+ private:
+  Options options_;
+  GroupModel model_;
+  std::vector<MigrationFeedback> records_;
+  std::size_t processed_ = 0;  ///< Records consumed by past refreshes.
+  int refreshes_ = 0;
+};
+
+}  // namespace doppler::core
+
+#endif  // DOPPLER_CORE_FEEDBACK_H_

@@ -1,0 +1,103 @@
+#include "core/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace doppler::core {
+
+namespace {
+
+using catalog::ResourceDim;
+
+constexpr double kSecondsPerMonth = 30.0 * 86400.0;
+
+}  // namespace
+
+double LinearSlopePerSample(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  // Closed-form least squares with x = 0..n-1.
+  const double mean_x = static_cast<double>(n - 1) / 2.0;
+  double mean_y = 0.0;
+  for (double v : values) mean_y += v;
+  mean_y /= static_cast<double>(n);
+  double cov = 0.0;
+  double var_x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = static_cast<double>(i) - mean_x;
+    cov += dx * (values[i] - mean_y);
+    var_x += dx * dx;
+  }
+  return var_x > 0.0 ? cov / var_x : 0.0;
+}
+
+StatusOr<GrowthForecast> ForecastUpgrades(
+    const telemetry::PerfTrace& trace,
+    const std::vector<catalog::Sku>& candidates,
+    const catalog::PricingService& pricing,
+    const ThrottlingEstimator& estimator, const std::string& current_sku_id,
+    const ForecastOptions& options) {
+  if (trace.num_samples() < 2) {
+    return InvalidArgumentError("forecast needs at least two samples");
+  }
+  if (options.horizon_months < 1) {
+    return InvalidArgumentError("horizon must cover at least one month");
+  }
+  if (candidates.empty()) {
+    return InvalidArgumentError("no candidate SKUs");
+  }
+
+  GrowthForecast forecast;
+  const double samples_per_month =
+      kSecondsPerMonth / static_cast<double>(trace.interval_seconds());
+
+  // Fit per-dimension growth.
+  for (ResourceDim dim : trace.PresentDims()) {
+    if (options.freeze_latency && dim == ResourceDim::kIoLatencyMs) {
+      forecast.monthly_growth.Set(dim, 0.0);
+      continue;
+    }
+    const double slope = LinearSlopePerSample(trace.Values(dim));
+    forecast.monthly_growth.Set(dim, slope * samples_per_month);
+  }
+
+  for (int month = 1; month <= options.horizon_months; ++month) {
+    // Extrapolated demand: shift every sample by the fitted growth. Demand
+    // never extrapolates below zero.
+    telemetry::PerfTrace shifted(trace.interval_seconds());
+    shifted.set_id(trace.id() + "+" + std::to_string(month) + "mo");
+    for (ResourceDim dim : trace.PresentDims()) {
+      const double delta =
+          forecast.monthly_growth.Get(dim) * static_cast<double>(month);
+      std::vector<double> values = trace.Values(dim);
+      for (double& v : values) v = std::max(0.0, v + delta);
+      DOPPLER_RETURN_IF_ERROR(shifted.SetSeries(dim, std::move(values)));
+    }
+
+    DOPPLER_ASSIGN_OR_RETURN(
+        PricePerformanceCurve curve,
+        PricePerformanceCurve::Build(shifted, candidates, pricing, estimator));
+
+    HorizonPoint point;
+    point.month = month;
+    StatusOr<PricePerformancePoint> best = curve.CheapestFullySatisfying();
+    if (best.ok()) {
+      point.recommended_sku_id = best->sku.id;
+      point.recommended_display_name = best->sku.DisplayName();
+      point.recommended_monthly_cost = best->monthly_price;
+    }
+    if (!current_sku_id.empty()) {
+      StatusOr<PricePerformancePoint> current = curve.FindSku(current_sku_id);
+      if (!current.ok()) return current.status();
+      point.current_sku_probability = current->MonotoneProbability();
+      if (forecast.upgrade_due_month == 0 &&
+          point.current_sku_probability > options.tolerance) {
+        forecast.upgrade_due_month = month;
+      }
+    }
+    forecast.timeline.push_back(std::move(point));
+  }
+  return forecast;
+}
+
+}  // namespace doppler::core

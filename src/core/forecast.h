@@ -1,0 +1,69 @@
+#ifndef DOPPLER_CORE_FORECAST_H_
+#define DOPPLER_CORE_FORECAST_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "telemetry/perf_trace.h"
+#include "util/statusor.h"
+
+namespace doppler::core {
+
+/// Capacity forecasting on top of the curve machinery: the paper shows
+/// Doppler detecting a needed SKU change AFTER the workload grew (§5.2.3,
+/// Fig. 11); this module runs the same analysis forward. Per-dimension
+/// growth is fitted from the assessment window, demand is extrapolated
+/// month by month, and the curve is re-evaluated at each horizon — telling
+/// the customer when their current choice will start throttling and what
+/// Doppler would recommend then.
+
+/// One month of the forecast timeline.
+struct HorizonPoint {
+  int month = 0;  ///< Months after the assessment window (1-based).
+  /// Cheapest SKU fully satisfying the extrapolated demand; empty id when
+  /// nothing fits any more.
+  std::string recommended_sku_id;
+  std::string recommended_display_name;
+  double recommended_monthly_cost = 0.0;
+  /// Throttling probability the CURRENT SKU would suffer at this horizon
+  /// (0 when no current SKU was given).
+  double current_sku_probability = 0.0;
+};
+
+/// The full forecast.
+struct GrowthForecast {
+  /// Fitted linear growth per dimension, in native units per 30 days.
+  catalog::ResourceVector monthly_growth;
+  std::vector<HorizonPoint> timeline;
+  /// First month where the current SKU's throttling probability crosses
+  /// the tolerance; 0 = never within the horizon (or no current SKU).
+  int upgrade_due_month = 0;
+};
+
+struct ForecastOptions {
+  int horizon_months = 12;
+  /// Throttling probability above which the current SKU counts as
+  /// outgrown.
+  double tolerance = 0.05;
+  /// Dimensions never extrapolated (latency is a property of the storage,
+  /// not a demand that grows).
+  bool freeze_latency = true;
+};
+
+/// Fits growth from `trace` and walks the horizon. `current_sku_id` may be
+/// empty (no outgrow analysis). Fails on an empty trace or horizon < 1.
+StatusOr<GrowthForecast> ForecastUpgrades(
+    const telemetry::PerfTrace& trace,
+    const std::vector<catalog::Sku>& candidates,
+    const catalog::PricingService& pricing,
+    const ThrottlingEstimator& estimator, const std::string& current_sku_id,
+    const ForecastOptions& options = {});
+
+/// Least-squares slope of an evenly spaced series, in units per sample.
+/// Exposed for testing; 0 for fewer than two samples.
+double LinearSlopePerSample(const std::vector<double>& values);
+
+}  // namespace doppler::core
+
+#endif  // DOPPLER_CORE_FORECAST_H_

@@ -1,0 +1,45 @@
+#include "core/heuristics.h"
+
+namespace doppler::core {
+
+StatusOr<PricePerformancePoint> LargestPerformanceIncrease(
+    const PricePerformanceCurve& curve, double epsilon) {
+  const auto& points = curve.points();
+  if (points.empty()) return NotFoundError("curve is empty");
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const double drop = points[i].MonotoneProbability() -
+                        points[i + 1].MonotoneProbability();
+    if (drop <= epsilon) return points[i];
+  }
+  return points.back();
+}
+
+StatusOr<PricePerformancePoint> LargestSlope(
+    const PricePerformanceCurve& curve) {
+  const auto& points = curve.points();
+  if (points.empty()) return NotFoundError("curve is empty");
+  if (points.size() == 1) return points.front();
+  double best_slope = -1.0;
+  std::size_t best_index = 0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double drop = points[i - 1].MonotoneProbability() -
+                        points[i].MonotoneProbability();
+    const double price = points[i - 1].monthly_price;
+    const double slope = price > 0.0 ? drop / price : drop;
+    if (slope > best_slope) {
+      best_slope = slope;
+      best_index = i;
+    }
+  }
+  return points[best_index];
+}
+
+StatusOr<PricePerformancePoint> PerformanceThreshold(
+    const PricePerformanceCurve& curve, double gamma) {
+  for (const PricePerformancePoint& point : curve.points()) {
+    if (point.performance >= gamma) return point;
+  }
+  return NotFoundError("no SKU reaches the performance threshold");
+}
+
+}  // namespace doppler::core

@@ -1,0 +1,35 @@
+#ifndef DOPPLER_CORE_HEURISTICS_H_
+#define DOPPLER_CORE_HEURISTICS_H_
+
+#include "core/price_performance.h"
+#include "util/statusor.h"
+
+namespace doppler::core {
+
+/// The three curve-shape heuristics the paper evaluated before settling on
+/// customer profiling (§3.2, "Limitation"). All operate on the monotone
+/// throttling probabilities in price order and are shown (Fig. 5 and the
+/// bench_fig5_heuristics harness) to disagree with each other and with the
+/// customers' actual choices on complex curves.
+
+/// Largest Performance Increase: the first SKU after which the drop in
+/// throttling probability stops being significant — the smallest i with
+/// P(SKU_i) - P(SKU_{i+1}) <= epsilon (paper default epsilon = .001).
+StatusOr<PricePerformancePoint> LargestPerformanceIncrease(
+    const PricePerformanceCurve& curve, double epsilon = 0.001);
+
+/// Largest Slope: the SKU after the point with the steepest drop in
+/// throttling probability per dollar, i.e. the i maximising
+/// (P(SKU_{i-1}) - P(SKU_i)) / Price(SKU_{i-1}).
+StatusOr<PricePerformancePoint> LargestSlope(
+    const PricePerformanceCurve& curve);
+
+/// Performance Threshold: the first (cheapest) SKU whose performance
+/// meets gamma (paper default gamma = 0.95). NOT_FOUND when no SKU
+/// reaches the threshold.
+StatusOr<PricePerformancePoint> PerformanceThreshold(
+    const PricePerformanceCurve& curve, double gamma = 0.95);
+
+}  // namespace doppler::core
+
+#endif  // DOPPLER_CORE_HEURISTICS_H_

@@ -1,0 +1,102 @@
+#include "core/mi_filter.h"
+
+#include <algorithm>
+
+namespace doppler::core {
+
+namespace {
+
+using catalog::Deployment;
+using catalog::ResourceDim;
+using catalog::ServiceTier;
+using catalog::Sku;
+
+// Fraction of samples where `values[i] <= limit`.
+double SatisfiedFraction(const std::vector<double>& values, double limit) {
+  if (values.empty()) return 1.0;
+  std::size_t satisfied = 0;
+  for (double v : values) {
+    if (v <= limit) ++satisfied;
+  }
+  return static_cast<double>(satisfied) / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+StatusOr<MiFilterResult> FilterMiCandidates(
+    const catalog::SkuCatalog& catalog, const catalog::FileLayout& layout,
+    const telemetry::PerfTrace& trace, const MiFilterOptions& options) {
+  if (trace.num_samples() == 0) {
+    return InvalidArgumentError("performance trace is empty");
+  }
+  DOPPLER_ASSIGN_OR_RETURN(catalog::LayoutLimits limits,
+                           catalog::ComputeLayoutLimits(layout));
+
+  // Storage requirement: the layout itself, or the observed allocated size
+  // when the trace reports more.
+  double storage_need = limits.total_size_gib;
+  if (trace.Has(ResourceDim::kStorageGb)) {
+    const std::vector<double>& storage = trace.Values(ResourceDim::kStorageGb);
+    storage_need =
+        std::max(storage_need, *std::max_element(storage.begin(), storage.end()));
+  }
+
+  // Workload throughput proxy per sample: data IO volume plus log writes.
+  std::vector<double> throughput_mibps;
+  if (trace.Has(ResourceDim::kIops)) {
+    const std::vector<double>& iops = trace.Values(ResourceDim::kIops);
+    throughput_mibps.resize(iops.size());
+    for (std::size_t i = 0; i < iops.size(); ++i) {
+      throughput_mibps[i] = iops[i] * options.mib_per_io;
+      if (trace.Has(ResourceDim::kLogRateMbps)) {
+        throughput_mibps[i] += trace.Values(ResourceDim::kLogRateMbps)[i];
+      }
+    }
+  }
+
+  const double iops_ok =
+      trace.Has(ResourceDim::kIops)
+          ? SatisfiedFraction(trace.Values(ResourceDim::kIops),
+                              limits.total_iops)
+          : 1.0;
+  const double throughput_ok =
+      SatisfiedFraction(throughput_mibps, limits.total_throughput_mibps);
+
+  const bool gp_layout_ok = iops_ok >= options.iops_satisfaction &&
+                            throughput_ok >= options.throughput_satisfaction;
+
+  MiFilterResult result;
+  result.layout_limits = limits;
+  result.restricted_to_bc = !gp_layout_ok;
+
+  const std::vector<Sku> mi_skus = catalog.ForDeployment(Deployment::kSqlMi);
+  if (mi_skus.empty()) {
+    return FailedPreconditionError("catalog contains no SQL MI SKUs");
+  }
+
+  for (const Sku& sku : mi_skus) {
+    // Storage must be met at 100% (options.storage_satisfaction of it).
+    if (sku.max_data_gb < storage_need * options.storage_satisfaction) {
+      continue;
+    }
+    if (sku.tier == ServiceTier::kGeneralPurpose) {
+      if (!gp_layout_ok) continue;  // Step 1: GP dropped, BC only.
+      // Step 2: the effective GP IOPS limit is the sum over the data
+      // files' disks, never above the instance cap.
+      const double effective_iops = std::min(limits.total_iops, sku.max_iops);
+      result.candidates.push_back({sku, effective_iops});
+    } else {
+      // BC runs on local SSD; the SKU record's limits apply.
+      result.candidates.push_back({sku, -1.0});
+    }
+  }
+
+  if (result.candidates.empty()) {
+    return NotFoundError(
+        "no MI SKU can host the layout (storage need " +
+        std::to_string(storage_need) + " GB)");
+  }
+  return result;
+}
+
+}  // namespace doppler::core

@@ -1,0 +1,169 @@
+#include "core/price_performance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace doppler::core {
+
+const char* CurveShapeName(CurveShape shape) {
+  switch (shape) {
+    case CurveShape::kFlat:
+      return "flat";
+    case CurveShape::kSimple:
+      return "simple";
+    case CurveShape::kComplex:
+      return "complex";
+  }
+  return "?";
+}
+
+StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
+    const telemetry::PerfTrace& trace, const std::vector<Candidate>& candidates,
+    const catalog::PricingService& pricing,
+    const ThrottlingEstimator& estimator) {
+  if (candidates.empty()) {
+    return InvalidArgumentError("no candidate SKUs for curve building");
+  }
+  if (trace.num_samples() == 0) {
+    return InvalidArgumentError("performance trace is empty");
+  }
+
+  // Mean CPU demand feeds usage-based (serverless) billing; 0 when the
+  // trace carries no CPU counter (pricing then assumes the worst case).
+  double mean_cpu = 0.0;
+  if (trace.Has(catalog::ResourceDim::kCpu)) {
+    const std::vector<double>& cpu = trace.Values(catalog::ResourceDim::kCpu);
+    for (double v : cpu) mean_cpu += v;
+    mean_cpu /= static_cast<double>(cpu.size());
+  }
+
+  PricePerformanceCurve curve;
+  curve.points_.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    const catalog::ResourceVector capacities =
+        candidate.iops_limit >= 0.0
+            ? candidate.sku.CapacitiesWithIopsLimit(candidate.iops_limit)
+            : candidate.sku.Capacities();
+    DOPPLER_ASSIGN_OR_RETURN(double probability,
+                             estimator.Probability(trace, capacities));
+    PricePerformancePoint point;
+    point.sku = candidate.sku;
+    point.monthly_price =
+        candidate.sku.serverless && mean_cpu > 0.0
+            ? pricing.MonthlyCostForUsage(candidate.sku, mean_cpu)
+            : pricing.MonthlyCost(candidate.sku);
+    point.throttling_probability = probability;
+    point.performance = 1.0 - probability;
+    curve.points_.push_back(std::move(point));
+  }
+
+  // Price order, ties broken by id for determinism.
+  std::sort(curve.points_.begin(), curve.points_.end(),
+            [](const PricePerformancePoint& a, const PricePerformancePoint& b) {
+              if (a.monthly_price != b.monthly_price) {
+                return a.monthly_price < b.monthly_price;
+              }
+              return a.sku.id < b.sku.id;
+            });
+
+  // Monotone envelope: spending more never reports less performance.
+  double best = 0.0;
+  for (PricePerformancePoint& point : curve.points_) {
+    best = std::max(best, point.performance);
+    point.performance = best;
+  }
+  return curve;
+}
+
+StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
+    const telemetry::PerfTrace& trace,
+    const std::vector<catalog::Sku>& candidates,
+    const catalog::PricingService& pricing,
+    const ThrottlingEstimator& estimator) {
+  std::vector<Candidate> wrapped;
+  wrapped.reserve(candidates.size());
+  for (const catalog::Sku& sku : candidates) wrapped.push_back({sku, -1.0});
+  return Build(trace, wrapped, pricing, estimator);
+}
+
+CurveShape PricePerformanceCurve::Classify(double epsilon) const {
+  bool all_full = true;
+  bool all_extreme = true;
+  for (const PricePerformancePoint& point : points_) {
+    const bool full = point.performance >= 1.0 - epsilon;
+    const bool empty_perf = point.performance <= epsilon;
+    all_full &= full;
+    all_extreme &= (full || empty_perf);
+  }
+  if (all_full) return CurveShape::kFlat;
+  if (all_extreme) return CurveShape::kSimple;
+  return CurveShape::kComplex;
+}
+
+StatusOr<PricePerformancePoint> PricePerformanceCurve::CheapestFullySatisfying(
+    double epsilon) const {
+  for (const PricePerformancePoint& point : points_) {
+    if (point.performance >= 1.0 - epsilon) return point;
+  }
+  return NotFoundError("no SKU satisfies the workload at 100%");
+}
+
+StatusOr<PricePerformancePoint> PricePerformanceCurve::ClosestBelowTarget(
+    double target) const {
+  if (points_.empty()) return NotFoundError("curve is empty");
+
+  const PricePerformancePoint* best = nullptr;
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (const PricePerformancePoint& point : points_) {
+    const double p = point.MonotoneProbability();
+    if (p > target) continue;
+    const double gap = target - p;
+    // Strict inequality keeps the cheaper point on ties (price order).
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = &point;
+    }
+  }
+  if (best != nullptr) return *best;
+
+  // Nothing satisfies the constraint (Eq. 6); fall back to the most
+  // performant point, cheapest among equals.
+  const PricePerformancePoint* fallback = &points_.front();
+  for (const PricePerformancePoint& point : points_) {
+    if (point.performance > fallback->performance) fallback = &point;
+  }
+  return *fallback;
+}
+
+StatusOr<PricePerformancePoint> PricePerformanceCurve::FindSku(
+    const std::string& sku_id) const {
+  for (const PricePerformancePoint& point : points_) {
+    if (point.sku.id == sku_id) return point;
+  }
+  return NotFoundError("SKU '" + sku_id + "' is not on the curve");
+}
+
+StatusOr<std::size_t> PricePerformanceCurve::IndexOfSku(
+    const std::string& sku_id) const {
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].sku.id == sku_id) return i;
+  }
+  return NotFoundError("SKU '" + sku_id + "' is not on the curve");
+}
+
+std::vector<double> PricePerformanceCurve::Prices() const {
+  std::vector<double> prices;
+  prices.reserve(points_.size());
+  for (const auto& point : points_) prices.push_back(point.monthly_price);
+  return prices;
+}
+
+std::vector<double> PricePerformanceCurve::Performances() const {
+  std::vector<double> performances;
+  performances.reserve(points_.size());
+  for (const auto& point : points_) performances.push_back(point.performance);
+  return performances;
+}
+
+}  // namespace doppler::core

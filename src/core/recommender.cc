@@ -1,0 +1,188 @@
+#include "core/recommender.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+
+namespace doppler::core {
+
+namespace {
+
+using catalog::Deployment;
+using catalog::ResourceDim;
+using catalog::ResourceVector;
+
+}  // namespace
+
+ElasticRecommender::ElasticRecommender(const catalog::SkuCatalog* catalog,
+                                       const catalog::PricingService* pricing,
+                                       const ThrottlingEstimator* estimator,
+                                       const CustomerProfiler* profiler,
+                                       const GroupModel* group_model,
+                                       Options options)
+    : catalog_(catalog),
+      pricing_(pricing),
+      estimator_(estimator),
+      profiler_(profiler),
+      group_model_(group_model),
+      options_(options) {}
+
+ElasticRecommender::ElasticRecommender(const catalog::SkuCatalog* catalog,
+                                       const catalog::PricingService* pricing,
+                                       const ThrottlingEstimator* estimator,
+                                       const CustomerProfiler* profiler,
+                                       const GroupModel* group_model)
+    : ElasticRecommender(catalog, pricing, estimator, profiler, group_model,
+                         Options()) {}
+
+StatusOr<Recommendation> ElasticRecommender::RecommendDb(
+    const telemetry::PerfTrace& trace) const {
+  const std::vector<catalog::Sku> candidates =
+      catalog_->ForDeployment(Deployment::kSqlDb);
+  if (candidates.empty()) {
+    return FailedPreconditionError("catalog contains no SQL DB SKUs");
+  }
+  DOPPLER_ASSIGN_OR_RETURN(
+      PricePerformanceCurve curve,
+      PricePerformanceCurve::Build(trace, candidates, *pricing_, *estimator_));
+  return SelectFromCurve(std::move(curve), trace);
+}
+
+StatusOr<Recommendation> ElasticRecommender::RecommendMi(
+    const telemetry::PerfTrace& trace,
+    const catalog::FileLayout& layout) const {
+  DOPPLER_ASSIGN_OR_RETURN(MiFilterResult filtered,
+                           FilterMiCandidates(*catalog_, layout, trace));
+  DOPPLER_ASSIGN_OR_RETURN(
+      PricePerformanceCurve curve,
+      PricePerformanceCurve::Build(trace, filtered.candidates, *pricing_,
+                                   *estimator_));
+  DOPPLER_ASSIGN_OR_RETURN(Recommendation recommendation,
+                           SelectFromCurve(std::move(curve), trace));
+  if (filtered.restricted_to_bc) {
+    recommendation.rationale +=
+        " (GP premium-disk layouts could not reach 95% IOPS/throughput "
+        "satisfaction; search restricted to Business Critical)";
+  }
+  return recommendation;
+}
+
+StatusOr<Recommendation> ElasticRecommender::Recommend(
+    const telemetry::PerfTrace& trace, Deployment deployment,
+    const catalog::FileLayout& layout) const {
+  if (deployment == Deployment::kSqlDb) return RecommendDb(trace);
+  return RecommendMi(trace, layout);
+}
+
+StatusOr<Recommendation> ElasticRecommender::SelectFromCurve(
+    PricePerformanceCurve curve, const telemetry::PerfTrace& trace) const {
+  Recommendation recommendation;
+  recommendation.curve_shape = curve.Classify(options_.classify_epsilon);
+
+  if (recommendation.curve_shape == CurveShape::kFlat) {
+    // Every SKU satisfies the workload: the cheapest is the most
+    // cost-efficient option (paper §5.1).
+    DOPPLER_ASSIGN_OR_RETURN(
+        PricePerformancePoint point,
+        curve.CheapestFullySatisfying(options_.full_satisfaction_epsilon));
+    recommendation.sku = point.sku;
+    recommendation.monthly_cost = point.monthly_price;
+    recommendation.throttling_probability = point.MonotoneProbability();
+    recommendation.rationale =
+        "flat price-performance curve: every relevant SKU meets 100% of the "
+        "workload's needs, so the cheapest is optimal";
+    recommendation.curve = std::move(curve);
+    return recommendation;
+  }
+
+  // Profile the customer and pull the learned group target (Eqs. 2-6).
+  DOPPLER_ASSIGN_OR_RETURN(CustomerProfile profile, profiler_->Profile(trace));
+  recommendation.group_id = profile.group_id;
+  recommendation.group_target = group_model_->TargetProbability(profile.group_id);
+
+  DOPPLER_ASSIGN_OR_RETURN(
+      PricePerformancePoint point,
+      curve.ClosestBelowTarget(recommendation.group_target));
+  recommendation.sku = point.sku;
+  recommendation.monthly_cost = point.monthly_price;
+  recommendation.throttling_probability = point.MonotoneProbability();
+
+  std::string negotiable_dims;
+  for (std::size_t i = 0; i < profile.summary.dims.size(); ++i) {
+    if (profile.summary.negotiable[i]) {
+      if (!negotiable_dims.empty()) negotiable_dims += ", ";
+      negotiable_dims += catalog::ResourceDimName(profile.summary.dims[i]);
+    }
+  }
+  recommendation.rationale =
+      std::string(CurveShapeName(recommendation.curve_shape)) +
+      " curve; profiled into group " + std::to_string(profile.group_id + 1) +
+      (negotiable_dims.empty()
+           ? " (no negotiable dimensions)"
+           : " (negotiable: " + negotiable_dims + ")") +
+      "; similar migrated customers settle at ~" +
+      FormatPercent(recommendation.group_target, 1) +
+      " throttling probability";
+  recommendation.curve = std::move(curve);
+  return recommendation;
+}
+
+BaselineRecommender::BaselineRecommender(const catalog::SkuCatalog* catalog,
+                                         const catalog::PricingService* pricing,
+                                         double quantile)
+    : catalog_(catalog), pricing_(pricing), quantile_(quantile) {}
+
+StatusOr<ResourceVector> BaselineRecommender::ScalarRequirements(
+    const telemetry::PerfTrace& trace) const {
+  if (trace.num_samples() == 0) {
+    return InvalidArgumentError("performance trace is empty");
+  }
+  ResourceVector needs;
+  for (ResourceDim dim : trace.PresentDims()) {
+    const std::vector<double>& values = trace.Values(dim);
+    // Inverted dimensions need the LOW quantile: the tightest latency the
+    // workload relies on.
+    const double q = catalog::IsInvertedDim(dim) ? 1.0 - quantile_ : quantile_;
+    needs.Set(dim, stats::Quantile(values, q));
+  }
+  return needs;
+}
+
+StatusOr<Recommendation> BaselineRecommender::Recommend(
+    const telemetry::PerfTrace& trace, Deployment deployment) const {
+  DOPPLER_ASSIGN_OR_RETURN(ResourceVector needs, ScalarRequirements(trace));
+  const std::vector<catalog::Sku> candidates =
+      catalog_->ForDeployment(deployment);
+  if (candidates.empty()) {
+    return FailedPreconditionError("catalog has no SKUs for the deployment");
+  }
+  // Candidates come back cheapest-first; the first SKU meeting every
+  // scalar requirement wins.
+  for (const catalog::Sku& sku : candidates) {
+    const ResourceVector caps = sku.Capacities();
+    bool fits = true;
+    for (ResourceDim dim : needs.PresentDims()) {
+      if (!caps.Has(dim)) continue;
+      if (ResourceVector::Exceeds(dim, needs.Get(dim), caps.Get(dim))) {
+        fits = false;
+        break;
+      }
+    }
+    if (fits) {
+      Recommendation recommendation;
+      recommendation.sku = sku;
+      recommendation.monthly_cost = pricing_->MonthlyCost(sku);
+      recommendation.throttling_probability = 0.0;
+      recommendation.rationale =
+          "baseline: cheapest SKU meeting the " +
+          FormatPercent(quantile_, 0) +
+          " quantile of every collected counter";
+      return recommendation;
+    }
+  }
+  return NotFoundError(
+      "baseline strategy found no SKU meeting every scalar requirement");
+}
+
+}  // namespace doppler::core

@@ -1,0 +1,36 @@
+#include "core/rightsizing.h"
+
+#include <algorithm>
+
+namespace doppler::core {
+
+StatusOr<RightSizingAssessment> AssessRightSizing(
+    const PricePerformanceCurve& curve, const std::string& chosen_sku_id,
+    const RightSizingOptions& options) {
+  RightSizingAssessment assessment;
+  DOPPLER_ASSIGN_OR_RETURN(assessment.current, curve.FindSku(chosen_sku_id));
+  DOPPLER_ASSIGN_OR_RETURN(
+      assessment.recommended,
+      curve.CheapestFullySatisfying(options.full_satisfaction_epsilon));
+
+  const double cheapest_price = assessment.recommended.monthly_price;
+  assessment.price_headroom =
+      cheapest_price > 0.0 ? assessment.current.monthly_price / cheapest_price
+                           : 1.0;
+
+  // A customer only counts as over-provisioned when their own SKU already
+  // fully satisfies the workload AND costs well past the cheapest
+  // satisfying point; a throttled customer is mis-, not over-provisioned.
+  const bool current_satisfies =
+      assessment.current.performance >= 1.0 - options.full_satisfaction_epsilon;
+  assessment.over_provisioned =
+      current_satisfies &&
+      assessment.price_headroom >= options.price_ratio_threshold;
+
+  assessment.monthly_savings = std::max(
+      0.0, assessment.current.monthly_price - assessment.recommended.monthly_price);
+  assessment.annual_savings = assessment.monthly_savings * 12.0;
+  return assessment;
+}
+
+}  // namespace doppler::core

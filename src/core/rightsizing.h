@@ -1,0 +1,47 @@
+#ifndef DOPPLER_CORE_RIGHTSIZING_H_
+#define DOPPLER_CORE_RIGHTSIZING_H_
+
+#include <string>
+
+#include "core/price_performance.h"
+#include "util/statusor.h"
+
+namespace doppler::core {
+
+/// Over-provisioning criteria (paper §5.1-5.2: ~10% of cloud customers
+/// run SKUs far past the cheapest fully satisfying point; some pay for 4x
+/// their max resource needs).
+struct RightSizingOptions {
+  /// Chosen-SKU monthly price must exceed the cheapest fully satisfying
+  /// price by this factor to count as over-provisioned.
+  double price_ratio_threshold = 1.5;
+  /// Tolerance for "fully satisfying" performance.
+  double full_satisfaction_epsilon = 0.01;
+};
+
+/// What right-sizing one cloud customer would change.
+struct RightSizingAssessment {
+  bool over_provisioned = false;
+  /// Chosen price / cheapest-100% price (1.0 = perfectly sized).
+  double price_headroom = 1.0;
+  /// The current SKU's curve point.
+  PricePerformancePoint current;
+  /// The right-size target (cheapest fully satisfying SKU).
+  PricePerformancePoint recommended;
+  double monthly_savings = 0.0;
+  double annual_savings = 0.0;
+};
+
+/// Assesses whether a cloud customer fixed on `chosen_sku_id` is
+/// over-provisioned relative to their own price-performance curve, and the
+/// savings from moving to the cheapest fully satisfying SKU. Fails with
+/// NOT_FOUND when the chosen SKU is not on the curve or no SKU fully
+/// satisfies the workload (an under-provisioned customer is not a
+/// right-sizing case).
+StatusOr<RightSizingAssessment> AssessRightSizing(
+    const PricePerformanceCurve& curve, const std::string& chosen_sku_id,
+    const RightSizingOptions& options = {});
+
+}  // namespace doppler::core
+
+#endif  // DOPPLER_CORE_RIGHTSIZING_H_

@@ -1,0 +1,89 @@
+#ifndef DOPPLER_CORE_THROTTLING_H_
+#define DOPPLER_CORE_THROTTLING_H_
+
+#include "catalog/resource.h"
+#include "telemetry/perf_trace.h"
+#include "util/statusor.h"
+
+namespace doppler::core {
+
+/// Estimates the probability that a workload would hit resource throttling
+/// on a target with the given capacities (paper Eq. 1):
+///
+///   P_n(SKU_i) = P(r_cpu > R_cpu  U  r_ram > R_ram  U ... )
+///
+/// with the IO-latency dimension inverted (the workload is throttled when
+/// the target cannot deliver latency as low as the workload needs). Only
+/// dimensions present in BOTH the trace and the capacity vector take part.
+class ThrottlingEstimator {
+ public:
+  virtual ~ThrottlingEstimator() = default;
+
+  /// P(any modelled dimension exceeds capacity) in [0, 1]. Fails with
+  /// INVALID_ARGUMENT on an empty trace or when no dimension is shared
+  /// between trace and capacities.
+  virtual StatusOr<double> Probability(
+      const telemetry::PerfTrace& trace,
+      const catalog::ResourceVector& capacities) const = 0;
+
+  /// Human-readable estimator name for benchmark output.
+  virtual const char* name() const = 0;
+};
+
+/// The production estimator (paper §3.2, "non-parametric multi-variate"):
+/// the joint frequency, over time points, of any dimension exceeding its
+/// capacity. Exact with respect to the empirical joint distribution, O(n·d)
+/// per SKU, and the reason Doppler scales to full catalogs.
+class NonParametricEstimator : public ThrottlingEstimator {
+ public:
+  StatusOr<double> Probability(
+      const telemetry::PerfTrace& trace,
+      const catalog::ResourceVector& capacities) const override;
+  const char* name() const override { return "non-parametric"; }
+};
+
+/// The smoothed alternative the paper evaluated and rejected on runtime
+/// grounds (§3.2, "Gaussian smoothing"): a Gaussian KDE per dimension with
+/// Silverman bandwidth; the joint exceedance combines the per-dimension
+/// exceedances under an independence approximation,
+/// P(any) = 1 - prod_d (1 - e_d). The KDE is re-fit per call, which is what
+/// makes curve generation over a 150+-SKU catalog impractical — the
+/// bench_perf_engine benchmark quantifies the gap.
+class KdeEstimator : public ThrottlingEstimator {
+ public:
+  StatusOr<double> Probability(
+      const telemetry::PerfTrace& trace,
+      const catalog::ResourceVector& capacities) const override;
+  const char* name() const override { return "gaussian-kde"; }
+};
+
+/// The copula-family alternative the paper cites (§3.2, "multivariate
+/// kernel density estimation based on vine copulas"): a Gaussian copula
+/// over empirical marginals. Marginals are rank-transformed to normal
+/// scores, their correlation matrix is estimated, and the joint exceedance
+/// is evaluated by Monte Carlo: sample correlated normals, map back
+/// through the empirical quantile functions, count samples exceeding any
+/// capacity. Unlike KdeEstimator's independence approximation this models
+/// cross-dimension dependence, at a further runtime cost — which is the
+/// paper's reason for rejecting the family in production.
+class GaussianCopulaEstimator : public ThrottlingEstimator {
+ public:
+  /// `monte_carlo_samples` trades accuracy for runtime; `seed` fixes the
+  /// sampling so estimates are reproducible.
+  explicit GaussianCopulaEstimator(int monte_carlo_samples = 4000,
+                                   std::uint64_t seed = 97)
+      : samples_(monte_carlo_samples), seed_(seed) {}
+
+  StatusOr<double> Probability(
+      const telemetry::PerfTrace& trace,
+      const catalog::ResourceVector& capacities) const override;
+  const char* name() const override { return "gaussian-copula"; }
+
+ private:
+  int samples_;
+  std::uint64_t seed_;
+};
+
+}  // namespace doppler::core
+
+#endif  // DOPPLER_CORE_THROTTLING_H_

@@ -1,0 +1,81 @@
+#include "dma/assessment.h"
+
+#include "util/string_util.h"
+
+namespace doppler::dma {
+
+StatusOr<AssessmentOutcome> AssessmentService::Assess(
+    const std::string& period, const AssessmentRequest& request) {
+  if (periods_.find(period) == periods_.end()) {
+    period_order_.push_back(period);
+    periods_[period].period = period;
+  }
+  AdoptionRow& row = periods_[period];
+  ++row.unique_instances;
+  row.unique_databases += static_cast<int>(request.database_traces.size());
+
+  StatusOr<AssessmentOutcome> outcome = pipeline_->Assess(request);
+  if (!outcome.ok()) {
+    ++failed_;
+    return outcome;
+  }
+  // Elastic always produces one recommendation; the baseline counts when
+  // it found a SKU.
+  row.recommendations += outcome->baseline.ok() ? 2 : 1;
+  return outcome;
+}
+
+std::vector<AssessmentOutcome> AssessmentService::AssessBatch(
+    const std::string& period,
+    const std::vector<AssessmentRequest>& requests) {
+  std::vector<AssessmentOutcome> outcomes;
+  outcomes.reserve(requests.size());
+  for (const AssessmentRequest& request : requests) {
+    StatusOr<AssessmentOutcome> outcome = Assess(period, request);
+    if (outcome.ok()) outcomes.push_back(std::move(outcome).value());
+  }
+  return outcomes;
+}
+
+std::vector<AdoptionRow> AssessmentService::AdoptionReport() const {
+  std::vector<AdoptionRow> rows;
+  rows.reserve(period_order_.size());
+  for (const std::string& period : period_order_) {
+    rows.push_back(periods_.at(period));
+  }
+  return rows;
+}
+
+CsvTable AssessmentService::OutcomesToCsv(
+    const std::vector<AssessmentOutcome>& outcomes) {
+  CsvTable table({"customer_id", "target", "elastic_sku", "elastic_monthly",
+                  "elastic_throttling", "curve_shape", "baseline_sku",
+                  "baseline_monthly", "confidence", "over_provisioned",
+                  "annual_savings"});
+  for (const AssessmentOutcome& outcome : outcomes) {
+    std::vector<std::string> row;
+    row.push_back(outcome.customer_id);
+    row.emplace_back(catalog::DeploymentName(outcome.target));
+    row.push_back(outcome.elastic.sku.id);
+    row.push_back(FormatDouble(outcome.elastic.monthly_cost, 2));
+    row.push_back(FormatDouble(outcome.elastic.throttling_probability, 4));
+    row.emplace_back(core::CurveShapeName(outcome.elastic.curve_shape));
+    row.push_back(outcome.baseline.ok() ? outcome.baseline->sku.id : "");
+    row.push_back(outcome.baseline.ok()
+                      ? FormatDouble(outcome.baseline->monthly_cost, 2)
+                      : "");
+    row.push_back(outcome.confidence.has_value()
+                      ? FormatDouble(outcome.confidence->score, 3)
+                      : "");
+    row.push_back(outcome.rightsizing.has_value()
+                      ? (outcome.rightsizing->over_provisioned ? "1" : "0")
+                      : "");
+    row.push_back(outcome.rightsizing.has_value()
+                      ? FormatDouble(outcome.rightsizing->annual_savings, 2)
+                      : "");
+    (void)table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace doppler::dma

@@ -1,0 +1,64 @@
+#ifndef DOPPLER_DMA_ASSESSMENT_H_
+#define DOPPLER_DMA_ASSESSMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dma/pipeline.h"
+#include "util/csv.h"
+#include "util/statusor.h"
+
+namespace doppler::dma {
+
+/// One row of the adoption report (paper Table 1): per period, how many
+/// unique instances and databases were assessed and how many
+/// recommendations were generated (an assessment can emit several —
+/// elastic, baseline, and per-deployment variants).
+struct AdoptionRow {
+  std::string period;
+  int unique_instances = 0;
+  int unique_databases = 0;
+  int recommendations = 0;
+};
+
+/// Batch front-end over the pipeline: processes assessment requests,
+/// collects outcomes, and keeps the adoption counters the production
+/// service reports. Periods are free-form labels (e.g. "Oct-21").
+class AssessmentService {
+ public:
+  /// Borrows the pipeline, which must outlive the service.
+  explicit AssessmentService(const SkuRecommendationPipeline* pipeline)
+      : pipeline_(pipeline) {}
+
+  /// Assesses one request under the given period label. Failed assessments
+  /// are counted (an instance was seen) but yield an error.
+  StatusOr<AssessmentOutcome> Assess(const std::string& period,
+                                     const AssessmentRequest& request);
+
+  /// Assesses a batch; failures are skipped (and tallied), successes
+  /// returned in request order.
+  std::vector<AssessmentOutcome> AssessBatch(
+      const std::string& period,
+      const std::vector<AssessmentRequest>& requests);
+
+  /// Adoption rows in first-seen period order.
+  std::vector<AdoptionRow> AdoptionReport() const;
+
+  int failed_assessments() const { return failed_; }
+
+  /// Exports assessment outcomes as the migration-plan CSV the DMA tool
+  /// hands to stakeholders: one row per assessed instance with the elastic
+  /// and baseline picks, costs and curve shape.
+  static CsvTable OutcomesToCsv(const std::vector<AssessmentOutcome>& outcomes);
+
+ private:
+  const SkuRecommendationPipeline* pipeline_;
+  std::vector<std::string> period_order_;
+  std::map<std::string, AdoptionRow> periods_;
+  int failed_ = 0;
+};
+
+}  // namespace doppler::dma
+
+#endif  // DOPPLER_DMA_ASSESSMENT_H_

@@ -1,0 +1,389 @@
+#include "dma/cli.h"
+
+#include <cstdlib>
+
+#include "catalog/catalog.h"
+#include "core/drift.h"
+#include "core/forecast.h"
+#include "dma/pipeline.h"
+#include "dma/preprocess.h"
+#include "dma/resource_report.h"
+#include "dma/static_inputs.h"
+#include "tco/tco.h"
+#include "telemetry/trace_io.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/benchmark_mix.h"
+#include "workload/population.h"
+
+namespace doppler::dma {
+
+namespace {
+
+constexpr char kUsage[] = R"(doppler <command> [--flag value ...]
+
+Commands:
+  help                                    this text
+  catalog   [--extended] [--out F]        dump the generated SKU catalog
+  fit-profiles --deployment db|mi [--customers N] [--seed S] [--out F]
+  assess    --trace F [--target db|mi] [--catalog F] [--profiles F]
+            [--layout F] [--current-sku ID] [--confidence] [--json]
+  forecast  --trace F [--current-sku ID] [--months N]
+  drift     --trace F --current-sku ID [--recent-fraction X]
+  tco       --trace F
+  synth     --trace F
+
+Traces are CSV files with a t_seconds column plus cpu/memory/iops/
+log_rate/io_latency/storage/workers columns (any subset).
+)";
+
+StatusOr<catalog::Deployment> ParseDeployment(const std::string& text) {
+  if (text == "db" || text.empty()) return catalog::Deployment::kSqlDb;
+  if (text == "mi") return catalog::Deployment::kSqlMi;
+  return InvalidArgumentError("unknown deployment '" + text +
+                              "' (expected db or mi)");
+}
+
+StatusOr<int> ParsePositiveInt(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || !Trim(end).empty() || value <= 0) {
+    return InvalidArgumentError(std::string(what) + " must be a positive "
+                                "integer, got '" + text + "'");
+  }
+  return static_cast<int>(value);
+}
+
+// Loads the catalog from --catalog, or generates the default one.
+StatusOr<catalog::SkuCatalog> ResolveCatalog(const CliOptions& options) {
+  const std::string path = options.Get("catalog");
+  if (!path.empty()) return LoadCatalog(path);
+  catalog::CatalogOptions catalog_options;
+  if (options.Has("extended")) {
+    catalog_options.include_serverless = true;
+    catalog_options.include_hyperscale = true;
+    catalog_options.include_sql_vm = true;
+  }
+  return catalog::BuildAzureLikeCatalog(catalog_options);
+}
+
+// Loads profiles from --profiles, or fits them offline on the fly.
+StatusOr<core::GroupModel> ResolveProfiles(const CliOptions& options,
+                                           const catalog::SkuCatalog& skus,
+                                           catalog::Deployment deployment,
+                                           std::ostream& out) {
+  const std::string path = options.Get("profiles");
+  if (!path.empty()) return LoadGroupModel(path);
+  out << "(no --profiles given; fitting the group model offline, this "
+         "takes a moment)\n";
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+  return FitGroupModelOffline(skus, pricing, estimator, deployment,
+                              /*num_customers=*/120, /*seed=*/11);
+}
+
+StatusOr<int> RunCatalog(const CliOptions& options, std::ostream& out) {
+  DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
+  const std::string out_path = options.Get("out");
+  if (!out_path.empty()) {
+    DOPPLER_RETURN_IF_ERROR(SaveCatalog(skus, out_path));
+    out << "wrote " << skus.size() << " SKUs to " << out_path << "\n";
+    return 0;
+  }
+  TablePrinter table({"id", "deployment", "tier", "vCores", "memory GB",
+                      "IOPS", "price/h"});
+  for (const catalog::Sku& sku : skus.skus()) {
+    table.AddRow({sku.id, catalog::DeploymentName(sku.deployment),
+                  catalog::ServiceTierName(sku.tier),
+                  std::to_string(sku.vcores),
+                  FormatDouble(sku.max_memory_gb, 1),
+                  FormatDouble(sku.max_iops, 0),
+                  FormatDouble(sku.price_per_hour, 2)});
+  }
+  table.Print(out);
+  return 0;
+}
+
+StatusOr<int> RunFitProfiles(const CliOptions& options, std::ostream& out) {
+  DOPPLER_ASSIGN_OR_RETURN(catalog::Deployment deployment,
+                           ParseDeployment(options.Get("deployment", "db")));
+  int customers = 150;
+  if (options.Has("customers")) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        customers, ParsePositiveInt(options.Get("customers"), "--customers"));
+  }
+  int seed = 11;
+  if (options.Has("seed")) {
+    DOPPLER_ASSIGN_OR_RETURN(seed,
+                             ParsePositiveInt(options.Get("seed"), "--seed"));
+  }
+  DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+  DOPPLER_ASSIGN_OR_RETURN(
+      core::GroupModel model,
+      FitGroupModelOffline(skus, pricing, estimator, deployment, customers,
+                           static_cast<std::uint64_t>(seed)));
+  const std::string out_path = options.Get("out");
+  if (!out_path.empty()) {
+    DOPPLER_RETURN_IF_ERROR(SaveGroupModel(model, out_path));
+    out << "wrote " << model.AllGroups().size() << " group profiles to "
+        << out_path << "\n";
+    return 0;
+  }
+  TablePrinter table({"group", "n", "mean P(throttle)", "std"});
+  for (const core::GroupStats& stats : model.AllGroups()) {
+    table.AddRow({std::to_string(stats.group_id + 1),
+                  std::to_string(stats.count),
+                  FormatPercent(stats.mean_probability, 2),
+                  FormatDouble(stats.std_probability, 4)});
+  }
+  table.Print(out);
+  return 0;
+}
+
+StatusOr<int> RunAssess(const CliOptions& options, std::ostream& out) {
+  const std::string trace_path = options.Get("trace");
+  if (trace_path.empty()) {
+    return InvalidArgumentError("assess requires --trace <csv>");
+  }
+  DOPPLER_ASSIGN_OR_RETURN(telemetry::PerfTrace trace,
+                           telemetry::ReadTraceFile(trace_path));
+  DOPPLER_ASSIGN_OR_RETURN(catalog::Deployment deployment,
+                           ParseDeployment(options.Get("target", "db")));
+  DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
+  DOPPLER_ASSIGN_OR_RETURN(core::GroupModel profiles,
+                           ResolveProfiles(options, skus, deployment, out));
+  DOPPLER_ASSIGN_OR_RETURN(
+      SkuRecommendationPipeline pipeline,
+      SkuRecommendationPipeline::Create({std::move(skus),
+                                         std::move(profiles)}));
+  AssessmentRequest request;
+  request.customer_id = trace_path;
+  request.target = deployment;
+  request.database_traces = {std::move(trace)};
+  request.current_sku_id = options.Get("current-sku");
+  request.compute_confidence = options.Has("confidence");
+  if (options.Has("layout")) {
+    DOPPLER_ASSIGN_OR_RETURN(request.layout,
+                             LoadLayout(options.Get("layout")));
+  }
+  DOPPLER_ASSIGN_OR_RETURN(AssessmentOutcome outcome,
+                           pipeline.Assess(request));
+
+  if (options.Has("json")) {
+    out << RenderAssessmentJson(outcome) << "\n";
+    return 0;
+  }
+  out << RenderRecommendationReport(outcome.instance_trace, outcome.elastic);
+  out << "\n"
+      << RenderNegotiabilityReport(outcome.instance_trace, request.target);
+  if (outcome.confidence.has_value()) {
+    out << "\nConfidence: " << FormatPercent(outcome.confidence->score, 0)
+        << " (" << outcome.confidence->matching_runs << "/"
+        << outcome.confidence->runs << " bootstrap runs agree)\n";
+  }
+  if (outcome.baseline.ok()) {
+    out << "Legacy baseline pick: " << outcome.baseline->sku.DisplayName()
+        << " at " << FormatDollars(outcome.baseline->monthly_cost, 0)
+        << "/month\n";
+  } else {
+    out << "Legacy baseline: no SKU meets every scalar requirement\n";
+  }
+  if (outcome.rightsizing.has_value()) {
+    out << "Right-sizing: "
+        << (outcome.rightsizing->over_provisioned ? "OVER-PROVISIONED"
+                                                  : "well sized")
+        << "; moving to " << outcome.rightsizing->recommended.sku.DisplayName()
+        << " saves " << FormatDollars(outcome.rightsizing->annual_savings, 0)
+        << "/year\n";
+  }
+  return 0;
+}
+
+StatusOr<int> RunForecast(const CliOptions& options, std::ostream& out) {
+  const std::string trace_path = options.Get("trace");
+  if (trace_path.empty()) {
+    return InvalidArgumentError("forecast requires --trace <csv>");
+  }
+  DOPPLER_ASSIGN_OR_RETURN(telemetry::PerfTrace trace,
+                           telemetry::ReadTraceFile(trace_path));
+  int months = 12;
+  if (options.Has("months")) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        months, ParsePositiveInt(options.Get("months"), "--months"));
+  }
+  DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+  core::ForecastOptions forecast_options;
+  forecast_options.horizon_months = months;
+  DOPPLER_ASSIGN_OR_RETURN(
+      core::GrowthForecast forecast,
+      core::ForecastUpgrades(trace,
+                             skus.ForDeployment(catalog::Deployment::kSqlDb),
+                             pricing, estimator, options.Get("current-sku"),
+                             forecast_options));
+  TablePrinter table({"Month", "Right-sized SKU", "Monthly",
+                      "Current-SKU throttling"});
+  for (const core::HorizonPoint& point : forecast.timeline) {
+    table.AddRow({std::to_string(point.month),
+                  point.recommended_sku_id.empty()
+                      ? "(nothing fits)"
+                      : point.recommended_display_name,
+                  FormatDollars(point.recommended_monthly_cost, 0),
+                  FormatPercent(point.current_sku_probability, 1)});
+  }
+  table.Print(out);
+  if (forecast.upgrade_due_month > 0) {
+    out << "\nUpgrade due in month " << forecast.upgrade_due_month
+        << ": the current SKU's throttling crosses the tolerance.\n";
+  } else if (!options.Get("current-sku").empty()) {
+    out << "\nThe current SKU holds through the horizon.\n";
+  }
+  return 0;
+}
+
+StatusOr<int> RunDrift(const CliOptions& options, std::ostream& out) {
+  const std::string trace_path = options.Get("trace");
+  const std::string current_sku = options.Get("current-sku");
+  if (trace_path.empty() || current_sku.empty()) {
+    return InvalidArgumentError(
+        "drift requires --trace <csv> and --current-sku <id>");
+  }
+  DOPPLER_ASSIGN_OR_RETURN(telemetry::PerfTrace trace,
+                           telemetry::ReadTraceFile(trace_path));
+  DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+  core::DriftOptions drift_options;
+  if (options.Has("recent-fraction")) {
+    char* end = nullptr;
+    drift_options.recent_fraction =
+        std::strtod(options.Get("recent-fraction").c_str(), &end);
+  }
+  DOPPLER_ASSIGN_OR_RETURN(
+      core::DriftReport report,
+      core::DetectSkuDrift(trace,
+                           skus.ForDeployment(catalog::Deployment::kSqlDb),
+                           pricing, estimator, current_sku, drift_options));
+  out << "Baseline-window throttling on " << current_sku << ": "
+      << FormatPercent(report.baseline_probability, 1) << "\n";
+  out << "Recent-window throttling:  "
+      << FormatPercent(report.recent_probability, 1) << "\n";
+  out << "SKU change needed: " << (report.needs_change ? "YES" : "no")
+      << "\n";
+  if (!report.recommended_sku_id.empty()) {
+    out << "Right-sized target for the recent window: "
+        << report.recommended_display_name << " ("
+        << FormatDollars(report.recommended_monthly_cost, 0) << "/month)\n";
+  }
+  return 0;
+}
+
+StatusOr<int> RunTco(const CliOptions& options, std::ostream& out) {
+  const std::string trace_path = options.Get("trace");
+  if (trace_path.empty()) {
+    return InvalidArgumentError("tco requires --trace <csv>");
+  }
+  DOPPLER_ASSIGN_OR_RETURN(telemetry::PerfTrace trace,
+                           telemetry::ReadTraceFile(trace_path));
+  DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
+  const core::NonParametricEstimator estimator;
+  DOPPLER_ASSIGN_OR_RETURN(
+      core::GroupModel profiles,
+      ResolveProfiles(options, skus, catalog::Deployment::kSqlDb, out));
+  const core::CustomerProfiler profiler(
+      std::make_shared<core::ThresholdingStrategy>(),
+      workload::ProfilingDims(catalog::Deployment::kSqlDb));
+  const tco::OnPremCostModel on_prem;
+  DOPPLER_ASSIGN_OR_RETURN(
+      tco::TcoComparison comparison,
+      tco::CompareTco(trace, on_prem, skus, estimator, profiler, profiles));
+  out << tco::RenderTcoReport(comparison);
+  return 0;
+}
+
+StatusOr<int> RunSynth(const CliOptions& options, std::ostream& out) {
+  const std::string trace_path = options.Get("trace");
+  if (trace_path.empty()) {
+    return InvalidArgumentError("synth requires --trace <csv>");
+  }
+  DOPPLER_ASSIGN_OR_RETURN(telemetry::PerfTrace trace,
+                           telemetry::ReadTraceFile(trace_path));
+  DOPPLER_ASSIGN_OR_RETURN(workload::SynthesizedWorkload synth,
+                           workload::SynthesizeFromHistory(trace));
+  out << "Synthesized workload: " << synth.Describe() << "\n";
+  out << "Fit error: " << FormatPercent(synth.fit_error, 1)
+      << "; peak-to-mean " << FormatDouble(synth.peak_to_mean, 2)
+      << "; target latency " << FormatDouble(synth.target_latency_ms, 1)
+      << " ms\n";
+  return 0;
+}
+
+}  // namespace
+
+std::string CliOptions::Get(const std::string& name,
+                            const std::string& fallback) const {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+bool CliOptions::Has(const std::string& name) const {
+  return flags.find(name) != flags.end();
+}
+
+StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return InvalidArgumentError("no command given (try 'doppler help')");
+  }
+  CliOptions options;
+  options.command = args[0];
+  std::size_t i = 1;
+  while (i < args.size()) {
+    if (!StartsWith(args[i], "--") || args[i].size() <= 2) {
+      return InvalidArgumentError("expected --flag, got '" + args[i] + "'");
+    }
+    const std::string name = args[i].substr(2);
+    ++i;
+    if (i < args.size() && !StartsWith(args[i], "--")) {
+      options.flags[name] = args[i];
+      ++i;
+    } else {
+      options.flags[name] = "";  // Boolean flag.
+    }
+  }
+  return options;
+}
+
+StatusOr<int> RunCli(const CliOptions& options, std::ostream& out) {
+  if (options.command == "help") {
+    out << kUsage;
+    return 0;
+  }
+  if (options.command == "catalog") return RunCatalog(options, out);
+  if (options.command == "fit-profiles") return RunFitProfiles(options, out);
+  if (options.command == "assess") return RunAssess(options, out);
+  if (options.command == "forecast") return RunForecast(options, out);
+  if (options.command == "drift") return RunDrift(options, out);
+  if (options.command == "tco") return RunTco(options, out);
+  if (options.command == "synth") return RunSynth(options, out);
+  return InvalidArgumentError("unknown command '" + options.command +
+                              "' (try 'doppler help')");
+}
+
+int CliMain(const std::vector<std::string>& args, std::ostream& out) {
+  StatusOr<CliOptions> options = ParseCliArgs(args);
+  if (!options.ok()) {
+    out << "error: " << options.status().message() << "\n" << kUsage;
+    return 2;
+  }
+  StatusOr<int> code = RunCli(*options, out);
+  if (!code.ok()) {
+    out << "error: " << code.status().ToString() << "\n";
+    return 1;
+  }
+  return *code;
+}
+
+}  // namespace doppler::dma

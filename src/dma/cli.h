@@ -1,0 +1,51 @@
+#ifndef DOPPLER_DMA_CLI_H_
+#define DOPPLER_DMA_CLI_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace doppler::dma {
+
+/// Parsed command line: a command word plus --flag value pairs. The
+/// doppler_cli binary is a thin main() around this, so the whole front-end
+/// is unit-testable.
+struct CliOptions {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  /// Flag value or default.
+  std::string Get(const std::string& name, const std::string& fallback = "")
+      const;
+  /// True when the flag is present (with any value, including empty).
+  bool Has(const std::string& name) const;
+};
+
+/// Parses `args` (without argv[0]). The first token is the command; the
+/// rest must be --flag [value] pairs (a flag followed by another flag or
+/// end of input is boolean). Fails on empty input or malformed tokens.
+StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args);
+
+/// Executes a parsed command, writing human output to `out`. Returns the
+/// process exit code (0 on success). Commands:
+///
+///   help                                     usage text
+///   catalog  [--extended] [--out skus.csv]   dump the generated catalog
+///   fit-profiles --deployment db|mi [--customers N] [--seed S]
+///                [--out profiles.csv]        offline group-model fit
+///   assess   --trace t.csv [--target db|mi] [--catalog skus.csv]
+///            [--profiles p.csv] [--current-sku ID] [--confidence]
+///   forecast --trace t.csv [--current-sku ID] [--months N]
+///   tco      --trace t.csv                   on-prem vs cloud comparison
+///   synth    --trace t.csv                   benchmark-mix synthesis
+StatusOr<int> RunCli(const CliOptions& options, std::ostream& out);
+
+/// Convenience: parse + run; usage errors print to `out` and return 2.
+int CliMain(const std::vector<std::string>& args, std::ostream& out);
+
+}  // namespace doppler::dma
+
+#endif  // DOPPLER_DMA_CLI_H_

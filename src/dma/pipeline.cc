@@ -1,0 +1,110 @@
+#include "dma/pipeline.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+#include "workload/population.h"
+
+namespace doppler::dma {
+
+namespace {
+
+using catalog::Deployment;
+using catalog::ResourceDim;
+
+}  // namespace
+
+StatusOr<SkuRecommendationPipeline> SkuRecommendationPipeline::Create(
+    StaticInputs inputs) {
+  return Create(std::move(inputs), Config());
+}
+
+StatusOr<SkuRecommendationPipeline> SkuRecommendationPipeline::Create(
+    StaticInputs inputs, Config config) {
+  if (inputs.catalog.empty()) {
+    return InvalidArgumentError("static inputs carry an empty SKU catalog");
+  }
+  SkuRecommendationPipeline pipeline;
+  pipeline.config_ = config;
+  pipeline.catalog_ =
+      std::make_unique<catalog::SkuCatalog>(std::move(inputs.catalog));
+  pipeline.pricing_ = std::make_unique<catalog::DefaultPricing>();
+  pipeline.estimator_ = std::make_unique<core::NonParametricEstimator>();
+  pipeline.group_model_ =
+      std::make_unique<core::GroupModel>(std::move(inputs.group_model));
+
+  auto strategy = std::make_shared<core::ThresholdingStrategy>(config.rho);
+  pipeline.db_profiler_ = std::make_unique<core::CustomerProfiler>(
+      strategy, workload::ProfilingDims(Deployment::kSqlDb));
+  pipeline.mi_profiler_ = std::make_unique<core::CustomerProfiler>(
+      strategy, workload::ProfilingDims(Deployment::kSqlMi));
+
+  pipeline.db_recommender_ = std::make_unique<core::ElasticRecommender>(
+      pipeline.catalog_.get(), pipeline.pricing_.get(),
+      pipeline.estimator_.get(), pipeline.db_profiler_.get(),
+      pipeline.group_model_.get());
+  pipeline.mi_recommender_ = std::make_unique<core::ElasticRecommender>(
+      pipeline.catalog_.get(), pipeline.pricing_.get(),
+      pipeline.estimator_.get(), pipeline.mi_profiler_.get(),
+      pipeline.group_model_.get());
+  pipeline.baseline_ = std::make_unique<core::BaselineRecommender>(
+      pipeline.catalog_.get(), pipeline.pricing_.get(),
+      config.baseline_quantile);
+  return pipeline;
+}
+
+StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
+    const AssessmentRequest& request) const {
+  if (request.database_traces.empty()) {
+    return InvalidArgumentError("assessment request carries no traces");
+  }
+
+  AssessmentOutcome outcome;
+  outcome.customer_id = request.customer_id;
+  outcome.target = request.target;
+  DOPPLER_ASSIGN_OR_RETURN(
+      outcome.instance_trace,
+      preprocessing_.PrepareInstanceTrace(request.database_traces));
+
+  // Default MI layout: one file sized to the observed allocation.
+  catalog::FileLayout layout = request.layout;
+  if (request.target == Deployment::kSqlMi && layout.files.empty()) {
+    double size_gb = 32.0;
+    if (outcome.instance_trace.Has(ResourceDim::kStorageGb)) {
+      size_gb = std::max(
+          1.0, stats::Max(outcome.instance_trace.Values(ResourceDim::kStorageGb)));
+    }
+    layout = catalog::UniformLayout(size_gb * 1.1, 1);
+  }
+
+  const core::ElasticRecommender& recommender =
+      request.target == Deployment::kSqlDb ? *db_recommender_
+                                           : *mi_recommender_;
+  DOPPLER_ASSIGN_OR_RETURN(
+      outcome.elastic,
+      recommender.Recommend(outcome.instance_trace, request.target, layout));
+
+  outcome.baseline = baseline_->Recommend(outcome.instance_trace, request.target);
+
+  if (request.compute_confidence) {
+    Rng rng(config_.confidence_seed);
+    core::RecommendFn rerun =
+        [&recommender, &request, &layout](const telemetry::PerfTrace& trace) {
+          return recommender.Recommend(trace, request.target, layout);
+        };
+    DOPPLER_ASSIGN_OR_RETURN(
+        core::ConfidenceResult confidence,
+        core::ScoreConfidence(outcome.instance_trace, rerun,
+                              config_.confidence, &rng));
+    outcome.confidence = std::move(confidence);
+  }
+
+  if (!request.current_sku_id.empty()) {
+    StatusOr<core::RightSizingAssessment> rightsizing =
+        core::AssessRightSizing(outcome.elastic.curve, request.current_sku_id);
+    if (rightsizing.ok()) outcome.rightsizing = std::move(rightsizing).value();
+  }
+  return outcome;
+}
+
+}  // namespace doppler::dma

@@ -1,0 +1,99 @@
+#ifndef DOPPLER_DMA_PIPELINE_H_
+#define DOPPLER_DMA_PIPELINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/file_layout.h"
+#include "core/confidence.h"
+#include "core/recommender.h"
+#include "core/rightsizing.h"
+#include "dma/preprocess.h"
+#include "util/statusor.h"
+
+namespace doppler::dma {
+
+/// One assessment request as the DMA tool would submit it: raw per-database
+/// counters plus migration intent.
+struct AssessmentRequest {
+  std::string customer_id;
+  catalog::Deployment target = catalog::Deployment::kSqlDb;
+  /// Raw collector output, one trace per database.
+  std::vector<telemetry::PerfTrace> database_traces;
+  /// MI targets: the data-file layout (defaults to one file sized from the
+  /// observed storage counter when empty).
+  catalog::FileLayout layout;
+  /// Cloud customers only: the SKU they currently run, enabling the
+  /// right-sizing assessment.
+  std::string current_sku_id;
+  /// Run the bootstrap confidence score (adds runs x curve builds).
+  bool compute_confidence = false;
+};
+
+/// Everything the DMA UI surfaces for one request.
+struct AssessmentOutcome {
+  std::string customer_id;
+  /// Deployment the assessment targeted.
+  catalog::Deployment target = catalog::Deployment::kSqlDb;
+  /// The Doppler (elastic) recommendation.
+  core::Recommendation elastic;
+  /// The legacy baseline recommendation; NOT_FOUND when the baseline could
+  /// not find any SKU (its documented failure mode, §5.3).
+  StatusOr<core::Recommendation> baseline{
+      NotFoundError("baseline not evaluated")};
+  std::optional<core::ConfidenceResult> confidence;
+  std::optional<core::RightSizingAssessment> rightsizing;
+  /// The preprocessed instance-level trace the engine consumed.
+  telemetry::PerfTrace instance_trace;
+};
+
+/// The SKU Recommendation Pipeline (paper §4): preprocessing, curve
+/// building, profiling, elastic + baseline recommendations, confidence and
+/// right-sizing, behind one call. The pipeline owns its engine components;
+/// it is movable and cheap to share by const reference across a fleet.
+class SkuRecommendationPipeline {
+ public:
+  struct Config {
+    double baseline_quantile = 0.95;
+    double rho = 0.10;  ///< Thresholding-duration cutoff.
+    core::ConfidenceOptions confidence;
+    std::uint64_t confidence_seed = 19;
+  };
+
+  /// Builds a pipeline around the shipped static inputs.
+  static StatusOr<SkuRecommendationPipeline> Create(StaticInputs inputs,
+                                                    Config config);
+
+  /// Default-config overload (a default argument of a nested aggregate
+  /// cannot appear inside the enclosing class definition).
+  static StatusOr<SkuRecommendationPipeline> Create(StaticInputs inputs);
+
+  /// Runs one full assessment.
+  StatusOr<AssessmentOutcome> Assess(const AssessmentRequest& request) const;
+
+  const catalog::SkuCatalog& catalog() const { return *catalog_; }
+  const core::GroupModel& group_model() const { return *group_model_; }
+
+ private:
+  SkuRecommendationPipeline() = default;
+
+  // Engine components live behind unique_ptr so the recommenders' borrowed
+  // pointers stay valid across moves of the pipeline object.
+  std::unique_ptr<catalog::SkuCatalog> catalog_;
+  std::unique_ptr<catalog::DefaultPricing> pricing_;
+  std::unique_ptr<core::NonParametricEstimator> estimator_;
+  std::unique_ptr<core::GroupModel> group_model_;
+  std::unique_ptr<core::CustomerProfiler> db_profiler_;
+  std::unique_ptr<core::CustomerProfiler> mi_profiler_;
+  std::unique_ptr<core::ElasticRecommender> db_recommender_;
+  std::unique_ptr<core::ElasticRecommender> mi_recommender_;
+  std::unique_ptr<core::BaselineRecommender> baseline_;
+  DataPreprocessingModule preprocessing_;
+  Config config_;
+};
+
+}  // namespace doppler::dma
+
+#endif  // DOPPLER_DMA_PIPELINE_H_

@@ -1,0 +1,60 @@
+#include "dma/preprocess.h"
+
+#include "core/backtest.h"
+#include "workload/population.h"
+
+namespace doppler::dma {
+
+StatusOr<telemetry::PerfTrace> DataPreprocessingModule::PrepareDatabaseTrace(
+    const telemetry::PerfTrace& raw) const {
+  if (raw.interval_seconds() == output_interval_seconds_) return raw;
+  return telemetry::ResampleTrace(raw, output_interval_seconds_);
+}
+
+StatusOr<telemetry::PerfTrace> DataPreprocessingModule::PrepareInstanceTrace(
+    const std::vector<telemetry::PerfTrace>& raw_databases) const {
+  std::vector<telemetry::PerfTrace> prepared;
+  prepared.reserve(raw_databases.size());
+  for (const telemetry::PerfTrace& raw : raw_databases) {
+    DOPPLER_ASSIGN_OR_RETURN(telemetry::PerfTrace trace,
+                             PrepareDatabaseTrace(raw));
+    prepared.push_back(std::move(trace));
+  }
+  return telemetry::RollupToInstance(prepared);
+}
+
+StatusOr<core::GroupModel> FitGroupModelOffline(
+    const catalog::SkuCatalog& catalog, const catalog::PricingService& pricing,
+    const core::ThrottlingEstimator& estimator,
+    catalog::Deployment deployment, int num_customers, std::uint64_t seed) {
+  workload::PopulationOptions population_options;
+  population_options.num_customers = num_customers;
+  population_options.deployment = deployment;
+  population_options.seed = seed;
+  DOPPLER_ASSIGN_OR_RETURN(std::vector<workload::SyntheticCustomer> fleet,
+                           workload::GeneratePopulation(population_options));
+
+  Rng rng(seed ^ 0xd1b54a32d192ed03ULL);
+  DOPPLER_ASSIGN_OR_RETURN(
+      core::BacktestDataset dataset,
+      core::BuildBacktestDataset(std::move(fleet), catalog, pricing, estimator,
+                                 &rng));
+
+  const core::ThresholdingStrategy strategy;
+  const std::vector<catalog::ResourceDim> dims =
+      workload::ProfilingDims(deployment);
+
+  std::vector<std::pair<int, double>> training;
+  for (const core::LabeledCustomer& labeled : dataset.customers) {
+    if (labeled.customer.over_provisioned) continue;  // Not "optimal" choices.
+    // Flat curves carry no tolerance signal (any choice is ~0 throttling).
+    if (labeled.curve_shape == core::CurveShape::kFlat) continue;
+    DOPPLER_ASSIGN_OR_RETURN(core::NegotiabilityScores summary,
+                             strategy.Evaluate(labeled.customer.trace, dims));
+    training.emplace_back(core::GroupIdFromBits(summary.negotiable),
+                          labeled.chosen_probability);
+  }
+  return core::GroupModel::Fit(training);
+}
+
+}  // namespace doppler::dma

@@ -1,0 +1,45 @@
+#ifndef DOPPLER_DMA_RESOURCE_REPORT_H_
+#define DOPPLER_DMA_RESOURCE_REPORT_H_
+
+#include <string>
+
+#include "core/recommender.h"
+#include "dma/pipeline.h"
+#include "telemetry/perf_trace.h"
+
+namespace doppler::dma {
+
+/// The Resource Use Module (paper §4): renders the visual explanation that
+/// ships with every recommendation — per-dimension usage plots and
+/// distribution summaries, the price-performance curve, and the rationale —
+/// so "customers can understand why they received a specific SKU
+/// recommendation". Terminal/ASCII here; the DMA UI draws the same data.
+
+/// Time-series plot plus distribution summary for every collected
+/// dimension.
+std::string RenderUsageReport(const telemetry::PerfTrace& trace);
+
+/// The price-performance curve as an aligned table (price order) plus an
+/// ASCII scatter of performance against monthly price.
+std::string RenderCurveReport(const core::PricePerformanceCurve& curve,
+                              int max_rows = 24);
+
+/// The full explanation: usage, curve, recommendation and rationale.
+std::string RenderRecommendationReport(const telemetry::PerfTrace& trace,
+                                       const core::Recommendation& rec);
+
+/// Per-dimension negotiability analysis: every summarisation strategy's
+/// score for each profiling dimension plus the production (thresholding)
+/// verdict — the "what performance dimension may be negotiable" view the
+/// paper's field engineers reason with (§3.3).
+std::string RenderNegotiabilityReport(const telemetry::PerfTrace& trace,
+                                      catalog::Deployment deployment);
+
+/// Machine-readable form of a full assessment for downstream tooling
+/// (`doppler assess --json`): the elastic recommendation, the baseline
+/// outcome, confidence, right-sizing, and the full curve.
+std::string RenderAssessmentJson(const AssessmentOutcome& outcome);
+
+}  // namespace doppler::dma
+
+#endif  // DOPPLER_DMA_RESOURCE_REPORT_H_

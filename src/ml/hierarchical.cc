@@ -1,0 +1,94 @@
+#include "ml/hierarchical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ml/kmeans.h"
+
+namespace doppler::ml {
+
+StatusOr<std::vector<int>> HierarchicalCluster(
+    const std::vector<std::vector<double>>& points, int k, Linkage linkage) {
+  const std::size_t n = points.size();
+  if (n == 0) {
+    return InvalidArgumentError("clustering requires at least one point");
+  }
+  const std::size_t d = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != d) {
+      return InvalidArgumentError("points must share one dimension");
+    }
+  }
+  k = std::clamp<int>(k, 1, static_cast<int>(n));
+
+  // Active cluster list; each cluster is a member-index set plus size.
+  std::vector<std::vector<std::size_t>> members(n);
+  for (std::size_t i = 0; i < n; ++i) members[i] = {i};
+  std::vector<bool> alive(n, true);
+
+  // Pairwise cluster distance matrix, updated by Lance-Williams.
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      dist[i][j] = dist[j][i] =
+          std::sqrt(SquaredDistance(points[i], points[j]));
+    }
+  }
+
+  int active = static_cast<int>(n);
+  while (active > k) {
+    // Find the closest live pair.
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t a = 0;
+    std::size_t b = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!alive[j]) continue;
+        if (dist[i][j] < best) {
+          best = dist[i][j];
+          a = i;
+          b = j;
+        }
+      }
+    }
+
+    // Merge b into a, then update distances from a to every other cluster.
+    const double size_a = static_cast<double>(members[a].size());
+    const double size_b = static_cast<double>(members[b].size());
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!alive[j] || j == a || j == b) continue;
+      double updated = 0.0;
+      switch (linkage) {
+        case Linkage::kSingle:
+          updated = std::min(dist[a][j], dist[b][j]);
+          break;
+        case Linkage::kComplete:
+          updated = std::max(dist[a][j], dist[b][j]);
+          break;
+        case Linkage::kAverage:
+          updated = (size_a * dist[a][j] + size_b * dist[b][j]) /
+                    (size_a + size_b);
+          break;
+      }
+      dist[a][j] = dist[j][a] = updated;
+    }
+    members[a].insert(members[a].end(), members[b].begin(), members[b].end());
+    members[b].clear();
+    alive[b] = false;
+    --active;
+  }
+
+  // Label clusters 0..k-1 in order of first appearance.
+  std::vector<int> labels(n, -1);
+  int next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive[i]) continue;
+    for (std::size_t m : members[i]) labels[m] = next;
+    ++next;
+  }
+  return labels;
+}
+
+}  // namespace doppler::ml

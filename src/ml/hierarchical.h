@@ -1,0 +1,30 @@
+#ifndef DOPPLER_ML_HIERARCHICAL_H_
+#define DOPPLER_ML_HIERARCHICAL_H_
+
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace doppler::ml {
+
+/// Linkage criterion for merging clusters.
+enum class Linkage {
+  kSingle,    ///< Minimum pairwise distance.
+  kComplete,  ///< Maximum pairwise distance.
+  kAverage,   ///< Mean pairwise distance (UPGMA).
+};
+
+/// Agglomerative hierarchical clustering cut at `k` clusters; the generic
+/// alternative to 2^k enumeration the paper cites (Johnson 1967). Returns a
+/// cluster index per point, labelled 0..k-1 in order of first appearance.
+/// `points` must be non-empty and rectangular; k is clamped to [1, n].
+/// Complexity is O(n^3) worst case (naive Lance-Williams), adequate for the
+/// profiling vectors involved (dimension <= 8, n in the thousands is not
+/// needed because enumeration is used at that scale).
+StatusOr<std::vector<int>> HierarchicalCluster(
+    const std::vector<std::vector<double>>& points, int k,
+    Linkage linkage = Linkage::kAverage);
+
+}  // namespace doppler::ml
+
+#endif  // DOPPLER_ML_HIERARCHICAL_H_

@@ -1,0 +1,140 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace doppler::ml {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0.0;
+  const std::size_t d = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < d; ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+namespace {
+
+// k-means++ seeding: first centroid uniform, subsequent centroids sampled
+// proportionally to squared distance from the nearest chosen centroid.
+std::vector<std::vector<double>> SeedPlusPlus(
+    const std::vector<std::vector<double>>& points, int k, Rng* rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  centroids.push_back(points[rng->UniformInt(points.size())]);
+
+  std::vector<double> nearest(points.size(),
+                              std::numeric_limits<double>::infinity());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      nearest[i] =
+          std::min(nearest[i], SquaredDistance(points[i], centroids.back()));
+      total += nearest[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; duplicate one.
+      centroids.push_back(points[rng->UniformInt(points.size())]);
+      continue;
+    }
+    double target = rng->Uniform() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      target -= nearest[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+KMeansResult RunOnce(const std::vector<std::vector<double>>& points,
+                     const KMeansOptions& options, int k, Rng* rng) {
+  const std::size_t n = points.size();
+  const std::size_t d = points[0].size();
+
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, k, rng);
+  result.assignments.assign(n, 0);
+
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    result.iterations = iteration + 1;
+    // Assignment step.
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_cluster = 0;
+      for (int c = 0; c < k; ++c) {
+        const double dist = SquaredDistance(points[i], result.centroids[c]);
+        if (dist < best) {
+          best = dist;
+          best_cluster = c;
+        }
+      }
+      result.assignments[i] = best_cluster;
+    }
+    // Update step.
+    std::vector<std::vector<double>> sums(
+        static_cast<std::size_t>(k), std::vector<double>(d, 0.0));
+    std::vector<std::size_t> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int c = result.assignments[i];
+      ++counts[c];
+      for (std::size_t j = 0; j < d; ++j) sums[c][j] += points[i][j];
+    }
+    double movement = 0.0;
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Empty cluster keeps its centroid.
+      std::vector<double> updated(d);
+      for (std::size_t j = 0; j < d; ++j) {
+        updated[j] = sums[c][j] / static_cast<double>(counts[c]);
+      }
+      movement += SquaredDistance(updated, result.centroids[c]);
+      result.centroids[c] = std::move(updated);
+    }
+    if (movement < options.tolerance) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia +=
+        SquaredDistance(points[i], result.centroids[result.assignments[i]]);
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                              const KMeansOptions& options, Rng* rng) {
+  if (points.empty()) {
+    return InvalidArgumentError("k-means requires at least one point");
+  }
+  const std::size_t d = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != d) {
+      return InvalidArgumentError("k-means points must share one dimension");
+    }
+  }
+  if (options.k < 1) return InvalidArgumentError("k must be >= 1");
+  if (rng == nullptr) return InvalidArgumentError("rng must not be null");
+
+  const int k = std::min<int>(options.k, static_cast<int>(points.size()));
+  const int restarts = std::max(1, options.restarts);
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < restarts; ++r) {
+    KMeansResult run = RunOnce(points, options, k, rng);
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace doppler::ml

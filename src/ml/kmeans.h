@@ -1,0 +1,47 @@
+#ifndef DOPPLER_ML_KMEANS_H_
+#define DOPPLER_ML_KMEANS_H_
+
+#include <vector>
+
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace doppler::ml {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// Cluster index per input point, in input order.
+  std::vector<int> assignments;
+  /// Final centroids, k rows of dimension d.
+  std::vector<std::vector<double>> centroids;
+  /// Sum of squared distances of points to their assigned centroid.
+  double inertia = 0.0;
+  /// Lloyd iterations actually executed.
+  int iterations = 0;
+};
+
+/// Configuration of the solver.
+struct KMeansOptions {
+  int k = 8;                 ///< Number of clusters.
+  int max_iterations = 100;  ///< Lloyd iteration cap.
+  double tolerance = 1e-6;   ///< Stop when centroids move less than this.
+  int restarts = 4;          ///< Independent runs; best inertia wins.
+};
+
+/// Lloyd's algorithm with k-means++ seeding. `points` must be non-empty and
+/// rectangular; k is clamped to the number of points. Deterministic for a
+/// given (points, options, rng-state).
+///
+/// The customer profiler clusters per-dimension negotiability vectors with
+/// this as the generic alternative to straight 2^k enumeration (paper §3.3,
+/// Table 4 is computed "based on standard k-means clustering").
+StatusOr<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                              const KMeansOptions& options, Rng* rng);
+
+/// Squared Euclidean distance of two equal-length vectors.
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace doppler::ml
+
+#endif  // DOPPLER_ML_KMEANS_H_

@@ -1,0 +1,75 @@
+#include "sim/replayer.h"
+
+#include <vector>
+
+namespace doppler::sim {
+
+namespace {
+
+StatusOr<ReplayResult> Run(const telemetry::PerfTrace& demand,
+                           const ResourceModel& model) {
+  const std::size_t n = demand.num_samples();
+  if (n == 0) return InvalidArgumentError("demand trace is empty");
+
+  const std::vector<catalog::ResourceDim> dims = demand.PresentDims();
+
+  ReplayResult result;
+  result.observed = telemetry::PerfTrace(demand.interval_seconds());
+  result.observed.set_id(demand.id());
+  result.report.intervals = n;
+
+  // Observed latency exists even when the demand trace has no latency
+  // dimension (the simulator always produces it).
+  std::vector<catalog::ResourceDim> out_dims = dims;
+  bool has_latency = false;
+  for (catalog::ResourceDim dim : out_dims) {
+    has_latency |= dim == catalog::ResourceDim::kIoLatencyMs;
+  }
+  if (!has_latency) out_dims.push_back(catalog::ResourceDim::kIoLatencyMs);
+
+  std::vector<std::vector<double>> columns(out_dims.size());
+  for (auto& column : columns) column.reserve(n);
+
+  std::size_t any_count = 0;
+  std::array<std::size_t, catalog::kNumResourceDims> dim_counts{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const IntervalOutcome outcome = model.Execute(demand.DemandAt(i));
+    for (std::size_t d = 0; d < out_dims.size(); ++d) {
+      columns[d].push_back(outcome.observed.Get(out_dims[d]));
+    }
+    if (outcome.any_throttled) ++any_count;
+    for (int k = 0; k < catalog::kNumResourceDims; ++k) {
+      if (outcome.throttled[static_cast<std::size_t>(k)]) {
+        ++dim_counts[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+
+  for (std::size_t d = 0; d < out_dims.size(); ++d) {
+    DOPPLER_RETURN_IF_ERROR(
+        result.observed.SetSeries(out_dims[d], std::move(columns[d])));
+  }
+  result.report.any_fraction =
+      static_cast<double>(any_count) / static_cast<double>(n);
+  for (int k = 0; k < catalog::kNumResourceDims; ++k) {
+    result.report.per_dim_fraction[static_cast<std::size_t>(k)] =
+        static_cast<double>(dim_counts[static_cast<std::size_t>(k)]) /
+        static_cast<double>(n);
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ReplayResult> ReplayOnSku(const telemetry::PerfTrace& demand,
+                                   const catalog::Sku& sku) {
+  return Run(demand, ResourceModel(sku));
+}
+
+StatusOr<ReplayResult> ReplayOnSku(const telemetry::PerfTrace& demand,
+                                   const catalog::Sku& sku,
+                                   double iops_limit) {
+  return Run(demand, ResourceModel(sku, iops_limit));
+}
+
+}  // namespace doppler::sim

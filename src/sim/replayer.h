@@ -1,0 +1,47 @@
+#ifndef DOPPLER_SIM_REPLAYER_H_
+#define DOPPLER_SIM_REPLAYER_H_
+
+#include <array>
+
+#include "catalog/sku.h"
+#include "sim/resource_model.h"
+#include "telemetry/perf_trace.h"
+#include "util/statusor.h"
+
+namespace doppler::sim {
+
+/// Summary of a replay: how often each dimension (and any dimension)
+/// throttled. The any-dimension fraction is the simulator's ground-truth
+/// counterpart of the throttling probability the PPM estimates from the
+/// same trace (paper Eq. 1 / §5.4).
+struct ThrottleReport {
+  std::array<double, catalog::kNumResourceDims> per_dim_fraction{};
+  double any_fraction = 0.0;
+  std::size_t intervals = 0;
+
+  double FractionFor(catalog::ResourceDim dim) const {
+    return per_dim_fraction[static_cast<std::size_t>(dim)];
+  }
+};
+
+/// Result of replaying a demand trace on one SKU.
+struct ReplayResult {
+  /// The counters an observer on the SKU would have collected (this is
+  /// what paper Fig. 13 plots per SKU).
+  telemetry::PerfTrace observed;
+  ThrottleReport report;
+};
+
+/// Replays every interval of `demand` through a ResourceModel for `sku`.
+/// Fails on an empty demand trace.
+StatusOr<ReplayResult> ReplayOnSku(const telemetry::PerfTrace& demand,
+                                   const catalog::Sku& sku);
+
+/// MI variant with the file-layout-derived IOPS limit.
+StatusOr<ReplayResult> ReplayOnSku(const telemetry::PerfTrace& demand,
+                                   const catalog::Sku& sku,
+                                   double iops_limit);
+
+}  // namespace doppler::sim
+
+#endif  // DOPPLER_SIM_REPLAYER_H_

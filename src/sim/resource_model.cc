@@ -1,0 +1,124 @@
+#include "sim/resource_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace doppler::sim {
+
+namespace {
+
+using catalog::ResourceDim;
+
+// Read IO pressure added per GB of working set that does not fit in
+// memory: pages that would have been buffer-pool hits become reads.
+constexpr double kSpillIopsPerGb = 120.0;
+
+// A latency requirement is violated only when the observed latency
+// materially exceeds it; workloads tolerate transient jitter around their
+// habitual latency, so a hairline excursion is not throttling.
+constexpr double kLatencyViolationMargin = 1.25;
+
+// Latency inflation from storage utilisation: an M/M/1-style queueing
+// multiplier gated by a high-order utilisation term, so latency stays at
+// the device floor until the disk approaches saturation and then blows up
+// sharply (the behaviour paper Fig. 13 shows for undersized SKUs).
+double CongestionFactor(double utilisation) {
+  utilisation = std::clamp(utilisation, 0.0, 0.98);
+  const double high_order = std::pow(utilisation, 16.0);
+  return 1.0 + 0.1 * high_order / (1.0 - utilisation);
+}
+
+}  // namespace
+
+ResourceModel::ResourceModel(const catalog::Sku& sku)
+    : capacities_(sku.Capacities()), min_latency_ms_(sku.min_io_latency_ms) {}
+
+ResourceModel::ResourceModel(const catalog::Sku& sku, double iops_limit)
+    : capacities_(sku.CapacitiesWithIopsLimit(iops_limit)),
+      min_latency_ms_(sku.min_io_latency_ms) {}
+
+IntervalOutcome ResourceModel::Execute(
+    const catalog::ResourceVector& demand) const {
+  IntervalOutcome outcome;
+  auto flag = [&outcome](ResourceDim dim) {
+    outcome.throttled[static_cast<std::size_t>(dim)] = true;
+    outcome.any_throttled = true;
+  };
+
+  // CPU: clip; excess demand queues behind saturated workers.
+  double cpu_queue_factor = 1.0;
+  if (demand.Has(ResourceDim::kCpu)) {
+    const double want = demand.Get(ResourceDim::kCpu);
+    const double cap = capacities_.Get(ResourceDim::kCpu);
+    outcome.observed.Set(ResourceDim::kCpu, std::min(want, cap));
+    if (want > cap) {
+      flag(ResourceDim::kCpu);
+      cpu_queue_factor = want / cap;
+    }
+  }
+
+  // Memory: shortfall spills to read IO.
+  double spill_iops = 0.0;
+  if (demand.Has(ResourceDim::kMemoryGb)) {
+    const double want = demand.Get(ResourceDim::kMemoryGb);
+    const double cap = capacities_.Get(ResourceDim::kMemoryGb);
+    outcome.observed.Set(ResourceDim::kMemoryGb, std::min(want, cap));
+    if (want > cap) {
+      flag(ResourceDim::kMemoryGb);
+      spill_iops = (want - cap) * kSpillIopsPerGb;
+    }
+  }
+
+  // IOPS: spill adds to the offered load before the cap applies.
+  double storage_utilisation = 0.0;
+  if (demand.Has(ResourceDim::kIops)) {
+    const double offered = demand.Get(ResourceDim::kIops) + spill_iops;
+    const double cap = capacities_.Get(ResourceDim::kIops);
+    outcome.observed.Set(ResourceDim::kIops, std::min(offered, cap));
+    storage_utilisation = cap > 0.0 ? offered / cap : 1.0;
+    if (offered > cap) flag(ResourceDim::kIops);
+  }
+
+  // Log rate: writes stall at the cap.
+  if (demand.Has(ResourceDim::kLogRateMbps)) {
+    const double want = demand.Get(ResourceDim::kLogRateMbps);
+    const double cap = capacities_.Get(ResourceDim::kLogRateMbps);
+    outcome.observed.Set(ResourceDim::kLogRateMbps, std::min(want, cap));
+    if (want > cap) flag(ResourceDim::kLogRateMbps);
+  }
+
+  // Workers: requests beyond the cap are rejected (counted as throttling).
+  if (demand.Has(ResourceDim::kWorkers)) {
+    const double want = demand.Get(ResourceDim::kWorkers);
+    const double cap = capacities_.Get(ResourceDim::kWorkers);
+    outcome.observed.Set(ResourceDim::kWorkers, std::min(want, cap));
+    if (want > cap) flag(ResourceDim::kWorkers);
+  }
+
+  // IO latency: the SKU's floor, inflated by storage congestion and CPU
+  // queueing. Throttled when the workload needed better latency than it
+  // received.
+  {
+    const double observed_latency = min_latency_ms_ *
+                                    CongestionFactor(storage_utilisation) *
+                                    cpu_queue_factor;
+    outcome.observed.Set(ResourceDim::kIoLatencyMs, observed_latency);
+    if (demand.Has(ResourceDim::kIoLatencyMs) &&
+        observed_latency >
+            demand.Get(ResourceDim::kIoLatencyMs) * kLatencyViolationMargin) {
+      flag(ResourceDim::kIoLatencyMs);
+    }
+  }
+
+  // Storage: above max data size the database stops growing.
+  if (demand.Has(ResourceDim::kStorageGb)) {
+    const double want = demand.Get(ResourceDim::kStorageGb);
+    const double cap = capacities_.Get(ResourceDim::kStorageGb);
+    outcome.observed.Set(ResourceDim::kStorageGb, std::min(want, cap));
+    if (want > cap) flag(ResourceDim::kStorageGb);
+  }
+
+  return outcome;
+}
+
+}  // namespace doppler::sim

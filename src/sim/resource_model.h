@@ -1,0 +1,57 @@
+#ifndef DOPPLER_SIM_RESOURCE_MODEL_H_
+#define DOPPLER_SIM_RESOURCE_MODEL_H_
+
+#include <array>
+
+#include "catalog/resource.h"
+#include "catalog/sku.h"
+
+namespace doppler::sim {
+
+/// Outcome of offering one interval's demand to a SKU: the counters an
+/// observer on that SKU would record, plus which dimensions throttled.
+struct IntervalOutcome {
+  /// Observed (realised) counters: demand clipped to capacity, with IO
+  /// latency inflated by utilisation/queueing.
+  catalog::ResourceVector observed;
+  /// Per-dimension throttle flags, indexed by ResourceDim.
+  std::array<bool, catalog::kNumResourceDims> throttled{};
+  /// True when any dimension throttled.
+  bool any_throttled = false;
+};
+
+/// Capacity-and-queueing model of a SKU executing offered load (DESIGN.md
+/// §2: the substitution for replaying on real Azure hardware). Behaviour:
+///
+///  - CPU demand above the vCore count is clipped; the excess queues, which
+///    inflates IO latency (requests wait behind saturated workers).
+///  - Memory shortfall spills the working set: every missing GB adds read
+///    IO pressure before the IOPS cap is applied.
+///  - IOPS demand above the cap is clipped and the M/M/1-style latency
+///    inflation 1/(1 - utilisation) applies as utilisation approaches 1.
+///  - Log-rate demand above the cap stalls writes (counted as throttling;
+///    the observed rate is the cap).
+///  - The observed IO latency is never below the SKU's minimum latency.
+///  - Storage demand above max data size throttles (in production the
+///    database would stop accepting writes).
+class ResourceModel {
+ public:
+  /// Models `sku` with its standard capacities.
+  explicit ResourceModel(const catalog::Sku& sku);
+
+  /// Models `sku` with an explicit IOPS limit (MI file-layout path).
+  ResourceModel(const catalog::Sku& sku, double iops_limit);
+
+  /// Executes one interval of offered demand.
+  IntervalOutcome Execute(const catalog::ResourceVector& demand) const;
+
+  const catalog::ResourceVector& capacities() const { return capacities_; }
+
+ private:
+  catalog::ResourceVector capacities_;
+  double min_latency_ms_;
+};
+
+}  // namespace doppler::sim
+
+#endif  // DOPPLER_SIM_RESOURCE_MODEL_H_

@@ -1,0 +1,68 @@
+#include "sources/counter_mapping.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace doppler::sources {
+
+namespace {
+
+StatusOr<double> ParseNumber(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || !Trim(end).empty()) {
+    return InvalidArgumentError("not a number: '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<telemetry::PerfTrace> TraceFromForeignCsv(
+    const CsvTable& table, const CounterMapping& mapping) {
+  if (mapping.rules.empty()) {
+    return InvalidArgumentError("counter mapping has no rules");
+  }
+  DOPPLER_ASSIGN_OR_RETURN(std::size_t time_col,
+                           table.ColumnIndex(mapping.time_column));
+  if (table.num_rows() == 0) {
+    return InvalidArgumentError(mapping.source_name + " export is empty");
+  }
+
+  // Cadence from the first two rows (DMA default for single-row exports).
+  std::int64_t interval = telemetry::kDmaIntervalSeconds;
+  if (table.num_rows() >= 2) {
+    DOPPLER_ASSIGN_OR_RETURN(double t0, ParseNumber(table.row(0)[time_col]));
+    DOPPLER_ASSIGN_OR_RETURN(double t1, ParseNumber(table.row(1)[time_col]));
+    const auto delta = static_cast<std::int64_t>(t1 - t0);
+    if (delta <= 0) {
+      return InvalidArgumentError(mapping.source_name +
+                                  ": timestamps must increase");
+    }
+    interval = delta;
+  }
+
+  // Accumulate rule columns into per-dimension series.
+  std::map<catalog::ResourceDim, std::vector<double>> series;
+  for (const CounterRule& rule : mapping.rules) {
+    DOPPLER_ASSIGN_OR_RETURN(std::size_t column,
+                             table.ColumnIndex(rule.column));
+    auto& values = series[rule.dim];
+    if (values.empty()) values.assign(table.num_rows(), 0.0);
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      DOPPLER_ASSIGN_OR_RETURN(double v, ParseNumber(table.row(r)[column]));
+      values[r] += v * rule.unit_scale;
+    }
+  }
+
+  telemetry::PerfTrace trace(interval);
+  trace.set_id(mapping.source_name);
+  for (auto& [dim, values] : series) {
+    DOPPLER_RETURN_IF_ERROR(trace.SetSeries(dim, std::move(values)));
+  }
+  return trace;
+}
+
+}  // namespace doppler::sources

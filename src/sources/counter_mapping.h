@@ -1,0 +1,43 @@
+#ifndef DOPPLER_SOURCES_COUNTER_MAPPING_H_
+#define DOPPLER_SOURCES_COUNTER_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/resource.h"
+#include "telemetry/perf_trace.h"
+#include "util/csv.h"
+#include "util/statusor.h"
+
+namespace doppler::sources {
+
+/// One foreign counter column feeding a Doppler dimension: the column is
+/// multiplied by `unit_scale` and ADDED into the dimension (several
+/// columns may fold into one dimension, e.g. physical reads + writes into
+/// IOPS). Doppler itself only ever sees PerfTrace — this is the §2
+/// extension point for "other database systems like Oracle and
+/// PostgreSQL".
+struct CounterRule {
+  std::string column;
+  catalog::ResourceDim dim;
+  double unit_scale = 1.0;
+};
+
+/// A source system's counter dialect.
+struct CounterMapping {
+  std::string source_name;
+  /// Name of the timestamp column (seconds since collection start).
+  std::string time_column = "t_seconds";
+  std::vector<CounterRule> rules;
+};
+
+/// Translates a foreign counter CSV into a PerfTrace: the cadence comes
+/// from the first two timestamp rows; every rule's column is scaled and
+/// accumulated into its dimension. Fails when the time column or any rule
+/// column is missing, a number is malformed, or no rule matched.
+StatusOr<telemetry::PerfTrace> TraceFromForeignCsv(
+    const CsvTable& table, const CounterMapping& mapping);
+
+}  // namespace doppler::sources
+
+#endif  // DOPPLER_SOURCES_COUNTER_MAPPING_H_

@@ -1,0 +1,28 @@
+#include "sources/oracle_awr.h"
+
+namespace doppler::sources {
+
+namespace {
+using catalog::ResourceDim;
+}  // namespace
+
+CounterMapping OracleAwrMapping() {
+  CounterMapping mapping;
+  mapping.source_name = "oracle-awr";
+  mapping.rules = {
+      {"cpu_per_s", ResourceDim::kCpu, 1.0},
+      {"physical_reads_per_s", ResourceDim::kIops, 1.0},
+      {"physical_writes_per_s", ResourceDim::kIops, 1.0},
+      {"redo_mb_per_s", ResourceDim::kLogRateMbps, 1.0},
+      {"sga_pga_gb", ResourceDim::kMemoryGb, 1.0},
+      {"db_file_seq_read_ms", ResourceDim::kIoLatencyMs, 1.0},
+      {"db_size_gb", ResourceDim::kStorageGb, 1.0},
+  };
+  return mapping;
+}
+
+StatusOr<telemetry::PerfTrace> TraceFromAwrCsv(const CsvTable& table) {
+  return TraceFromForeignCsv(table, OracleAwrMapping());
+}
+
+}  // namespace doppler::sources

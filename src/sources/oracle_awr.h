@@ -1,0 +1,27 @@
+#ifndef DOPPLER_SOURCES_ORACLE_AWR_H_
+#define DOPPLER_SOURCES_ORACLE_AWR_H_
+
+#include "sources/counter_mapping.h"
+
+namespace doppler::sources {
+
+/// Counter dialect of an Oracle AWR-style export (paper §2: "Work is
+/// ongoing to generalize the Doppler framework ... across other database
+/// systems like Oracle"). Expected columns:
+///
+///   t_seconds            sample offset
+///   cpu_per_s            DB CPU, CPU-seconds per second (-> vCores)
+///   physical_reads_per_s physical read IO requests per second
+///   physical_writes_per_s physical write IO requests per second
+///   redo_mb_per_s        redo generation, MB/s (-> log rate)
+///   sga_pga_gb           SGA + PGA allocated, GB (-> memory)
+///   db_file_seq_read_ms  single-block read latency, ms (-> io latency)
+///   db_size_gb           database size, GB (-> storage)
+CounterMapping OracleAwrMapping();
+
+/// Parses an AWR-style CSV straight into a PerfTrace.
+StatusOr<telemetry::PerfTrace> TraceFromAwrCsv(const CsvTable& table);
+
+}  // namespace doppler::sources
+
+#endif  // DOPPLER_SOURCES_ORACLE_AWR_H_

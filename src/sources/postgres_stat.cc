@@ -1,0 +1,28 @@
+#include "sources/postgres_stat.h"
+
+namespace doppler::sources {
+
+namespace {
+using catalog::ResourceDim;
+}  // namespace
+
+CounterMapping PostgresStatMapping() {
+  CounterMapping mapping;
+  mapping.source_name = "postgres-stat";
+  mapping.rules = {
+      {"cpu_cores", ResourceDim::kCpu, 1.0},
+      {"blks_read_per_s", ResourceDim::kIops, 1.0},
+      {"temp_blks_per_s", ResourceDim::kIops, 1.0},
+      {"wal_mb_per_s", ResourceDim::kLogRateMbps, 1.0},
+      {"mem_resident_gb", ResourceDim::kMemoryGb, 1.0},
+      {"blk_read_time_ms", ResourceDim::kIoLatencyMs, 1.0},
+      {"db_size_gb", ResourceDim::kStorageGb, 1.0},
+  };
+  return mapping;
+}
+
+StatusOr<telemetry::PerfTrace> TraceFromPostgresCsv(const CsvTable& table) {
+  return TraceFromForeignCsv(table, PostgresStatMapping());
+}
+
+}  // namespace doppler::sources

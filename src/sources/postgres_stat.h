@@ -1,0 +1,28 @@
+#ifndef DOPPLER_SOURCES_POSTGRES_STAT_H_
+#define DOPPLER_SOURCES_POSTGRES_STAT_H_
+
+#include "sources/counter_mapping.h"
+
+namespace doppler::sources {
+
+/// Counter dialect of a PostgreSQL statistics export (paper §2 names
+/// PostgreSQL as a generalisation target). Expected columns, derived from
+/// pg_stat_* views sampled on an interval:
+///
+///   t_seconds           sample offset
+///   cpu_cores           backend CPU usage, cores
+///   blks_read_per_s     shared blocks read from disk per second (8 KiB
+///                       blocks -> IOPS 1:1)
+///   temp_blks_per_s     temp-file blocks written per second (also IO)
+///   wal_mb_per_s        WAL generation, MB/s (-> log rate)
+///   mem_resident_gb     resident set of the cluster, GB (-> memory)
+///   blk_read_time_ms    mean block read latency, ms (-> io latency)
+///   db_size_gb          database size, GB (-> storage)
+CounterMapping PostgresStatMapping();
+
+/// Parses a pg-stat-style CSV straight into a PerfTrace.
+StatusOr<telemetry::PerfTrace> TraceFromPostgresCsv(const CsvTable& table);
+
+}  // namespace doppler::sources
+
+#endif  // DOPPLER_SOURCES_POSTGRES_STAT_H_

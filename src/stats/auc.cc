@@ -1,0 +1,29 @@
+#include "stats/auc.h"
+
+#include <algorithm>
+
+#include "stats/ecdf.h"
+#include "stats/scalers.h"
+
+namespace doppler::stats {
+
+double TrapezoidArea(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double area = 0.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    area += 0.5 * (y[i] + y[i - 1]) * (x[i] - x[i - 1]);
+  }
+  return area;
+}
+
+double MinMaxScalerAuc(const std::vector<double>& values) {
+  return Ecdf(MinMaxScale(values)).AucOverUnitInterval();
+}
+
+double MaxScalerAuc(const std::vector<double>& values) {
+  return Ecdf(MaxScale(values)).AucOverUnitInterval();
+}
+
+}  // namespace doppler::stats

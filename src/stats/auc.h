@@ -1,0 +1,25 @@
+#ifndef DOPPLER_STATS_AUC_H_
+#define DOPPLER_STATS_AUC_H_
+
+#include <vector>
+
+namespace doppler::stats {
+
+/// Trapezoidal integral of y over x. The x values must be non-decreasing;
+/// fewer than two points integrate to 0.
+double TrapezoidArea(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// AUC of the ECDF of a series after min-max scaling (paper §3.3, "MinMax
+/// Scaler AUC"): values near 1 mean the counter sits near its minimum almost
+/// all the time, i.e. usage is transient/spiky.
+double MinMaxScalerAuc(const std::vector<double>& values);
+
+/// AUC of the ECDF after max scaling only ("Max Scaler AUC"): the interval
+/// is anchored at 0, so a steadily-high counter yields a small AUC even when
+/// its min is well above zero.
+double MaxScalerAuc(const std::vector<double>& values);
+
+}  // namespace doppler::stats
+
+#endif  // DOPPLER_STATS_AUC_H_

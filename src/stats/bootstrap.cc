@@ -1,0 +1,61 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+
+namespace doppler::stats {
+
+std::vector<std::size_t> Bootstrap::SampleWithReplacement(
+    std::size_t sample_size) {
+  std::vector<std::size_t> indices;
+  if (n_ == 0) return indices;
+  indices.reserve(sample_size);
+  for (std::size_t i = 0; i < sample_size; ++i) {
+    indices.push_back(static_cast<std::size_t>(rng_->UniformInt(n_)));
+  }
+  return indices;
+}
+
+std::vector<std::size_t> Bootstrap::SampleWindow(std::size_t window) {
+  std::vector<std::size_t> indices;
+  if (n_ == 0) return indices;
+  window = std::min(window, n_);
+  const std::size_t max_start = n_ - window;
+  const std::size_t start =
+      max_start == 0
+          ? 0
+          : static_cast<std::size_t>(rng_->UniformInt(max_start + 1));
+  indices.reserve(window);
+  for (std::size_t i = 0; i < window; ++i) indices.push_back(start + i);
+  return indices;
+}
+
+std::vector<std::size_t> Bootstrap::SampleBlocks(std::size_t sample_size,
+                                                 std::size_t block) {
+  std::vector<std::size_t> indices;
+  if (n_ == 0) return indices;
+  block = std::clamp<std::size_t>(block, 1, n_);
+  indices.reserve(sample_size);
+  while (indices.size() < sample_size) {
+    const std::size_t max_start = n_ - block;
+    const std::size_t start =
+        max_start == 0
+            ? 0
+            : static_cast<std::size_t>(rng_->UniformInt(max_start + 1));
+    for (std::size_t i = 0; i < block && indices.size() < sample_size; ++i) {
+      indices.push_back(start + i);
+    }
+  }
+  return indices;
+}
+
+std::vector<double> Gather(const std::vector<double>& values,
+                           const std::vector<std::size_t>& indices) {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) {
+    if (i < values.size()) out.push_back(values[i]);
+  }
+  return out;
+}
+
+}  // namespace doppler::stats

@@ -1,0 +1,44 @@
+#ifndef DOPPLER_STATS_BOOTSTRAP_H_
+#define DOPPLER_STATS_BOOTSTRAP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+
+namespace doppler::stats {
+
+/// Resampling schemes over time-series index ranges, used by the confidence
+/// scorer (paper §3.4): each bootstrap run re-derives the SKU recommendation
+/// from a random subset/sub-window of the raw counter data.
+class Bootstrap {
+ public:
+  /// `n` is the length of the series being resampled.
+  Bootstrap(std::size_t n, Rng* rng) : n_(n), rng_(rng) {}
+
+  /// Classic iid bootstrap: `sample_size` indices drawn with replacement.
+  std::vector<std::size_t> SampleWithReplacement(std::size_t sample_size);
+
+  /// Contiguous-window sample: a uniformly placed window of `window` points
+  /// (the whole range when window >= n). Preserves autocorrelation, which
+  /// matters for spike-duration statistics; this is the default scheme for
+  /// the confidence score's "bootstrap window sizes" (paper Fig. 10).
+  std::vector<std::size_t> SampleWindow(std::size_t window);
+
+  /// Moving-block bootstrap: concatenates random contiguous blocks of
+  /// length `block` until `sample_size` indices are collected.
+  std::vector<std::size_t> SampleBlocks(std::size_t sample_size,
+                                        std::size_t block);
+
+ private:
+  std::size_t n_;
+  Rng* rng_;
+};
+
+/// Gathers `values[i]` for each index in `indices`.
+std::vector<double> Gather(const std::vector<double>& values,
+                           const std::vector<std::size_t>& indices);
+
+}  // namespace doppler::stats
+
+#endif  // DOPPLER_STATS_BOOTSTRAP_H_

@@ -1,0 +1,39 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace doppler::stats {
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::Evaluate(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::NormalizedAuc() const {
+  if (sorted_.empty()) return 0.5;
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  const double range = hi - lo;
+  if (range <= 0.0) return 0.5;
+  // AUC of the ECDF over [lo, hi], normalised by the range, reduces to
+  // 1 - mean of the min-max-rescaled sample.
+  double sum = 0.0;
+  for (double v : sorted_) sum += (v - lo) / range;
+  return 1.0 - sum / static_cast<double>(sorted_.size());
+}
+
+double Ecdf::AucOverUnitInterval() const {
+  if (sorted_.empty()) return 0.5;
+  double sum = 0.0;
+  for (double v : sorted_) sum += std::clamp(v, 0.0, 1.0);
+  return 1.0 - sum / static_cast<double>(sorted_.size());
+}
+
+}  // namespace doppler::stats

@@ -1,0 +1,47 @@
+#ifndef DOPPLER_STATS_ECDF_H_
+#define DOPPLER_STATS_ECDF_H_
+
+#include <vector>
+
+namespace doppler::stats {
+
+/// Empirical cumulative distribution function of a sample.
+///
+/// The profiler's AUC strategies (paper §3.3, Fig. 6) compute the area under
+/// the ECDF of (scaled) perf-counter values: a spiky counter spends most of
+/// its time near zero, so its ECDF rises early and the AUC is high; a steady
+/// high counter has a late-rising ECDF and low AUC.
+class Ecdf {
+ public:
+  /// Builds the ECDF of `sample` (values are copied and sorted).
+  explicit Ecdf(std::vector<double> sample);
+
+  /// F(x) = fraction of sample values <= x. 0 for an empty sample.
+  double Evaluate(double x) const;
+
+  /// Number of points in the underlying sample.
+  std::size_t size() const { return sorted_.size(); }
+
+  /// The sorted sample.
+  const std::vector<double>& sorted_sample() const { return sorted_; }
+
+  /// Area under F between min(sample) and max(sample), normalised by the
+  /// x-range so the result lies in [0, 1]. Equals 1 - mean(sample') where
+  /// sample' is the sample min-max rescaled to [0, 1]. Returns 0.5 (the
+  /// neutral value) for a degenerate constant or empty sample, where the
+  /// rescaling is undefined.
+  double NormalizedAuc() const;
+
+  /// Area under F over the fixed interval [0, 1]; the sample must already
+  /// be scaled into [0, 1] (values are clamped). Equals 1 - mean(sample).
+  /// This is the quantity the Max-scaler AUC strategy uses, where the
+  /// interval endpoints must not depend on the sample minimum.
+  double AucOverUnitInterval() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace doppler::stats
+
+#endif  // DOPPLER_STATS_ECDF_H_

@@ -1,0 +1,48 @@
+#ifndef DOPPLER_STATS_HISTOGRAM_H_
+#define DOPPLER_STATS_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+namespace doppler::stats {
+
+/// Fixed-width binned histogram over [lo, hi]; values outside the range are
+/// clamped into the first/last bin. Used by the Resource Use Module and the
+/// confidence-score distribution figures.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width buckets spanning [lo, hi]; hi must be > lo
+  /// and bins >= 1 (violations are coerced to a single [lo, lo+1] bucket).
+  Histogram(double lo, double hi, int bins);
+
+  /// Adds one observation.
+  void Add(double value);
+
+  /// Adds every value in the series.
+  void AddAll(const std::vector<double>& values);
+
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  std::size_t total_count() const { return total_; }
+
+  /// Count in bucket `i`.
+  std::size_t count(int i) const { return counts_[i]; }
+
+  /// Fraction of observations in bucket `i`; 0 when empty.
+  double Fraction(int i) const;
+
+  /// "[lo, hi)" label of bucket `i` with the given precision.
+  std::string BinLabel(int i, int decimals = 2) const;
+
+  /// Fractions for all buckets, in order.
+  std::vector<double> Fractions() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace doppler::stats
+
+#endif  // DOPPLER_STATS_HISTOGRAM_H_

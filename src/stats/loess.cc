@@ -1,0 +1,61 @@
+#include "stats/loess.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace doppler::stats {
+
+LoessSmoother::LoessSmoother(int window) : window_(std::max(3, window)) {
+  if (window_ % 2 == 0) ++window_;
+}
+
+std::vector<double> LoessSmoother::Smooth(
+    const std::vector<double>& values) const {
+  const int n = static_cast<int>(values.size());
+  if (n == 0) return {};
+  const int window = std::min(window_, n);
+  const int half = window / 2;
+
+  std::vector<double> smoothed(values.size());
+  for (int i = 0; i < n; ++i) {
+    // Clamp the neighbourhood to the series; near the boundaries the window
+    // becomes one-sided, matching Cleveland's nearest-neighbour rule.
+    int lo = i - half;
+    int hi = i + half;
+    if (lo < 0) {
+      hi = std::min(n - 1, hi - lo);
+      lo = 0;
+    }
+    if (hi > n - 1) {
+      lo = std::max(0, lo - (hi - (n - 1)));
+      hi = n - 1;
+    }
+    // Tricube weights on distance, scaled by the farthest neighbour.
+    const double max_dist =
+        std::max(std::abs(i - lo), std::abs(hi - i)) + 1e-9;
+    // Weighted least squares for y = a + b * x around x0 = i.
+    double sw = 0.0, swx = 0.0, swy = 0.0, swxx = 0.0, swxy = 0.0;
+    for (int j = lo; j <= hi; ++j) {
+      const double d = std::abs(j - i) / max_dist;
+      const double tri = 1.0 - d * d * d;
+      const double w = tri * tri * tri;
+      const double x = static_cast<double>(j - i);
+      sw += w;
+      swx += w * x;
+      swy += w * values[j];
+      swxx += w * x * x;
+      swxy += w * x * values[j];
+    }
+    const double denom = sw * swxx - swx * swx;
+    if (std::fabs(denom) < 1e-12 || sw <= 0.0) {
+      smoothed[i] = sw > 0.0 ? swy / sw : values[i];
+    } else {
+      // Evaluate the local fit at x = 0 (the centre point): intercept only.
+      const double intercept = (swxx * swy - swx * swxy) / denom;
+      smoothed[i] = intercept;
+    }
+  }
+  return smoothed;
+}
+
+}  // namespace doppler::stats

@@ -1,0 +1,34 @@
+#ifndef DOPPLER_STATS_LOESS_H_
+#define DOPPLER_STATS_LOESS_H_
+
+#include <vector>
+
+namespace doppler::stats {
+
+/// Locally-weighted linear regression (LOESS) smoother for evenly spaced
+/// series, following Cleveland (1979): at each point, fit a degree-1
+/// polynomial to the `window` nearest neighbours with tricube weights and
+/// evaluate it at the point.
+///
+/// This is the smoothing primitive inside the STL decomposition (stl.h).
+class LoessSmoother {
+ public:
+  /// `window` is the neighbourhood size in points; values below 3 are
+  /// raised to 3, even values are raised to the next odd number so the
+  /// neighbourhood is symmetric away from the boundaries.
+  explicit LoessSmoother(int window);
+
+  /// Smooths `values` at every index. Series shorter than the window are
+  /// smoothed with the full series as the neighbourhood; an empty series
+  /// returns empty.
+  std::vector<double> Smooth(const std::vector<double>& values) const;
+
+  int window() const { return window_; }
+
+ private:
+  int window_;
+};
+
+}  // namespace doppler::stats
+
+#endif  // DOPPLER_STATS_LOESS_H_

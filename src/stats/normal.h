@@ -1,0 +1,17 @@
+#ifndef DOPPLER_STATS_NORMAL_H_
+#define DOPPLER_STATS_NORMAL_H_
+
+namespace doppler::stats {
+
+/// Standard normal CDF Phi(x).
+double NormalCdf(double x);
+
+/// Standard normal quantile Phi^{-1}(p) for p in (0, 1); p is clamped to
+/// [1e-12, 1 - 1e-12]. Acklam's rational approximation (|error| < 1.2e-9),
+/// used by the Gaussian-copula throttling estimator to move between
+/// uniform ranks and normal scores.
+double NormalQuantile(double p);
+
+}  // namespace doppler::stats
+
+#endif  // DOPPLER_STATS_NORMAL_H_

@@ -1,0 +1,21 @@
+#include "stats/outliers.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace doppler::stats {
+
+double OutlierFraction(const std::vector<double>& values, double sigmas) {
+  if (values.empty()) return 0.0;
+  const double mean = Mean(values);
+  const double sd = StdDev(values);
+  if (sd <= 0.0) return 0.0;
+  std::size_t count = 0;
+  for (double v : values) {
+    if (std::fabs(v - mean) >= sigmas * sd) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+}  // namespace doppler::stats

@@ -1,0 +1,15 @@
+#ifndef DOPPLER_STATS_OUTLIERS_H_
+#define DOPPLER_STATS_OUTLIERS_H_
+
+#include <vector>
+
+namespace doppler::stats {
+
+/// Fraction of values lying at least `sigmas` standard deviations from the
+/// mean (paper §3.3, "Outlier percentage": a proxy for spiky usage). A
+/// zero-variance series has no outliers. `sigmas` defaults to the paper's 3.
+double OutlierFraction(const std::vector<double>& values, double sigmas = 3.0);
+
+}  // namespace doppler::stats
+
+#endif  // DOPPLER_STATS_OUTLIERS_H_

@@ -1,0 +1,46 @@
+#include "stats/scalers.h"
+
+#include "stats/descriptive.h"
+
+namespace doppler::stats {
+
+std::vector<double> MinMaxScale(const std::vector<double>& values) {
+  if (values.empty()) return {};
+  const double lo = Min(values);
+  const double hi = Max(values);
+  const double range = hi - lo;
+  std::vector<double> scaled(values.size());
+  if (range <= 0.0) {
+    for (auto& v : scaled) v = 0.5;
+    return scaled;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    scaled[i] = (values[i] - lo) / range;
+  }
+  return scaled;
+}
+
+std::vector<double> MaxScale(const std::vector<double>& values) {
+  if (values.empty()) return {};
+  const double hi = Max(values);
+  std::vector<double> scaled(values.size(), 0.0);
+  if (hi <= 0.0) return scaled;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    scaled[i] = values[i] / hi;
+  }
+  return scaled;
+}
+
+std::vector<double> StandardScale(const std::vector<double>& values) {
+  if (values.empty()) return {};
+  const double mean = Mean(values);
+  const double sd = StdDev(values);
+  std::vector<double> scaled(values.size(), 0.0);
+  if (sd <= 0.0) return scaled;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    scaled[i] = (values[i] - mean) / sd;
+  }
+  return scaled;
+}
+
+}  // namespace doppler::stats

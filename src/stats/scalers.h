@@ -1,0 +1,25 @@
+#ifndef DOPPLER_STATS_SCALERS_H_
+#define DOPPLER_STATS_SCALERS_H_
+
+#include <vector>
+
+namespace doppler::stats {
+
+/// Min-max rescales `values` into [0, 1]: (v - min) / (max - min).
+/// A constant series maps to all-0.5 (the scaling is undefined, so the
+/// neutral midpoint is used); an empty series stays empty.
+std::vector<double> MinMaxScale(const std::vector<double>& values);
+
+/// Max rescales `values` by the sample maximum: v / max. This preserves the
+/// position of the bulk relative to the peak (paper §3.3: "better
+/// identifies large spikes"). A non-positive or zero maximum maps the
+/// series to all-zero.
+std::vector<double> MaxScale(const std::vector<double>& values);
+
+/// Standard (z-score) scaling: (v - mean) / std. A zero-variance series
+/// maps to all-zero. Used before distance-based clustering.
+std::vector<double> StandardScale(const std::vector<double>& values);
+
+}  // namespace doppler::stats
+
+#endif  // DOPPLER_STATS_SCALERS_H_

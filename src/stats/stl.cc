@@ -1,0 +1,115 @@
+#include "stats/stl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/loess.h"
+
+namespace doppler::stats {
+
+namespace {
+
+// Centred moving average of length `window` with reflective boundaries.
+std::vector<double> MovingAverage(const std::vector<double>& values,
+                                  int window) {
+  const int n = static_cast<int>(values.size());
+  std::vector<double> out(values.size(), 0.0);
+  if (n == 0 || window <= 1) return values;
+  const int half = window / 2;
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (int k = -half; k <= half; ++k) {
+      int j = i + k;
+      if (j < 0) j = -j;                       // Reflect at the start.
+      if (j > n - 1) j = 2 * (n - 1) - j;      // Reflect at the end.
+      sum += values[std::clamp(j, 0, n - 1)];
+    }
+    out[i] = sum / static_cast<double>(2 * half + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+double StlDecomposition::VarianceExplained(
+    const std::vector<double>& observed) const {
+  const double var_observed = Variance(observed);
+  if (var_observed <= 0.0) return 1.0;
+  const double var_remainder = Variance(remainder);
+  return std::max(0.0, 1.0 - var_remainder / var_observed);
+}
+
+StatusOr<StlDecomposition> DecomposeStl(const std::vector<double>& observed,
+                                        const StlOptions& options) {
+  const int n = static_cast<int>(observed.size());
+  if (options.period < 2) {
+    return InvalidArgumentError("STL period must be >= 2");
+  }
+  if (options.inner_iterations < 1) {
+    return InvalidArgumentError("STL needs at least one inner iteration");
+  }
+  if (n < 2 * options.period) {
+    return InvalidArgumentError(
+        "series of length " + std::to_string(n) +
+        " is shorter than two periods (" + std::to_string(options.period) +
+        " samples each)");
+  }
+
+  const int period = options.period;
+  const int trend_window = options.trend_window > 0
+                               ? options.trend_window
+                               : (3 * period) / 2 + 1;
+  const LoessSmoother subseries_smoother(std::max(3, options.seasonal_window));
+  const LoessSmoother trend_smoother(trend_window);
+  const LoessSmoother lowpass_smoother(std::max(3, period / 2 | 1));
+
+  StlDecomposition result;
+  result.trend.assign(observed.size(), 0.0);
+  result.seasonal.assign(observed.size(), 0.0);
+
+  std::vector<double> detrended(observed.size());
+  std::vector<double> cycle(observed.size());
+
+  for (int iteration = 0; iteration < options.inner_iterations; ++iteration) {
+    // Step 1: detrend.
+    for (int i = 0; i < n; ++i) detrended[i] = observed[i] - result.trend[i];
+
+    // Step 2: smooth each cycle-subseries (all samples at the same phase of
+    // the period) to get the preliminary seasonal component.
+    for (int phase = 0; phase < period; ++phase) {
+      std::vector<double> subseries;
+      subseries.reserve(static_cast<std::size_t>(n / period) + 1);
+      for (int i = phase; i < n; i += period) subseries.push_back(detrended[i]);
+      const std::vector<double> smoothed = subseries_smoother.Smooth(subseries);
+      int k = 0;
+      for (int i = phase; i < n; i += period) cycle[i] = smoothed[k++];
+    }
+
+    // Step 3: low-pass filter the preliminary seasonal so that trend-like
+    // content is removed from it: two passes of a period-length moving
+    // average, an MA(3), then a LOESS.
+    std::vector<double> lowpass = MovingAverage(cycle, period);
+    lowpass = MovingAverage(lowpass, period);
+    lowpass = MovingAverage(lowpass, 3);
+    lowpass = lowpass_smoother.Smooth(lowpass);
+
+    // Step 4: the seasonal component is the detrended cycle minus low-pass.
+    for (int i = 0; i < n; ++i) result.seasonal[i] = cycle[i] - lowpass[i];
+
+    // Step 5: deseasonalise and smooth to obtain the next trend.
+    std::vector<double> deseasonalised(observed.size());
+    for (int i = 0; i < n; ++i) {
+      deseasonalised[i] = observed[i] - result.seasonal[i];
+    }
+    result.trend = trend_smoother.Smooth(deseasonalised);
+  }
+
+  result.remainder.resize(observed.size());
+  for (int i = 0; i < n; ++i) {
+    result.remainder[i] = observed[i] - result.trend[i] - result.seasonal[i];
+  }
+  return result;
+}
+
+}  // namespace doppler::stats

@@ -1,0 +1,48 @@
+#ifndef DOPPLER_STATS_STL_H_
+#define DOPPLER_STATS_STL_H_
+
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace doppler::stats {
+
+/// Result of a Seasonal-Trend decomposition: observed = trend + seasonal +
+/// remainder, element-wise.
+struct StlDecomposition {
+  std::vector<double> trend;
+  std::vector<double> seasonal;
+  std::vector<double> remainder;
+
+  /// max(0, 1 - var(remainder) / var(observed)): the fraction of variance
+  /// explained by trend + seasonality (paper §3.3, "STL variance
+  /// decomposition"). Values near 1 mean the counter is dominated by smooth
+  /// structure; values near 0 mean it is noise/spike dominated. `observed`
+  /// must be the series that produced this decomposition.
+  double VarianceExplained(const std::vector<double>& observed) const;
+};
+
+/// Parameters of the STL procedure (Cleveland et al. 1990, simplified: the
+/// robustness iterations are omitted because the profiler consumes only the
+/// remainder variance, for which the non-robust fit suffices).
+struct StlOptions {
+  /// Seasonal cycle length in samples (e.g. 144 for a daily cycle at the
+  /// DMA's 10-minute cadence). Must be >= 2 and < series length / 2.
+  int period = 144;
+  /// LOESS window for smoothing each cycle-subseries, in cycles.
+  int seasonal_window = 7;
+  /// LOESS window for the trend component, in samples; 0 derives the
+  /// standard default 1.5 * period.
+  int trend_window = 0;
+  /// Number of inner-loop passes; 2 is the standard choice.
+  int inner_iterations = 2;
+};
+
+/// Runs STL on an evenly spaced series. Fails with INVALID_ARGUMENT when the
+/// series is shorter than two full periods or the options are malformed.
+StatusOr<StlDecomposition> DecomposeStl(const std::vector<double>& observed,
+                                        const StlOptions& options);
+
+}  // namespace doppler::stats
+
+#endif  // DOPPLER_STATS_STL_H_

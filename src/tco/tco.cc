@@ -1,0 +1,115 @@
+#include "tco/tco.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace doppler::tco {
+
+double OnPremCostModel::MonthlyCost(double storage_gb) const {
+  const double hardware =
+      amortization_months > 0.0 ? server_capex / amortization_months : 0.0;
+  return hardware + license_per_core_monthly * licensed_cores +
+         admin_monthly + facilities_monthly +
+         storage_per_gb_monthly * std::max(0.0, storage_gb);
+}
+
+std::vector<CloudPriceBook> DefaultPriceBooks() {
+  // Relative levels reflect public list-price comparisons for managed SQL
+  // offerings of equivalent shape; the exact ratios are configuration, not
+  // science.
+  return {
+      {"Azure", 1.00, 0.0},
+      {"AWS-like", 1.07, 30.0},
+      {"GCP-like", 0.98, 45.0},
+  };
+}
+
+StatusOr<TcoComparison> CompareTco(
+    const telemetry::PerfTrace& trace, const OnPremCostModel& on_prem,
+    const catalog::SkuCatalog& catalog,
+    const core::ThrottlingEstimator& estimator,
+    const core::CustomerProfiler& profiler, const core::GroupModel& groups,
+    const std::vector<CloudPriceBook>& books) {
+  if (books.empty()) return InvalidArgumentError("no cloud price books");
+  if (trace.num_samples() == 0) {
+    return InvalidArgumentError("performance trace is empty");
+  }
+
+  TcoComparison comparison;
+  const double storage_gb =
+      trace.Has(catalog::ResourceDim::kStorageGb)
+          ? stats::Max(trace.Values(catalog::ResourceDim::kStorageGb))
+          : 0.0;
+  comparison.on_prem_monthly = on_prem.MonthlyCost(storage_gb);
+
+  for (const CloudPriceBook& book : books) {
+    const catalog::DefaultPricing pricing(book.price_multiplier);
+    const core::ElasticRecommender recommender(&catalog, &pricing, &estimator,
+                                               &profiler, &groups);
+    StatusOr<core::Recommendation> recommendation =
+        recommender.RecommendDb(trace);
+    if (!recommendation.ok()) continue;
+    CloudEstimate estimate;
+    estimate.provider = book.name;
+    estimate.sku_display_name = recommendation->sku.DisplayName();
+    estimate.monthly_cost =
+        recommendation->monthly_cost + book.platform_fee_monthly;
+    estimate.annual_cost = estimate.monthly_cost * 12.0;
+    estimate.throttling_probability = recommendation->throttling_probability;
+    comparison.clouds.push_back(std::move(estimate));
+  }
+  if (comparison.clouds.empty()) {
+    return NotFoundError("no provider produced a recommendation");
+  }
+
+  comparison.best_cloud_index = 0;
+  for (std::size_t i = 1; i < comparison.clouds.size(); ++i) {
+    if (comparison.clouds[i].monthly_cost <
+        comparison.clouds[comparison.best_cloud_index].monthly_cost) {
+      comparison.best_cloud_index = i;
+    }
+  }
+  comparison.best_savings_monthly =
+      comparison.on_prem_monthly -
+      comparison.clouds[comparison.best_cloud_index].monthly_cost;
+  comparison.best_savings_annual = comparison.best_savings_monthly * 12.0;
+  return comparison;
+}
+
+std::string RenderTcoReport(const TcoComparison& comparison) {
+  std::ostringstream out;
+  TablePrinter table({"Option", "Right-sized target", "Monthly", "Annual",
+                      "Throttling"});
+  table.AddRow({"Stay on-premises", "(current estate)",
+                FormatDollars(comparison.on_prem_monthly, 0),
+                FormatDollars(comparison.on_prem_monthly * 12.0, 0), "-"});
+  for (std::size_t i = 0; i < comparison.clouds.size(); ++i) {
+    const CloudEstimate& cloud = comparison.clouds[i];
+    table.AddRow({cloud.provider +
+                      (i == comparison.best_cloud_index ? "  <== best" : ""),
+                  cloud.sku_display_name,
+                  FormatDollars(cloud.monthly_cost, 0),
+                  FormatDollars(cloud.annual_cost, 0),
+                  FormatPercent(cloud.throttling_probability, 1)});
+  }
+  out << table.ToString();
+  if (comparison.best_savings_monthly > 0.0) {
+    out << "\nMoving to "
+        << comparison.clouds[comparison.best_cloud_index].provider
+        << " saves "
+        << FormatDollars(comparison.best_savings_monthly, 0) << "/month ("
+        << FormatDollars(comparison.best_savings_annual, 0) << "/year) over "
+        << "staying on-premises.\n";
+  } else {
+    out << "\nStaying on-premises is currently cheaper by "
+        << FormatDollars(-comparison.best_savings_monthly, 0)
+        << "/month; revisit after the next hardware refresh cycle.\n";
+  }
+  return out.str();
+}
+
+}  // namespace doppler::tco

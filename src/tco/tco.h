@@ -1,0 +1,93 @@
+#ifndef DOPPLER_TCO_TCO_H_
+#define DOPPLER_TCO_TCO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "telemetry/perf_trace.h"
+#include "util/statusor.h"
+
+namespace doppler::tco {
+
+/// What keeping the estate on-premises costs per month (paper §5.5:
+/// Doppler feeds "a broader total cost of ownership (TCO) project, in
+/// which customers ... compare the differences between keeping their
+/// workloads on-prem, moving to a hybrid cloud, or transferring workloads
+/// to GCP, AWS, and/or Azure").
+struct OnPremCostModel {
+  /// Purchase price of the server hardware hosting the workload.
+  double server_capex = 25000.0;
+  /// Months the capex amortises over.
+  double amortization_months = 48.0;
+  /// SQL Server licensing per physical core per month.
+  double license_per_core_monthly = 230.0;
+  /// Cores licensed (production practice: the host's cores, not the
+  /// workload's average draw).
+  int licensed_cores = 8;
+  /// DBA/ops labour attributable to this estate per month.
+  double admin_monthly = 900.0;
+  /// Datacenter power, cooling, rack space per month.
+  double facilities_monthly = 350.0;
+  /// SAN/disk cost per GB-month.
+  double storage_per_gb_monthly = 0.08;
+
+  /// Total monthly cost for an estate of `storage_gb`.
+  double MonthlyCost(double storage_gb) const;
+};
+
+/// A cloud provider's price book, expressed relative to the Azure-like
+/// catalog (the TCO tool compares equivalently-shaped SKUs across clouds,
+/// which to first order differ by a price multiplier and a managed-service
+/// uplift).
+struct CloudPriceBook {
+  std::string name = "Azure";
+  /// Multiplier on the Azure-like list price for the equivalent shape.
+  double price_multiplier = 1.0;
+  /// Extra monthly platform fee (support plans etc.).
+  double platform_fee_monthly = 0.0;
+};
+
+/// The standard comparison set: Azure plus AWS- and GCP-like books.
+std::vector<CloudPriceBook> DefaultPriceBooks();
+
+/// One provider's line in the comparison.
+struct CloudEstimate {
+  std::string provider;
+  std::string sku_display_name;
+  double monthly_cost = 0.0;
+  double annual_cost = 0.0;
+  /// Throttling probability at the chosen SKU (same workload, same
+  /// engine).
+  double throttling_probability = 0.0;
+};
+
+/// The full TCO answer for one workload.
+struct TcoComparison {
+  double on_prem_monthly = 0.0;
+  std::vector<CloudEstimate> clouds;
+  /// Cheapest cloud option.
+  std::size_t best_cloud_index = 0;
+  /// Monthly / annual savings of the best cloud vs staying on-prem
+  /// (negative = staying is cheaper).
+  double best_savings_monthly = 0.0;
+  double best_savings_annual = 0.0;
+};
+
+/// Runs the comparison: the elastic recommender picks the right-sized SKU
+/// per provider price book, and the on-prem model prices the status quo.
+/// `recommender` must be configured for SQL DB targets. Fails when no
+/// provider yields a recommendation.
+StatusOr<TcoComparison> CompareTco(
+    const telemetry::PerfTrace& trace, const OnPremCostModel& on_prem,
+    const catalog::SkuCatalog& catalog,
+    const core::ThrottlingEstimator& estimator,
+    const core::CustomerProfiler& profiler, const core::GroupModel& groups,
+    const std::vector<CloudPriceBook>& books = DefaultPriceBooks());
+
+/// Renders the comparison as an aligned table plus a verdict line.
+std::string RenderTcoReport(const TcoComparison& comparison);
+
+}  // namespace doppler::tco
+
+#endif  // DOPPLER_TCO_TCO_H_

@@ -1,0 +1,146 @@
+#include "telemetry/aggregate.h"
+
+#include <algorithm>
+
+namespace doppler::telemetry {
+
+namespace {
+
+using catalog::ResourceDim;
+
+AggKind RuleForDim(ResourceDim dim) {
+  switch (dim) {
+    case ResourceDim::kStorageGb:
+      return AggKind::kMax;
+    case ResourceDim::kCpu:
+    case ResourceDim::kMemoryGb:
+    case ResourceDim::kIops:
+    case ResourceDim::kLogRateMbps:
+    case ResourceDim::kIoLatencyMs:
+    case ResourceDim::kWorkers:
+      return AggKind::kAverage;
+  }
+  return AggKind::kAverage;
+}
+
+double Combine(const std::vector<double>& bin, AggKind kind) {
+  if (bin.empty()) return 0.0;
+  switch (kind) {
+    case AggKind::kAverage: {
+      double sum = 0.0;
+      for (double v : bin) sum += v;
+      return sum / static_cast<double>(bin.size());
+    }
+    case AggKind::kMax:
+      return *std::max_element(bin.begin(), bin.end());
+    case AggKind::kSum: {
+      double sum = 0.0;
+      for (double v : bin) sum += v;
+      return sum;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> Resample(const std::vector<double>& values,
+                                       std::int64_t from_interval,
+                                       std::int64_t to_interval,
+                                       AggKind kind) {
+  if (from_interval <= 0 || to_interval <= 0) {
+    return InvalidArgumentError("intervals must be positive");
+  }
+  if (to_interval % from_interval != 0) {
+    return InvalidArgumentError(
+        "target interval must be a multiple of the source interval");
+  }
+  const std::size_t factor =
+      static_cast<std::size_t>(to_interval / from_interval);
+  if (factor == 1) return values;
+
+  std::vector<double> out;
+  out.reserve(values.size() / factor + 1);
+  std::vector<double> bin;
+  bin.reserve(factor);
+  for (double v : values) {
+    bin.push_back(v);
+    if (bin.size() == factor) {
+      out.push_back(Combine(bin, kind));
+      bin.clear();
+    }
+  }
+  if (!bin.empty()) out.push_back(Combine(bin, kind));
+  return out;
+}
+
+StatusOr<PerfTrace> ResampleTrace(const PerfTrace& trace,
+                                  std::int64_t to_interval) {
+  PerfTrace out(to_interval);
+  out.set_id(trace.id());
+  for (ResourceDim dim : trace.PresentDims()) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        std::vector<double> rebinned,
+        Resample(trace.Values(dim), trace.interval_seconds(), to_interval,
+                 RuleForDim(dim)));
+    DOPPLER_RETURN_IF_ERROR(out.SetSeries(dim, std::move(rebinned)));
+  }
+  return out;
+}
+
+StatusOr<PerfTrace> RollupToInstance(const std::vector<PerfTrace>& databases) {
+  if (databases.empty()) {
+    return InvalidArgumentError("rollup requires at least one database trace");
+  }
+  const std::int64_t interval = databases[0].interval_seconds();
+  const std::size_t n = databases[0].num_samples();
+  for (const PerfTrace& db : databases) {
+    if (db.interval_seconds() != interval) {
+      return InvalidArgumentError("database traces must share a cadence");
+    }
+    if (db.num_samples() != n) {
+      return InvalidArgumentError("database traces must share a length");
+    }
+  }
+
+  // A dimension is rolled up only when every database collected it.
+  std::vector<ResourceDim> dims;
+  for (ResourceDim dim : catalog::kAllResourceDims) {
+    bool everywhere = true;
+    for (const PerfTrace& db : databases) everywhere &= db.Has(dim);
+    if (everywhere) dims.push_back(dim);
+  }
+
+  const bool weight_latency =
+      std::find(dims.begin(), dims.end(), ResourceDim::kIops) != dims.end();
+
+  PerfTrace instance(interval);
+  instance.set_id("instance");
+  for (ResourceDim dim : dims) {
+    std::vector<double> combined(n, 0.0);
+    if (dim == ResourceDim::kIoLatencyMs) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double weighted = 0.0;
+        double weight = 0.0;
+        for (const PerfTrace& db : databases) {
+          const double w =
+              weight_latency ? db.Values(ResourceDim::kIops)[i] : 1.0;
+          weighted += w * db.Values(dim)[i];
+          weight += w;
+        }
+        combined[i] = weight > 0.0
+                          ? weighted / weight
+                          : databases[0].Values(dim)[i];
+      }
+    } else {
+      for (const PerfTrace& db : databases) {
+        const std::vector<double>& values = db.Values(dim);
+        for (std::size_t i = 0; i < n; ++i) combined[i] += values[i];
+      }
+    }
+    DOPPLER_RETURN_IF_ERROR(instance.SetSeries(dim, std::move(combined)));
+  }
+  return instance;
+}
+
+}  // namespace doppler::telemetry

@@ -1,0 +1,45 @@
+#ifndef DOPPLER_TELEMETRY_AGGREGATE_H_
+#define DOPPLER_TELEMETRY_AGGREGATE_H_
+
+#include <vector>
+
+#include "telemetry/perf_trace.h"
+#include "util/statusor.h"
+
+namespace doppler::telemetry {
+
+/// How to combine samples when re-binning or rolling up a dimension.
+enum class AggKind {
+  kAverage,
+  kMax,
+  kSum,
+};
+
+/// Re-bins an evenly spaced series from `from_interval` seconds per sample
+/// to `to_interval` (which must be a positive multiple of `from_interval`),
+/// combining each bin with `kind`. A trailing partial bin is aggregated
+/// from the samples it has. This is the Pre-Aggregator step that turns raw
+/// counter readings into the DMA's 10-minute grid (paper §4).
+StatusOr<std::vector<double>> Resample(const std::vector<double>& values,
+                                       std::int64_t from_interval,
+                                       std::int64_t to_interval, AggKind kind);
+
+/// Re-bins every present dimension of a trace to `to_interval` using the
+/// standard per-dimension rules: average for CPU/memory/latency (levels),
+/// average for IOPS/log-rate (rates), max for storage (allocated size only
+/// grows meaningfully).
+StatusOr<PerfTrace> ResampleTrace(const PerfTrace& trace,
+                                  std::int64_t to_interval);
+
+/// Rolls several database-level traces up to one instance-level trace
+/// (paper §4: counters are "aggregated at the file, database and instance
+/// levels"). All traces must share cadence and length. Per-dimension rules:
+/// CPU, memory, IOPS, log rate and storage add across databases; IO latency
+/// takes the IOPS-weighted mean (falling back to the plain mean when no
+/// IOPS series is present). Dimensions present in only some inputs are
+/// dropped — a partial sum would misstate instance demand.
+StatusOr<PerfTrace> RollupToInstance(const std::vector<PerfTrace>& databases);
+
+}  // namespace doppler::telemetry
+
+#endif  // DOPPLER_TELEMETRY_AGGREGATE_H_

@@ -1,0 +1,67 @@
+#include "telemetry/collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/aggregate.h"
+
+namespace doppler::telemetry {
+
+StatusOr<PerfTrace> CollectTrace(const DemandSource& source,
+                                 const CollectorOptions& options, Rng* rng) {
+  if (!source) return InvalidArgumentError("demand source must be set");
+  if (rng == nullptr) return InvalidArgumentError("rng must not be null");
+  if (options.duration_days <= 0.0) {
+    return InvalidArgumentError("assessment duration must be positive");
+  }
+  if (options.raw_interval_seconds <= 0 ||
+      options.output_interval_seconds <= 0 ||
+      options.output_interval_seconds % options.raw_interval_seconds != 0) {
+    return InvalidArgumentError(
+        "output interval must be a positive multiple of the raw interval");
+  }
+
+  const std::int64_t total_seconds =
+      static_cast<std::int64_t>(options.duration_days * 86400.0);
+  const std::size_t raw_samples = static_cast<std::size_t>(
+      total_seconds / options.raw_interval_seconds);
+  if (raw_samples == 0) {
+    return InvalidArgumentError("window too short for one raw sample");
+  }
+
+  // Probe the source once to learn which dimensions it produces.
+  const catalog::ResourceVector probe = source(0);
+  const std::vector<catalog::ResourceDim> dims = probe.PresentDims();
+  if (dims.empty()) {
+    return InvalidArgumentError("demand source produces no dimensions");
+  }
+
+  PerfTrace raw(options.raw_interval_seconds);
+  std::vector<std::vector<double>> columns(dims.size());
+  for (auto& column : columns) column.reserve(raw_samples);
+
+  std::vector<double> last_reading(dims.size(), 0.0);
+  for (std::size_t i = 0; i < raw_samples; ++i) {
+    const std::int64_t t =
+        static_cast<std::int64_t>(i) * options.raw_interval_seconds;
+    const bool dropped = rng->Bernoulli(options.drop_probability) && i > 0;
+    const catalog::ResourceVector demand = source(t);
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      double reading = last_reading[d];
+      if (!dropped) {
+        reading = demand.Get(dims[d]);
+        if (options.noise_sigma > 0.0) {
+          reading *= std::max(0.0, 1.0 + rng->Normal(0.0, options.noise_sigma));
+        }
+        last_reading[d] = reading;
+      }
+      columns[d].push_back(reading);
+    }
+  }
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    DOPPLER_RETURN_IF_ERROR(raw.SetSeries(dims[d], std::move(columns[d])));
+  }
+  return ResampleTrace(raw, options.output_interval_seconds);
+}
+
+}  // namespace doppler::telemetry

@@ -1,0 +1,41 @@
+#ifndef DOPPLER_TELEMETRY_COLLECTOR_H_
+#define DOPPLER_TELEMETRY_COLLECTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "telemetry/perf_trace.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace doppler::telemetry {
+
+/// A live source of instantaneous resource demand: given a time offset in
+/// seconds from assessment start, return the demand vector. The workload
+/// generators provide these; in production this is the SQL perf-counter DMV
+/// sampler inside the AzMigrate appliance.
+using DemandSource =
+    std::function<catalog::ResourceVector(std::int64_t seconds)>;
+
+/// Knobs of the simulated Performance Collector & Pre-Aggregator (paper
+/// Fig. 2). Counter readings carry multiplicative measurement noise and an
+/// occasional dropped sample, as field telemetry does.
+struct CollectorOptions {
+  std::int64_t raw_interval_seconds = 60;   ///< Raw sampling cadence.
+  std::int64_t output_interval_seconds = kDmaIntervalSeconds;
+  double duration_days = 7.0;               ///< Assessment window length.
+  double noise_sigma = 0.02;                ///< Relative Gaussian noise.
+  double drop_probability = 0.0;            ///< Chance a raw sample is lost.
+};
+
+/// Samples `source` on the raw cadence over the assessment window, applies
+/// measurement noise and drops, then pre-aggregates to the output cadence.
+/// Dropped samples are filled by carrying the previous reading forward
+/// (the appliance's gap-fill rule). Fails on non-positive durations or
+/// intervals that do not divide evenly.
+StatusOr<PerfTrace> CollectTrace(const DemandSource& source,
+                                 const CollectorOptions& options, Rng* rng);
+
+}  // namespace doppler::telemetry
+
+#endif  // DOPPLER_TELEMETRY_COLLECTOR_H_

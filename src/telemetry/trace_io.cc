@@ -1,0 +1,85 @@
+#include "telemetry/trace_io.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace doppler::telemetry {
+
+CsvTable TraceToCsv(const PerfTrace& trace) {
+  const std::vector<catalog::ResourceDim> dims = trace.PresentDims();
+  std::vector<std::string> header = {"t_seconds"};
+  for (catalog::ResourceDim dim : dims) {
+    header.emplace_back(catalog::ResourceDimName(dim));
+  }
+  CsvTable table(std::move(header));
+  for (std::size_t i = 0; i < trace.num_samples(); ++i) {
+    std::vector<std::string> row;
+    row.reserve(dims.size() + 1);
+    row.push_back(std::to_string(
+        static_cast<std::int64_t>(i) * trace.interval_seconds()));
+    for (catalog::ResourceDim dim : dims) {
+      row.push_back(FormatDouble(trace.Values(dim)[i], 6));
+    }
+    (void)table.AddRow(std::move(row));  // Width always matches the header.
+  }
+  return table;
+}
+
+namespace {
+
+StatusOr<double> ParseNumber(const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || !Trim(end).empty()) {
+    return InvalidArgumentError("not a number: '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<PerfTrace> TraceFromCsv(const CsvTable& table) {
+  DOPPLER_ASSIGN_OR_RETURN(std::size_t time_col, table.ColumnIndex("t_seconds"));
+
+  // Cadence from the first two rows.
+  std::int64_t interval = kDmaIntervalSeconds;
+  if (table.num_rows() >= 2) {
+    DOPPLER_ASSIGN_OR_RETURN(double t0, ParseNumber(table.row(0)[time_col]));
+    DOPPLER_ASSIGN_OR_RETURN(double t1, ParseNumber(table.row(1)[time_col]));
+    const auto delta = static_cast<std::int64_t>(t1 - t0);
+    if (delta <= 0) {
+      return InvalidArgumentError("t_seconds must be strictly increasing");
+    }
+    interval = delta;
+  }
+
+  PerfTrace trace(interval);
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    if (c == time_col) continue;
+    catalog::ResourceDim dim;
+    if (!catalog::ParseResourceDim(table.header()[c], &dim)) continue;
+    std::vector<double> values;
+    values.reserve(table.num_rows());
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      DOPPLER_ASSIGN_OR_RETURN(double v, ParseNumber(table.row(r)[c]));
+      values.push_back(v);
+    }
+    DOPPLER_RETURN_IF_ERROR(trace.SetSeries(dim, std::move(values)));
+  }
+  if (trace.PresentDims().empty()) {
+    return InvalidArgumentError("CSV contains no known resource columns");
+  }
+  return trace;
+}
+
+Status WriteTraceFile(const PerfTrace& trace, const std::string& path) {
+  return TraceToCsv(trace).WriteFile(path);
+}
+
+StatusOr<PerfTrace> ReadTraceFile(const std::string& path) {
+  DOPPLER_ASSIGN_OR_RETURN(CsvTable table, CsvTable::ReadFile(path));
+  return TraceFromCsv(table);
+}
+
+}  // namespace doppler::telemetry

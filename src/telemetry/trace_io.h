@@ -1,0 +1,30 @@
+#ifndef DOPPLER_TELEMETRY_TRACE_IO_H_
+#define DOPPLER_TELEMETRY_TRACE_IO_H_
+
+#include <string>
+
+#include "telemetry/perf_trace.h"
+#include "util/csv.h"
+#include "util/statusor.h"
+
+namespace doppler::telemetry {
+
+/// Serialises a trace to CSV: a `t_seconds` column followed by one column
+/// per present dimension, named by ResourceDimName. The on-disk format the
+/// DMA appliance stages locally before the recommendation pipeline runs
+/// (paper §2: counters are "first stored locally on the target database").
+CsvTable TraceToCsv(const PerfTrace& trace);
+
+/// Parses a trace from the TraceToCsv format. The cadence is inferred from
+/// the first two `t_seconds` rows (DMA default when only one row exists).
+/// Unknown columns are ignored; malformed numbers fail with
+/// INVALID_ARGUMENT.
+StatusOr<PerfTrace> TraceFromCsv(const CsvTable& table);
+
+/// Convenience wrappers over CsvTable's file IO.
+Status WriteTraceFile(const PerfTrace& trace, const std::string& path);
+StatusOr<PerfTrace> ReadTraceFile(const std::string& path);
+
+}  // namespace doppler::telemetry
+
+#endif  // DOPPLER_TELEMETRY_TRACE_IO_H_

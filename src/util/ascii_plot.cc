@@ -1,0 +1,165 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace doppler {
+
+namespace {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Range FindRange(const std::vector<const std::vector<double>*>& series) {
+  Range r{std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+  for (const auto* s : series) {
+    for (double v : *s) {
+      if (!std::isfinite(v)) continue;
+      r.lo = std::min(r.lo, v);
+      r.hi = std::max(r.hi, v);
+    }
+  }
+  if (!std::isfinite(r.lo) || !std::isfinite(r.hi)) return {0.0, 1.0};
+  if (r.hi - r.lo < 1e-12) {
+    r.lo -= 0.5;
+    r.hi += 0.5;
+  }
+  return r;
+}
+
+class Canvas {
+ public:
+  Canvas(int width, int height)
+      : width_(std::max(8, width)),
+        height_(std::max(4, height)),
+        cells_(static_cast<std::size_t>(width_) * height_, ' ') {}
+
+  void Set(int col, int row, char mark) {
+    if (col < 0 || col >= width_ || row < 0 || row >= height_) return;
+    cells_[static_cast<std::size_t>(row) * width_ + col] = mark;
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  std::string Render(const Range& range, const PlotOptions& options) const {
+    std::ostringstream out;
+    if (!options.title.empty()) out << options.title << "\n";
+    if (!options.y_label.empty()) out << options.y_label << "\n";
+    for (int row = 0; row < height_; ++row) {
+      // Row 0 is the top of the canvas (max value).
+      const double frac = 1.0 - static_cast<double>(row) / (height_ - 1);
+      const double value = range.lo + frac * (range.hi - range.lo);
+      std::string label = FormatDouble(value, 2);
+      if (label.size() < 10) label = std::string(10 - label.size(), ' ') + label;
+      out << label << " |";
+      out.write(&cells_[static_cast<std::size_t>(row) * width_], width_);
+      out << "\n";
+    }
+    out << std::string(11, ' ') << "+" << std::string(width_, '-') << "\n";
+    return out.str();
+  }
+
+ private:
+  int width_;
+  int height_;
+  std::string cells_;
+};
+
+void DrawSeries(Canvas& canvas, const std::vector<double>& values,
+                const Range& range, char mark) {
+  if (values.empty()) return;
+  const int w = canvas.width();
+  const int h = canvas.height();
+  for (int col = 0; col < w; ++col) {
+    // Down-sample: each column shows the max of its value bucket so spikes
+    // stay visible at any terminal width.
+    const std::size_t begin =
+        values.size() * static_cast<std::size_t>(col) / w;
+    std::size_t end = values.size() * static_cast<std::size_t>(col + 1) / w;
+    end = std::max(end, begin + 1);
+    double bucket = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = begin; i < end && i < values.size(); ++i) {
+      if (std::isfinite(values[i])) bucket = std::max(bucket, values[i]);
+    }
+    if (!std::isfinite(bucket)) continue;
+    const double frac = (bucket - range.lo) / (range.hi - range.lo);
+    const int row = static_cast<int>(std::lround((1.0 - frac) * (h - 1)));
+    canvas.Set(col, row, mark);
+  }
+}
+
+}  // namespace
+
+std::string LinePlot(const std::vector<double>& values,
+                     const PlotOptions& options) {
+  Canvas canvas(options.width, options.height);
+  const Range range = FindRange({&values});
+  DrawSeries(canvas, values, range, options.mark);
+  return canvas.Render(range, options);
+}
+
+std::string DualLinePlot(const std::vector<double>& a,
+                         const std::vector<double>& b,
+                         const PlotOptions& options) {
+  Canvas canvas(options.width, options.height);
+  const Range range = FindRange({&a, &b});
+  DrawSeries(canvas, a, range, '*');
+  DrawSeries(canvas, b, range, 'o');
+  std::string plot = canvas.Render(range, options);
+  plot += "            (*: first series, o: second series)\n";
+  return plot;
+}
+
+std::string ScatterPlot(const std::vector<double>& x,
+                        const std::vector<double>& y,
+                        const PlotOptions& options) {
+  Canvas canvas(options.width, options.height);
+  const Range yr = FindRange({&y});
+  Range xr = FindRange({&x});
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(x[i]) || !std::isfinite(y[i])) continue;
+    const double fx = (x[i] - xr.lo) / (xr.hi - xr.lo);
+    const double fy = (y[i] - yr.lo) / (yr.hi - yr.lo);
+    const int col = static_cast<int>(std::lround(fx * (canvas.width() - 1)));
+    const int row =
+        static_cast<int>(std::lround((1.0 - fy) * (canvas.height() - 1)));
+    canvas.Set(col, row, options.mark);
+  }
+  std::string plot = canvas.Render(yr, options);
+  plot += "            x: [" + FormatDouble(xr.lo, 2) + ", " +
+          FormatDouble(xr.hi, 2) + "]\n";
+  return plot;
+}
+
+std::string BarChart(const std::vector<std::string>& labels,
+                     const std::vector<double>& values,
+                     const PlotOptions& options) {
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << "\n";
+  const std::size_t n = std::min(labels.size(), values.size());
+  double max_value = 1e-12;
+  std::size_t label_width = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_value = std::max(max_value, values[i]);
+    label_width = std::max(label_width, labels[i].size());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const int bar = static_cast<int>(
+        std::lround(values[i] / max_value * std::max(8, options.width - 24)));
+    out << labels[i] << std::string(label_width - labels[i].size(), ' ')
+        << " |" << std::string(std::max(0, bar), '#') << " "
+        << FormatDouble(values[i], 3) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace doppler

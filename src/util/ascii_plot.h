@@ -1,0 +1,43 @@
+#ifndef DOPPLER_UTIL_ASCII_PLOT_H_
+#define DOPPLER_UTIL_ASCII_PLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace doppler {
+
+/// Options controlling the character-cell canvas used by the plotters.
+struct PlotOptions {
+  int width = 72;       ///< Canvas width in characters.
+  int height = 16;      ///< Canvas height in characters.
+  std::string title;    ///< Optional title line.
+  std::string y_label;  ///< Optional axis label shown above the axis.
+  char mark = '*';      ///< Glyph used for data points.
+};
+
+/// Renders `values` (one series, evenly spaced in x) as an ASCII line plot.
+/// The Resource Use Module uses this to show customers their raw counter
+/// time series (paper Figs. 4a, 6b, 13) in a terminal.
+std::string LinePlot(const std::vector<double>& values,
+                     const PlotOptions& options = {});
+
+/// Renders two series on one canvas ('*' and 'o'), e.g. price-performance
+/// curves before/after a SKU change (paper Fig. 11).
+std::string DualLinePlot(const std::vector<double>& a,
+                         const std::vector<double>& b,
+                         const PlotOptions& options = {});
+
+/// Renders (x, y) points as a step/scatter plot with x positions respected,
+/// used for price-performance curves where prices are unevenly spaced.
+std::string ScatterPlot(const std::vector<double>& x,
+                        const std::vector<double>& y,
+                        const PlotOptions& options = {});
+
+/// Renders a horizontal bar histogram: one labelled bar per bucket.
+std::string BarChart(const std::vector<std::string>& labels,
+                     const std::vector<double>& values,
+                     const PlotOptions& options = {});
+
+}  // namespace doppler
+
+#endif  // DOPPLER_UTIL_ASCII_PLOT_H_

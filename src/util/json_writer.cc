@@ -1,0 +1,140 @@
+#include "util/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace doppler {
+
+std::string JsonWriter::Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // Value follows its key; the key already placed the comma.
+  }
+  if (containers_.empty()) return;
+  if (has_elements_.back() == '1') {
+    out_ += ',';
+  } else {
+    has_elements_.back() = '1';
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_ += '{';
+  containers_ += 'o';
+  has_elements_ += '0';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!containers_.empty() && containers_.back() == 'o');
+  if (!containers_.empty()) {
+    containers_.pop_back();
+    has_elements_.pop_back();
+  }
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Comma();
+  out_ += '[';
+  containers_ += 'a';
+  has_elements_ += '0';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!containers_.empty() && containers_.back() == 'a');
+  if (!containers_.empty()) {
+    containers_.pop_back();
+    has_elements_.pop_back();
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  assert(!containers_.empty() && containers_.back() == 'o' && !pending_key_);
+  Comma();
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  Comma();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  Comma();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no NaN/Inf.
+    return *this;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(long long value) {
+  Comma();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Comma();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Comma();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace doppler

@@ -1,0 +1,59 @@
+#ifndef DOPPLER_UTIL_JSON_WRITER_H_
+#define DOPPLER_UTIL_JSON_WRITER_H_
+
+#include <string>
+
+namespace doppler {
+
+/// Minimal streaming JSON writer for machine-readable CLI output and
+/// report export. Write-only by design: the library never parses JSON, it
+/// only emits it for downstream tooling, so a serializer with correct
+/// escaping and structural checks is all that is needed.
+///
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("sku").String("DB_GP_Gen5_4");
+///   json.Key("monthly_cost").Number(737.3);
+///   json.Key("dims").BeginArray().String("cpu").String("iops").EndArray();
+///   json.EndObject();
+///   std::string text = json.str();
+///
+/// Structural misuse (e.g. a value with no pending key inside an object)
+/// aborts in debug builds via assert and emits best-effort output
+/// otherwise; the write methods return *this for chaining.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(long long value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document so far.
+  const std::string& str() const { return out_; }
+
+  /// Escapes a string per RFC 8259 (quotes, backslashes, control chars).
+  static std::string Escape(const std::string& text);
+
+ private:
+  void Comma();
+
+  std::string out_;
+  /// Stack of container states: 'o' = object, 'a' = array; parallel flag
+  /// for "first element written".
+  std::string containers_;
+  std::string has_elements_;
+  bool pending_key_ = false;
+};
+
+}  // namespace doppler
+
+#endif  // DOPPLER_UTIL_JSON_WRITER_H_

@@ -1,0 +1,49 @@
+#ifndef DOPPLER_UTIL_LOGGING_H_
+#define DOPPLER_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace doppler {
+
+/// Severity levels in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted to stderr. Defaults to kInfo.
+void SetMinLogLevel(LogLevel level);
+
+/// Current minimum severity.
+LogLevel MinLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink: accumulates a message and writes it on
+/// destruction. Use via the DOPPLER_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace doppler
+
+/// Usage: DOPPLER_LOG(kInfo) << "assessed " << n << " databases";
+#define DOPPLER_LOG(severity)                                       \
+  ::doppler::internal_logging::LogMessage(                          \
+      ::doppler::LogLevel::severity, __FILE__, __LINE__)
+
+#endif  // DOPPLER_UTIL_LOGGING_H_

@@ -1,0 +1,82 @@
+#ifndef DOPPLER_UTIL_STATUS_H_
+#define DOPPLER_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace doppler {
+
+/// Canonical error space for the library. Mirrors the subset of the
+/// absl/gRPC canonical codes that the engine actually needs; the library is
+/// built without exceptions on its API boundaries, so every fallible
+/// operation returns a Status (or StatusOr<T>, see statusor.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kUnavailable = 5,
+  kInternal = 6,
+};
+
+/// Returns a stable human-readable name for a code ("OK", "NOT_FOUND", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-type result of a fallible operation: a code plus a diagnostic
+/// message. An OK status carries no message. Statuses are cheap to copy and
+/// compare; they are the only error-reporting channel in the public API.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A message on an
+  /// OK status is dropped.
+  Status(StatusCode code, std::string message)
+      : code_(code),
+        message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// Diagnostic message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Factory helpers, one per canonical error code.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+
+}  // namespace doppler
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define DOPPLER_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::doppler::Status _doppler_status = (expr);       \
+    if (!_doppler_status.ok()) return _doppler_status; \
+  } while (false)
+
+#endif  // DOPPLER_UTIL_STATUS_H_

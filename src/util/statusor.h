@@ -1,0 +1,96 @@
+#ifndef DOPPLER_UTIL_STATUSOR_H_
+#define DOPPLER_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace doppler {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. The usual access pattern is:
+///
+///   StatusOr<Curve> curve = BuildCurve(...);
+///   if (!curve.ok()) return curve.status();
+///   Use(*curve);
+///
+/// Accessing the value of a non-OK StatusOr aborts the process (the library
+/// is exception-free), so callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, mirrors absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and degrades to an INTERNAL error.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OkStatus() when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors; require ok().
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const {
+    CheckHasValue();
+    return &*value_;
+  }
+  T* operator->() {
+    CheckHasValue();
+    return &*value_;
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      // Deliberate hard stop: dereferencing an error is a bug in the caller.
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace doppler
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns the status
+/// from the enclosing function, otherwise assigns the value to `lhs`.
+#define DOPPLER_ASSIGN_OR_RETURN(lhs, rexpr)          \
+  DOPPLER_ASSIGN_OR_RETURN_IMPL_(                     \
+      DOPPLER_STATUS_CONCAT_(_doppler_sor, __LINE__), lhs, rexpr)
+
+#define DOPPLER_STATUS_CONCAT_INNER_(a, b) a##b
+#define DOPPLER_STATUS_CONCAT_(a, b) DOPPLER_STATUS_CONCAT_INNER_(a, b)
+
+#define DOPPLER_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#endif  // DOPPLER_UTIL_STATUSOR_H_

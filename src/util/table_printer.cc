@@ -1,0 +1,49 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace doppler {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::ostringstream line;
+    line << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line << " " << cells[c]
+           << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    line << "\n";
+    return line.str();
+  };
+
+  std::ostringstream out;
+  out << render_row(header_);
+  out << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) out << render_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace doppler

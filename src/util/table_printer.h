@@ -1,0 +1,38 @@
+#ifndef DOPPLER_UTIL_TABLE_PRINTER_H_
+#define DOPPLER_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace doppler {
+
+/// Renders aligned ASCII tables for the experiment harnesses, matching the
+/// "paper table" look of the bench output:
+///
+///   | Group | vCores | Memory | IOPS | Average (Std) Score |
+///   |-------|--------|--------|------|---------------------|
+///   | 1     | 0      | 0      | 0    | 0.8500 (0.057)      |
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headings.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells, long rows are
+  /// truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table as markdown-flavoured ASCII.
+  std::string ToString() const;
+
+  /// Writes ToString() to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace doppler
+
+#endif  // DOPPLER_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,100 @@
+#include "workload/archetype.h"
+
+namespace doppler::workload {
+
+const char* UsagePatternName(UsagePattern pattern) {
+  switch (pattern) {
+    case UsagePattern::kSteady:
+      return "steady";
+    case UsagePattern::kDailyPeriodic:
+      return "daily_periodic";
+    case UsagePattern::kWeeklyPeriodic:
+      return "weekly_periodic";
+    case UsagePattern::kSpiky:
+      return "spiky";
+    case UsagePattern::kBursty:
+      return "bursty";
+    case UsagePattern::kTrending:
+      return "trending";
+    case UsagePattern::kIdle:
+      return "idle";
+  }
+  return "?";
+}
+
+DimensionSpec DimensionSpec::Steady(double base, double noise_sigma) {
+  DimensionSpec spec;
+  spec.pattern = UsagePattern::kSteady;
+  spec.base = base;
+  spec.amplitude = base * 0.08;  // Mild daily modulation.
+  spec.noise_sigma = noise_sigma;
+  return spec;
+}
+
+DimensionSpec DimensionSpec::DailyPeriodic(double base, double amplitude,
+                                           double noise_sigma) {
+  DimensionSpec spec;
+  spec.pattern = UsagePattern::kDailyPeriodic;
+  spec.base = base;
+  spec.amplitude = amplitude;
+  spec.noise_sigma = noise_sigma;
+  return spec;
+}
+
+DimensionSpec DimensionSpec::WeeklyPeriodic(double base, double amplitude,
+                                            double noise_sigma) {
+  DimensionSpec spec;
+  spec.pattern = UsagePattern::kWeeklyPeriodic;
+  spec.base = base;
+  spec.amplitude = amplitude;
+  spec.noise_sigma = noise_sigma;
+  return spec;
+}
+
+DimensionSpec DimensionSpec::Spiky(double base, double spike_height,
+                                   double rate_per_day,
+                                   double duration_minutes,
+                                   double noise_sigma) {
+  DimensionSpec spec;
+  spec.pattern = UsagePattern::kSpiky;
+  spec.base = base;
+  spec.amplitude = spike_height;
+  spec.spike_rate_per_day = rate_per_day;
+  spec.spike_duration_minutes = duration_minutes;
+  spec.noise_sigma = noise_sigma;
+  return spec;
+}
+
+DimensionSpec DimensionSpec::Bursty(double base, double spike_height,
+                                    double rate_per_day,
+                                    double duration_minutes,
+                                    double noise_sigma) {
+  DimensionSpec spec;
+  spec.pattern = UsagePattern::kBursty;
+  spec.base = base;
+  spec.amplitude = spike_height;
+  spec.spike_rate_per_day = rate_per_day;
+  spec.spike_duration_minutes = duration_minutes;
+  spec.noise_sigma = noise_sigma;
+  return spec;
+}
+
+DimensionSpec DimensionSpec::Trending(double base, double uplift,
+                                      double noise_sigma) {
+  DimensionSpec spec;
+  spec.pattern = UsagePattern::kTrending;
+  spec.base = base;
+  spec.amplitude = uplift;
+  spec.noise_sigma = noise_sigma;
+  return spec;
+}
+
+DimensionSpec DimensionSpec::Idle(double base, double noise_sigma) {
+  DimensionSpec spec;
+  spec.pattern = UsagePattern::kIdle;
+  spec.base = base;
+  spec.noise_sigma = noise_sigma;
+  return spec;
+}
+
+}  // namespace doppler::workload

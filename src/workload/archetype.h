@@ -1,0 +1,75 @@
+#ifndef DOPPLER_WORKLOAD_ARCHETYPE_H_
+#define DOPPLER_WORKLOAD_ARCHETYPE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "catalog/resource.h"
+
+namespace doppler::workload {
+
+/// Temporal shape of one resource dimension's demand. These span the trace
+/// families the paper describes: sustained plateaus (non-negotiable
+/// dimensions), rare short spikes (negotiable), business-hour seasonality,
+/// growth trends, and mostly-idle servers (§3.3, §5.3).
+enum class UsagePattern {
+  kSteady,         ///< Plateau with mild daily modulation.
+  kDailyPeriodic,  ///< Strong 24-hour cycle (business hours).
+  kWeeklyPeriodic, ///< 7-day cycle (weekday/weekend).
+  kSpiky,          ///< Low base plus rare, short, tall spikes.
+  kBursty,         ///< Frequent medium spikes over a moderate base.
+  kTrending,       ///< Linear growth over the window.
+  kIdle,           ///< Near-zero demand with noise.
+};
+
+const char* UsagePatternName(UsagePattern pattern);
+
+/// Parameters of one dimension's demand process.
+struct DimensionSpec {
+  UsagePattern pattern = UsagePattern::kSteady;
+  /// Baseline demand level, in the dimension's native unit (vCores, GB,
+  /// IOPS, MB/s, ms, GB).
+  double base = 1.0;
+  /// Peak excursion above base: seasonal amplitude for periodic patterns,
+  /// spike height for spiky/bursty, end-of-window uplift for trending.
+  double amplitude = 0.0;
+  /// Relative Gaussian noise applied multiplicatively (sigma as a fraction
+  /// of the level).
+  double noise_sigma = 0.03;
+  /// Spike arrivals per day (spiky/bursty only).
+  double spike_rate_per_day = 1.0;
+  /// Mean spike duration, minutes (spiky/bursty only).
+  double spike_duration_minutes = 20.0;
+  /// Daily modulation of the base level under the spikes (spiky/bursty
+  /// only): the base breathes by this amount over each day, which is what
+  /// gives real traces intermediate load quantiles between "quiet" and
+  /// "spiking" (and price-performance curves their intermediate points).
+  double base_amplitude = 0.0;
+
+  /// Convenience factories for the common shapes.
+  static DimensionSpec Steady(double base, double noise_sigma = 0.03);
+  static DimensionSpec DailyPeriodic(double base, double amplitude,
+                                     double noise_sigma = 0.03);
+  static DimensionSpec WeeklyPeriodic(double base, double amplitude,
+                                      double noise_sigma = 0.03);
+  static DimensionSpec Spiky(double base, double spike_height,
+                             double rate_per_day, double duration_minutes,
+                             double noise_sigma = 0.03);
+  static DimensionSpec Bursty(double base, double spike_height,
+                              double rate_per_day, double duration_minutes,
+                              double noise_sigma = 0.05);
+  static DimensionSpec Trending(double base, double uplift,
+                                double noise_sigma = 0.03);
+  static DimensionSpec Idle(double base, double noise_sigma = 0.5);
+};
+
+/// Full workload description: one demand process per collected dimension.
+struct WorkloadSpec {
+  std::string name;
+  std::map<catalog::ResourceDim, DimensionSpec> dims;
+};
+
+}  // namespace doppler::workload
+
+#endif  // DOPPLER_WORKLOAD_ARCHETYPE_H_

@@ -1,0 +1,256 @@
+#include "workload/benchmark_mix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+
+namespace doppler::workload {
+
+namespace {
+
+using catalog::ResourceDim;
+
+// Dimensions the synthesiser fits (latency is an outcome of the replay, not
+// an input knob, and storage follows the scale factor).
+constexpr ResourceDim kFitDims[] = {ResourceDim::kCpu, ResourceDim::kMemoryGb,
+                                    ResourceDim::kIops,
+                                    ResourceDim::kLogRateMbps};
+
+}  // namespace
+
+const char* BenchmarkFamilyName(BenchmarkFamily family) {
+  switch (family) {
+    case BenchmarkFamily::kTpcC:
+      return "TPC-C";
+    case BenchmarkFamily::kTpcH:
+      return "TPC-H";
+    case BenchmarkFamily::kTpcDs:
+      return "TPC-DS";
+    case BenchmarkFamily::kYcsb:
+      return "YCSB";
+  }
+  return "?";
+}
+
+const FamilySignature& SignatureFor(BenchmarkFamily family) {
+  // Ratios are calibrated to the qualitative profiles of the published
+  // benchmarks: TPC-C is log/IO heavy per transaction, TPC-H burns CPU per
+  // query over large scans, TPC-DS adds memory pressure, YCSB is
+  // IOPS-dominated point access.
+  static const FamilySignature kTpcC = {0.004, 28.0, 0.055, 0.35, 0.9, 4.0};
+  static const FamilySignature kTpcH = {0.900, 350.0, 0.010, 1.80, 1.0, 6.0};
+  static const FamilySignature kTpcDs = {0.600, 220.0, 0.015, 2.60, 1.0, 6.0};
+  static const FamilySignature kYcsb = {0.0006, 9.0, 0.004, 0.12, 0.5, 2.5};
+  switch (family) {
+    case BenchmarkFamily::kTpcC:
+      return kTpcC;
+    case BenchmarkFamily::kTpcH:
+      return kTpcH;
+    case BenchmarkFamily::kTpcDs:
+      return kTpcDs;
+    case BenchmarkFamily::kYcsb:
+      return kYcsb;
+  }
+  return kTpcC;
+}
+
+catalog::ResourceVector SynthesizedComponent::SteadyDemand() const {
+  const FamilySignature& sig = SignatureFor(family);
+  catalog::ResourceVector demand;
+  demand.Set(ResourceDim::kCpu, transactions_per_second * sig.cpu_seconds_per_txn);
+  demand.Set(ResourceDim::kMemoryGb, scale_factor * sig.memory_gb_per_sf);
+  demand.Set(ResourceDim::kIops, transactions_per_second * sig.ios_per_txn);
+  demand.Set(ResourceDim::kLogRateMbps,
+             transactions_per_second * sig.log_mb_per_txn);
+  demand.Set(ResourceDim::kStorageGb, scale_factor * sig.storage_gb_per_sf);
+  // More concurrent clients queue behind the same storage, raising the
+  // latency the workload needs served to keep up.
+  demand.Set(ResourceDim::kIoLatencyMs,
+             sig.think_latency_ms / std::sqrt(std::max(1, concurrency)));
+  return demand;
+}
+
+catalog::ResourceVector SynthesizedWorkload::TotalDemand() const {
+  catalog::ResourceVector total;
+  for (ResourceDim dim : catalog::kAllResourceDims) total.Set(dim, 0.0);
+  double latency = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const SynthesizedComponent& component : components) {
+    const catalog::ResourceVector demand = component.SteadyDemand();
+    for (ResourceDim dim : catalog::kAllResourceDims) {
+      if (dim == ResourceDim::kIoLatencyMs) continue;
+      total.Set(dim, total.Get(dim) + demand.Get(dim));
+    }
+    latency = std::min(latency, demand.Get(ResourceDim::kIoLatencyMs));
+    any = true;
+  }
+  total.Set(ResourceDim::kIoLatencyMs, any ? latency : 0.0);
+  return total;
+}
+
+std::string SynthesizedWorkload::Describe() const {
+  std::vector<std::string> parts;
+  for (const SynthesizedComponent& c : components) {
+    parts.push_back(std::string(BenchmarkFamilyName(c.family)) +
+                    " sf=" + FormatDouble(c.scale_factor, 0) + " @" +
+                    FormatDouble(c.transactions_per_second, 0) + "tps x" +
+                    std::to_string(c.concurrency));
+  }
+  return Join(parts, " + ");
+}
+
+namespace {
+
+// Mean demand of the target per fitted dimension (absent dims -> 0).
+catalog::ResourceVector TargetMeans(const telemetry::PerfTrace& target) {
+  catalog::ResourceVector means;
+  for (ResourceDim dim : kFitDims) {
+    if (target.Has(dim)) means.Set(dim, stats::Mean(target.Values(dim)));
+  }
+  if (target.Has(ResourceDim::kStorageGb)) {
+    means.Set(ResourceDim::kStorageGb,
+              stats::Max(target.Values(ResourceDim::kStorageGb)));
+  }
+  if (target.Has(ResourceDim::kIoLatencyMs)) {
+    means.Set(ResourceDim::kIoLatencyMs,
+              stats::Median(target.Values(ResourceDim::kIoLatencyMs)));
+  }
+  return means;
+}
+
+// Error of `demand` against the remaining target `residual`, averaged over
+// dimensions the target actually has. Each dimension is normalised by the
+// ORIGINAL target mean (`scales`), not the residual — otherwise a
+// dimension the first component already covered (residual ~0) makes every
+// further component look infinitely wrong and the greedy loop stalls.
+double FitError(const catalog::ResourceVector& residual,
+                const catalog::ResourceVector& demand,
+                const catalog::ResourceVector& scales) {
+  double error = 0.0;
+  int counted = 0;
+  for (ResourceDim dim : kFitDims) {
+    if (!residual.Has(dim)) continue;
+    const double want = residual.Get(dim);
+    const double got = demand.Get(dim);
+    const double scale = std::max(1e-6, std::fabs(scales.Get(dim)));
+    // Overshooting the target is penalised harder than undershooting: a
+    // synthesised workload that demands more than the original would make
+    // the recommended SKU look falsely inadequate under replay.
+    const double penalty = got > want ? 2.5 : 1.0;
+    error += penalty * std::fabs(want - got) / scale;
+    ++counted;
+  }
+  return counted > 0 ? error / counted : 0.0;
+}
+
+}  // namespace
+
+StatusOr<SynthesizedWorkload> SynthesizeFromHistory(
+    const telemetry::PerfTrace& target, int max_components) {
+  if (target.num_samples() == 0) {
+    return InvalidArgumentError("target trace is empty");
+  }
+  if (max_components < 1) {
+    return InvalidArgumentError("need at least one component");
+  }
+
+  static const BenchmarkFamily kFamilies[] = {
+      BenchmarkFamily::kTpcC, BenchmarkFamily::kTpcH, BenchmarkFamily::kTpcDs,
+      BenchmarkFamily::kYcsb};
+  static const double kScaleLadder[] = {1,  2,  3,   5,   10,  20,
+                                        30, 50, 100, 300, 1000};
+  static const double kRateLadder[] = {1,   2,    5,    10,   15,   25,  40,
+                                       60,  75,   100,  150,  250,  400, 600,
+                                       1000, 1500, 2500, 4000, 6000};
+  static const int kClientLadder[] = {1, 4, 8, 16, 32, 64};
+
+  const catalog::ResourceVector target_means = TargetMeans(target);
+  catalog::ResourceVector residual = target_means;
+
+  SynthesizedWorkload result;
+  if (residual.Has(ResourceDim::kIoLatencyMs)) {
+    result.target_latency_ms = residual.Get(ResourceDim::kIoLatencyMs);
+  }
+  {
+    double ratio_sum = 0.0;
+    int counted = 0;
+    for (ResourceDim dim : kFitDims) {
+      if (!target.Has(dim)) continue;
+      const double mean = stats::Mean(target.Values(dim));
+      if (mean <= 0.0) continue;
+      ratio_sum += stats::Quantile(target.Values(dim), 0.995) / mean;
+      ++counted;
+    }
+    if (counted > 0) {
+      result.peak_to_mean = std::clamp(ratio_sum / counted, 1.05, 2.5);
+    }
+  }
+  for (int round = 0; round < max_components; ++round) {
+    double best_error = std::numeric_limits<double>::infinity();
+    SynthesizedComponent best;
+    for (BenchmarkFamily family : kFamilies) {
+      for (double sf : kScaleLadder) {
+        for (double tps : kRateLadder) {
+          for (int clients : kClientLadder) {
+            SynthesizedComponent candidate{family, sf, tps, clients};
+            const double error =
+                FitError(residual, candidate.SteadyDemand(), target_means);
+            if (error < best_error) {
+              best_error = error;
+              best = candidate;
+            }
+          }
+        }
+      }
+    }
+    // Stop early when an extra component cannot improve on a good fit.
+    if (round > 0 && best_error >= result.fit_error * 0.95) break;
+    result.components.push_back(best);
+    result.fit_error = best_error;
+    // Subtract the chosen component from the residual for the next round.
+    const catalog::ResourceVector demand = best.SteadyDemand();
+    for (ResourceDim dim : kFitDims) {
+      if (residual.Has(dim)) {
+        residual.Set(dim, std::max(0.0, residual.Get(dim) - demand.Get(dim)));
+      }
+    }
+    if (result.fit_error < 0.05) break;  // Close enough.
+  }
+  return result;
+}
+
+StatusOr<telemetry::PerfTrace> RenderDemandTrace(
+    const SynthesizedWorkload& workload, double duration_days, Rng* rng) {
+  if (workload.components.empty()) {
+    return InvalidArgumentError("synthesised workload has no components");
+  }
+  const catalog::ResourceVector demand = workload.TotalDemand();
+  WorkloadSpec spec;
+  spec.name = workload.Describe();
+  for (ResourceDim dim : catalog::kAllResourceDims) {
+    if (!demand.Has(dim)) continue;
+    const double level = demand.Get(dim);
+    if (dim == ResourceDim::kStorageGb) {
+      spec.dims[dim] = DimensionSpec::Steady(level, 0.0);
+    } else if (dim == ResourceDim::kIoLatencyMs) {
+      const double latency = workload.target_latency_ms > 0.0
+                                 ? workload.target_latency_ms
+                                 : level;
+      spec.dims[dim] = DimensionSpec::Steady(latency, 0.05);
+    } else {
+      // Benchmark drivers reproduce the target's temporal range: mean at
+      // the fitted level, peaks at the target's peak-to-mean ratio.
+      const double ratio = std::clamp(workload.peak_to_mean, 1.05, 2.0);
+      const double amplitude = 2.0 * level * (ratio - 1.0);
+      const double base = std::max(0.05 * level, level - amplitude * 0.5);
+      spec.dims[dim] = DimensionSpec::DailyPeriodic(base, amplitude, 0.03);
+    }
+  }
+  return GenerateTrace(spec, duration_days, rng);
+}
+
+}  // namespace doppler::workload

@@ -1,0 +1,97 @@
+#ifndef DOPPLER_WORKLOAD_BENCHMARK_MIX_H_
+#define DOPPLER_WORKLOAD_BENCHMARK_MIX_H_
+
+#include <string>
+#include <vector>
+
+#include "telemetry/perf_trace.h"
+#include "util/random.h"
+#include "util/statusor.h"
+#include "workload/archetype.h"
+
+namespace doppler::workload {
+
+/// The standardised benchmark families the workload synthesiser composes
+/// (paper §5.4: synthesized workloads combine "pieces of standardized
+/// benchmarks (e.g., TPC-C, TPC-DS, TPC-H, and YCSB) with different
+/// database sizes, query frequency, and concurrency").
+enum class BenchmarkFamily {
+  kTpcC,   ///< Write-heavy OLTP: high log rate, many small IOs.
+  kTpcH,   ///< Scan-heavy OLAP: CPU + large sequential IO.
+  kTpcDs,  ///< Mixed decision support: CPU + memory heavy.
+  kYcsb,   ///< Key-value point ops: IOPS bound, light CPU.
+};
+
+const char* BenchmarkFamilyName(BenchmarkFamily family);
+
+/// Per-transaction (or per-query) resource signature of a benchmark family.
+/// Units: CPU core-seconds, IO operations and log MB per transaction;
+/// working set and on-disk footprint per unit of scale factor.
+struct FamilySignature {
+  double cpu_seconds_per_txn;
+  double ios_per_txn;
+  double log_mb_per_txn;
+  double memory_gb_per_sf;
+  double storage_gb_per_sf;
+  double think_latency_ms;  ///< Storage latency the family is tuned for.
+};
+
+/// Signature table for a family.
+const FamilySignature& SignatureFor(BenchmarkFamily family);
+
+/// One synthesised component: a family at a scale factor, driven at a
+/// transaction rate by a number of concurrent clients.
+struct SynthesizedComponent {
+  BenchmarkFamily family = BenchmarkFamily::kTpcC;
+  double scale_factor = 10.0;
+  double transactions_per_second = 50.0;
+  int concurrency = 8;
+
+  /// Steady-state demand this component offers, derived from the signature
+  /// (demand = rate x per-txn cost; memory/storage scale with the scale
+  /// factor; concurrency adds queueing pressure on latency).
+  catalog::ResourceVector SteadyDemand() const;
+};
+
+/// A synthesised workload: a mix of components that together mimic a target
+/// performance history.
+struct SynthesizedWorkload {
+  std::vector<SynthesizedComponent> components;
+  /// Mean absolute relative error of the fit against the target's mean
+  /// demand, across fitted dimensions.
+  double fit_error = 0.0;
+  /// IO latency the target history ran at (ms); the rendered demand trace
+  /// reproduces it so replay compares SKUs against the customer's actual
+  /// requirement. 0 = unknown, fall back to the components' own latency.
+  double target_latency_ms = 0.0;
+  /// Peak-to-mean ratio of the target history (99.5th percentile over mean,
+  /// averaged across fitted dimensions). The rendered trace reproduces
+  /// this temporal range so undersized SKUs throttle in replay roughly
+  /// where the original would have (paper §5.4 / Fig. 13).
+  double peak_to_mean = 1.3;
+
+  /// Total steady demand across components.
+  catalog::ResourceVector TotalDemand() const;
+
+  /// Human-readable description, e.g. "TPC-C sf=10 @120tps x16".
+  std::string Describe() const;
+};
+
+/// Fits a benchmark mix to a target performance history using only the
+/// history itself (no customer data or queries, matching the paper's
+/// privacy constraint): grid-search over (family, scale, rate, clients),
+/// greedily adding up to `max_components` components that minimise the
+/// remaining error in mean demand. Fails when the target trace is empty.
+StatusOr<SynthesizedWorkload> SynthesizeFromHistory(
+    const telemetry::PerfTrace& target, int max_components = 2);
+
+/// Renders the synthesised workload as a demand trace over `duration_days`
+/// — the offered load to replay through the SKU execution simulator. The
+/// trace reproduces the target's temporal character through a mild daily
+/// cycle plus arrival noise.
+StatusOr<telemetry::PerfTrace> RenderDemandTrace(
+    const SynthesizedWorkload& workload, double duration_days, Rng* rng);
+
+}  // namespace doppler::workload
+
+#endif  // DOPPLER_WORKLOAD_BENCHMARK_MIX_H_

@@ -1,0 +1,150 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace doppler::workload {
+
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kTwoPi = 2.0 * M_PI;
+
+}  // namespace
+
+DimensionProcess::DimensionProcess(const DimensionSpec& spec,
+                                   double horizon_days, Rng* rng)
+    : spec_(spec), horizon_days_(std::max(horizon_days, 0.01)) {
+  phase_ = rng->Uniform(0.0, kTwoPi);
+  if (spec_.pattern == UsagePattern::kSpiky ||
+      spec_.pattern == UsagePattern::kBursty) {
+    const int count = rng->Poisson(spec_.spike_rate_per_day * horizon_days_);
+    spikes_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      Spike spike;
+      spike.start_seconds = static_cast<std::int64_t>(
+          rng->Uniform(0.0, horizon_days_ * kSecondsPerDay));
+      // Durations are exponential around the mean so a few spikes run long.
+      const double duration_seconds =
+          std::max(60.0, rng->Exponential(1.0) * spec_.spike_duration_minutes *
+                             60.0);
+      spike.end_seconds =
+          spike.start_seconds + static_cast<std::int64_t>(duration_seconds);
+      // Heights vary mildly around the configured spike height.
+      spike.height = spec_.amplitude * rng->Uniform(0.8, 1.2);
+      spikes_.push_back(spike);
+    }
+    std::sort(spikes_.begin(), spikes_.end(),
+              [](const Spike& a, const Spike& b) {
+                return a.start_seconds < b.start_seconds;
+              });
+  }
+}
+
+double DimensionProcess::ValueAt(std::int64_t seconds) const {
+  const double t_days = static_cast<double>(seconds) / kSecondsPerDay;
+  double value = spec_.base;
+  switch (spec_.pattern) {
+    case UsagePattern::kSteady:
+      value += spec_.amplitude *
+               0.5 * (1.0 + std::sin(kTwoPi * t_days + phase_));
+      break;
+    case UsagePattern::kDailyPeriodic:
+      value += spec_.amplitude *
+               0.5 * (1.0 + std::sin(kTwoPi * t_days + phase_));
+      break;
+    case UsagePattern::kWeeklyPeriodic: {
+      // A weekday plateau modulated by a 7-day cycle plus a daily ripple.
+      const double weekly =
+          0.5 * (1.0 + std::sin(kTwoPi * t_days / 7.0 + phase_));
+      const double daily = 0.15 * std::sin(kTwoPi * t_days + phase_ * 0.7);
+      value += spec_.amplitude * std::max(0.0, weekly + daily);
+      break;
+    }
+    case UsagePattern::kSpiky:
+    case UsagePattern::kBursty:
+      value += spec_.base_amplitude * 0.5 *
+               (1.0 + std::sin(kTwoPi * t_days + phase_));
+      for (const Spike& spike : spikes_) {
+        if (seconds >= spike.start_seconds && seconds < spike.end_seconds) {
+          value += spike.height;
+        }
+        if (spike.start_seconds > seconds) break;  // Sorted by start.
+      }
+      break;
+    case UsagePattern::kTrending:
+      value += spec_.amplitude * (t_days / horizon_days_);
+      break;
+    case UsagePattern::kIdle:
+      break;
+  }
+  return std::max(0.0, value);
+}
+
+StatusOr<telemetry::PerfTrace> GenerateTrace(
+    const WorkloadSpec& spec, double duration_days,
+    std::int64_t interval_seconds, Rng* rng) {
+  if (spec.dims.empty()) {
+    return InvalidArgumentError("workload spec has no dimensions");
+  }
+  if (duration_days <= 0.0) {
+    return InvalidArgumentError("duration must be positive");
+  }
+  if (interval_seconds <= 0) {
+    return InvalidArgumentError("interval must be positive");
+  }
+  if (rng == nullptr) return InvalidArgumentError("rng must not be null");
+
+  const std::size_t samples = static_cast<std::size_t>(
+      duration_days * kSecondsPerDay / static_cast<double>(interval_seconds));
+  if (samples == 0) {
+    return InvalidArgumentError("window shorter than one sample");
+  }
+
+  telemetry::PerfTrace trace(interval_seconds);
+  trace.set_id(spec.name);
+  for (const auto& [dim, dim_spec] : spec.dims) {
+    DimensionProcess process(dim_spec, duration_days, rng);
+    std::vector<double> values(samples);
+    for (std::size_t i = 0; i < samples; ++i) {
+      const std::int64_t t = static_cast<std::int64_t>(i) * interval_seconds;
+      double v = process.ValueAt(t);
+      if (dim_spec.noise_sigma > 0.0) {
+        v *= std::max(0.0, 1.0 + rng->Normal(0.0, dim_spec.noise_sigma));
+      }
+      if (dim == catalog::ResourceDim::kIoLatencyMs) {
+        v = std::max(0.05, v);  // Physical floor: storage is never free.
+      }
+      values[i] = v;
+    }
+    DOPPLER_RETURN_IF_ERROR(trace.SetSeries(dim, std::move(values)));
+  }
+  return trace;
+}
+
+StatusOr<telemetry::PerfTrace> GenerateTrace(const WorkloadSpec& spec,
+                                             double duration_days, Rng* rng) {
+  return GenerateTrace(spec, duration_days, telemetry::kDmaIntervalSeconds,
+                       rng);
+}
+
+telemetry::DemandSource MakeDemandSource(const WorkloadSpec& spec,
+                                         double horizon_days, Rng* rng) {
+  auto processes = std::make_shared<
+      std::vector<std::pair<catalog::ResourceDim, DimensionProcess>>>();
+  for (const auto& [dim, dim_spec] : spec.dims) {
+    processes->emplace_back(dim, DimensionProcess(dim_spec, horizon_days, rng));
+  }
+  return [processes](std::int64_t seconds) {
+    catalog::ResourceVector demand;
+    for (const auto& [dim, process] : *processes) {
+      double v = process.ValueAt(seconds);
+      if (dim == catalog::ResourceDim::kIoLatencyMs) v = std::max(0.05, v);
+      demand.Set(dim, v);
+    }
+    return demand;
+  };
+}
+
+}  // namespace doppler::workload

@@ -1,0 +1,61 @@
+#ifndef DOPPLER_WORKLOAD_GENERATOR_H_
+#define DOPPLER_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "telemetry/collector.h"
+#include "telemetry/perf_trace.h"
+#include "util/random.h"
+#include "util/statusor.h"
+#include "workload/archetype.h"
+
+namespace doppler::workload {
+
+/// A realised demand process for one dimension: the spec with its spike
+/// schedule already drawn, so that repeated evaluation at the same time is
+/// consistent (the collector may sample the process at any cadence).
+class DimensionProcess {
+ public:
+  /// Draws the spike schedule for `horizon_days` using `rng`.
+  DimensionProcess(const DimensionSpec& spec, double horizon_days, Rng* rng);
+
+  /// Demand at `seconds` since window start (noise-free structural value;
+  /// the caller layers sampling noise).
+  double ValueAt(std::int64_t seconds) const;
+
+  const DimensionSpec& spec() const { return spec_; }
+
+ private:
+  struct Spike {
+    std::int64_t start_seconds;
+    std::int64_t end_seconds;
+    double height;
+  };
+
+  DimensionSpec spec_;
+  double horizon_days_;
+  std::vector<Spike> spikes_;
+  double phase_;  ///< Random phase offset for periodic patterns, radians.
+};
+
+/// Generates the aligned PerfTrace of a workload over `duration_days` at
+/// the given cadence: one DimensionProcess per spec'd dimension plus
+/// multiplicative Gaussian observation noise. Values are clamped at zero
+/// (latency additionally floored at a small positive value).
+StatusOr<telemetry::PerfTrace> GenerateTrace(
+    const WorkloadSpec& spec, double duration_days,
+    std::int64_t interval_seconds, Rng* rng);
+
+/// Convenience overload at the DMA cadence.
+StatusOr<telemetry::PerfTrace> GenerateTrace(const WorkloadSpec& spec,
+                                             double duration_days, Rng* rng);
+
+/// Wraps a workload spec as a telemetry::DemandSource so it can be run
+/// through the simulated collector (collector.h). The source owns its
+/// processes; `rng` is only used at construction (schedule drawing).
+telemetry::DemandSource MakeDemandSource(const WorkloadSpec& spec,
+                                         double horizon_days, Rng* rng);
+
+}  // namespace doppler::workload
+
+#endif  // DOPPLER_WORKLOAD_GENERATOR_H_

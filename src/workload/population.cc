@@ -1,0 +1,226 @@
+#include "workload/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/generator.h"
+
+namespace doppler::workload {
+
+namespace {
+
+using catalog::Deployment;
+using catalog::ResourceDim;
+
+// Per-dimension throttling tolerance a negotiable dimension grants,
+// relative to the options' base value. The spread across dimensions makes
+// the per-group mean scores distinct (paper Table 3).
+double DimTolerance(ResourceDim dim, double per_dim) {
+  switch (dim) {
+    case ResourceDim::kCpu:
+      return per_dim * 1.2;
+    case ResourceDim::kMemoryGb:
+      return per_dim * 0.7;
+    case ResourceDim::kIops:
+      return per_dim * 1.0;
+    case ResourceDim::kLogRateMbps:
+      return per_dim * 0.6;
+    default:
+      return per_dim;
+  }
+}
+
+// Demand target for one dimension, relative to an "effective scale" s that
+// plays the role of the workload's natural vCore size.
+double DimScale(ResourceDim dim, Deployment deployment, double s) {
+  switch (dim) {
+    case ResourceDim::kCpu:
+      return s;
+    case ResourceDim::kMemoryGb:
+      return 5.2 * s;
+    case ResourceDim::kIops:
+      return deployment == Deployment::kSqlDb ? 320.0 * s : 680.0 * s;
+    case ResourceDim::kLogRateMbps:
+      return 3.75 * s;
+    default:
+      return s;
+  }
+}
+
+// Builds the demand spec for one profiling dimension according to its
+// ground-truth negotiability: negotiable dimensions show rare short spikes
+// over a low base; non-negotiable ones sustain business-hour plateaus.
+DimensionSpec ShapeForDim(ResourceDim dim, Deployment deployment, double s,
+                          bool negotiable, bool simple_curve, Rng* rng) {
+  const double scale = DimScale(dim, deployment, s);
+  if (simple_curve) {
+    // A sharp capacity cliff: tight steady demand.
+    return DimensionSpec::Steady(scale * rng->Uniform(0.55, 0.75), 0.015);
+  }
+  if (negotiable) {
+    // Rare short spikes over a base that breathes daily: the spikes make
+    // the dimension negotiable (short time near the max), the breathing
+    // base gives the curve intermediate quantiles so negotiating customers
+    // can land anywhere between ~0 and ~20% throttling probability.
+    DimensionSpec spec = DimensionSpec::Spiky(
+        scale * rng->Uniform(0.18, 0.30),
+        scale * rng->Uniform(0.55, 0.95),
+        rng->Uniform(0.4, 1.6),
+        rng->Uniform(15.0, 45.0),
+        0.04);
+    spec.base_amplitude = scale * rng->Uniform(0.25, 0.50);
+    return spec;
+  }
+  return DimensionSpec::DailyPeriodic(scale * rng->Uniform(0.38, 0.52),
+                                      scale * rng->Uniform(0.28, 0.42), 0.04);
+}
+
+}  // namespace
+
+const char* CurveArchetypeName(CurveArchetype archetype) {
+  switch (archetype) {
+    case CurveArchetype::kFlat:
+      return "flat";
+    case CurveArchetype::kSimple:
+      return "simple";
+    case CurveArchetype::kComplex:
+      return "complex";
+  }
+  return "?";
+}
+
+std::vector<catalog::ResourceDim> ProfilingDims(Deployment deployment) {
+  if (deployment == Deployment::kSqlDb) {
+    return {ResourceDim::kCpu, ResourceDim::kMemoryGb, ResourceDim::kIops,
+            ResourceDim::kLogRateMbps};
+  }
+  return {ResourceDim::kCpu, ResourceDim::kMemoryGb, ResourceDim::kIops};
+}
+
+std::vector<bool> SyntheticCustomer::ProfileBits() const {
+  std::vector<bool> bits;
+  for (ResourceDim dim : ProfilingDims(deployment)) {
+    bits.push_back(negotiable[static_cast<std::size_t>(dim)]);
+  }
+  return bits;
+}
+
+StatusOr<std::vector<SyntheticCustomer>> GeneratePopulation(
+    const PopulationOptions& options) {
+  if (options.num_customers <= 0) {
+    return InvalidArgumentError("population size must be positive");
+  }
+  if (options.flat_fraction + options.simple_fraction > 1.0) {
+    return InvalidArgumentError("curve-family fractions exceed 1");
+  }
+  if (options.duration_days < 1.0) {
+    return InvalidArgumentError("assessment window must cover >= 1 day");
+  }
+
+  Rng master(options.seed);
+  const std::vector<ResourceDim> profile_dims =
+      ProfilingDims(options.deployment);
+
+  std::vector<SyntheticCustomer> fleet;
+  fleet.reserve(static_cast<std::size_t>(options.num_customers));
+
+  for (int n = 0; n < options.num_customers; ++n) {
+    Rng rng = master.Fork(static_cast<std::uint64_t>(n));
+    SyntheticCustomer customer;
+    customer.id = (options.deployment == Deployment::kSqlDb ? "db-" : "mi-") +
+                  std::to_string(n);
+    customer.deployment = options.deployment;
+
+    // Curve family.
+    const double roll = rng.Uniform();
+    if (roll < options.flat_fraction) {
+      customer.archetype = CurveArchetype::kFlat;
+    } else if (roll < options.flat_fraction + options.simple_fraction) {
+      customer.archetype = CurveArchetype::kSimple;
+    } else {
+      customer.archetype = CurveArchetype::kComplex;
+    }
+
+    customer.over_provisioned =
+        rng.Bernoulli(options.over_provisioned_fraction);
+    customer.latency_sensitive =
+        customer.archetype != CurveArchetype::kFlat &&
+        rng.Bernoulli(options.latency_sensitive_fraction);
+
+    // Effective workload scale in "vCores". Flat customers sit below the
+    // smallest SKU in every dimension even at spike peaks; others span the
+    // ladder with a bias towards small instances.
+    double s = 0.0;
+    const double min_vcores =
+        options.deployment == Deployment::kSqlDb ? 2.0 : 4.0;
+    switch (customer.archetype) {
+      case CurveArchetype::kFlat:
+        s = min_vcores * rng.Uniform(0.15, 0.55);
+        break;
+      case CurveArchetype::kSimple:
+      case CurveArchetype::kComplex:
+        s = min_vcores * std::exp(rng.Uniform(0.3, 2.4));
+        break;
+    }
+
+    // Ground-truth negotiability per profiling dimension.
+    const bool simple_curve = customer.archetype == CurveArchetype::kSimple;
+    for (ResourceDim dim : profile_dims) {
+      const bool negotiable =
+          !simple_curve && rng.Bernoulli(options.negotiable_probability);
+      customer.negotiable[static_cast<std::size_t>(dim)] = negotiable;
+    }
+
+    // Tolerance: epsilon + per-negotiable-dimension allowance with
+    // personal noise.
+    double tolerance = 0.002;
+    for (ResourceDim dim : profile_dims) {
+      if (customer.negotiable[static_cast<std::size_t>(dim)]) {
+        tolerance += DimTolerance(dim, options.tolerance_per_negotiable_dim) *
+                     rng.Uniform(0.8, 1.2);
+      }
+    }
+    // Latency-sensitive customers run premium, risk-averse workloads:
+    // they negotiate far less on throttling than their spiky dimensions
+    // would otherwise suggest (the paper's BC customers fix their SKUs
+    // very consistently - Table 5 micro accuracy).
+    if (customer.latency_sensitive) tolerance *= rng.Uniform(0.2, 0.4);
+    customer.tolerance = tolerance;
+
+    // Demand spec.
+    WorkloadSpec spec;
+    spec.name = customer.id;
+    for (ResourceDim dim : profile_dims) {
+      spec.dims[dim] = ShapeForDim(
+          dim, options.deployment, s,
+          customer.negotiable[static_cast<std::size_t>(dim)], simple_curve,
+          &rng);
+    }
+    // IO latency: sensitive customers live below the GP floor (5 ms), the
+    // rest comfortably above it.
+    spec.dims[ResourceDim::kIoLatencyMs] =
+        customer.latency_sensitive
+            ? DimensionSpec::Steady(rng.Uniform(1.4, 2.6), 0.05)
+            : DimensionSpec::Steady(rng.Uniform(6.5, 9.0), 0.04);
+    // Storage: slow growth over the window, capped so that even a
+    // BC-restricted MI estate fits the largest BC SKU (4 TB).
+    const double storage_gb =
+        std::min(3400.0, rng.Uniform(8.0, 120.0) * std::max(1.0, s));
+    spec.dims[ResourceDim::kStorageGb] =
+        DimensionSpec::Trending(storage_gb, storage_gb * 0.03, 0.002);
+
+    DOPPLER_ASSIGN_OR_RETURN(
+        customer.trace, GenerateTrace(spec, options.duration_days, &rng));
+
+    // MI file layout: a handful of data files covering the storage need.
+    if (options.deployment == Deployment::kSqlMi) {
+      const int files = 1 + static_cast<int>(rng.UniformInt(6));
+      customer.layout = catalog::UniformLayout(storage_gb * 1.08, files);
+    }
+
+    fleet.push_back(std::move(customer));
+  }
+  return fleet;
+}
+
+}  // namespace doppler::workload

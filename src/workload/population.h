@@ -1,0 +1,90 @@
+#ifndef DOPPLER_WORKLOAD_POPULATION_H_
+#define DOPPLER_WORKLOAD_POPULATION_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "catalog/file_layout.h"
+#include "catalog/resource.h"
+#include "catalog/sku.h"
+#include "telemetry/perf_trace.h"
+#include "util/random.h"
+#include "util/statusor.h"
+#include "workload/archetype.h"
+
+namespace doppler::workload {
+
+/// The intended price-performance curve family of a generated customer
+/// (paper §5.1): most real estates are small relative to the smallest SKU
+/// (flat), some have a sharp capacity cliff (simple), and the revenue-heavy
+/// remainder ranks a wide range of SKUs (complex).
+enum class CurveArchetype { kFlat, kSimple, kComplex };
+
+const char* CurveArchetypeName(CurveArchetype archetype);
+
+/// One synthetic customer: the proprietary-telemetry substitute. Ground
+/// truth that Azure would know from production (negotiability, tolerance,
+/// over-provisioning) is recorded so the back-testing experiments can score
+/// recovered values against it.
+struct SyntheticCustomer {
+  std::string id;
+  catalog::Deployment deployment = catalog::Deployment::kSqlDb;
+  CurveArchetype archetype = CurveArchetype::kComplex;
+  telemetry::PerfTrace trace;
+  /// Ground-truth negotiability per dimension (true = negotiable): the
+  /// behaviour the trace was generated to exhibit.
+  std::array<bool, catalog::kNumResourceDims> negotiable{};
+  /// The throttling probability this customer tolerates when fixing a SKU;
+  /// derives from the negotiable dimensions plus personal noise.
+  double tolerance = 0.0;
+  /// True for the ~10% segment that picks a SKU far past the cheapest
+  /// 100%-satisfying point (paper §5.1 / §5.2).
+  bool over_provisioned = false;
+  /// True for customers whose storage latency requirement only Business
+  /// Critical SKUs can meet.
+  bool latency_sensitive = false;
+  /// MI only: the database file layout driving the premium-disk Step 1/2.
+  catalog::FileLayout layout;
+
+  /// Negotiability restricted to the profiling dimensions of the
+  /// customer's deployment (paper §5.2.1: CPU/memory/IOPS/log-rate for DB,
+  /// CPU/memory/IOPS for MI), in that order.
+  std::vector<bool> ProfileBits() const;
+};
+
+/// Profiling dimensions per deployment, in profile-vector order.
+std::vector<catalog::ResourceDim> ProfilingDims(
+    catalog::Deployment deployment);
+
+/// Knobs of the synthetic fleet.
+struct PopulationOptions {
+  int num_customers = 200;
+  catalog::Deployment deployment = catalog::Deployment::kSqlDb;
+  double duration_days = 30.0;
+  /// Curve-family mix; must sum to <= 1, the remainder is complex.
+  double flat_fraction = 0.73;
+  double simple_fraction = 0.03;
+  /// Fraction choosing an over-provisioned SKU.
+  double over_provisioned_fraction = 0.10;
+  /// Fraction with sub-5ms latency requirements (BC-only customers).
+  double latency_sensitive_fraction = 0.12;
+  /// Probability that a given profiling dimension is negotiable for a
+  /// complex-curve customer.
+  double negotiable_probability = 0.5;
+  /// Per-dimension throttling tolerance granted by a negotiable dimension;
+  /// the sum over negotiable dimensions (plus a small epsilon and personal
+  /// noise) is the customer's tolerance.
+  double tolerance_per_negotiable_dim = 0.08;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a reproducible synthetic fleet. Each customer gets an
+/// independent RNG stream (forked from the seed) so the fleet composition
+/// does not perturb individual traces.
+StatusOr<std::vector<SyntheticCustomer>> GeneratePopulation(
+    const PopulationOptions& options);
+
+}  // namespace doppler::workload
+
+#endif  // DOPPLER_WORKLOAD_POPULATION_H_

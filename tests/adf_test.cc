@@ -1,0 +1,124 @@
+// Tests for the Azure Data Factory adaptation: IR node recommendation via
+// the unmodified price-performance machinery (paper §7).
+
+#include <gtest/gtest.h>
+
+#include "adf/ir_recommender.h"
+#include "util/random.h"
+
+namespace doppler::adf {
+namespace {
+
+using catalog::ResourceDim;
+
+// `spike_every` = 0 disables spikes; otherwise every spike_every-th run
+// demands spike_multiplier times the base (deterministic, so the overload
+// share is exact).
+std::vector<PipelineRun> MakeHistory(double base_cores, double base_memory,
+                                     int spike_every,
+                                     double spike_multiplier,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<PipelineRun> runs;
+  for (int i = 0; i < 400; ++i) {
+    PipelineRun run;
+    run.duration_minutes = rng.Uniform(5.0, 60.0);
+    const bool spike = spike_every > 0 && i % spike_every == 0;
+    run.avg_cores_used =
+        base_cores * (spike ? spike_multiplier : rng.Uniform(0.8, 1.2));
+    run.peak_memory_gb =
+        base_memory * (spike ? spike_multiplier : rng.Uniform(0.8, 1.2));
+    runs.push_back(run);
+  }
+  return runs;
+}
+
+TEST(IrCatalogTest, LadderShape) {
+  const catalog::SkuCatalog ladder = BuildIrCatalog();
+  EXPECT_EQ(ladder.size(), 18u);  // 9 sizes x 2 families.
+  StatusOr<catalog::Sku> gp = ladder.FindById("IR_GP_16");
+  StatusOr<catalog::Sku> mo = ladder.FindById("IR_MO_16");
+  ASSERT_TRUE(gp.ok());
+  ASSERT_TRUE(mo.ok());
+  EXPECT_EQ(gp->vcores, 16);
+  EXPECT_DOUBLE_EQ(gp->max_memory_gb, 64.0);
+  EXPECT_DOUBLE_EQ(mo->max_memory_gb, 128.0);
+  EXPECT_GT(mo->price_per_hour, gp->price_per_hour);
+}
+
+TEST(IrCatalogTest, AdfPricingBillsRunHours) {
+  const catalog::SkuCatalog ladder = BuildIrCatalog();
+  const catalog::Sku node = *ladder.FindById("IR_GP_8");
+  const AdfPricing pricing(100.0);  // 100 run-hours/month.
+  EXPECT_DOUBLE_EQ(pricing.MonthlyCost(node), node.price_per_hour * 100.0);
+}
+
+TEST(TraceFromRunsTest, MapsRunsToSamples) {
+  std::vector<PipelineRun> runs = {{10.0, 3.0, 12.0}, {20.0, 5.0, 20.0}};
+  StatusOr<telemetry::PerfTrace> trace = TraceFromRuns(runs);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_samples(), 2u);
+  EXPECT_EQ(trace->Values(ResourceDim::kCpu), (std::vector<double>{3.0, 5.0}));
+  EXPECT_EQ(trace->Values(ResourceDim::kMemoryGb),
+            (std::vector<double>{12.0, 20.0}));
+}
+
+TEST(TraceFromRunsTest, RejectsBadHistory) {
+  EXPECT_FALSE(TraceFromRuns({}).ok());
+  EXPECT_FALSE(TraceFromRuns({{0.0, 1.0, 1.0}}).ok());
+}
+
+TEST(IrRecommenderTest, SteadyPipelinesGetSnugNode) {
+  // ~6 cores / 20 GB steady: the 8-core General node fits with headroom.
+  const std::vector<PipelineRun> runs = MakeHistory(6.0, 20.0, 0, 1.0, 1);
+  StatusOr<IrRecommendation> rec =
+      RecommendIntegrationRuntime(runs, 120.0, 0.02);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->node.id, "IR_GP_8");
+  EXPECT_LT(rec->overload_probability, 0.02);
+}
+
+TEST(IrRecommenderTest, MemoryHeavyPipelinesGetMemoryOptimized) {
+  // 6 cores but ~45-54 GB peaks: GP_8 has 32 GB, GP_16 64 GB ($4.38/h);
+  // MO_8 also 64 GB ($2.74/h) — memory-optimized wins on price.
+  const std::vector<PipelineRun> runs = MakeHistory(6.0, 45.0, 0, 1.0, 2);
+  StatusOr<IrRecommendation> rec =
+      RecommendIntegrationRuntime(runs, 120.0, 0.02);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->node.id, "IR_MO_8") << rec->node.DisplayName();
+}
+
+TEST(IrRecommenderTest, RareSpikesAreNegotiatedAway) {
+  // Exactly 1% of runs spike to 4x: zero tolerance needs 32 cores,
+  // the 2% tolerance keeps the 8-core node.
+  const std::vector<PipelineRun> runs = MakeHistory(6.0, 20.0, 100, 4.0, 3);
+  StatusOr<IrRecommendation> tolerant =
+      RecommendIntegrationRuntime(runs, 120.0, 0.02);
+  StatusOr<IrRecommendation> strict =
+      RecommendIntegrationRuntime(runs, 120.0, 0.0);
+  ASSERT_TRUE(tolerant.ok());
+  ASSERT_TRUE(strict.ok());
+  EXPECT_LT(tolerant->monthly_cost, strict->monthly_cost);
+  EXPECT_EQ(tolerant->node.id, "IR_GP_8");
+}
+
+TEST(IrRecommenderTest, CostScalesWithRunHours) {
+  const std::vector<PipelineRun> runs = MakeHistory(6.0, 20.0, 0, 1.0, 4);
+  StatusOr<IrRecommendation> light =
+      RecommendIntegrationRuntime(runs, 50.0, 0.02);
+  StatusOr<IrRecommendation> heavy =
+      RecommendIntegrationRuntime(runs, 500.0, 0.02);
+  ASSERT_TRUE(light.ok());
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_EQ(light->node.id, heavy->node.id);  // Same shape...
+  EXPECT_NEAR(heavy->monthly_cost, light->monthly_cost * 10.0, 1e-6);
+}
+
+TEST(IrRecommenderTest, ValidatesInputs) {
+  const std::vector<PipelineRun> runs = MakeHistory(6.0, 20.0, 0, 1.0, 5);
+  EXPECT_FALSE(RecommendIntegrationRuntime({}, 100.0).ok());
+  EXPECT_FALSE(RecommendIntegrationRuntime(runs, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace doppler::adf

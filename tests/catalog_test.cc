@@ -1,0 +1,333 @@
+// Unit tests for src/catalog: resources, SKUs, premium disks, layouts,
+// pricing and the Azure-like catalog builder.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/file_layout.h"
+#include "catalog/premium_disk.h"
+#include "catalog/pricing.h"
+#include "catalog/resource.h"
+#include "catalog/sku.h"
+
+namespace doppler::catalog {
+namespace {
+
+// ------------------------------------------------------------- Resources.
+
+TEST(ResourceTest, NamesRoundTrip) {
+  for (ResourceDim dim : kAllResourceDims) {
+    ResourceDim parsed;
+    ASSERT_TRUE(ParseResourceDim(ResourceDimName(dim), &parsed));
+    EXPECT_EQ(parsed, dim);
+  }
+  ResourceDim unused;
+  EXPECT_FALSE(ParseResourceDim("bogus", &unused));
+}
+
+TEST(ResourceTest, OnlyLatencyIsInverted) {
+  for (ResourceDim dim : kAllResourceDims) {
+    EXPECT_EQ(IsInvertedDim(dim), dim == ResourceDim::kIoLatencyMs);
+  }
+}
+
+TEST(ResourceVectorTest, SetGetClear) {
+  ResourceVector v;
+  EXPECT_FALSE(v.Has(ResourceDim::kCpu));
+  EXPECT_EQ(v.Get(ResourceDim::kCpu), 0.0);
+  v.Set(ResourceDim::kCpu, 4.0);
+  EXPECT_TRUE(v.Has(ResourceDim::kCpu));
+  EXPECT_EQ(v.Get(ResourceDim::kCpu), 4.0);
+  v.Clear(ResourceDim::kCpu);
+  EXPECT_FALSE(v.Has(ResourceDim::kCpu));
+}
+
+TEST(ResourceVectorTest, PresentDimsInEnumOrder) {
+  ResourceVector v;
+  v.Set(ResourceDim::kIops, 1.0);
+  v.Set(ResourceDim::kCpu, 1.0);
+  const std::vector<ResourceDim> dims = v.PresentDims();
+  ASSERT_EQ(dims.size(), 2u);
+  EXPECT_EQ(dims[0], ResourceDim::kCpu);
+  EXPECT_EQ(dims[1], ResourceDim::kIops);
+}
+
+TEST(ResourceVectorTest, ExceedsHonoursInversion) {
+  // Normal dimension: demand above capacity throttles.
+  EXPECT_TRUE(ResourceVector::Exceeds(ResourceDim::kCpu, 5.0, 4.0));
+  EXPECT_FALSE(ResourceVector::Exceeds(ResourceDim::kCpu, 3.0, 4.0));
+  // Latency: needing LOWER latency than the SKU's floor throttles.
+  EXPECT_TRUE(ResourceVector::Exceeds(ResourceDim::kIoLatencyMs, 2.0, 5.0));
+  EXPECT_FALSE(ResourceVector::Exceeds(ResourceDim::kIoLatencyMs, 7.0, 5.0));
+}
+
+// ------------------------------------------------------------------ SKUs.
+
+TEST(SkuTest, MonthlyPriceUses730Hours) {
+  Sku sku;
+  sku.price_per_hour = 1.0;
+  EXPECT_DOUBLE_EQ(sku.MonthlyPrice(), 730.0);
+}
+
+TEST(SkuTest, CapacitiesCoverAllDims) {
+  Sku sku;
+  const ResourceVector caps = sku.Capacities();
+  for (ResourceDim dim : kAllResourceDims) EXPECT_TRUE(caps.Has(dim));
+}
+
+TEST(SkuTest, IopsOverrideOnlyChangesIops) {
+  Sku sku;
+  sku.max_iops = 640.0;
+  const ResourceVector caps = sku.CapacitiesWithIopsLimit(3000.0);
+  EXPECT_DOUBLE_EQ(caps.Get(ResourceDim::kIops), 3000.0);
+  EXPECT_DOUBLE_EQ(caps.Get(ResourceDim::kCpu), sku.vcores);
+}
+
+TEST(SkuTest, CheaperThanBreaksTiesById) {
+  Sku a, b;
+  a.price_per_hour = b.price_per_hour = 1.0;
+  a.id = "A";
+  b.id = "B";
+  EXPECT_TRUE(CheaperThan(a, b));
+  EXPECT_FALSE(CheaperThan(b, a));
+  b.price_per_hour = 0.5;
+  EXPECT_TRUE(CheaperThan(b, a));
+}
+
+TEST(SkuTest, DisplayNameMentionsDeploymentTierCores) {
+  Sku sku;
+  sku.deployment = Deployment::kSqlMi;
+  sku.tier = ServiceTier::kBusinessCritical;
+  sku.vcores = 8;
+  const std::string name = sku.DisplayName();
+  EXPECT_NE(name.find("SQL MI"), std::string::npos);
+  EXPECT_NE(name.find("Business Critical"), std::string::npos);
+  EXPECT_NE(name.find("8"), std::string::npos);
+}
+
+// --------------------------------------------------------- Premium disks.
+
+TEST(PremiumDiskTest, TiersMatchPaperTable2) {
+  const auto& tiers = PremiumDiskTiers();
+  ASSERT_EQ(tiers.size(), 6u);
+  EXPECT_EQ(tiers[0].name, "P10");
+  EXPECT_DOUBLE_EQ(tiers[0].max_size_gib, 128.0);
+  EXPECT_DOUBLE_EQ(tiers[0].iops, 500.0);
+  EXPECT_DOUBLE_EQ(tiers[0].throughput_mibps, 100.0);
+  EXPECT_EQ(tiers[1].name, "P20");
+  EXPECT_DOUBLE_EQ(tiers[1].iops, 2300.0);
+  EXPECT_EQ(tiers[4].name, "P50");
+  EXPECT_DOUBLE_EQ(tiers[4].iops, 7500.0);
+  EXPECT_EQ(tiers[5].name, "P60");
+  EXPECT_DOUBLE_EQ(tiers[5].iops, 12500.0);
+  EXPECT_DOUBLE_EQ(tiers[5].throughput_mibps, 480.0);
+}
+
+TEST(PremiumDiskTest, TierSelectionByFileSize) {
+  StatusOr<PremiumDiskTier> t = TierForFileSize(100.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->name, "P10");
+  t = TierForFileSize(128.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->name, "P10");  // Inclusive upper bound.
+  t = TierForFileSize(129.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->name, "P20");
+  t = TierForFileSize(3000.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->name, "P50");
+}
+
+TEST(PremiumDiskTest, RejectsUnplaceableFiles) {
+  EXPECT_EQ(TierForFileSize(0.0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(TierForFileSize(-5.0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(TierForFileSize(9000.0).status().code(), StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------- File layouts.
+
+TEST(FileLayoutTest, PaperExampleThreeFilesOn128GbDisks) {
+  // Paper §3.2: "a customer can choose an MI SKU that creates 3 files that
+  // can each fit within a 128GB disk" -> 3 x P10 -> 1500 IOPS total.
+  const FileLayout layout = UniformLayout(300.0, 3);
+  StatusOr<LayoutLimits> limits = ComputeLayoutLimits(layout);
+  ASSERT_TRUE(limits.ok());
+  EXPECT_EQ(limits->tiers.size(), 3u);
+  for (const auto& tier : limits->tiers) EXPECT_EQ(tier.name, "P10");
+  EXPECT_DOUBLE_EQ(limits->total_iops, 1500.0);
+  EXPECT_DOUBLE_EQ(limits->total_throughput_mibps, 300.0);
+}
+
+TEST(FileLayoutTest, MixedTiersSum) {
+  FileLayout layout;
+  layout.files = {{"a.mdf", 100.0}, {"b.mdf", 400.0}, {"c.ndf", 3000.0}};
+  StatusOr<LayoutLimits> limits = ComputeLayoutLimits(layout);
+  ASSERT_TRUE(limits.ok());
+  EXPECT_DOUBLE_EQ(limits->total_iops, 500.0 + 2300.0 + 7500.0);
+  EXPECT_DOUBLE_EQ(limits->total_size_gib, 3500.0);
+}
+
+TEST(FileLayoutTest, EmptyLayoutRejected) {
+  EXPECT_EQ(ComputeLayoutLimits(FileLayout{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FileLayoutTest, UniformLayoutCoercesBadArguments) {
+  const FileLayout layout = UniformLayout(-10.0, 0);
+  EXPECT_EQ(layout.files.size(), 1u);
+  EXPECT_GT(layout.TotalSizeGib(), 0.0);
+}
+
+// --------------------------------------------------------------- Pricing.
+
+TEST(PricingTest, DefaultIsListPrice) {
+  Sku sku;
+  sku.price_per_hour = 0.51;
+  DefaultPricing pricing;
+  EXPECT_DOUBLE_EQ(pricing.MonthlyCost(sku), 0.51 * 730.0);
+}
+
+TEST(PricingTest, RegionalUpliftAndReservedDiscount) {
+  Sku sku;
+  sku.price_per_hour = 1.0;
+  DefaultPricing pricing(1.2, 0.25);
+  EXPECT_DOUBLE_EQ(pricing.MonthlyCost(sku), 730.0 * 1.2 * 0.75);
+}
+
+// ----------------------------------------------------------- The catalog.
+
+class CatalogFixture : public ::testing::Test {
+ protected:
+  SkuCatalog catalog_ = BuildAzureLikeCatalog();
+};
+
+TEST_F(CatalogFixture, Has150PlusSkus) {
+  EXPECT_GE(catalog_.size(), 150u);
+  EXPECT_LE(catalog_.size(), 250u);
+}
+
+TEST_F(CatalogFixture, IdsAreUnique) {
+  std::set<std::string> ids;
+  for (const Sku& sku : catalog_.skus()) ids.insert(sku.id);
+  EXPECT_EQ(ids.size(), catalog_.size());
+}
+
+TEST_F(CatalogFixture, Gen5RowsMatchPaperFigure1) {
+  // Figure 1: BC 2 vCores: 10.4 GB, 8000 IOPS, 24 MB/s, 1 ms, $1.36/h.
+  StatusOr<Sku> bc2 = catalog_.FindById("DB_BC_Gen5_2");
+  ASSERT_TRUE(bc2.ok());
+  EXPECT_NEAR(bc2->max_memory_gb, 10.4, 1e-9);
+  EXPECT_DOUBLE_EQ(bc2->max_iops, 8000.0);
+  EXPECT_DOUBLE_EQ(bc2->max_log_rate_mbps, 24.0);
+  EXPECT_DOUBLE_EQ(bc2->min_io_latency_ms, 1.0);
+  EXPECT_DOUBLE_EQ(bc2->max_data_gb, 1024.0);
+  EXPECT_NEAR(bc2->price_per_hour, 1.36, 0.01);
+
+  // GP 4 vCores: 20.8 GB, 1280 IOPS, 15 MB/s, 5 ms, $1.01/h.
+  StatusOr<Sku> gp4 = catalog_.FindById("DB_GP_Gen5_4");
+  ASSERT_TRUE(gp4.ok());
+  EXPECT_NEAR(gp4->max_memory_gb, 20.8, 1e-9);
+  EXPECT_DOUBLE_EQ(gp4->max_iops, 1280.0);
+  EXPECT_DOUBLE_EQ(gp4->max_log_rate_mbps, 15.0);
+  EXPECT_DOUBLE_EQ(gp4->min_io_latency_ms, 5.0);
+  EXPECT_NEAR(gp4->price_per_hour, 1.01, 0.01);
+
+  // GP 6 vCores: 1536 GB max data (the Figure 1 step).
+  StatusOr<Sku> gp6 = catalog_.FindById("DB_GP_Gen5_6");
+  ASSERT_TRUE(gp6.ok());
+  EXPECT_DOUBLE_EQ(gp6->max_data_gb, 1536.0);
+  EXPECT_NEAR(gp6->price_per_hour, 1.52, 0.01);
+}
+
+TEST_F(CatalogFixture, BcBeatsGpOnIoEverywhere) {
+  for (const Sku& sku : catalog_.skus()) {
+    if (sku.tier != ServiceTier::kBusinessCritical) continue;
+    // Find the GP sibling.
+    std::string gp_id = sku.id;
+    const std::size_t pos = gp_id.find("_BC_");
+    ASSERT_NE(pos, std::string::npos);
+    gp_id.replace(pos, 4, "_GP_");
+    StatusOr<Sku> gp = catalog_.FindById(gp_id);
+    ASSERT_TRUE(gp.ok()) << gp_id;
+    EXPECT_GT(sku.max_iops, gp->max_iops) << sku.id;
+    EXPECT_LT(sku.min_io_latency_ms, gp->min_io_latency_ms) << sku.id;
+    EXPECT_GT(sku.price_per_hour, gp->price_per_hour) << sku.id;
+  }
+}
+
+TEST_F(CatalogFixture, CapacitiesMonotoneInVcoresWithinSeries) {
+  for (Deployment deployment : {Deployment::kSqlDb, Deployment::kSqlMi}) {
+    for (ServiceTier tier :
+         {ServiceTier::kGeneralPurpose, ServiceTier::kBusinessCritical}) {
+      std::vector<Sku> series = catalog_.Filter([&](const Sku& sku) {
+        return sku.deployment == deployment && sku.tier == tier &&
+               sku.hardware == HardwareGen::kGen5;
+      });
+      for (std::size_t i = 1; i < series.size(); ++i) {
+        EXPECT_GE(series[i].vcores, series[i - 1].vcores);
+        EXPECT_GE(series[i].max_memory_gb, series[i - 1].max_memory_gb);
+        EXPECT_GE(series[i].max_iops, series[i - 1].max_iops);
+        EXPECT_GE(series[i].price_per_hour, series[i - 1].price_per_hour);
+      }
+    }
+  }
+}
+
+TEST_F(CatalogFixture, FiltersReturnSortedByPrice) {
+  const std::vector<Sku> db = catalog_.ForDeployment(Deployment::kSqlDb);
+  ASSERT_FALSE(db.empty());
+  for (std::size_t i = 1; i < db.size(); ++i) {
+    EXPECT_LE(db[i - 1].price_per_hour, db[i].price_per_hour);
+    EXPECT_EQ(db[i].deployment, Deployment::kSqlDb);
+  }
+  const std::vector<Sku> mi_bc = catalog_.ForDeploymentAndTier(
+      Deployment::kSqlMi, ServiceTier::kBusinessCritical);
+  for (const Sku& sku : mi_bc) {
+    EXPECT_EQ(sku.deployment, Deployment::kSqlMi);
+    EXPECT_EQ(sku.tier, ServiceTier::kBusinessCritical);
+  }
+}
+
+TEST_F(CatalogFixture, FindByIdMissingFails) {
+  EXPECT_EQ(catalog_.FindById("NOPE").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogOptionsTest, DeploymentTogglesRespected) {
+  CatalogOptions options;
+  options.include_sql_mi = false;
+  const SkuCatalog db_only = BuildAzureLikeCatalog(options);
+  EXPECT_FALSE(db_only.empty());
+  for (const Sku& sku : db_only.skus()) {
+    EXPECT_EQ(sku.deployment, Deployment::kSqlDb);
+  }
+  options.include_sql_mi = true;
+  options.include_sql_db = false;
+  const SkuCatalog mi_only = BuildAzureLikeCatalog(options);
+  for (const Sku& sku : mi_only.skus()) {
+    EXPECT_EQ(sku.deployment, Deployment::kSqlMi);
+  }
+}
+
+TEST(CatalogOptionsTest, SingleHardwareGenShrinksCatalog) {
+  CatalogOptions options;
+  options.hardware = {HardwareGen::kGen5};
+  const SkuCatalog catalog = BuildAzureLikeCatalog(options);
+  const SkuCatalog full = BuildAzureLikeCatalog();
+  EXPECT_EQ(catalog.size() * 3, full.size());
+}
+
+TEST(CatalogOptionsTest, MemoryOptimizedHasMoreMemorySameIops) {
+  const SkuCatalog catalog = BuildAzureLikeCatalog();
+  StatusOr<Sku> gen5 = catalog.FindById("DB_GP_Gen5_8");
+  StatusOr<Sku> mem = catalog.FindById("DB_GP_PremiumMemOpt_8");
+  ASSERT_TRUE(gen5.ok());
+  ASSERT_TRUE(mem.ok());
+  EXPECT_GT(mem->max_memory_gb, gen5->max_memory_gb * 2);
+  EXPECT_DOUBLE_EQ(mem->max_iops, gen5->max_iops);
+  EXPECT_GT(mem->price_per_hour, gen5->price_per_hour);
+}
+
+}  // namespace
+}  // namespace doppler::catalog

@@ -1,0 +1,141 @@
+// Tests for the SKU-drift detector (the automated form of paper §5.2.3 /
+// Fig. 11) and the negotiability report.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "core/drift.h"
+#include "dma/resource_report.h"
+#include "util/random.h"
+#include "workload/generator.h"
+
+namespace doppler {
+namespace {
+
+using catalog::Deployment;
+using catalog::ResourceDim;
+
+// A trace whose demand multiplies by `jump` for the last `recent_fraction`
+// of the window (a Fig. 11 SKU-change situation when jump is large).
+telemetry::PerfTrace JumpTrace(double jump, double recent_fraction,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  workload::WorkloadSpec spec;
+  spec.name = "jump";
+  spec.dims[ResourceDim::kCpu] =
+      workload::DimensionSpec::DailyPeriodic(0.8, 0.5, 0.02);
+  spec.dims[ResourceDim::kIops] =
+      workload::DimensionSpec::DailyPeriodic(250.0, 150.0, 0.02);
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      workload::DimensionSpec::Steady(7.0, 0.02);
+  StatusOr<telemetry::PerfTrace> base =
+      workload::GenerateTrace(spec, 14.0, &rng);
+  EXPECT_TRUE(base.ok());
+
+  telemetry::PerfTrace trace(base->interval_seconds());
+  trace.set_id("jump");
+  const std::size_t n = base->num_samples();
+  const std::size_t cut =
+      n - static_cast<std::size_t>(static_cast<double>(n) * recent_fraction);
+  for (ResourceDim dim : base->PresentDims()) {
+    std::vector<double> values = base->Values(dim);
+    if (dim != ResourceDim::kIoLatencyMs) {
+      for (std::size_t i = cut; i < n; ++i) values[i] *= jump;
+    }
+    EXPECT_TRUE(trace.SetSeries(dim, std::move(values)).ok());
+  }
+  return trace;
+}
+
+class DriftFixture : public ::testing::Test {
+ protected:
+  DriftFixture()
+      : catalog_(catalog::BuildAzureLikeCatalog()),
+        candidates_(catalog_.ForDeployment(Deployment::kSqlDb)) {}
+
+  catalog::SkuCatalog catalog_;
+  std::vector<catalog::Sku> candidates_;
+  catalog::DefaultPricing pricing_;
+  core::NonParametricEstimator estimator_;
+};
+
+TEST_F(DriftFixture, GrownWorkloadTriggersChange) {
+  const telemetry::PerfTrace trace = JumpTrace(6.0, 0.3, 1);
+  StatusOr<core::DriftReport> report = core::DetectSkuDrift(
+      trace, candidates_, pricing_, estimator_, "DB_GP_Gen5_2");
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->baseline_probability, 0.05);
+  EXPECT_GT(report->recent_probability, 0.4);  // Paper: ">40%".
+  EXPECT_TRUE(report->needs_change);
+  EXPECT_FALSE(report->recommended_sku_id.empty());
+  EXPECT_NE(report->recommended_sku_id, "DB_GP_Gen5_2");
+}
+
+TEST_F(DriftFixture, StableWorkloadDoesNotTrigger) {
+  const telemetry::PerfTrace trace = JumpTrace(1.0, 0.3, 2);
+  StatusOr<core::DriftReport> report = core::DetectSkuDrift(
+      trace, candidates_, pricing_, estimator_, "DB_GP_Gen5_2");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->needs_change);
+  EXPECT_NEAR(report->recent_probability, report->baseline_probability,
+              0.05);
+}
+
+TEST_F(DriftFixture, AlreadyOutgrownSkuIsNotDrift) {
+  // The SKU throttles in BOTH windows: that is mis-provisioning, not a
+  // change in the workload — needs_change stays false.
+  const telemetry::PerfTrace trace = JumpTrace(1.0, 0.3, 3);
+  StatusOr<core::DriftReport> report = core::DetectSkuDrift(
+      trace, candidates_, pricing_, estimator_, "DB_GP_Gen5_2",
+      {/*recent_fraction=*/0.3, /*tolerance=*/0.0000001});
+  ASSERT_TRUE(report.ok());
+  if (report->baseline_probability > 0.0000001) {
+    EXPECT_FALSE(report->needs_change);
+  }
+}
+
+TEST_F(DriftFixture, ValidatesInputs) {
+  const telemetry::PerfTrace trace = JumpTrace(1.0, 0.3, 4);
+  core::DriftOptions bad;
+  bad.recent_fraction = 0.0;
+  EXPECT_FALSE(core::DetectSkuDrift(trace, candidates_, pricing_, estimator_,
+                                    "DB_GP_Gen5_2", bad)
+                   .ok());
+  bad.recent_fraction = 1.0;
+  EXPECT_FALSE(core::DetectSkuDrift(trace, candidates_, pricing_, estimator_,
+                                    "DB_GP_Gen5_2", bad)
+                   .ok());
+  // Unknown SKU.
+  EXPECT_FALSE(core::DetectSkuDrift(trace, candidates_, pricing_, estimator_,
+                                    "NOPE")
+                   .ok());
+  // Too-short trace.
+  telemetry::PerfTrace tiny;
+  ASSERT_TRUE(tiny.SetSeries(ResourceDim::kCpu, {1.0, 2.0, 3.0}).ok());
+  EXPECT_FALSE(core::DetectSkuDrift(tiny, candidates_, pricing_, estimator_,
+                                    "DB_GP_Gen5_2")
+                   .ok());
+}
+
+TEST_F(DriftFixture, NegotiabilityReportListsProfilingDims) {
+  const telemetry::PerfTrace trace = JumpTrace(1.0, 0.3, 5);
+  const std::string report =
+      dma::RenderNegotiabilityReport(trace, Deployment::kSqlDb);
+  EXPECT_NE(report.find("Negotiability profile"), std::string::npos);
+  EXPECT_NE(report.find("cpu"), std::string::npos);
+  EXPECT_NE(report.find("iops"), std::string::npos);
+  // The DB profile covers memory and log rate even when the trace lacks
+  // them (scored 0 / non-negotiable).
+  EXPECT_NE(report.find("memory"), std::string::npos);
+  EXPECT_NE(report.find("log_rate"), std::string::npos);
+  EXPECT_NE(report.find("non-negotiable"), std::string::npos);
+}
+
+TEST_F(DriftFixture, NegotiabilityReportHandlesEmptyTrace) {
+  const std::string report = dma::RenderNegotiabilityReport(
+      telemetry::PerfTrace(), Deployment::kSqlDb);
+  EXPECT_NE(report.find("unavailable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace doppler

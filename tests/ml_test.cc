@@ -1,0 +1,227 @@
+// Unit and property tests for src/ml: k-means and hierarchical clustering.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ml/hierarchical.h"
+#include "ml/kmeans.h"
+#include "util/random.h"
+
+namespace doppler::ml {
+namespace {
+
+// Three well-separated Gaussian blobs in 2D.
+std::vector<std::vector<double>> MakeBlobs(int per_blob, std::uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 10.0}, {-10.0, 10.0}};
+  std::vector<std::vector<double>> points;
+  for (const auto& center : centers) {
+    for (int i = 0; i < per_blob; ++i) {
+      points.push_back(
+          {center[0] + rng.Normal(0.0, 0.5), center[1] + rng.Normal(0.0, 0.5)});
+    }
+  }
+  return points;
+}
+
+// True iff all points in each ground-truth blob share one label and blobs
+// get distinct labels.
+bool LabelsMatchBlobs(const std::vector<int>& labels, int per_blob) {
+  std::set<int> blob_labels;
+  for (int blob = 0; blob < 3; ++blob) {
+    const int expected = labels[blob * per_blob];
+    for (int i = 0; i < per_blob; ++i) {
+      if (labels[blob * per_blob + i] != expected) return false;
+    }
+    blob_labels.insert(expected);
+  }
+  return blob_labels.size() == 3;
+}
+
+TEST(SquaredDistanceTest, Basic) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 2}, {1, 2}), 0.0);
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  const auto points = MakeBlobs(40, 1);
+  Rng rng(2);
+  KMeansOptions options;
+  options.k = 3;
+  StatusOr<KMeansResult> result = KMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(LabelsMatchBlobs(result->assignments, 40));
+  EXPECT_LT(result->inertia, 200.0);
+}
+
+TEST(KMeansTest, CentroidsNearBlobCenters) {
+  const auto points = MakeBlobs(60, 3);
+  Rng rng(4);
+  KMeansOptions options;
+  options.k = 3;
+  StatusOr<KMeansResult> result = KMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  // Every true centre has a fitted centroid within 1 unit.
+  const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  for (const auto& center : centers) {
+    double best = 1e9;
+    for (const auto& centroid : result->centroids) {
+      best = std::min(best, SquaredDistance(centroid,
+                                            {center[0], center[1]}));
+    }
+    EXPECT_LT(best, 1.0);
+  }
+}
+
+TEST(KMeansTest, RejectsBadInputs) {
+  Rng rng(5);
+  KMeansOptions options;
+  EXPECT_FALSE(KMeans({}, options, &rng).ok());
+  EXPECT_FALSE(KMeans({{1.0}, {1.0, 2.0}}, options, &rng).ok());
+  options.k = 0;
+  EXPECT_FALSE(KMeans({{1.0}}, options, &rng).ok());
+  options.k = 2;
+  EXPECT_FALSE(KMeans({{1.0}}, options, nullptr).ok());
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  Rng rng(6);
+  KMeansOptions options;
+  options.k = 10;
+  StatusOr<KMeansResult> result = KMeans({{1.0}, {2.0}}, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centroids.size(), 2u);
+}
+
+TEST(KMeansTest, SinglePointSingleCluster) {
+  Rng rng(7);
+  KMeansOptions options;
+  options.k = 1;
+  StatusOr<KMeansResult> result = KMeans({{5.0, 5.0}}, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignments[0], 0);
+  EXPECT_DOUBLE_EQ(result->inertia, 0.0);
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  Rng rng(8);
+  KMeansOptions options;
+  options.k = 3;
+  std::vector<std::vector<double>> points(10, {1.0, 1.0});
+  StatusOr<KMeansResult> result = KMeans(points, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->inertia, 0.0);
+}
+
+TEST(KMeansTest, DeterministicForSameRngState) {
+  const auto points = MakeBlobs(30, 9);
+  KMeansOptions options;
+  options.k = 3;
+  Rng rng_a(10);
+  Rng rng_b(10);
+  StatusOr<KMeansResult> a = KMeans(points, options, &rng_a);
+  StatusOr<KMeansResult> b = KMeans(points, options, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, MoreClustersNeverIncreaseBestInertia) {
+  const auto points = MakeBlobs(30, 11);
+  double previous = 1e18;
+  for (int k = 1; k <= 5; ++k) {
+    Rng rng(12);
+    KMeansOptions options;
+    options.k = k;
+    options.restarts = 8;
+    StatusOr<KMeansResult> result = KMeans(points, options, &rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, previous * 1.01);
+    previous = result->inertia;
+  }
+}
+
+TEST(HierarchicalTest, RecoversSeparatedBlobs) {
+  const auto points = MakeBlobs(20, 13);
+  for (Linkage linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    StatusOr<std::vector<int>> labels = HierarchicalCluster(points, 3, linkage);
+    ASSERT_TRUE(labels.ok());
+    EXPECT_TRUE(LabelsMatchBlobs(*labels, 20))
+        << "linkage " << static_cast<int>(linkage);
+  }
+}
+
+TEST(HierarchicalTest, KOneGivesSingleCluster) {
+  const auto points = MakeBlobs(5, 14);
+  StatusOr<std::vector<int>> labels = HierarchicalCluster(points, 1);
+  ASSERT_TRUE(labels.ok());
+  for (int label : *labels) EXPECT_EQ(label, 0);
+}
+
+TEST(HierarchicalTest, KEqualsNGivesSingletons) {
+  const auto points = MakeBlobs(3, 15);  // 9 points.
+  StatusOr<std::vector<int>> labels = HierarchicalCluster(points, 9);
+  ASSERT_TRUE(labels.ok());
+  std::set<int> unique(labels->begin(), labels->end());
+  EXPECT_EQ(unique.size(), 9u);
+}
+
+TEST(HierarchicalTest, LabelsAreContiguousFromZero) {
+  const auto points = MakeBlobs(10, 16);
+  StatusOr<std::vector<int>> labels = HierarchicalCluster(points, 4);
+  ASSERT_TRUE(labels.ok());
+  std::set<int> unique(labels->begin(), labels->end());
+  EXPECT_EQ(unique.size(), 4u);
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), 3);
+}
+
+TEST(HierarchicalTest, RejectsBadInputs) {
+  EXPECT_FALSE(HierarchicalCluster({}, 2).ok());
+  EXPECT_FALSE(HierarchicalCluster({{1.0}, {1.0, 2.0}}, 2).ok());
+}
+
+TEST(HierarchicalTest, KClampedToRange) {
+  StatusOr<std::vector<int>> labels =
+      HierarchicalCluster({{1.0}, {2.0}}, 100);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_EQ(labels->size(), 2u);
+}
+
+// Property: k-means with enough restarts always groups binary profile
+// vectors (the actual Doppler use case) so identical vectors share labels.
+class BinaryProfileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinaryProfileProperty, IdenticalVectorsShareCluster) {
+  Rng rng(GetParam());
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 120; ++i) {
+    const std::uint64_t bits = rng.UniformInt(8);
+    points.push_back({static_cast<double>(bits & 1),
+                      static_cast<double>((bits >> 1) & 1),
+                      static_cast<double>((bits >> 2) & 1)});
+  }
+  KMeansOptions options;
+  options.k = 8;
+  options.restarts = 10;
+  Rng solver_rng(GetParam() + 1);
+  StatusOr<KMeansResult> result = KMeans(points, options, &solver_rng);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (points[i] == points[j]) {
+        EXPECT_EQ(result->assignments[i], result->assignments[j]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryProfileProperty,
+                         ::testing::Values(3, 7, 31, 127));
+
+}  // namespace
+}  // namespace doppler::ml

@@ -1,0 +1,257 @@
+// Cross-cutting engine invariants, checked over randomized workloads:
+// things that must hold regardless of trace shape, catalog composition or
+// pricing configuration. These are the properties a production deployment
+// leans on without ever stating them.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "core/negotiability.h"
+#include "core/price_performance.h"
+#include "core/recommender.h"
+#include "core/throttling.h"
+#include "dma/preprocess.h"
+#include "stats/descriptive.h"
+#include "telemetry/aggregate.h"
+#include "util/random.h"
+#include "workload/generator.h"
+#include "workload/population.h"
+
+namespace doppler {
+namespace {
+
+using catalog::Deployment;
+using catalog::ResourceDim;
+
+// A random multi-dimensional workload drawn from the archetype families.
+telemetry::PerfTrace RandomTrace(std::uint64_t seed) {
+  Rng rng(seed);
+  workload::WorkloadSpec spec;
+  spec.name = "prop-" + std::to_string(seed);
+  const double s = std::exp(rng.Uniform(0.0, 2.5));
+  workload::DimensionSpec cpu = workload::DimensionSpec::Spiky(
+      0.3 * s, rng.Uniform(0.5, 2.0) * s, rng.Uniform(0.3, 2.0),
+      rng.Uniform(10.0, 60.0));
+  cpu.base_amplitude = rng.Uniform(0.1, 0.5) * s;
+  spec.dims[ResourceDim::kCpu] = cpu;
+  spec.dims[ResourceDim::kMemoryGb] =
+      workload::DimensionSpec::DailyPeriodic(2.0 * s, 1.5 * s);
+  spec.dims[ResourceDim::kIops] =
+      workload::DimensionSpec::DailyPeriodic(150.0 * s, 120.0 * s);
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      workload::DimensionSpec::Steady(rng.Uniform(2.0, 9.0), 0.04);
+  StatusOr<telemetry::PerfTrace> trace =
+      workload::GenerateTrace(spec, 5.0, &rng);
+  EXPECT_TRUE(trace.ok());
+  return *std::move(trace);
+}
+
+class EngineProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new catalog::SkuCatalog(catalog::BuildAzureLikeCatalog());
+    pricing_ = new catalog::DefaultPricing();
+    estimator_ = new core::NonParametricEstimator();
+  }
+  static void TearDownTestSuite() {
+    delete estimator_;
+    delete pricing_;
+    delete catalog_;
+  }
+
+  static catalog::SkuCatalog* catalog_;
+  static catalog::DefaultPricing* pricing_;
+  static core::NonParametricEstimator* estimator_;
+};
+
+catalog::SkuCatalog* EngineProperty::catalog_ = nullptr;
+catalog::DefaultPricing* EngineProperty::pricing_ = nullptr;
+core::NonParametricEstimator* EngineProperty::estimator_ = nullptr;
+
+// The non-parametric estimate and the thresholding profile depend only on
+// the distribution of samples, so shuffling the trace must not change the
+// recommendation inputs.
+TEST_P(EngineProperty, EstimateIsPermutationInvariant) {
+  const telemetry::PerfTrace trace = RandomTrace(GetParam());
+  Rng rng(GetParam() ^ 0xabcdef);
+  std::vector<std::size_t> order(trace.num_samples());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const telemetry::PerfTrace shuffled = trace.Select(order);
+
+  const catalog::Sku sku = catalog_->skus()[GetParam() % catalog_->size()];
+  StatusOr<double> p1 = estimator_->Probability(trace, sku.Capacities());
+  StatusOr<double> p2 = estimator_->Probability(shuffled, sku.Capacities());
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_DOUBLE_EQ(*p1, *p2);
+}
+
+// Raising any capacity can only lower (or keep) the throttling estimate.
+TEST_P(EngineProperty, ProbabilityMonotoneInCapacity) {
+  const telemetry::PerfTrace trace = RandomTrace(GetParam());
+  catalog::Sku small = *catalog_->FindById("DB_GP_Gen5_4");
+  catalog::Sku bigger = small;
+  bigger.vcores *= 2;
+  bigger.max_memory_gb *= 2;
+  bigger.max_iops *= 2;
+  bigger.max_log_rate_mbps *= 2;
+  bigger.max_workers *= 2;
+  StatusOr<double> p_small =
+      estimator_->Probability(trace, small.Capacities());
+  StatusOr<double> p_big =
+      estimator_->Probability(trace, bigger.Capacities());
+  ASSERT_TRUE(p_small.ok());
+  ASSERT_TRUE(p_big.ok());
+  EXPECT_LE(*p_big, *p_small + 1e-12);
+}
+
+// Scaling every price by a constant re-scales the x-axis but never changes
+// which SKU any selection rule picks.
+TEST_P(EngineProperty, SelectionInvariantToUniformPriceScaling) {
+  const telemetry::PerfTrace trace = RandomTrace(GetParam());
+  const catalog::DefaultPricing expensive(3.0);
+  const std::vector<catalog::Sku> candidates =
+      catalog_->ForDeployment(Deployment::kSqlDb);
+  StatusOr<core::PricePerformanceCurve> base = core::PricePerformanceCurve::
+      Build(trace, candidates, *pricing_, *estimator_);
+  StatusOr<core::PricePerformanceCurve> scaled = core::PricePerformanceCurve::
+      Build(trace, candidates, expensive, *estimator_);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(scaled.ok());
+  // Same SKU order along the curve.
+  for (std::size_t i = 0; i < base->size(); ++i) {
+    EXPECT_EQ(base->points()[i].sku.id, scaled->points()[i].sku.id);
+  }
+  // Same picks.
+  StatusOr<core::PricePerformancePoint> cheapest_base =
+      base->CheapestFullySatisfying();
+  StatusOr<core::PricePerformancePoint> cheapest_scaled =
+      scaled->CheapestFullySatisfying();
+  ASSERT_EQ(cheapest_base.ok(), cheapest_scaled.ok());
+  if (cheapest_base.ok()) {
+    EXPECT_EQ(cheapest_base->sku.id, cheapest_scaled->sku.id);
+  }
+  for (double target : {0.01, 0.05, 0.2}) {
+    StatusOr<core::PricePerformancePoint> a = base->ClosestBelowTarget(target);
+    StatusOr<core::PricePerformancePoint> b =
+        scaled->ClosestBelowTarget(target);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->sku.id, b->sku.id) << "target " << target;
+  }
+}
+
+// Adding candidates can only improve (or match) the cheapest fully
+// satisfying price: more options never hurt.
+TEST_P(EngineProperty, MoreCandidatesNeverWorsenTheBestBuy) {
+  const telemetry::PerfTrace trace = RandomTrace(GetParam());
+  const std::vector<catalog::Sku> all =
+      catalog_->ForDeployment(Deployment::kSqlDb);
+  std::vector<catalog::Sku> half;
+  for (std::size_t i = 0; i < all.size(); i += 2) half.push_back(all[i]);
+
+  StatusOr<core::PricePerformanceCurve> full_curve =
+      core::PricePerformanceCurve::Build(trace, all, *pricing_, *estimator_);
+  StatusOr<core::PricePerformanceCurve> half_curve =
+      core::PricePerformanceCurve::Build(trace, half, *pricing_, *estimator_);
+  ASSERT_TRUE(full_curve.ok());
+  ASSERT_TRUE(half_curve.ok());
+  StatusOr<core::PricePerformancePoint> full_best =
+      full_curve->CheapestFullySatisfying();
+  StatusOr<core::PricePerformancePoint> half_best =
+      half_curve->CheapestFullySatisfying();
+  if (half_best.ok()) {
+    ASSERT_TRUE(full_best.ok());
+    EXPECT_LE(full_best->monthly_price, half_best->monthly_price + 1e-9);
+  }
+}
+
+// The 10-minute pre-aggregation never manufactures demand: per-dimension
+// means are preserved (average rule) and maxima never increase.
+TEST_P(EngineProperty, AggregationPreservesMeansAndBoundsMaxima) {
+  Rng rng(GetParam());
+  std::vector<double> raw(1200);
+  for (auto& v : raw) v = rng.LogNormal(1.0, 0.8);
+  StatusOr<std::vector<double>> binned =
+      telemetry::Resample(raw, 60, 600, telemetry::AggKind::kAverage);
+  ASSERT_TRUE(binned.ok());
+  EXPECT_NEAR(stats::Mean(*binned), stats::Mean(raw), 1e-9);
+  EXPECT_LE(stats::Max(*binned), stats::Max(raw) + 1e-12);
+
+  StatusOr<std::vector<double>> maxed =
+      telemetry::Resample(raw, 60, 600, telemetry::AggKind::kMax);
+  ASSERT_TRUE(maxed.ok());
+  EXPECT_DOUBLE_EQ(stats::Max(*maxed), stats::Max(raw));
+}
+
+// Every negotiability strategy is permutation-sensitive ONLY where it
+// should be: AUC/outlier/thresholding summaries are order-free; STL is the
+// one time-structure-aware strategy and is exempt.
+TEST_P(EngineProperty, OrderFreeStrategiesArePermutationInvariant) {
+  const telemetry::PerfTrace trace = RandomTrace(GetParam());
+  Rng rng(GetParam() ^ 0x1234);
+  std::vector<std::size_t> order(trace.num_samples());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  const telemetry::PerfTrace shuffled = trace.Select(order);
+  const std::vector<ResourceDim> dims = workload::ProfilingDims(
+      Deployment::kSqlDb);
+
+  const core::ThresholdingStrategy thresholding;
+  const core::MinMaxAucStrategy minmax;
+  const core::MaxAucStrategy max_auc;
+  const core::OutlierPercentageStrategy outlier;
+  for (const core::NegotiabilityStrategy* strategy :
+       std::initializer_list<const core::NegotiabilityStrategy*>{
+           &thresholding, &minmax, &max_auc, &outlier}) {
+    StatusOr<core::NegotiabilityScores> a = strategy->Evaluate(trace, dims);
+    StatusOr<core::NegotiabilityScores> b =
+        strategy->Evaluate(shuffled, dims);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    for (std::size_t i = 0; i < a->scores.size(); ++i) {
+      EXPECT_NEAR(a->scores[i], b->scores[i], 1e-9) << strategy->name();
+    }
+  }
+}
+
+// The elastic recommendation always satisfies the Eq. 6 constraint when
+// any point does, and never recommends a SKU missing from the catalog.
+TEST_P(EngineProperty, RecommendationRespectsGroupConstraint) {
+  static core::GroupModel* model = [] {
+    StatusOr<core::GroupModel> fitted = dma::FitGroupModelOffline(
+        *catalog_, *pricing_, *estimator_, Deployment::kSqlDb, 60, 17);
+    EXPECT_TRUE(fitted.ok());
+    return new core::GroupModel(*std::move(fitted));
+  }();
+  const core::CustomerProfiler profiler(
+      std::make_shared<core::ThresholdingStrategy>(),
+      workload::ProfilingDims(Deployment::kSqlDb));
+  const core::ElasticRecommender recommender(catalog_, pricing_, estimator_,
+                                             &profiler, model);
+  const telemetry::PerfTrace trace = RandomTrace(GetParam());
+  StatusOr<core::Recommendation> rec = recommender.RecommendDb(trace);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(catalog_->FindById(rec->sku.id).ok());
+  if (rec->group_id >= 0) {
+    // Either the constraint held, or no point sat below the target (then
+    // the most performant fallback applies).
+    bool any_below = false;
+    for (const core::PricePerformancePoint& point : rec->curve.points()) {
+      any_below |= point.MonotoneProbability() <= rec->group_target;
+    }
+    if (any_below) {
+      EXPECT_LE(rec->throttling_probability, rec->group_target + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808, 909, 1010));
+
+}  // namespace
+}  // namespace doppler

@@ -1,0 +1,244 @@
+// Unit tests for src/sim, including the property that the PPM's estimated
+// throttling probability tracks the simulator's observed throttle fraction
+// (the paper's §5.4 validation, on our substitute replay substrate).
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "core/throttling.h"
+#include "sim/replayer.h"
+#include "sim/resource_model.h"
+#include "stats/descriptive.h"
+#include "workload/generator.h"
+
+namespace doppler::sim {
+namespace {
+
+using catalog::ResourceDim;
+using catalog::ResourceVector;
+using catalog::Sku;
+
+Sku TestSku() {
+  Sku sku;
+  sku.id = "TEST_GP_4";
+  sku.vcores = 4;
+  sku.max_memory_gb = 20.8;
+  sku.max_iops = 1280.0;
+  sku.max_log_rate_mbps = 15.0;
+  sku.min_io_latency_ms = 5.0;
+  sku.max_data_gb = 1024.0;
+  return sku;
+}
+
+ResourceVector Demand(double cpu, double mem, double iops, double log_rate,
+                      double latency, double storage) {
+  ResourceVector demand;
+  demand.Set(ResourceDim::kCpu, cpu);
+  demand.Set(ResourceDim::kMemoryGb, mem);
+  demand.Set(ResourceDim::kIops, iops);
+  demand.Set(ResourceDim::kLogRateMbps, log_rate);
+  demand.Set(ResourceDim::kIoLatencyMs, latency);
+  demand.Set(ResourceDim::kStorageGb, storage);
+  return demand;
+}
+
+// --------------------------------------------------------- ResourceModel.
+
+TEST(ResourceModelTest, UnderloadedNothingThrottles) {
+  const ResourceModel model(TestSku());
+  const IntervalOutcome outcome =
+      model.Execute(Demand(1.0, 8.0, 400.0, 5.0, 6.0, 100.0));
+  EXPECT_FALSE(outcome.any_throttled);
+  EXPECT_DOUBLE_EQ(outcome.observed.Get(ResourceDim::kCpu), 1.0);
+  EXPECT_DOUBLE_EQ(outcome.observed.Get(ResourceDim::kIops), 400.0);
+  // Observed latency near the SKU floor at low utilisation.
+  EXPECT_LT(outcome.observed.Get(ResourceDim::kIoLatencyMs), 6.0);
+}
+
+TEST(ResourceModelTest, CpuOverloadClipsAndThrottles) {
+  const ResourceModel model(TestSku());
+  const IntervalOutcome outcome =
+      model.Execute(Demand(8.0, 8.0, 400.0, 5.0, 20.0, 100.0));
+  EXPECT_TRUE(outcome.throttled[static_cast<int>(ResourceDim::kCpu)]);
+  EXPECT_DOUBLE_EQ(outcome.observed.Get(ResourceDim::kCpu), 4.0);
+  EXPECT_TRUE(outcome.any_throttled);
+}
+
+TEST(ResourceModelTest, CpuSaturationInflatesLatency) {
+  const ResourceModel model(TestSku());
+  const IntervalOutcome idle =
+      model.Execute(Demand(1.0, 8.0, 200.0, 5.0, 50.0, 100.0));
+  const IntervalOutcome saturated =
+      model.Execute(Demand(12.0, 8.0, 200.0, 5.0, 50.0, 100.0));
+  EXPECT_GT(saturated.observed.Get(ResourceDim::kIoLatencyMs),
+            idle.observed.Get(ResourceDim::kIoLatencyMs) * 2.0);
+}
+
+TEST(ResourceModelTest, MemoryShortfallSpillsToIo) {
+  const ResourceModel model(TestSku());
+  // 30 GB demanded vs 20.8 GB capacity: ~9.2 GB spill -> >1100 extra IOPS,
+  // pushing the 400 offered IOPS over the 1280 cap.
+  const IntervalOutcome outcome =
+      model.Execute(Demand(1.0, 30.0, 400.0, 5.0, 50.0, 100.0));
+  EXPECT_TRUE(outcome.throttled[static_cast<int>(ResourceDim::kMemoryGb)]);
+  EXPECT_TRUE(outcome.throttled[static_cast<int>(ResourceDim::kIops)]);
+  EXPECT_DOUBLE_EQ(outcome.observed.Get(ResourceDim::kMemoryGb), 20.8);
+}
+
+TEST(ResourceModelTest, IopsUtilisationInflatesLatencySmoothly) {
+  const ResourceModel model(TestSku());
+  double previous = 0.0;
+  for (double iops : {100.0, 600.0, 1100.0, 1270.0}) {
+    const IntervalOutcome outcome =
+        model.Execute(Demand(1.0, 8.0, iops, 5.0, 100.0, 100.0));
+    const double latency = outcome.observed.Get(ResourceDim::kIoLatencyMs);
+    EXPECT_GT(latency, previous);
+    previous = latency;
+  }
+}
+
+TEST(ResourceModelTest, ObservedLatencyNeverBelowSkuFloor) {
+  const ResourceModel model(TestSku());
+  const IntervalOutcome outcome =
+      model.Execute(Demand(0.1, 1.0, 10.0, 0.1, 100.0, 10.0));
+  EXPECT_GE(outcome.observed.Get(ResourceDim::kIoLatencyMs),
+            TestSku().min_io_latency_ms * 0.7);
+}
+
+TEST(ResourceModelTest, LatencyRequirementViolationThrottles) {
+  const ResourceModel model(TestSku());  // 5 ms floor.
+  const IntervalOutcome outcome =
+      model.Execute(Demand(1.0, 8.0, 200.0, 5.0, 2.0, 100.0));
+  EXPECT_TRUE(outcome.throttled[static_cast<int>(ResourceDim::kIoLatencyMs)]);
+}
+
+TEST(ResourceModelTest, LogAndStorageClip) {
+  const ResourceModel model(TestSku());
+  const IntervalOutcome outcome =
+      model.Execute(Demand(1.0, 8.0, 200.0, 40.0, 50.0, 2000.0));
+  EXPECT_TRUE(outcome.throttled[static_cast<int>(ResourceDim::kLogRateMbps)]);
+  EXPECT_TRUE(outcome.throttled[static_cast<int>(ResourceDim::kStorageGb)]);
+  EXPECT_DOUBLE_EQ(outcome.observed.Get(ResourceDim::kLogRateMbps), 15.0);
+  EXPECT_DOUBLE_EQ(outcome.observed.Get(ResourceDim::kStorageGb), 1024.0);
+}
+
+TEST(ResourceModelTest, AbsentDimsAreIgnored) {
+  const ResourceModel model(TestSku());
+  ResourceVector cpu_only;
+  cpu_only.Set(ResourceDim::kCpu, 2.0);
+  const IntervalOutcome outcome = model.Execute(cpu_only);
+  EXPECT_FALSE(outcome.any_throttled);
+  EXPECT_FALSE(outcome.observed.Has(ResourceDim::kMemoryGb));
+  // Latency is always produced by the simulator.
+  EXPECT_TRUE(outcome.observed.Has(ResourceDim::kIoLatencyMs));
+}
+
+TEST(ResourceModelTest, IopsOverrideApplies) {
+  const ResourceModel model(TestSku(), 3000.0);
+  const IntervalOutcome outcome =
+      model.Execute(Demand(1.0, 8.0, 2500.0, 5.0, 50.0, 100.0));
+  EXPECT_FALSE(outcome.throttled[static_cast<int>(ResourceDim::kIops)]);
+}
+
+// -------------------------------------------------------------- Replayer.
+
+telemetry::PerfTrace MakeDemandTrace(std::uint64_t seed, double cpu_base) {
+  Rng rng(seed);
+  workload::WorkloadSpec spec;
+  spec.name = "replay-test";
+  spec.dims[ResourceDim::kCpu] =
+      workload::DimensionSpec::DailyPeriodic(cpu_base, cpu_base * 0.8, 0.05);
+  spec.dims[ResourceDim::kIops] =
+      workload::DimensionSpec::DailyPeriodic(cpu_base * 150, cpu_base * 120, 0.05);
+  spec.dims[ResourceDim::kMemoryGb] =
+      workload::DimensionSpec::Steady(cpu_base * 3.0, 0.03);
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      workload::DimensionSpec::Steady(7.0, 0.03);
+  StatusOr<telemetry::PerfTrace> trace =
+      workload::GenerateTrace(spec, 7.0, &rng);
+  EXPECT_TRUE(trace.ok());
+  return *std::move(trace);
+}
+
+TEST(ReplayerTest, EmptyTraceRejected) {
+  EXPECT_FALSE(ReplayOnSku(telemetry::PerfTrace(), TestSku()).ok());
+}
+
+TEST(ReplayerTest, ReportsFractionsInUnitInterval) {
+  const telemetry::PerfTrace demand = MakeDemandTrace(1, 2.0);
+  StatusOr<ReplayResult> result = ReplayOnSku(demand, TestSku());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->report.intervals, demand.num_samples());
+  EXPECT_GE(result->report.any_fraction, 0.0);
+  EXPECT_LE(result->report.any_fraction, 1.0);
+  EXPECT_EQ(result->observed.num_samples(), demand.num_samples());
+}
+
+TEST(ReplayerTest, AnyFractionAtLeastMaxPerDim) {
+  const telemetry::PerfTrace demand = MakeDemandTrace(2, 5.0);
+  StatusOr<ReplayResult> result = ReplayOnSku(demand, TestSku());
+  ASSERT_TRUE(result.ok());
+  for (ResourceDim dim : catalog::kAllResourceDims) {
+    EXPECT_GE(result->report.any_fraction,
+              result->report.FractionFor(dim) - 1e-12);
+  }
+}
+
+TEST(ReplayerTest, BiggerSkuThrottlesLess) {
+  const telemetry::PerfTrace demand = MakeDemandTrace(3, 5.0);
+  Sku small = TestSku();
+  Sku big = TestSku();
+  big.vcores = 32;
+  big.max_memory_gb = 166.0;
+  big.max_iops = 10240.0;
+  big.max_log_rate_mbps = 50.0;
+  StatusOr<ReplayResult> small_result = ReplayOnSku(demand, small);
+  StatusOr<ReplayResult> big_result = ReplayOnSku(demand, big);
+  ASSERT_TRUE(small_result.ok());
+  ASSERT_TRUE(big_result.ok());
+  EXPECT_LE(big_result->report.any_fraction,
+            small_result->report.any_fraction);
+  // Observed latency on the big SKU is no worse on average.
+  EXPECT_LE(stats::Mean(big_result->observed.Values(ResourceDim::kIoLatencyMs)),
+            stats::Mean(
+                small_result->observed.Values(ResourceDim::kIoLatencyMs)) +
+                1e-9);
+}
+
+// Property: the non-parametric estimator's probability approximates the
+// replay-observed throttle fraction across workload scales and SKUs. The
+// estimator only sees capacities (no congestion model), so agreement is
+// within a tolerance, not exact — this is the §5.4 claim.
+class EstimatorVsSimulatorProperty
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(EstimatorVsSimulatorProperty, ProbabilityTracksObservedThrottling) {
+  const auto [cpu_base, vcores] = GetParam();
+  const telemetry::PerfTrace demand =
+      MakeDemandTrace(static_cast<std::uint64_t>(cpu_base * 10 + vcores),
+                      cpu_base);
+  Sku sku = TestSku();
+  sku.vcores = vcores;
+  sku.max_memory_gb = 5.2 * vcores;
+  sku.max_iops = 320.0 * vcores;
+  sku.max_log_rate_mbps = 3.75 * vcores;
+
+  StatusOr<ReplayResult> replay = ReplayOnSku(demand, sku);
+  ASSERT_TRUE(replay.ok());
+
+  const core::NonParametricEstimator estimator;
+  StatusOr<double> estimate =
+      estimator.Probability(demand, sku.Capacities());
+  ASSERT_TRUE(estimate.ok());
+
+  EXPECT_NEAR(*estimate, replay->report.any_fraction, 0.15)
+      << "cpu_base=" << cpu_base << " vcores=" << vcores;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EstimatorVsSimulatorProperty,
+    ::testing::Combine(::testing::Values(1.0, 3.0, 6.0, 12.0),
+                       ::testing::Values(2, 4, 8, 16, 32)));
+
+}  // namespace
+}  // namespace doppler::sim

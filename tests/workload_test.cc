@@ -1,0 +1,422 @@
+// Unit tests for src/workload: archetypes, the trace generator, the
+// benchmark-mix synthesiser, and the population generator.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "stats/descriptive.h"
+#include "telemetry/collector.h"
+#include "workload/archetype.h"
+#include "workload/benchmark_mix.h"
+#include "workload/generator.h"
+#include "workload/population.h"
+
+namespace doppler::workload {
+namespace {
+
+using catalog::Deployment;
+using catalog::ResourceDim;
+
+// --------------------------------------------------------------- Specs.
+
+TEST(ArchetypeTest, FactoriesSetPatterns) {
+  EXPECT_EQ(DimensionSpec::Steady(1.0).pattern, UsagePattern::kSteady);
+  EXPECT_EQ(DimensionSpec::DailyPeriodic(1, 1).pattern,
+            UsagePattern::kDailyPeriodic);
+  EXPECT_EQ(DimensionSpec::WeeklyPeriodic(1, 1).pattern,
+            UsagePattern::kWeeklyPeriodic);
+  EXPECT_EQ(DimensionSpec::Spiky(1, 2, 1, 20).pattern, UsagePattern::kSpiky);
+  EXPECT_EQ(DimensionSpec::Bursty(1, 2, 5, 20).pattern, UsagePattern::kBursty);
+  EXPECT_EQ(DimensionSpec::Trending(1, 1).pattern, UsagePattern::kTrending);
+  EXPECT_EQ(DimensionSpec::Idle(0.1).pattern, UsagePattern::kIdle);
+}
+
+TEST(ArchetypeTest, PatternNamesDistinct) {
+  std::set<std::string> names;
+  for (UsagePattern pattern :
+       {UsagePattern::kSteady, UsagePattern::kDailyPeriodic,
+        UsagePattern::kWeeklyPeriodic, UsagePattern::kSpiky,
+        UsagePattern::kBursty, UsagePattern::kTrending, UsagePattern::kIdle}) {
+    names.insert(UsagePatternName(pattern));
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+// ------------------------------------------------------------ Generator.
+
+WorkloadSpec CpuOnlySpec(DimensionSpec spec) {
+  WorkloadSpec workload;
+  workload.name = "test";
+  workload.dims[ResourceDim::kCpu] = spec;
+  return workload;
+}
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  Rng rng(1);
+  StatusOr<telemetry::PerfTrace> trace =
+      GenerateTrace(CpuOnlySpec(DimensionSpec::Steady(4.0)), 7.0, &rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_samples(),
+            static_cast<std::size_t>(7 * telemetry::kSamplesPerDay));
+  EXPECT_EQ(trace->id(), "test");
+  EXPECT_NEAR(stats::Mean(trace->Values(ResourceDim::kCpu)), 4.0, 0.5);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const WorkloadSpec spec = CpuOnlySpec(DimensionSpec::Spiky(1.0, 3.0, 2.0, 30.0));
+  StatusOr<telemetry::PerfTrace> a = GenerateTrace(spec, 3.0, &rng_a);
+  StatusOr<telemetry::PerfTrace> b = GenerateTrace(spec, 3.0, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Values(ResourceDim::kCpu), b->Values(ResourceDim::kCpu));
+}
+
+TEST(GeneratorTest, ValuesNeverNegative) {
+  Rng rng(7);
+  WorkloadSpec spec = CpuOnlySpec(DimensionSpec::Idle(0.05, 2.0));
+  spec.dims[ResourceDim::kIoLatencyMs] = DimensionSpec::Steady(0.2, 1.0);
+  StatusOr<telemetry::PerfTrace> trace = GenerateTrace(spec, 5.0, &rng);
+  ASSERT_TRUE(trace.ok());
+  for (ResourceDim dim : trace->PresentDims()) {
+    for (double v : trace->Values(dim)) EXPECT_GE(v, 0.0);
+  }
+  // Latency additionally floored at a positive value.
+  for (double v : trace->Values(ResourceDim::kIoLatencyMs)) EXPECT_GT(v, 0.0);
+}
+
+TEST(GeneratorTest, SpikyTraceHasRareHighExcursions) {
+  Rng rng(9);
+  StatusOr<telemetry::PerfTrace> trace = GenerateTrace(
+      CpuOnlySpec(DimensionSpec::Spiky(1.0, 5.0, 1.0, 30.0)), 30.0, &rng);
+  ASSERT_TRUE(trace.ok());
+  const std::vector<double>& cpu = trace->Values(ResourceDim::kCpu);
+  const double max = stats::Max(cpu);
+  EXPECT_GT(max, 4.0);  // Spikes reached well above base.
+  // Rare: far less than 10% of samples above half the peak.
+  std::size_t high = 0;
+  for (double v : cpu) high += v > max / 2;
+  EXPECT_LT(static_cast<double>(high) / cpu.size(), 0.10);
+}
+
+TEST(GeneratorTest, DailyPeriodicHasDailyAutocorrelation) {
+  Rng rng(11);
+  StatusOr<telemetry::PerfTrace> trace = GenerateTrace(
+      CpuOnlySpec(DimensionSpec::DailyPeriodic(4.0, 3.0, 0.01)), 14.0, &rng);
+  ASSERT_TRUE(trace.ok());
+  const std::vector<double>& cpu = trace->Values(ResourceDim::kCpu);
+  // Correlate the series with itself shifted by one day: should be high.
+  std::vector<double> today(cpu.begin(),
+                            cpu.end() - telemetry::kSamplesPerDay);
+  std::vector<double> tomorrow(cpu.begin() + telemetry::kSamplesPerDay,
+                               cpu.end());
+  EXPECT_GT(stats::Correlation(today, tomorrow), 0.9);
+}
+
+TEST(GeneratorTest, TrendingGrowsOverWindow) {
+  Rng rng(13);
+  StatusOr<telemetry::PerfTrace> trace = GenerateTrace(
+      CpuOnlySpec(DimensionSpec::Trending(2.0, 4.0, 0.01)), 10.0, &rng);
+  ASSERT_TRUE(trace.ok());
+  const std::vector<double>& cpu = trace->Values(ResourceDim::kCpu);
+  const std::size_t n = cpu.size();
+  std::vector<double> first(cpu.begin(), cpu.begin() + n / 5);
+  std::vector<double> last(cpu.end() - n / 5, cpu.end());
+  EXPECT_GT(stats::Mean(last), stats::Mean(first) + 2.0);
+}
+
+TEST(GeneratorTest, RejectsBadArguments) {
+  Rng rng(15);
+  EXPECT_FALSE(GenerateTrace(WorkloadSpec{}, 1.0, &rng).ok());
+  const WorkloadSpec spec = CpuOnlySpec(DimensionSpec::Steady(1.0));
+  EXPECT_FALSE(GenerateTrace(spec, -1.0, &rng).ok());
+  EXPECT_FALSE(GenerateTrace(spec, 1.0, 0, &rng).ok());
+  EXPECT_FALSE(GenerateTrace(spec, 1.0, nullptr).ok());
+}
+
+TEST(GeneratorTest, DemandSourceFeedsCollector) {
+  Rng rng(17);
+  WorkloadSpec spec = CpuOnlySpec(DimensionSpec::Steady(2.0, 0.0));
+  const telemetry::DemandSource source = MakeDemandSource(spec, 2.0, &rng);
+  telemetry::CollectorOptions options;
+  options.duration_days = 2.0;
+  options.noise_sigma = 0.0;
+  Rng collector_rng(18);
+  StatusOr<telemetry::PerfTrace> trace =
+      CollectTrace(source, options, &collector_rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NEAR(stats::Mean(trace->Values(ResourceDim::kCpu)), 2.0, 0.3);
+}
+
+// --------------------------------------------------------- Benchmark mix.
+
+TEST(BenchmarkMixTest, FamilySignaturesQualitativelyDistinct) {
+  const FamilySignature& tpcc = SignatureFor(BenchmarkFamily::kTpcC);
+  const FamilySignature& tpch = SignatureFor(BenchmarkFamily::kTpcH);
+  const FamilySignature& ycsb = SignatureFor(BenchmarkFamily::kYcsb);
+  // OLAP burns far more CPU per query than OLTP per txn.
+  EXPECT_GT(tpch.cpu_seconds_per_txn, tpcc.cpu_seconds_per_txn * 10);
+  // TPC-C writes more log per txn than YCSB.
+  EXPECT_GT(tpcc.log_mb_per_txn, ycsb.log_mb_per_txn);
+}
+
+TEST(BenchmarkMixTest, SteadyDemandScalesWithRate) {
+  SynthesizedComponent slow{BenchmarkFamily::kTpcC, 10.0, 50.0, 8};
+  SynthesizedComponent fast{BenchmarkFamily::kTpcC, 10.0, 500.0, 8};
+  EXPECT_NEAR(fast.SteadyDemand().Get(ResourceDim::kCpu),
+              10 * slow.SteadyDemand().Get(ResourceDim::kCpu), 1e-9);
+  EXPECT_NEAR(fast.SteadyDemand().Get(ResourceDim::kIops),
+              10 * slow.SteadyDemand().Get(ResourceDim::kIops), 1e-9);
+  // Memory scales with the scale factor, not the rate.
+  EXPECT_NEAR(fast.SteadyDemand().Get(ResourceDim::kMemoryGb),
+              slow.SteadyDemand().Get(ResourceDim::kMemoryGb), 1e-9);
+}
+
+telemetry::PerfTrace TargetTrace(double cpu, double mem, double iops,
+                                 double log_rate) {
+  telemetry::PerfTrace trace;
+  const std::size_t n = 100;
+  EXPECT_TRUE(
+      trace.SetSeries(ResourceDim::kCpu, std::vector<double>(n, cpu)).ok());
+  EXPECT_TRUE(
+      trace.SetSeries(ResourceDim::kMemoryGb, std::vector<double>(n, mem)).ok());
+  EXPECT_TRUE(
+      trace.SetSeries(ResourceDim::kIops, std::vector<double>(n, iops)).ok());
+  EXPECT_TRUE(trace
+                  .SetSeries(ResourceDim::kLogRateMbps,
+                             std::vector<double>(n, log_rate))
+                  .ok());
+  return trace;
+}
+
+TEST(BenchmarkMixTest, SynthesizerApproximatesOltpTarget) {
+  // An OLTP-looking target: low CPU, high log/IO.
+  const telemetry::PerfTrace target = TargetTrace(1.0, 4.0, 7000.0, 14.0);
+  StatusOr<SynthesizedWorkload> synth = SynthesizeFromHistory(target);
+  ASSERT_TRUE(synth.ok());
+  ASSERT_FALSE(synth->components.empty());
+  EXPECT_LT(synth->fit_error, 0.6);
+  const catalog::ResourceVector demand = synth->TotalDemand();
+  EXPECT_NEAR(demand.Get(ResourceDim::kIops), 7000.0, 3500.0);
+}
+
+TEST(BenchmarkMixTest, SynthesizerPicksOlapFamilyForCpuHeavyTarget) {
+  const telemetry::PerfTrace target = TargetTrace(20.0, 50.0, 6000.0, 0.3);
+  StatusOr<SynthesizedWorkload> synth = SynthesizeFromHistory(target);
+  ASSERT_TRUE(synth.ok());
+  bool has_olap = false;
+  for (const SynthesizedComponent& c : synth->components) {
+    has_olap |= c.family == BenchmarkFamily::kTpcH ||
+                c.family == BenchmarkFamily::kTpcDs;
+  }
+  EXPECT_TRUE(has_olap) << synth->Describe();
+}
+
+TEST(BenchmarkMixTest, SynthesizerRejectsEmptyTarget) {
+  EXPECT_FALSE(SynthesizeFromHistory(telemetry::PerfTrace()).ok());
+  const telemetry::PerfTrace target = TargetTrace(1, 1, 1, 1);
+  EXPECT_FALSE(SynthesizeFromHistory(target, 0).ok());
+}
+
+TEST(BenchmarkMixTest, RenderedTraceMatchesComponentDemand) {
+  SynthesizedWorkload workload;
+  workload.components.push_back({BenchmarkFamily::kYcsb, 10.0, 1000.0, 16});
+  Rng rng(19);
+  StatusOr<telemetry::PerfTrace> trace =
+      RenderDemandTrace(workload, 7.0, &rng);
+  ASSERT_TRUE(trace.ok());
+  const double want_iops =
+      workload.TotalDemand().Get(ResourceDim::kIops);
+  EXPECT_NEAR(stats::Mean(trace->Values(ResourceDim::kIops)), want_iops,
+              want_iops * 0.25);
+}
+
+TEST(BenchmarkMixTest, DescribeMentionsFamilies) {
+  SynthesizedWorkload workload;
+  workload.components.push_back({BenchmarkFamily::kTpcC, 30.0, 100.0, 8});
+  workload.components.push_back({BenchmarkFamily::kYcsb, 3.0, 500.0, 4});
+  const std::string text = workload.Describe();
+  EXPECT_NE(text.find("TPC-C"), std::string::npos);
+  EXPECT_NE(text.find("YCSB"), std::string::npos);
+  EXPECT_NE(text.find(" + "), std::string::npos);
+}
+
+// ------------------------------------------------------------ Population.
+
+TEST(PopulationTest, GeneratesRequestedSize) {
+  PopulationOptions options;
+  options.num_customers = 40;
+  options.duration_days = 3.0;
+  StatusOr<std::vector<SyntheticCustomer>> fleet = GeneratePopulation(options);
+  ASSERT_TRUE(fleet.ok());
+  EXPECT_EQ(fleet->size(), 40u);
+  std::set<std::string> ids;
+  for (const SyntheticCustomer& c : *fleet) {
+    ids.insert(c.id);
+    EXPECT_EQ(c.deployment, Deployment::kSqlDb);
+    EXPECT_GT(c.trace.num_samples(), 0u);
+    EXPECT_GT(c.tolerance, 0.0);
+  }
+  EXPECT_EQ(ids.size(), 40u);
+}
+
+TEST(PopulationTest, ReproducibleForSeed) {
+  PopulationOptions options;
+  options.num_customers = 10;
+  options.duration_days = 2.0;
+  StatusOr<std::vector<SyntheticCustomer>> a = GeneratePopulation(options);
+  StatusOr<std::vector<SyntheticCustomer>> b = GeneratePopulation(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].trace.Values(ResourceDim::kCpu),
+              (*b)[i].trace.Values(ResourceDim::kCpu));
+    EXPECT_EQ((*a)[i].tolerance, (*b)[i].tolerance);
+  }
+}
+
+TEST(PopulationTest, ArchetypeMixApproximatesFractions) {
+  PopulationOptions options;
+  options.num_customers = 300;
+  options.duration_days = 2.0;
+  options.flat_fraction = 0.7;
+  options.simple_fraction = 0.05;
+  StatusOr<std::vector<SyntheticCustomer>> fleet = GeneratePopulation(options);
+  ASSERT_TRUE(fleet.ok());
+  int flat = 0;
+  for (const SyntheticCustomer& c : *fleet) {
+    flat += c.archetype == CurveArchetype::kFlat;
+  }
+  EXPECT_NEAR(static_cast<double>(flat) / 300.0, 0.7, 0.08);
+}
+
+TEST(PopulationTest, MiCustomersCarryLayouts) {
+  PopulationOptions options;
+  options.num_customers = 20;
+  options.deployment = Deployment::kSqlMi;
+  options.duration_days = 2.0;
+  StatusOr<std::vector<SyntheticCustomer>> fleet = GeneratePopulation(options);
+  ASSERT_TRUE(fleet.ok());
+  for (const SyntheticCustomer& c : *fleet) {
+    EXPECT_FALSE(c.layout.files.empty());
+    EXPECT_GT(c.layout.TotalSizeGib(), 0.0);
+    // MI profiles three dims; no log rate collected.
+    EXPECT_EQ(c.ProfileBits().size(), 3u);
+    EXPECT_FALSE(c.trace.Has(ResourceDim::kLogRateMbps));
+  }
+}
+
+TEST(PopulationTest, DbProfilingDimsAreFour) {
+  const std::vector<ResourceDim> dims = ProfilingDims(Deployment::kSqlDb);
+  EXPECT_EQ(dims, (std::vector<ResourceDim>{
+                      ResourceDim::kCpu, ResourceDim::kMemoryGb,
+                      ResourceDim::kIops, ResourceDim::kLogRateMbps}));
+  EXPECT_EQ(ProfilingDims(Deployment::kSqlMi).size(), 3u);
+}
+
+TEST(PopulationTest, ToleranceGrowsWithNegotiableDims) {
+  PopulationOptions options;
+  options.num_customers = 200;
+  options.duration_days = 2.0;
+  options.flat_fraction = 0.0;
+  options.simple_fraction = 0.0;
+  StatusOr<std::vector<SyntheticCustomer>> fleet = GeneratePopulation(options);
+  ASSERT_TRUE(fleet.ok());
+  double tol_all[5] = {0, 0, 0, 0, 0};
+  int count_all[5] = {0, 0, 0, 0, 0};
+  for (const SyntheticCustomer& c : *fleet) {
+    int negotiable = 0;
+    for (bool bit : c.ProfileBits()) negotiable += bit;
+    tol_all[negotiable] += c.tolerance;
+    ++count_all[negotiable];
+  }
+  // Mean tolerance strictly grows with the number of negotiable dims.
+  double previous = 0.0;
+  for (int k = 0; k <= 4; ++k) {
+    if (count_all[k] == 0) continue;
+    const double mean = tol_all[k] / count_all[k];
+    EXPECT_GT(mean, previous);
+    previous = mean;
+  }
+}
+
+TEST(PopulationTest, LatencySensitiveCustomersBelowGpFloor) {
+  PopulationOptions options;
+  options.num_customers = 150;
+  options.duration_days = 2.0;
+  options.flat_fraction = 0.0;
+  options.latency_sensitive_fraction = 0.5;
+  StatusOr<std::vector<SyntheticCustomer>> fleet = GeneratePopulation(options);
+  ASSERT_TRUE(fleet.ok());
+  int sensitive = 0;
+  for (const SyntheticCustomer& c : *fleet) {
+    const double median_latency =
+        stats::Median(c.trace.Values(ResourceDim::kIoLatencyMs));
+    if (c.latency_sensitive) {
+      ++sensitive;
+      EXPECT_LT(median_latency, 5.0) << c.id;
+    } else {
+      EXPECT_GT(median_latency, 5.0) << c.id;
+    }
+  }
+  EXPECT_GT(sensitive, 30);
+}
+
+TEST(PopulationTest, RejectsBadOptions) {
+  PopulationOptions options;
+  options.num_customers = 0;
+  EXPECT_FALSE(GeneratePopulation(options).ok());
+  options.num_customers = 10;
+  options.flat_fraction = 0.9;
+  options.simple_fraction = 0.2;
+  EXPECT_FALSE(GeneratePopulation(options).ok());
+  options.flat_fraction = 0.5;
+  options.simple_fraction = 0.1;
+  options.duration_days = 0.5;
+  EXPECT_FALSE(GeneratePopulation(options).ok());
+}
+
+// Property: flat-archetype customers fit inside the smallest Gen5 SKU of
+// their deployment in every collected dimension, even at spike peaks.
+class FlatCustomerProperty
+    : public ::testing::TestWithParam<catalog::Deployment> {};
+
+TEST_P(FlatCustomerProperty, FlatCustomersFitSmallestSku) {
+  PopulationOptions options;
+  options.num_customers = 60;
+  options.deployment = GetParam();
+  options.duration_days = 3.0;
+  options.seed = 99;
+  StatusOr<std::vector<SyntheticCustomer>> fleet = GeneratePopulation(options);
+  ASSERT_TRUE(fleet.ok());
+
+  catalog::CatalogOptions catalog_options;
+  catalog_options.hardware = {catalog::HardwareGen::kGen5};
+  const catalog::SkuCatalog catalog =
+      catalog::BuildAzureLikeCatalog(catalog_options);
+  const std::vector<catalog::Sku> skus = catalog.ForDeploymentAndTier(
+      GetParam(), catalog::ServiceTier::kGeneralPurpose);
+  ASSERT_FALSE(skus.empty());
+  const catalog::ResourceVector caps = skus.front().Capacities();
+
+  for (const SyntheticCustomer& c : *fleet) {
+    if (c.archetype != CurveArchetype::kFlat) continue;
+    for (ResourceDim dim :
+         {ResourceDim::kCpu, ResourceDim::kMemoryGb, ResourceDim::kIops}) {
+      if (!c.trace.Has(dim)) continue;
+      EXPECT_LE(stats::Max(c.trace.Values(dim)), caps.Get(dim))
+          << c.id << " dim " << catalog::ResourceDimName(dim);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deployments, FlatCustomerProperty,
+                         ::testing::Values(Deployment::kSqlDb,
+                                           Deployment::kSqlMi));
+
+}  // namespace
+}  // namespace doppler::workload

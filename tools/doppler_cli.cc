@@ -1,0 +1,16 @@
+// The doppler command-line tool: assess traces, dump catalogs, fit
+// profiles, forecast capacity, compare TCO — everything the library offers,
+// from a shell. All logic lives in dma::CliMain so it stays unit-testable;
+// this file is only the process boundary.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dma/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) args.push_back("help");
+  return doppler::dma::CliMain(args, std::cout);
+}

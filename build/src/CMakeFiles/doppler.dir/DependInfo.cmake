@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adf/ir_recommender.cc" "src/CMakeFiles/doppler.dir/adf/ir_recommender.cc.o" "gcc" "src/CMakeFiles/doppler.dir/adf/ir_recommender.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/doppler.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/doppler.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/file_layout.cc" "src/CMakeFiles/doppler.dir/catalog/file_layout.cc.o" "gcc" "src/CMakeFiles/doppler.dir/catalog/file_layout.cc.o.d"
+  "/root/repo/src/catalog/premium_disk.cc" "src/CMakeFiles/doppler.dir/catalog/premium_disk.cc.o" "gcc" "src/CMakeFiles/doppler.dir/catalog/premium_disk.cc.o.d"
+  "/root/repo/src/catalog/pricing.cc" "src/CMakeFiles/doppler.dir/catalog/pricing.cc.o" "gcc" "src/CMakeFiles/doppler.dir/catalog/pricing.cc.o.d"
+  "/root/repo/src/catalog/resource.cc" "src/CMakeFiles/doppler.dir/catalog/resource.cc.o" "gcc" "src/CMakeFiles/doppler.dir/catalog/resource.cc.o.d"
+  "/root/repo/src/catalog/sku.cc" "src/CMakeFiles/doppler.dir/catalog/sku.cc.o" "gcc" "src/CMakeFiles/doppler.dir/catalog/sku.cc.o.d"
+  "/root/repo/src/core/backtest.cc" "src/CMakeFiles/doppler.dir/core/backtest.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/backtest.cc.o.d"
+  "/root/repo/src/core/confidence.cc" "src/CMakeFiles/doppler.dir/core/confidence.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/confidence.cc.o.d"
+  "/root/repo/src/core/drift.cc" "src/CMakeFiles/doppler.dir/core/drift.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/drift.cc.o.d"
+  "/root/repo/src/core/feedback.cc" "src/CMakeFiles/doppler.dir/core/feedback.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/feedback.cc.o.d"
+  "/root/repo/src/core/forecast.cc" "src/CMakeFiles/doppler.dir/core/forecast.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/forecast.cc.o.d"
+  "/root/repo/src/core/heuristics.cc" "src/CMakeFiles/doppler.dir/core/heuristics.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/heuristics.cc.o.d"
+  "/root/repo/src/core/mi_filter.cc" "src/CMakeFiles/doppler.dir/core/mi_filter.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/mi_filter.cc.o.d"
+  "/root/repo/src/core/negotiability.cc" "src/CMakeFiles/doppler.dir/core/negotiability.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/negotiability.cc.o.d"
+  "/root/repo/src/core/price_performance.cc" "src/CMakeFiles/doppler.dir/core/price_performance.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/price_performance.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/CMakeFiles/doppler.dir/core/profiler.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/profiler.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/CMakeFiles/doppler.dir/core/recommender.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/recommender.cc.o.d"
+  "/root/repo/src/core/rightsizing.cc" "src/CMakeFiles/doppler.dir/core/rightsizing.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/rightsizing.cc.o.d"
+  "/root/repo/src/core/throttling.cc" "src/CMakeFiles/doppler.dir/core/throttling.cc.o" "gcc" "src/CMakeFiles/doppler.dir/core/throttling.cc.o.d"
+  "/root/repo/src/dma/assessment.cc" "src/CMakeFiles/doppler.dir/dma/assessment.cc.o" "gcc" "src/CMakeFiles/doppler.dir/dma/assessment.cc.o.d"
+  "/root/repo/src/dma/cli.cc" "src/CMakeFiles/doppler.dir/dma/cli.cc.o" "gcc" "src/CMakeFiles/doppler.dir/dma/cli.cc.o.d"
+  "/root/repo/src/dma/pipeline.cc" "src/CMakeFiles/doppler.dir/dma/pipeline.cc.o" "gcc" "src/CMakeFiles/doppler.dir/dma/pipeline.cc.o.d"
+  "/root/repo/src/dma/preprocess.cc" "src/CMakeFiles/doppler.dir/dma/preprocess.cc.o" "gcc" "src/CMakeFiles/doppler.dir/dma/preprocess.cc.o.d"
+  "/root/repo/src/dma/resource_report.cc" "src/CMakeFiles/doppler.dir/dma/resource_report.cc.o" "gcc" "src/CMakeFiles/doppler.dir/dma/resource_report.cc.o.d"
+  "/root/repo/src/dma/static_inputs.cc" "src/CMakeFiles/doppler.dir/dma/static_inputs.cc.o" "gcc" "src/CMakeFiles/doppler.dir/dma/static_inputs.cc.o.d"
+  "/root/repo/src/ml/hierarchical.cc" "src/CMakeFiles/doppler.dir/ml/hierarchical.cc.o" "gcc" "src/CMakeFiles/doppler.dir/ml/hierarchical.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/CMakeFiles/doppler.dir/ml/kmeans.cc.o" "gcc" "src/CMakeFiles/doppler.dir/ml/kmeans.cc.o.d"
+  "/root/repo/src/sim/replayer.cc" "src/CMakeFiles/doppler.dir/sim/replayer.cc.o" "gcc" "src/CMakeFiles/doppler.dir/sim/replayer.cc.o.d"
+  "/root/repo/src/sim/resource_model.cc" "src/CMakeFiles/doppler.dir/sim/resource_model.cc.o" "gcc" "src/CMakeFiles/doppler.dir/sim/resource_model.cc.o.d"
+  "/root/repo/src/sources/counter_mapping.cc" "src/CMakeFiles/doppler.dir/sources/counter_mapping.cc.o" "gcc" "src/CMakeFiles/doppler.dir/sources/counter_mapping.cc.o.d"
+  "/root/repo/src/sources/oracle_awr.cc" "src/CMakeFiles/doppler.dir/sources/oracle_awr.cc.o" "gcc" "src/CMakeFiles/doppler.dir/sources/oracle_awr.cc.o.d"
+  "/root/repo/src/sources/postgres_stat.cc" "src/CMakeFiles/doppler.dir/sources/postgres_stat.cc.o" "gcc" "src/CMakeFiles/doppler.dir/sources/postgres_stat.cc.o.d"
+  "/root/repo/src/stats/auc.cc" "src/CMakeFiles/doppler.dir/stats/auc.cc.o" "gcc" "src/CMakeFiles/doppler.dir/stats/auc.cc.o.d"
+  "/root/repo/src/stats/bootstrap.cc" "src/CMakeFiles/doppler.dir/stats/bootstrap.cc.o" "gcc" "src/CMakeFiles/doppler.dir/stats/bootstrap.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/doppler.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/doppler.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/ecdf.cc" "src/CMakeFiles/doppler.dir/stats/ecdf.cc.o" "gcc" "src/CMakeFiles/doppler.dir/stats/ecdf.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/doppler.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/doppler.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/kde.cc" "src/CMakeFiles/doppler.dir/stats/kde.cc.o" "gcc" "src/CMakeFiles/doppler.dir/stats/kde.cc.o.d"
+  "/root/repo/src/stats/loess.cc" "src/CMakeFiles/doppler.dir/stats/loess.cc.o" "gcc" "src/CMakeFiles/doppler.dir/stats/loess.cc.o.d"
+  "/root/repo/src/stats/normal.cc" "src/CMakeFiles/doppler.dir/stats/normal.cc.o" "gcc" "src/CMakeFiles/doppler.dir/stats/normal.cc.o.d"
+  "/root/repo/src/stats/outliers.cc" "src/CMakeFiles/doppler.dir/stats/outliers.cc.o" "gcc" "src/CMakeFiles/doppler.dir/stats/outliers.cc.o.d"
+  "/root/repo/src/stats/scalers.cc" "src/CMakeFiles/doppler.dir/stats/scalers.cc.o" "gcc" "src/CMakeFiles/doppler.dir/stats/scalers.cc.o.d"
+  "/root/repo/src/stats/stl.cc" "src/CMakeFiles/doppler.dir/stats/stl.cc.o" "gcc" "src/CMakeFiles/doppler.dir/stats/stl.cc.o.d"
+  "/root/repo/src/tco/tco.cc" "src/CMakeFiles/doppler.dir/tco/tco.cc.o" "gcc" "src/CMakeFiles/doppler.dir/tco/tco.cc.o.d"
+  "/root/repo/src/telemetry/aggregate.cc" "src/CMakeFiles/doppler.dir/telemetry/aggregate.cc.o" "gcc" "src/CMakeFiles/doppler.dir/telemetry/aggregate.cc.o.d"
+  "/root/repo/src/telemetry/collector.cc" "src/CMakeFiles/doppler.dir/telemetry/collector.cc.o" "gcc" "src/CMakeFiles/doppler.dir/telemetry/collector.cc.o.d"
+  "/root/repo/src/telemetry/perf_trace.cc" "src/CMakeFiles/doppler.dir/telemetry/perf_trace.cc.o" "gcc" "src/CMakeFiles/doppler.dir/telemetry/perf_trace.cc.o.d"
+  "/root/repo/src/telemetry/trace_io.cc" "src/CMakeFiles/doppler.dir/telemetry/trace_io.cc.o" "gcc" "src/CMakeFiles/doppler.dir/telemetry/trace_io.cc.o.d"
+  "/root/repo/src/util/ascii_plot.cc" "src/CMakeFiles/doppler.dir/util/ascii_plot.cc.o" "gcc" "src/CMakeFiles/doppler.dir/util/ascii_plot.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/doppler.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/doppler.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/json_writer.cc" "src/CMakeFiles/doppler.dir/util/json_writer.cc.o" "gcc" "src/CMakeFiles/doppler.dir/util/json_writer.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/doppler.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/doppler.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/doppler.dir/util/random.cc.o" "gcc" "src/CMakeFiles/doppler.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/doppler.dir/util/status.cc.o" "gcc" "src/CMakeFiles/doppler.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/doppler.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/doppler.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/doppler.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/doppler.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/workload/archetype.cc" "src/CMakeFiles/doppler.dir/workload/archetype.cc.o" "gcc" "src/CMakeFiles/doppler.dir/workload/archetype.cc.o.d"
+  "/root/repo/src/workload/benchmark_mix.cc" "src/CMakeFiles/doppler.dir/workload/benchmark_mix.cc.o" "gcc" "src/CMakeFiles/doppler.dir/workload/benchmark_mix.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/doppler.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/doppler.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/population.cc" "src/CMakeFiles/doppler.dir/workload/population.cc.o" "gcc" "src/CMakeFiles/doppler.dir/workload/population.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_curve_test[1]_include.cmake")
+include("/root/repo/build/tests/core_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/core_recommender_test[1]_include.cmake")
+include("/root/repo/build/tests/dma_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/static_inputs_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_forecast_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/adf_test[1]_include.cmake")
+include("/root/repo/build/tests/json_report_test[1]_include.cmake")
+include("/root/repo/build/tests/drift_test[1]_include.cmake")

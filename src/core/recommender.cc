@@ -13,6 +13,27 @@ using catalog::Deployment;
 using catalog::ResourceDim;
 using catalog::ResourceVector;
 
+/// Records profiling dimensions the trace never carried: the assessment
+/// narrowed Eq. 1's joint demand to the collected dimensions (which can
+/// only understate throttling), so the pick is flagged as degraded.
+void NoteDegradedDims(const std::vector<ResourceDim>& profile_dims,
+                      const telemetry::PerfTrace& trace,
+                      Recommendation* recommendation) {
+  for (ResourceDim dim : profile_dims) {
+    if (!trace.Has(dim)) recommendation->missing_profile_dims.push_back(dim);
+  }
+  recommendation->degraded = !recommendation->missing_profile_dims.empty();
+  if (!recommendation->degraded) return;
+  std::string names;
+  for (ResourceDim dim : recommendation->missing_profile_dims) {
+    if (!names.empty()) names += ", ";
+    names += catalog::ResourceDimName(dim);
+  }
+  recommendation->rationale +=
+      " [degraded: " + names + " not collected; throttling may be "
+      "understated]";
+}
+
 }  // namespace
 
 ElasticRecommender::ElasticRecommender(const catalog::SkuCatalog* catalog,
@@ -92,6 +113,7 @@ StatusOr<Recommendation> ElasticRecommender::SelectFromCurve(
     recommendation.rationale =
         "flat price-performance curve: every relevant SKU meets 100% of the "
         "workload's needs, so the cheapest is optimal";
+    NoteDegradedDims(profiler_->dims(), trace, &recommendation);
     recommendation.curve = std::move(curve);
     return recommendation;
   }
@@ -124,6 +146,7 @@ StatusOr<Recommendation> ElasticRecommender::SelectFromCurve(
       "; similar migrated customers settle at ~" +
       FormatPercent(recommendation.group_target, 1) +
       " throttling probability";
+  NoteDegradedDims(profiler_->dims(), trace, &recommendation);
   recommendation.curve = std::move(curve);
   return recommendation;
 }

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "catalog/file_layout.h"
@@ -31,6 +32,13 @@ struct Recommendation {
   double group_target = 0.0;
   /// One-sentence explanation of why this SKU was picked.
   std::string rationale;
+  /// Degraded-mode assessment (telemetry quality gate): profiling
+  /// dimensions the trace never carried. The joint demand (Eq. 1) was
+  /// narrowed to the collected dimensions, which can only understate
+  /// throttling, so the recommendation's confidence is reduced.
+  std::vector<catalog::ResourceDim> missing_profile_dims;
+  /// True when missing_profile_dims is non-empty.
+  bool degraded = false;
   /// The personalised rank behind the choice.
   PricePerformanceCurve curve;
 };

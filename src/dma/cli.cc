@@ -9,6 +9,7 @@
 #include "dma/preprocess.h"
 #include "dma/resource_report.h"
 #include "dma/static_inputs.h"
+#include "quality/quality_gate.h"
 #include "tco/tco.h"
 #include "telemetry/trace_io.h"
 #include "util/string_util.h"
@@ -28,6 +29,7 @@ Commands:
   fit-profiles --deployment db|mi [--customers N] [--seed S] [--out F]
   assess    --trace F [--target db|mi] [--catalog F] [--profiles F]
             [--layout F] [--current-sku ID] [--confidence] [--json]
+            [--quality strict|repair|permissive]
   forecast  --trace F [--current-sku ID] [--months N]
   drift     --trace F --current-sku ID [--recent-fraction X]
   tco       --trace F
@@ -35,6 +37,14 @@ Commands:
 
 Traces are CSV files with a t_seconds column plus cpu/memory/iops/
 log_rate/io_latency/storage/workers columns (any subset).
+
+--quality selects how assess treats dirty telemetry: strict rejects the
+first defect, repair (default) fixes and records every intervention,
+permissive records without repairing.
+
+Exit codes: 0 success, 2 bad command line, 3 invalid input,
+4 not found, 5 failed precondition (e.g. strict quality rejection),
+6 out of range, 7 unavailable, 8 internal error.
 )";
 
 StatusOr<catalog::Deployment> ParseDeployment(const std::string& text) {
@@ -74,8 +84,11 @@ StatusOr<core::GroupModel> ResolveProfiles(const CliOptions& options,
                                            std::ostream& out) {
   const std::string path = options.Get("profiles");
   if (!path.empty()) return LoadGroupModel(path);
-  out << "(no --profiles given; fitting the group model offline, this "
-         "takes a moment)\n";
+  if (!options.Has("json")) {
+    // Keep --json output parseable: the note would corrupt the document.
+    out << "(no --profiles given; fitting the group model offline, this "
+           "takes a moment)\n";
+  }
   const catalog::DefaultPricing pricing;
   const core::NonParametricEstimator estimator;
   return FitGroupModelOffline(skus, pricing, estimator, deployment,
@@ -147,8 +160,17 @@ StatusOr<int> RunAssess(const CliOptions& options, std::ostream& out) {
   if (trace_path.empty()) {
     return InvalidArgumentError("assess requires --trace <csv>");
   }
-  DOPPLER_ASSIGN_OR_RETURN(telemetry::PerfTrace trace,
-                           telemetry::ReadTraceFile(trace_path));
+  quality::QualityPolicy policy = quality::QualityPolicy::kRepair;
+  if (options.Has("quality") &&
+      !quality::ParseQualityPolicy(options.Get("quality"), &policy)) {
+    return InvalidArgumentError("unknown quality policy '" +
+                                options.Get("quality") +
+                                "' (expected strict, repair or permissive)");
+  }
+  quality::GateOptions gate;
+  gate.policy = policy;
+  DOPPLER_ASSIGN_OR_RETURN(quality::GatedTrace gated,
+                           quality::ReadTraceFileGated(trace_path, gate));
   DOPPLER_ASSIGN_OR_RETURN(catalog::Deployment deployment,
                            ParseDeployment(options.Get("target", "db")));
   DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
@@ -161,9 +183,11 @@ StatusOr<int> RunAssess(const CliOptions& options, std::ostream& out) {
   AssessmentRequest request;
   request.customer_id = trace_path;
   request.target = deployment;
-  request.database_traces = {std::move(trace)};
+  request.database_traces = {std::move(gated.trace)};
   request.current_sku_id = options.Get("current-sku");
   request.compute_confidence = options.Has("confidence");
+  request.quality_policy = policy;
+  request.ingest_quality = std::move(gated.report);
   if (options.Has("layout")) {
     DOPPLER_ASSIGN_OR_RETURN(request.layout,
                              LoadLayout(options.Get("layout")));
@@ -176,6 +200,7 @@ StatusOr<int> RunAssess(const CliOptions& options, std::ostream& out) {
     return 0;
   }
   out << RenderRecommendationReport(outcome.instance_trace, outcome.elastic);
+  out << "\nTelemetry quality: " << outcome.quality.Summary() << "\n";
   out << "\n"
       << RenderNegotiabilityReport(outcome.instance_trace, request.target);
   if (outcome.confidence.has_value()) {
@@ -372,6 +397,26 @@ StatusOr<int> RunCli(const CliOptions& options, std::ostream& out) {
                               "' (try 'doppler help')");
 }
 
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 3;
+    case StatusCode::kNotFound:
+      return 4;
+    case StatusCode::kFailedPrecondition:
+      return 5;
+    case StatusCode::kOutOfRange:
+      return 6;
+    case StatusCode::kUnavailable:
+      return 7;
+    case StatusCode::kInternal:
+      return 8;
+  }
+  return 8;
+}
+
 int CliMain(const std::vector<std::string>& args, std::ostream& out) {
   StatusOr<CliOptions> options = ParseCliArgs(args);
   if (!options.ok()) {
@@ -381,7 +426,7 @@ int CliMain(const std::vector<std::string>& args, std::ostream& out) {
   StatusOr<int> code = RunCli(*options, out);
   if (!code.ok()) {
     out << "error: " << code.status().ToString() << "\n";
-    return 1;
+    return ExitCodeForStatus(code.status());
   }
   return *code;
 }

@@ -43,7 +43,14 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args);
 ///   synth    --trace t.csv                   benchmark-mix synthesis
 StatusOr<int> RunCli(const CliOptions& options, std::ostream& out);
 
-/// Convenience: parse + run; usage errors print to `out` and return 2.
+/// Maps a non-OK Status to the CLI's typed exit code so scripted callers
+/// can branch on the failure class: 3 invalid input, 4 not found, 5 failed
+/// precondition (e.g. a strict-quality rejection), 6 out of range,
+/// 7 unavailable, 8 internal. OK maps to 0.
+int ExitCodeForStatus(const Status& status);
+
+/// Convenience: parse + run. Usage errors print to `out` and return 2;
+/// run errors return ExitCodeForStatus of the failure.
 int CliMain(const std::vector<std::string>& args, std::ostream& out);
 
 }  // namespace doppler::dma

@@ -62,9 +62,44 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
   AssessmentOutcome outcome;
   outcome.customer_id = request.customer_id;
   outcome.target = request.target;
+
+  // The quality report starts from whatever ingestion already found (the
+  // CLI's CSV-boundary gate) and accumulates the per-database gates.
+  outcome.quality = request.ingest_quality;
+  outcome.quality.policy = request.quality_policy;
+  const bool pregated = outcome.quality.samples_in > 0;
+  quality::GateOptions gate;
+  gate.policy = request.quality_policy;
+  quality::TraceQualityReport pipeline_gate;
   DOPPLER_ASSIGN_OR_RETURN(
       outcome.instance_trace,
-      preprocessing_.PrepareInstanceTrace(request.database_traces));
+      preprocessing_.PrepareInstanceTrace(request.database_traces, gate,
+                                          &pipeline_gate));
+  if (pregated) {
+    // Ingestion already counted the raw samples; the in-pipeline re-gate
+    // of the repaired trace contributes defect findings only.
+    pipeline_gate.samples_in = 0;
+    pipeline_gate.samples_out = 0;
+  }
+  outcome.quality.MergeFrom(pipeline_gate);
+
+  // Degraded mode is judged exactly once, on the instance rollup, against
+  // the profiling dimensions the target deployment expects.
+  quality::AssessDegradedMode(outcome.instance_trace.PresentDims(),
+                              workload::ProfilingDims(request.target),
+                              &outcome.quality);
+  if (request.quality_policy == quality::QualityPolicy::kStrict &&
+      outcome.quality.degraded) {
+    std::string names;
+    for (ResourceDim dim : outcome.quality.missing_dims) {
+      if (!names.empty()) names += ", ";
+      names += catalog::ResourceDimName(dim);
+    }
+    return FailedPreconditionError(
+        "strict quality policy: expected profiling dimensions missing from "
+        "the trace: " +
+        names);
+  }
 
   // Default MI layout: one file sized to the observed allocation.
   catalog::FileLayout layout = request.layout;

@@ -11,6 +11,7 @@
 #include "core/recommender.h"
 #include "core/rightsizing.h"
 #include "dma/preprocess.h"
+#include "quality/quality_gate.h"
 #include "util/statusor.h"
 
 namespace doppler::dma {
@@ -30,6 +31,14 @@ struct AssessmentRequest {
   std::string current_sku_id;
   /// Run the bootstrap confidence score (adds runs x curve builds).
   bool compute_confidence = false;
+  /// How the telemetry quality gate reacts to defects in the raw traces:
+  /// kRepair (default) fixes and records, kStrict aborts the assessment on
+  /// the first defect, kPermissive records only.
+  quality::QualityPolicy quality_policy = quality::QualityPolicy::kRepair;
+  /// Quality findings from ingestion upstream of the pipeline (e.g. the
+  /// CLI's ReadTraceFileGated); merged into the outcome's report so the
+  /// full dirt trail survives end to end.
+  quality::TraceQualityReport ingest_quality;
 };
 
 /// Everything the DMA UI surfaces for one request.
@@ -47,6 +56,10 @@ struct AssessmentOutcome {
   std::optional<core::RightSizingAssessment> rightsizing;
   /// The preprocessed instance-level trace the engine consumed.
   telemetry::PerfTrace instance_trace;
+  /// Everything the telemetry quality gate found and repaired across
+  /// ingestion and preprocessing, plus the degraded-mode assessment of the
+  /// instance trace against the target's profiling dimensions.
+  quality::TraceQualityReport quality;
 };
 
 /// The SKU Recommendation Pipeline (paper §4): preprocessing, curve

@@ -11,6 +11,33 @@ StatusOr<telemetry::PerfTrace> DataPreprocessingModule::PrepareDatabaseTrace(
   return telemetry::ResampleTrace(raw, output_interval_seconds_);
 }
 
+StatusOr<telemetry::PerfTrace> DataPreprocessingModule::PrepareDatabaseTrace(
+    const telemetry::PerfTrace& raw, const quality::GateOptions& gate,
+    quality::TraceQualityReport* report) const {
+  quality::GateOptions per_database = gate;
+  // Expected dimensions are judged once on the instance rollup; a single
+  // database legitimately misses dimensions its siblings carry.
+  per_database.expected_dims.clear();
+  DOPPLER_ASSIGN_OR_RETURN(quality::GatedTrace gated,
+                           quality::GateTrace(raw, per_database));
+  if (report != nullptr) report->MergeFrom(gated.report);
+  return PrepareDatabaseTrace(gated.trace);
+}
+
+StatusOr<telemetry::PerfTrace> DataPreprocessingModule::PrepareInstanceTrace(
+    const std::vector<telemetry::PerfTrace>& raw_databases,
+    const quality::GateOptions& gate,
+    quality::TraceQualityReport* report) const {
+  std::vector<telemetry::PerfTrace> prepared;
+  prepared.reserve(raw_databases.size());
+  for (const telemetry::PerfTrace& raw : raw_databases) {
+    DOPPLER_ASSIGN_OR_RETURN(telemetry::PerfTrace trace,
+                             PrepareDatabaseTrace(raw, gate, report));
+    prepared.push_back(std::move(trace));
+  }
+  return telemetry::RollupToInstance(prepared);
+}
+
 StatusOr<telemetry::PerfTrace> DataPreprocessingModule::PrepareInstanceTrace(
     const std::vector<telemetry::PerfTrace>& raw_databases) const {
   std::vector<telemetry::PerfTrace> prepared;

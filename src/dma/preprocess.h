@@ -7,6 +7,7 @@
 #include "catalog/pricing.h"
 #include "core/profiler.h"
 #include "core/throttling.h"
+#include "quality/quality_gate.h"
 #include "telemetry/aggregate.h"
 #include "telemetry/perf_trace.h"
 #include "util/statusor.h"
@@ -27,9 +28,25 @@ class DataPreprocessingModule {
   StatusOr<telemetry::PerfTrace> PrepareDatabaseTrace(
       const telemetry::PerfTrace& raw) const;
 
+  /// Quality-gated variant: runs the cell-level telemetry gate (NaN/Inf,
+  /// negative counters, dead series) on the raw trace before re-binning
+  /// and folds what the gate found into `report` (may be null). Degraded
+  /// mode is deliberately NOT assessed here — expected dimensions are
+  /// judged once on the instance rollup, not per database.
+  StatusOr<telemetry::PerfTrace> PrepareDatabaseTrace(
+      const telemetry::PerfTrace& raw, const quality::GateOptions& gate,
+      quality::TraceQualityReport* report) const;
+
   /// Re-bins every database then rolls them up to one instance trace.
   StatusOr<telemetry::PerfTrace> PrepareInstanceTrace(
       const std::vector<telemetry::PerfTrace>& raw_databases) const;
+
+  /// Quality-gated variant of the rollup: every database trace passes the
+  /// gate (accumulating into `report`) before re-binning and aggregation.
+  StatusOr<telemetry::PerfTrace> PrepareInstanceTrace(
+      const std::vector<telemetry::PerfTrace>& raw_databases,
+      const quality::GateOptions& gate,
+      quality::TraceQualityReport* report) const;
 
  private:
   std::int64_t output_interval_seconds_;

@@ -151,6 +151,14 @@ void WriteRecommendation(JsonWriter& json, const core::Recommendation& rec,
     json.Key("group_target_probability").Number(rec.group_target);
   }
   json.Key("rationale").String(rec.rationale);
+  if (rec.degraded) {
+    json.Key("degraded").Bool(true);
+    json.Key("missing_profile_dims").BeginArray();
+    for (catalog::ResourceDim dim : rec.missing_profile_dims) {
+      json.String(catalog::ResourceDimName(dim));
+    }
+    json.EndArray();
+  }
   if (include_curve) {
     json.Key("curve").BeginArray();
     for (const core::PricePerformancePoint& point : rec.curve.points()) {
@@ -158,6 +166,45 @@ void WriteRecommendation(JsonWriter& json, const core::Recommendation& rec,
     }
     json.EndArray();
   }
+  json.EndObject();
+}
+
+// Serialises the telemetry quality gate's report: the defect trail, the
+// degraded-mode assessment, and the one-line summary the UI surfaces.
+void WriteQualityReport(JsonWriter& json,
+                        const quality::TraceQualityReport& report) {
+  json.BeginObject();
+  json.Key("policy").String(quality::QualityPolicyName(report.policy));
+  json.Key("clean").Bool(report.clean());
+  json.Key("total_defects").Int(report.TotalDefects());
+  json.Key("repaired_defects").Int(report.RepairedDefects());
+  json.Key("samples_in").Int(report.samples_in);
+  json.Key("samples_out").Int(report.samples_out);
+  json.Key("defects").BeginArray();
+  for (const quality::QualityDefect& defect : report.defects) {
+    json.BeginObject();
+    json.Key("class").String(quality::DefectClassName(defect.defect));
+    json.Key("count").Int(defect.count);
+    json.Key("repaired").Bool(defect.repaired);
+    if (!defect.detail.empty()) json.Key("detail").String(defect.detail);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("degraded").Bool(report.degraded);
+  if (report.degraded) {
+    json.Key("missing_dims").BeginArray();
+    for (catalog::ResourceDim dim : report.missing_dims) {
+      json.String(catalog::ResourceDimName(dim));
+    }
+    json.EndArray();
+    json.Key("assessed_dims").BeginArray();
+    for (catalog::ResourceDim dim : report.assessed_dims) {
+      json.String(catalog::ResourceDimName(dim));
+    }
+    json.EndArray();
+    json.Key("confidence_penalty").Number(report.confidence_penalty);
+  }
+  json.Key("summary").String(report.Summary());
   json.EndObject();
 }
 
@@ -170,6 +217,9 @@ std::string RenderAssessmentJson(const AssessmentOutcome& outcome) {
   json.Key("samples").Int(
       static_cast<long long>(outcome.instance_trace.num_samples()));
   json.Key("duration_days").Number(outcome.instance_trace.DurationDays());
+
+  json.Key("quality");
+  WriteQualityReport(json, outcome.quality);
 
   json.Key("elastic");
   WriteRecommendation(json, outcome.elastic, /*include_curve=*/true);

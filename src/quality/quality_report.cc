@@ -1,0 +1,129 @@
+#include "quality/quality_report.h"
+
+#include <algorithm>
+
+namespace doppler::quality {
+
+const char* QualityPolicyName(QualityPolicy policy) {
+  switch (policy) {
+    case QualityPolicy::kStrict:
+      return "strict";
+    case QualityPolicy::kRepair:
+      return "repair";
+    case QualityPolicy::kPermissive:
+      return "permissive";
+  }
+  return "unknown";
+}
+
+bool ParseQualityPolicy(const std::string& name, QualityPolicy* policy) {
+  if (name == "strict") {
+    *policy = QualityPolicy::kStrict;
+    return true;
+  }
+  if (name == "repair") {
+    *policy = QualityPolicy::kRepair;
+    return true;
+  }
+  if (name == "permissive") {
+    *policy = QualityPolicy::kPermissive;
+    return true;
+  }
+  return false;
+}
+
+const char* DefectClassName(DefectClass defect) {
+  switch (defect) {
+    case DefectClass::kOutOfOrder:
+      return "out_of_order";
+    case DefectClass::kDuplicateTimestamp:
+      return "duplicate_timestamp";
+    case DefectClass::kCadenceDrift:
+      return "cadence_drift";
+    case DefectClass::kGap:
+      return "gap";
+    case DefectClass::kNonFinite:
+      return "non_finite";
+    case DefectClass::kNegative:
+      return "negative";
+    case DefectClass::kDeadCounter:
+      return "dead_counter";
+    case DefectClass::kMissingDimension:
+      return "missing_dimension";
+    case DefectClass::kMalformedCell:
+      return "malformed_cell";
+  }
+  return "unknown";
+}
+
+void TraceQualityReport::Add(DefectClass defect, int count, bool repaired,
+                             std::string detail) {
+  if (count <= 0) return;
+  for (QualityDefect& existing : defects) {
+    if (existing.defect == defect && existing.repaired == repaired) {
+      existing.count += count;
+      if (existing.detail.empty()) existing.detail = std::move(detail);
+      return;
+    }
+  }
+  defects.push_back({defect, count, repaired, std::move(detail)});
+}
+
+int TraceQualityReport::TotalDefects() const {
+  int total = 0;
+  for (const QualityDefect& defect : defects) total += defect.count;
+  return total;
+}
+
+int TraceQualityReport::RepairedDefects() const {
+  int total = 0;
+  for (const QualityDefect& defect : defects) {
+    if (defect.repaired) total += defect.count;
+  }
+  return total;
+}
+
+void TraceQualityReport::MergeFrom(const TraceQualityReport& other) {
+  for (const QualityDefect& defect : other.defects) {
+    Add(defect.defect, defect.count, defect.repaired, defect.detail);
+  }
+  samples_in += other.samples_in;
+  samples_out += other.samples_out;
+  for (catalog::ResourceDim dim : other.missing_dims) {
+    if (std::find(missing_dims.begin(), missing_dims.end(), dim) ==
+        missing_dims.end()) {
+      missing_dims.push_back(dim);
+    }
+  }
+  for (catalog::ResourceDim dim : other.assessed_dims) {
+    if (std::find(assessed_dims.begin(), assessed_dims.end(), dim) ==
+        assessed_dims.end()) {
+      assessed_dims.push_back(dim);
+    }
+  }
+  degraded = degraded || other.degraded;
+  confidence_penalty = std::max(confidence_penalty, other.confidence_penalty);
+}
+
+std::string TraceQualityReport::Summary() const {
+  if (clean()) return "clean telemetry: no defects";
+  std::string out = std::to_string(TotalDefects()) + " defects (" +
+                    std::to_string(RepairedDefects()) + " repaired)";
+  if (!defects.empty()) {
+    out += ": ";
+    for (std::size_t i = 0; i < defects.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::string(DefectClassName(defects[i].defect)) + " x" +
+             std::to_string(defects[i].count);
+    }
+  }
+  if (degraded) {
+    out += "; degraded: missing";
+    for (catalog::ResourceDim dim : missing_dims) {
+      out += std::string(" ") + catalog::ResourceDimName(dim);
+    }
+  }
+  return out;
+}
+
+}  // namespace doppler::quality

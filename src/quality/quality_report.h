@@ -1,0 +1,111 @@
+#ifndef DOPPLER_QUALITY_QUALITY_REPORT_H_
+#define DOPPLER_QUALITY_QUALITY_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/resource.h"
+
+namespace doppler::quality {
+
+/// How the telemetry quality gate reacts to defects in collector output.
+enum class QualityPolicy {
+  /// Return a typed Status on the first defect found; the trace is never
+  /// modified. For callers that must not assess dirty data.
+  kStrict = 0,
+  /// Repair every repairable defect (sort, de-duplicate, interpolate,
+  /// clamp, drop dead counters) and record each intervention. The DMA
+  /// pipeline default: a recommendation is always produced when one is
+  /// possible, and it is always explainable.
+  kRepair = 1,
+  /// Record defects but keep the data as close to raw as possible: only
+  /// the structural normalisation PerfTrace cannot represent otherwise
+  /// (timestamp ordering, duplicate collapse) is applied; cell values and
+  /// gaps pass through untouched. For auditing collectors.
+  kPermissive = 2,
+};
+
+/// Stable lower-case name ("strict", "repair", "permissive").
+const char* QualityPolicyName(QualityPolicy policy);
+
+/// Inverse of QualityPolicyName; returns true and sets `policy` on success.
+bool ParseQualityPolicy(const std::string& name, QualityPolicy* policy);
+
+/// The classes of real-world telemetry dirt the gate detects (collector
+/// restarts, clock gaps, serialization bugs — paper §2's DMA appliance runs
+/// on customer hardware, so all of these occur in the field).
+enum class DefectClass {
+  kOutOfOrder = 0,      ///< Timestamps not strictly increasing.
+  kDuplicateTimestamp,  ///< Two samples for the same time point.
+  kCadenceDrift,        ///< Deltas off the dominant cadence grid.
+  kGap,                 ///< Missing sample windows (collector downtime).
+  kNonFinite,           ///< NaN/Inf cells (serialization or counter bugs).
+  kNegative,            ///< Negative counter values (wrap-around, resets).
+  kDeadCounter,         ///< A series that is constant zero end to end.
+  kMissingDimension,    ///< An expected profiling dimension was never collected.
+  kMalformedCell,       ///< A cell that does not parse as a number.
+};
+
+/// Number of defect classes (for iteration in tests and tooling).
+inline constexpr int kNumDefectClasses = 9;
+
+/// Stable snake_case name ("out_of_order", "gap", ...).
+const char* DefectClassName(DefectClass defect);
+
+/// One class of defect found in a trace: how often it occurred, whether the
+/// gate repaired it, and a human-readable description of the intervention.
+struct QualityDefect {
+  DefectClass defect = DefectClass::kGap;
+  int count = 0;
+  bool repaired = false;
+  std::string detail;
+};
+
+/// Everything the gate did to (or found in) one trace, carried through the
+/// pipeline into AssessmentOutcome and the JSON export so a degraded
+/// recommendation is always explainable.
+struct TraceQualityReport {
+  QualityPolicy policy = QualityPolicy::kRepair;
+  std::vector<QualityDefect> defects;
+
+  /// Samples seen before / after gating (gap interpolation grows the
+  /// trace; duplicate collapse shrinks it).
+  int samples_in = 0;
+  int samples_out = 0;
+
+  /// Degraded-mode assessment: expected profiling dimensions that were
+  /// never collected. The joint demand (Eq. 1) is narrowed to the
+  /// available dimensions and the recommendation's confidence is reduced.
+  std::vector<catalog::ResourceDim> missing_dims;
+  /// Dimensions the assessment actually ran on.
+  std::vector<catalog::ResourceDim> assessed_dims;
+  /// True when the assessment ran on fewer dimensions than expected.
+  bool degraded = false;
+  /// Fraction of expected dimensions missing, in [0, 1]; a coarse
+  /// confidence discount for the Resource Use Module to surface.
+  double confidence_penalty = 0.0;
+
+  /// Adds `count` occurrences of a defect class (merging with an existing
+  /// entry of the same class and repair state).
+  void Add(DefectClass defect, int count, bool repaired, std::string detail);
+
+  /// Total defect occurrences across classes.
+  int TotalDefects() const;
+
+  /// Occurrences the gate repaired.
+  int RepairedDefects() const;
+
+  /// True when no defects were found and no dimension is missing.
+  bool clean() const { return defects.empty() && !degraded; }
+
+  /// Folds another report into this one (multi-database rollups).
+  void MergeFrom(const TraceQualityReport& other);
+
+  /// One-line human summary, e.g.
+  /// "7 defects (7 repaired): gap x4, nan x3; degraded: missing log_rate".
+  std::string Summary() const;
+};
+
+}  // namespace doppler::quality
+
+#endif  // DOPPLER_QUALITY_QUALITY_REPORT_H_

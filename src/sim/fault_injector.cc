@@ -1,0 +1,249 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "telemetry/perf_trace.h"
+#include "util/string_util.h"
+
+namespace doppler::sim {
+
+namespace {
+
+/// Picks the column a spec targets: the named one, or a random non-time
+/// column. Returns the column index.
+StatusOr<std::size_t> TargetColumn(const CsvTable& table,
+                                   const FaultSpec& spec, Rng* rng) {
+  if (!spec.column.empty()) {
+    return table.ColumnIndex(spec.column);
+  }
+  std::vector<std::size_t> candidates;
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    if (table.header()[c] != "t_seconds") candidates.push_back(c);
+  }
+  if (candidates.empty()) {
+    return InvalidArgumentError("no non-time column to corrupt");
+  }
+  return candidates[rng->UniformInt(candidates.size())];
+}
+
+/// Number of rows a fractional magnitude touches — at least one.
+std::size_t TouchedRows(const CsvTable& table, double magnitude) {
+  const double frac = std::clamp(magnitude, 0.0, 1.0);
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             frac * static_cast<double>(table.num_rows()))));
+}
+
+CsvTable CopyHeader(const CsvTable& table) {
+  return CsvTable(table.header());
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropWindow:
+      return "drop_window";
+    case FaultKind::kJitter:
+      return "jitter";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kOutOfOrder:
+      return "out_of_order";
+    case FaultKind::kNanBurst:
+      return "nan_burst";
+    case FaultKind::kNegativeSpike:
+      return "negative_spike";
+    case FaultKind::kColumnDrop:
+      return "column_drop";
+    case FaultKind::kZeroDead:
+      return "zero_dead";
+    case FaultKind::kByteCorrupt:
+      return "byte_corrupt";
+  }
+  return "unknown";
+}
+
+StatusOr<CsvTable> InjectFault(const CsvTable& table, const FaultSpec& spec,
+                               Rng* rng) {
+  if (rng == nullptr) {
+    return InvalidArgumentError("fault injection needs an Rng");
+  }
+  if (table.num_rows() == 0) {
+    return InvalidArgumentError("cannot corrupt an empty table");
+  }
+
+  switch (spec.kind) {
+    case FaultKind::kDropWindow: {
+      const std::size_t len =
+          std::min(TouchedRows(table, spec.magnitude), table.num_rows() - 1);
+      const std::size_t start = rng->UniformInt(table.num_rows() - len + 1);
+      CsvTable out = CopyHeader(table);
+      for (std::size_t r = 0; r < table.num_rows(); ++r) {
+        if (r >= start && r < start + len) continue;
+        (void)out.AddRow(table.row(r));
+      }
+      return out;
+    }
+
+    case FaultKind::kJitter: {
+      DOPPLER_ASSIGN_OR_RETURN(std::size_t time_col,
+                               table.ColumnIndex("t_seconds"));
+      CsvTable out = CopyHeader(table);
+      for (std::size_t r = 0; r < table.num_rows(); ++r) {
+        std::vector<std::string> row = table.row(r);
+        char* end = nullptr;
+        const double t = std::strtod(row[time_col].c_str(), &end);
+        // Wobble by up to +/- magnitude of the nominal 10-minute cadence.
+        const double wobble = rng->Uniform(-spec.magnitude, spec.magnitude) *
+                              telemetry::kDmaIntervalSeconds;
+        row[time_col] = FormatDouble(t + wobble, 1);
+        (void)out.AddRow(std::move(row));
+      }
+      return out;
+    }
+
+    case FaultKind::kDuplicate: {
+      const std::size_t copies = TouchedRows(table, spec.magnitude);
+      CsvTable out = CopyHeader(table);
+      // Choose rows to duplicate up front so the pass stays one sweep.
+      std::vector<int> extra(table.num_rows(), 0);
+      for (std::size_t i = 0; i < copies; ++i) {
+        ++extra[rng->UniformInt(table.num_rows())];
+      }
+      for (std::size_t r = 0; r < table.num_rows(); ++r) {
+        (void)out.AddRow(table.row(r));
+        for (int k = 0; k < extra[r]; ++k) (void)out.AddRow(table.row(r));
+      }
+      return out;
+    }
+
+    case FaultKind::kOutOfOrder: {
+      const std::size_t swaps = TouchedRows(table, spec.magnitude);
+      std::vector<std::vector<std::string>> rows;
+      rows.reserve(table.num_rows());
+      for (std::size_t r = 0; r < table.num_rows(); ++r) {
+        rows.push_back(table.row(r));
+      }
+      for (std::size_t i = 0; i < swaps && rows.size() >= 2; ++i) {
+        const std::size_t a = rng->UniformInt(rows.size());
+        const std::size_t b = rng->UniformInt(rows.size());
+        std::swap(rows[a], rows[b]);
+      }
+      CsvTable out = CopyHeader(table);
+      for (auto& row : rows) (void)out.AddRow(std::move(row));
+      return out;
+    }
+
+    case FaultKind::kNanBurst: {
+      DOPPLER_ASSIGN_OR_RETURN(std::size_t col, TargetColumn(table, spec, rng));
+      const std::size_t len =
+          std::min(TouchedRows(table, spec.magnitude), table.num_rows());
+      const std::size_t start = rng->UniformInt(table.num_rows() - len + 1);
+      CsvTable out = CopyHeader(table);
+      for (std::size_t r = 0; r < table.num_rows(); ++r) {
+        std::vector<std::string> row = table.row(r);
+        if (r >= start && r < start + len) row[col] = "nan";
+        (void)out.AddRow(std::move(row));
+      }
+      return out;
+    }
+
+    case FaultKind::kNegativeSpike: {
+      DOPPLER_ASSIGN_OR_RETURN(std::size_t col, TargetColumn(table, spec, rng));
+      const std::size_t hits = TouchedRows(table, spec.magnitude);
+      std::vector<bool> hit(table.num_rows(), false);
+      for (std::size_t i = 0; i < hits; ++i) {
+        hit[rng->UniformInt(table.num_rows())] = true;
+      }
+      CsvTable out = CopyHeader(table);
+      for (std::size_t r = 0; r < table.num_rows(); ++r) {
+        std::vector<std::string> row = table.row(r);
+        if (hit[r]) row[col] = "-" + row[col];
+        (void)out.AddRow(std::move(row));
+      }
+      return out;
+    }
+
+    case FaultKind::kColumnDrop: {
+      DOPPLER_ASSIGN_OR_RETURN(std::size_t col, TargetColumn(table, spec, rng));
+      std::vector<std::string> header;
+      for (std::size_t c = 0; c < table.num_columns(); ++c) {
+        if (c != col) header.push_back(table.header()[c]);
+      }
+      CsvTable out((std::vector<std::string>(header)));
+      for (std::size_t r = 0; r < table.num_rows(); ++r) {
+        std::vector<std::string> row;
+        row.reserve(header.size());
+        for (std::size_t c = 0; c < table.num_columns(); ++c) {
+          if (c != col) row.push_back(table.row(r)[c]);
+        }
+        (void)out.AddRow(std::move(row));
+      }
+      return out;
+    }
+
+    case FaultKind::kZeroDead: {
+      DOPPLER_ASSIGN_OR_RETURN(std::size_t col, TargetColumn(table, spec, rng));
+      CsvTable out = CopyHeader(table);
+      for (std::size_t r = 0; r < table.num_rows(); ++r) {
+        std::vector<std::string> row = table.row(r);
+        row[col] = "0";
+        (void)out.AddRow(std::move(row));
+      }
+      return out;
+    }
+
+    case FaultKind::kByteCorrupt: {
+      DOPPLER_ASSIGN_OR_RETURN(std::size_t col, TargetColumn(table, spec, rng));
+      const std::size_t hits = TouchedRows(table, spec.magnitude);
+      std::vector<bool> hit(table.num_rows(), false);
+      for (std::size_t i = 0; i < hits; ++i) {
+        hit[rng->UniformInt(table.num_rows())] = true;
+      }
+      CsvTable out = CopyHeader(table);
+      for (std::size_t r = 0; r < table.num_rows(); ++r) {
+        std::vector<std::string> row = table.row(r);
+        if (hit[r]) {
+          // Overwrite the cell with garbage printable bytes.
+          std::string garbage;
+          const std::size_t len = 1 + rng->UniformInt(6);
+          for (std::size_t k = 0; k < len; ++k) {
+            garbage.push_back(
+                static_cast<char>('!' + rng->UniformInt('~' - '!' + 1)));
+          }
+          row[col] = garbage;
+        }
+        (void)out.AddRow(std::move(row));
+      }
+      return out;
+    }
+  }
+  return InvalidArgumentError("unknown fault kind");
+}
+
+StatusOr<CsvTable> ApplyFaults(const CsvTable& table,
+                               const std::vector<FaultSpec>& specs, Rng* rng) {
+  CsvTable current = table;
+  for (const FaultSpec& spec : specs) {
+    DOPPLER_ASSIGN_OR_RETURN(current, InjectFault(current, spec, rng));
+  }
+  return current;
+}
+
+std::string CorruptBytes(const std::string& text, int num_flips, Rng* rng) {
+  std::string out = text;
+  if (out.empty() || rng == nullptr) return out;
+  for (int i = 0; i < num_flips; ++i) {
+    const std::size_t pos = rng->UniformInt(out.size());
+    // Printable garbage plus the two structural characters, so corruption
+    // can also shear rows and fields apart.
+    constexpr char kAlphabet[] = "0123456789abcxyz!@#$%^&*,\n";
+    out[pos] = kAlphabet[rng->UniformInt(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+}  // namespace doppler::sim

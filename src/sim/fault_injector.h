@@ -1,0 +1,70 @@
+#ifndef DOPPLER_SIM_FAULT_INJECTOR_H_
+#define DOPPLER_SIM_FAULT_INJECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace doppler::sim {
+
+/// The corruption recipes the fault injector can apply to a clean trace
+/// CSV. Each models a failure the DMA appliance sees in the field; the
+/// robustness suite asserts that every one of them is either repaired (with
+/// a populated TraceQualityReport) or rejected with a typed Status — never
+/// an abort.
+enum class FaultKind {
+  kDropWindow = 0,  ///< Collector outage: a contiguous row window vanishes.
+  kJitter,          ///< Clock drift: timestamps wobble off the cadence grid.
+  kDuplicate,       ///< Retransmission: rows appear twice.
+  kOutOfOrder,      ///< Buffered uploads land out of sequence.
+  kNanBurst,        ///< A counter emits NaN for a contiguous burst.
+  kNegativeSpike,   ///< Counter wrap-around: random cells turn negative.
+  kColumnDrop,      ///< A dimension column is missing from the export.
+  kZeroDead,        ///< A counter flatlines to zero end to end.
+  kByteCorrupt,     ///< Random cells are overwritten with garbage bytes.
+};
+
+/// Number of fault kinds (for sweeping the whole space in tests).
+inline constexpr int kNumFaultKinds = 9;
+
+/// Stable snake_case name ("drop_window", "nan_burst", ...).
+const char* FaultKindName(FaultKind kind);
+
+/// One corruption step. Recipes compose: ApplyFaults runs a list of specs
+/// in order, each drawing from the same seeded Rng, so a corruption
+/// scenario is reproducible from (clean trace, recipe list, seed).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDropWindow;
+  /// Fraction of rows (or cells) the fault touches, in (0, 1]. For
+  /// kDropWindow it is the window length; for kJitter the timestamp offset
+  /// as a fraction of the cadence.
+  double magnitude = 0.1;
+  /// Column the fault targets (kNanBurst, kNegativeSpike, kColumnDrop,
+  /// kZeroDead, kByteCorrupt). Empty = a random non-time column.
+  std::string column;
+};
+
+/// Applies one corruption step to a trace CSV. Pure with respect to the
+/// Rng stream: identical (table, spec, rng state) produce identical
+/// corruption. Fails with INVALID_ARGUMENT when the spec cannot apply
+/// (unknown column, table too small to corrupt).
+StatusOr<CsvTable> InjectFault(const CsvTable& table, const FaultSpec& spec,
+                               Rng* rng);
+
+/// Runs a recipe list in order; the output of each step feeds the next.
+StatusOr<CsvTable> ApplyFaults(const CsvTable& table,
+                               const std::vector<FaultSpec>& specs, Rng* rng);
+
+/// Byte-level corruption of serialized CSV text: `num_flips` positions are
+/// overwritten with random printable bytes (newlines included, so rows can
+/// shear apart). This is the harshest recipe — the result may not even
+/// parse as CSV, which is exactly what the never-abort property test
+/// feeds through ReadTraceFile.
+std::string CorruptBytes(const std::string& text, int num_flips, Rng* rng);
+
+}  // namespace doppler::sim
+
+#endif  // DOPPLER_SIM_FAULT_INJECTOR_H_

@@ -1,5 +1,6 @@
 #include "sources/counter_mapping.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <map>
 
@@ -9,13 +10,26 @@ namespace doppler::sources {
 
 namespace {
 
-StatusOr<double> ParseNumber(const std::string& text) {
+// Foreign exports carry physical counters, so a cell must be a finite
+// number; "nan"/"inf" parse under strtod and are rejected here.
+StatusOr<double> ParseNumber(const std::string& text, const std::string& where) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
   if (end == text.c_str() || !Trim(end).empty()) {
-    return InvalidArgumentError("not a number: '" + text + "'");
+    return InvalidArgumentError("not a number at " + where + ": '" + text +
+                                "'");
+  }
+  if (!std::isfinite(value)) {
+    return InvalidArgumentError("non-finite value at " + where + ": '" + text +
+                                "'");
   }
   return value;
+}
+
+std::string CellContext(const std::string& source, std::size_t row,
+                        const std::string& column) {
+  return source + " data row " + std::to_string(row + 1) + ", column '" +
+         column + "'";
 }
 
 }  // namespace
@@ -31,17 +45,22 @@ StatusOr<telemetry::PerfTrace> TraceFromForeignCsv(
     return InvalidArgumentError(mapping.source_name + " export is empty");
   }
 
-  // Cadence from the first two rows (DMA default for single-row exports).
+  // Every timestamp must increase (DMA default cadence for single-row
+  // exports; otherwise the first delta).
   std::int64_t interval = telemetry::kDmaIntervalSeconds;
-  if (table.num_rows() >= 2) {
-    DOPPLER_ASSIGN_OR_RETURN(double t0, ParseNumber(table.row(0)[time_col]));
-    DOPPLER_ASSIGN_OR_RETURN(double t1, ParseNumber(table.row(1)[time_col]));
-    const auto delta = static_cast<std::int64_t>(t1 - t0);
-    if (delta <= 0) {
-      return InvalidArgumentError(mapping.source_name +
-                                  ": timestamps must increase");
+  double previous_t = 0.0;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        double t,
+        ParseNumber(table.row(r)[time_col],
+                    CellContext(mapping.source_name, r, mapping.time_column)));
+    if (r > 0 && t <= previous_t) {
+      return InvalidArgumentError(
+          mapping.source_name + ": timestamps must increase (violated at " +
+          CellContext(mapping.source_name, r, mapping.time_column) + ")");
     }
-    interval = delta;
+    if (r == 1) interval = static_cast<std::int64_t>(t - previous_t);
+    previous_t = t;
   }
 
   // Accumulate rule columns into per-dimension series.
@@ -52,7 +71,15 @@ StatusOr<telemetry::PerfTrace> TraceFromForeignCsv(
     auto& values = series[rule.dim];
     if (values.empty()) values.assign(table.num_rows(), 0.0);
     for (std::size_t r = 0; r < table.num_rows(); ++r) {
-      DOPPLER_ASSIGN_OR_RETURN(double v, ParseNumber(table.row(r)[column]));
+      DOPPLER_ASSIGN_OR_RETURN(
+          double v, ParseNumber(table.row(r)[column],
+                                CellContext(mapping.source_name, r,
+                                            rule.column)));
+      if (v < 0.0) {
+        return InvalidArgumentError(
+            "negative counter at " +
+            CellContext(mapping.source_name, r, rule.column));
+      }
       values[r] += v * rule.unit_scale;
     }
   }

@@ -1,5 +1,6 @@
 #include "telemetry/trace_io.h"
 
+#include <cmath>
 #include <cstdlib>
 
 #include "util/string_util.h"
@@ -28,13 +29,25 @@ CsvTable TraceToCsv(const PerfTrace& trace) {
 
 namespace {
 
-StatusOr<double> ParseNumber(const std::string& text) {
+// `strtod` happily parses "nan" and "inf", so finiteness is checked here
+// rather than in the parse itself; `context` names the offending cell.
+StatusOr<double> ParseNumber(const std::string& text,
+                             const std::string& context) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
   if (end == text.c_str() || !Trim(end).empty()) {
-    return InvalidArgumentError("not a number: '" + text + "'");
+    return InvalidArgumentError("not a number at " + context + ": '" + text +
+                                "'");
+  }
+  if (!std::isfinite(value)) {
+    return InvalidArgumentError("non-finite value at " + context + ": '" +
+                                text + "'");
   }
   return value;
+}
+
+std::string CellContext(std::size_t row, const std::string& column) {
+  return "data row " + std::to_string(row + 1) + ", column '" + column + "'";
 }
 
 }  // namespace
@@ -42,16 +55,27 @@ StatusOr<double> ParseNumber(const std::string& text) {
 StatusOr<PerfTrace> TraceFromCsv(const CsvTable& table) {
   DOPPLER_ASSIGN_OR_RETURN(std::size_t time_col, table.ColumnIndex("t_seconds"));
 
-  // Cadence from the first two rows.
+  // Every timestamp must be finite and strictly increasing; the cadence is
+  // the first delta.
   std::int64_t interval = kDmaIntervalSeconds;
-  if (table.num_rows() >= 2) {
-    DOPPLER_ASSIGN_OR_RETURN(double t0, ParseNumber(table.row(0)[time_col]));
-    DOPPLER_ASSIGN_OR_RETURN(double t1, ParseNumber(table.row(1)[time_col]));
-    const auto delta = static_cast<std::int64_t>(t1 - t0);
-    if (delta <= 0) {
-      return InvalidArgumentError("t_seconds must be strictly increasing");
+  double previous_t = 0.0;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        double t, ParseNumber(table.row(r)[time_col],
+                              CellContext(r, "t_seconds")));
+    if (r > 0 && t <= previous_t) {
+      return InvalidArgumentError(
+          "t_seconds must be strictly increasing (violated at " +
+          CellContext(r, "t_seconds") + ")");
     }
-    interval = delta;
+    if (r == 1) {
+      const auto delta = static_cast<std::int64_t>(t - previous_t);
+      if (delta <= 0) {
+        return InvalidArgumentError("t_seconds must be strictly increasing");
+      }
+      interval = delta;
+    }
+    previous_t = t;
   }
 
   PerfTrace trace(interval);
@@ -62,7 +86,9 @@ StatusOr<PerfTrace> TraceFromCsv(const CsvTable& table) {
     std::vector<double> values;
     values.reserve(table.num_rows());
     for (std::size_t r = 0; r < table.num_rows(); ++r) {
-      DOPPLER_ASSIGN_OR_RETURN(double v, ParseNumber(table.row(r)[c]));
+      DOPPLER_ASSIGN_OR_RETURN(
+          double v,
+          ParseNumber(table.row(r)[c], CellContext(r, table.header()[c])));
       values.push_back(v);
     }
     DOPPLER_RETURN_IF_ERROR(trace.SetSeries(dim, std::move(values)));

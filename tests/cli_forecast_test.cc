@@ -9,7 +9,9 @@
 #include "core/forecast.h"
 #include "dma/cli.h"
 #include "telemetry/trace_io.h"
+#include "util/csv.h"
 #include "util/random.h"
+#include "util/string_util.h"
 #include "workload/generator.h"
 
 namespace doppler {
@@ -168,7 +170,7 @@ TEST(CliRunTest, HelpAndUnknownCommand) {
   EXPECT_EQ(dma::CliMain({"help"}, out), 0);
   EXPECT_NE(out.str().find("Commands:"), std::string::npos);
   std::ostringstream err;
-  EXPECT_EQ(dma::CliMain({"frobnicate"}, err), 1);
+  EXPECT_EQ(dma::CliMain({"frobnicate"}, err), 3);
   EXPECT_NE(err.str().find("unknown command"), std::string::npos);
   std::ostringstream usage;
   EXPECT_EQ(dma::CliMain({"assess", "stray"}, usage), 2);
@@ -236,7 +238,7 @@ TEST_F(CliFlowTest, FitProfilesThenAssessFromFiles) {
 
 TEST_F(CliFlowTest, AssessRequiresTrace) {
   std::ostringstream out;
-  EXPECT_EQ(dma::CliMain({"assess"}, out), 1);
+  EXPECT_EQ(dma::CliMain({"assess"}, out), 3);
   EXPECT_NE(out.str().find("--trace"), std::string::npos);
 }
 
@@ -269,7 +271,7 @@ TEST_F(CliFlowTest, DriftCommand) {
   std::ostringstream missing;
   EXPECT_EQ(dma::CliMain({"drift", "--trace", TempPath("cli_trace.csv")},
                          missing),
-            1);
+            3);
 }
 
 TEST_F(CliFlowTest, AssessJsonIsWellFormed) {
@@ -298,12 +300,96 @@ TEST_F(CliFlowTest, BadFlagValuesSurfaceErrors) {
   EXPECT_EQ(dma::CliMain({"forecast", "--trace", TempPath("cli_trace.csv"),
                           "--months", "zero"},
                          out),
-            1);
+            3);
   EXPECT_NE(out.str().find("positive integer"), std::string::npos);
   std::ostringstream bad_deployment;
   EXPECT_EQ(dma::CliMain({"fit-profiles", "--deployment", "oracle"},
                          bad_deployment),
-            1);
+            3);
+}
+
+// ------------------------------------------------ Typed exit codes.
+
+TEST(CliExitCodeTest, StatusCodesMapToDistinctNonzeroExitCodes) {
+  EXPECT_EQ(dma::ExitCodeForStatus(OkStatus()), 0);
+  EXPECT_EQ(dma::ExitCodeForStatus(InvalidArgumentError("x")), 3);
+  EXPECT_EQ(dma::ExitCodeForStatus(NotFoundError("x")), 4);
+  EXPECT_EQ(dma::ExitCodeForStatus(FailedPreconditionError("x")), 5);
+  EXPECT_EQ(dma::ExitCodeForStatus(OutOfRangeError("x")), 6);
+  EXPECT_EQ(dma::ExitCodeForStatus(UnavailableError("x")), 7);
+  EXPECT_EQ(dma::ExitCodeForStatus(InternalError("x")), 8);
+}
+
+TEST_F(CliFlowTest, MissingTraceFileExitsUnavailable) {
+  std::ostringstream out;
+  EXPECT_EQ(dma::CliMain({"assess", "--trace",
+                          TempPath("does_not_exist.csv")},
+                         out),
+            7);
+}
+
+TEST_F(CliFlowTest, UnknownQualityPolicyRejected) {
+  std::ostringstream out;
+  EXPECT_EQ(dma::CliMain({"assess", "--trace", TempPath("cli_trace.csv"),
+                          "--quality", "lenient"},
+                         out),
+            3);
+  EXPECT_NE(out.str().find("quality policy"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, StrictQualityRejectsDirtyTraceWithTypedExit) {
+  // A trace with a one-slot collector gap: strict refuses, repair assesses.
+  CsvTable dirty({"t_seconds", "cpu", "iops"});
+  for (int i = 0; i < 40; ++i) {
+    if (i == 20) continue;
+    (void)dirty.AddRow({std::to_string(i * 600),
+                        FormatDouble(0.5 + 0.1 * (i % 7), 2),
+                        FormatDouble(100.0 + 10.0 * (i % 5), 2)});
+  }
+  ASSERT_TRUE(dirty.WriteFile(TempPath("cli_dirty.csv")).ok());
+
+  std::ostringstream strict;
+  EXPECT_EQ(dma::CliMain({"assess", "--trace", TempPath("cli_dirty.csv"),
+                          "--quality", "strict"},
+                         strict),
+            5);
+  EXPECT_NE(strict.str().find("FAILED_PRECONDITION"), std::string::npos);
+}
+
+TEST_F(CliFlowTest, RepairQualitySurfacesSummaryAndJsonReport) {
+  CsvTable dirty({"t_seconds", "cpu", "iops"});
+  for (int i = 0; i < 40; ++i) {
+    if (i == 20) continue;
+    (void)dirty.AddRow({std::to_string(i * 600),
+                        i == 5 ? "nan" : FormatDouble(0.5 + 0.1 * (i % 7), 2),
+                        FormatDouble(100.0 + 10.0 * (i % 5), 2)});
+  }
+  ASSERT_TRUE(dirty.WriteFile(TempPath("cli_dirty2.csv")).ok());
+
+  std::ostringstream fit;
+  ASSERT_EQ(dma::CliMain({"fit-profiles", "--deployment", "db",
+                          "--customers", "30", "--seed", "4", "--out",
+                          TempPath("cli_prof_q.csv")},
+                         fit),
+            0);
+  std::ostringstream human;
+  EXPECT_EQ(dma::CliMain({"assess", "--trace", TempPath("cli_dirty2.csv"),
+                          "--profiles", TempPath("cli_prof_q.csv")},
+                         human),
+            0);
+  EXPECT_NE(human.str().find("Telemetry quality:"), std::string::npos);
+  EXPECT_NE(human.str().find("gap"), std::string::npos);
+
+  std::ostringstream json_out;
+  EXPECT_EQ(dma::CliMain({"assess", "--trace", TempPath("cli_dirty2.csv"),
+                          "--profiles", TempPath("cli_prof_q.csv"),
+                          "--json"},
+                         json_out),
+            0);
+  const std::string json = json_out.str();
+  EXPECT_NE(json.find("\"quality\""), std::string::npos);
+  EXPECT_NE(json.find("\"non_finite\""), std::string::npos);
+  EXPECT_NE(json.find("\"gap\""), std::string::npos);
 }
 
 }  // namespace

@@ -541,5 +541,53 @@ TEST(SourcesTest, RejectsMalformedExports) {
   EXPECT_FALSE(sources::TraceFromForeignCsv(AwrCsv(), empty_mapping).ok());
 }
 
+TEST(SourcesTest, EmptyAndHeaderOnlyExportsRejectedNotCrashed) {
+  // Entirely empty table: no columns, no rows.
+  EXPECT_FALSE(sources::TraceFromAwrCsv(CsvTable()).ok());
+  EXPECT_FALSE(sources::TraceFromPostgresCsv(CsvTable()).ok());
+  // Header only, zero data rows.
+  CsvTable header_only({"t_seconds", "cpu_per_s", "physical_reads_per_s",
+                        "physical_writes_per_s", "redo_mb_per_s",
+                        "sga_pga_gb", "db_file_seq_read_ms", "db_size_gb"});
+  EXPECT_FALSE(sources::TraceFromAwrCsv(header_only).ok());
+}
+
+TEST(SourcesTest, UnknownColumnsOnlyExportRejected) {
+  CsvTable unknown({"timestamp", "widgets", "gadgets"});
+  ASSERT_TRUE(unknown.AddRow({"0", "1", "2"}).ok());
+  EXPECT_FALSE(sources::TraceFromAwrCsv(unknown).ok());
+  EXPECT_FALSE(sources::TraceFromPostgresCsv(unknown).ok());
+}
+
+TEST(SourcesTest, NonFiniteAndNegativeCellsRejectedWithContext) {
+  CsvTable nan_cell = AwrCsv();
+  ASSERT_TRUE(
+      nan_cell.AddRow({"1200", "nan", "1", "1", "1", "1", "1", "1"}).ok());
+  const Status nan_status =
+      sources::TraceFromAwrCsv(nan_cell).status();
+  EXPECT_EQ(nan_status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(nan_status.message().find("data row 3"), std::string::npos);
+
+  CsvTable negative = AwrCsv();
+  ASSERT_TRUE(
+      negative.AddRow({"1200", "-2.5", "1", "1", "1", "1", "1", "1"}).ok());
+  const Status neg_status =
+      sources::TraceFromAwrCsv(negative).status();
+  EXPECT_EQ(neg_status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(neg_status.message().find("negative counter"), std::string::npos);
+}
+
+TEST(SourcesTest, RaggedCsvTextRejectedAtParse) {
+  // Rows of differing width never reach the adapters: CsvTable::Parse
+  // refuses them with a typed Status instead of crashing downstream.
+  const std::string ragged =
+      "t_seconds,cpu_per_s,physical_reads_per_s\n"
+      "0,1.0,100\n"
+      "600,2.0\n";
+  StatusOr<CsvTable> parsed = CsvTable::Parse(ragged);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace doppler

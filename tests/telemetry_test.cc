@@ -310,5 +310,35 @@ TEST(TraceIoTest, NoKnownColumnsRejected) {
   EXPECT_FALSE(TraceFromCsv(table).ok());
 }
 
+TEST(TraceIoTest, MonotonicityCheckedOnEveryRowNotJustTheFirstPair) {
+  // The violation sits deep in the file: rows 1-3 are fine.
+  CsvTable table({"t_seconds", "cpu"});
+  ASSERT_TRUE(table.AddRow({"0", "1"}).ok());
+  ASSERT_TRUE(table.AddRow({"600", "2"}).ok());
+  ASSERT_TRUE(table.AddRow({"1200", "3"}).ok());
+  ASSERT_TRUE(table.AddRow({"900", "4"}).ok());
+  const Status status = TraceFromCsv(table).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The error names the offending row so the collector bug is findable.
+  EXPECT_NE(status.message().find("data row 4"), std::string::npos);
+}
+
+TEST(TraceIoTest, NonFiniteCellsRejectedWithRowContext) {
+  CsvTable values({"t_seconds", "cpu"});
+  ASSERT_TRUE(values.AddRow({"0", "1.0"}).ok());
+  ASSERT_TRUE(values.AddRow({"600", "nan"}).ok());
+  const Status bad_value = TraceFromCsv(values).status();
+  EXPECT_EQ(bad_value.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_value.message().find("data row 2"), std::string::npos);
+  EXPECT_NE(bad_value.message().find("cpu"), std::string::npos);
+
+  CsvTable times({"t_seconds", "cpu"});
+  ASSERT_TRUE(times.AddRow({"inf", "1.0"}).ok());
+  ASSERT_TRUE(times.AddRow({"600", "2.0"}).ok());
+  const Status bad_time = TraceFromCsv(times).status();
+  EXPECT_EQ(bad_time.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad_time.message().find("t_seconds"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace doppler::telemetry

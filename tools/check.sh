@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UBSan and runs the full tier-1
+# suite under it. Usage: tools/check.sh [build-dir] (default build-asan).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DDOPPLER_SANITIZE="address;undefined" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${build_dir}" -j"$(nproc)"
+
+# halt_on_error makes UBSan findings fail the run instead of just logging.
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+export ASAN_OPTIONS="detect_leaks=1"
+ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"

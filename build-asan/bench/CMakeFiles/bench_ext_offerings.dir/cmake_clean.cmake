@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_offerings.dir/bench_ext_offerings.cc.o"
+  "CMakeFiles/bench_ext_offerings.dir/bench_ext_offerings.cc.o.d"
+  "bench_ext_offerings"
+  "bench_ext_offerings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_offerings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

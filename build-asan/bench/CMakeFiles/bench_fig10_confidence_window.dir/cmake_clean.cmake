@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_confidence_window.dir/bench_fig10_confidence_window.cc.o"
+  "CMakeFiles/bench_fig10_confidence_window.dir/bench_fig10_confidence_window.cc.o.d"
+  "bench_fig10_confidence_window"
+  "bench_fig10_confidence_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_confidence_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_sku_change.dir/bench_fig11_sku_change.cc.o"
+  "CMakeFiles/bench_fig11_sku_change.dir/bench_fig11_sku_change.cc.o.d"
+  "bench_fig11_sku_change"
+  "bench_fig11_sku_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_sku_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

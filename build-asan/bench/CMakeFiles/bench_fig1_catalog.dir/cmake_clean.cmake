@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_catalog.dir/bench_fig1_catalog.cc.o"
+  "CMakeFiles/bench_fig1_catalog.dir/bench_fig1_catalog.cc.o.d"
+  "bench_fig1_catalog"
+  "bench_fig1_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_curve_generation.dir/bench_fig4_curve_generation.cc.o"
+  "CMakeFiles/bench_fig4_curve_generation.dir/bench_fig4_curve_generation.cc.o.d"
+  "bench_fig4_curve_generation"
+  "bench_fig4_curve_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_curve_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

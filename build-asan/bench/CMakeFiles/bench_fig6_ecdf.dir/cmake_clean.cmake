@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ecdf.dir/bench_fig6_ecdf.cc.o"
+  "CMakeFiles/bench_fig6_ecdf.dir/bench_fig6_ecdf.cc.o.d"
+  "bench_fig6_ecdf"
+  "bench_fig6_ecdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ecdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

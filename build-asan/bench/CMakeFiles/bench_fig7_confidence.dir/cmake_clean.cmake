@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_confidence.dir/bench_fig7_confidence.cc.o"
+  "CMakeFiles/bench_fig7_confidence.dir/bench_fig7_confidence.cc.o.d"
+  "bench_fig7_confidence"
+  "bench_fig7_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

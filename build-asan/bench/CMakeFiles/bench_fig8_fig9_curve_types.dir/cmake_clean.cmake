@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_fig9_curve_types.dir/bench_fig8_fig9_curve_types.cc.o"
+  "CMakeFiles/bench_fig8_fig9_curve_types.dir/bench_fig8_fig9_curve_types.cc.o.d"
+  "bench_fig8_fig9_curve_types"
+  "bench_fig8_fig9_curve_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_fig9_curve_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_fig9_curve_types.
+# This may be replaced when dependencies are built.

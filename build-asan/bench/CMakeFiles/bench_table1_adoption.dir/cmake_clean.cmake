@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_adoption.dir/bench_table1_adoption.cc.o"
+  "CMakeFiles/bench_table1_adoption.dir/bench_table1_adoption.cc.o.d"
+  "bench_table1_adoption"
+  "bench_table1_adoption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_adoption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

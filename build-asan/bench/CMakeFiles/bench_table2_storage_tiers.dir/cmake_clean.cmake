@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_storage_tiers.dir/bench_table2_storage_tiers.cc.o"
+  "CMakeFiles/bench_table2_storage_tiers.dir/bench_table2_storage_tiers.cc.o.d"
+  "bench_table2_storage_tiers"
+  "bench_table2_storage_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_storage_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_synthesized.dir/bench_table6_synthesized.cc.o"
+  "CMakeFiles/bench_table6_synthesized.dir/bench_table6_synthesized.cc.o.d"
+  "bench_table6_synthesized"
+  "bench_table6_synthesized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_synthesized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

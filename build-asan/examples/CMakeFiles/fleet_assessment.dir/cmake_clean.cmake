@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_assessment.dir/fleet_assessment.cpp.o"
+  "CMakeFiles/fleet_assessment.dir/fleet_assessment.cpp.o.d"
+  "fleet_assessment"
+  "fleet_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_migration.dir/oracle_migration.cpp.o"
+  "CMakeFiles/oracle_migration.dir/oracle_migration.cpp.o.d"
+  "oracle_migration"
+  "oracle_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

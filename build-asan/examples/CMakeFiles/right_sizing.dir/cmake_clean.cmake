@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/right_sizing.dir/right_sizing.cpp.o"
+  "CMakeFiles/right_sizing.dir/right_sizing.cpp.o.d"
+  "right_sizing"
+  "right_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/right_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesize_and_replay.dir/synthesize_and_replay.cpp.o"
+  "CMakeFiles/synthesize_and_replay.dir/synthesize_and_replay.cpp.o.d"
+  "synthesize_and_replay"
+  "synthesize_and_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesize_and_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

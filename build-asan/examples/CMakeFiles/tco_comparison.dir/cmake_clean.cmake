@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tco_comparison.dir/tco_comparison.cpp.o"
+  "CMakeFiles/tco_comparison.dir/tco_comparison.cpp.o.d"
+  "tco_comparison"
+  "tco_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tco_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adf_test.dir/adf_test.cc.o"
+  "CMakeFiles/adf_test.dir/adf_test.cc.o.d"
+  "adf_test"
+  "adf_test.pdb"
+  "adf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_profile_test.dir/core_profile_test.cc.o"
+  "CMakeFiles/core_profile_test.dir/core_profile_test.cc.o.d"
+  "core_profile_test"
+  "core_profile_test.pdb"
+  "core_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_inputs_test.dir/static_inputs_test.cc.o"
+  "CMakeFiles/static_inputs_test.dir/static_inputs_test.cc.o.d"
+  "static_inputs_test"
+  "static_inputs_test.pdb"
+  "static_inputs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_inputs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

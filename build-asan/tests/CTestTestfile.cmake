@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/stats_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/ml_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/workload_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_curve_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_profile_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/core_recommender_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/dma_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/static_inputs_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/cli_forecast_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/quality_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/adf_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/json_report_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/drift_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppler_cli.dir/doppler_cli.cc.o"
+  "CMakeFiles/doppler_cli.dir/doppler_cli.cc.o.d"
+  "doppler"
+  "doppler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppler_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -20,6 +20,7 @@ include("/root/repo/build/tests/extensions_test[1]_include.cmake")
 include("/root/repo/build/tests/static_inputs_test[1]_include.cmake")
 include("/root/repo/build/tests/cli_forecast_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/quality_test[1]_include.cmake")
 include("/root/repo/build/tests/adf_test[1]_include.cmake")
 include("/root/repo/build/tests/json_report_test[1]_include.cmake")
 include("/root/repo/build/tests/drift_test[1]_include.cmake")

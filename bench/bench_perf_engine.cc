@@ -16,7 +16,10 @@
 #include "core/price_performance.h"
 #include "core/recommender.h"
 #include "core/throttling.h"
+#include "dma/pipeline.h"
 #include "dma/preprocess.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/stl.h"
 #include "util/random.h"
 #include "workload/generator.h"
@@ -185,6 +188,54 @@ void BM_EndToEndRecommendation(benchmark::State& state) {
   state.SetLabel("14-day trace, full DB catalog");
 }
 BENCHMARK(BM_EndToEndRecommendation)->Unit(benchmark::kMillisecond);
+
+// ---- Full pipeline assessment with observability on/off.
+//
+// Arg(0) runs with trace buffering disabled (the production default: spans
+// still feed latency histograms, counters still tick), Arg(1) with the
+// trace buffer enabled. Comparing the two quantifies the instrumentation
+// overhead; the acceptance bar is <2% with export disabled.
+
+void BM_PipelineAssess(benchmark::State& state) {
+  static const dma::SkuRecommendationPipeline* const kPipeline = [] {
+    StatusOr<core::GroupModel> model = dma::FitGroupModelOffline(
+        Catalog(), catalog::DefaultPricing(), core::NonParametricEstimator(),
+        catalog::Deployment::kSqlDb, 60, 5);
+    if (!model.ok()) std::abort();
+    StatusOr<dma::SkuRecommendationPipeline> pipeline =
+        dma::SkuRecommendationPipeline::Create(
+            {catalog::SkuCatalog(Catalog()), *std::move(model)});
+    if (!pipeline.ok()) std::abort();
+    return new dma::SkuRecommendationPipeline(*std::move(pipeline));
+  }();
+  const bool tracing = state.range(0) != 0;
+  obs::SetTracingEnabled(tracing);
+  obs::ClearTraceBuffer();
+  dma::AssessmentRequest request;
+  request.customer_id = "bench";
+  request.target = catalog::Deployment::kSqlDb;
+  request.database_traces = {MakeTrace(7, 5)};
+  for (auto _ : state) {
+    StatusOr<dma::AssessmentOutcome> outcome = kPipeline->Assess(request);
+    benchmark::DoNotOptimize(outcome);
+    if (!outcome.ok()) std::abort();
+  }
+  obs::SetTracingEnabled(false);
+  // Surface the span-derived per-stage breakdown next to the timing.
+  for (const char* stage :
+       {"pipeline.preprocess", "pipeline.quality", "pipeline.recommend",
+        "pipeline.baseline"}) {
+    const obs::Histogram* latency =
+        obs::DefaultMetrics().FindHistogram(std::string("latency.") + stage);
+    if (latency != nullptr && latency->Count() > 0) {
+      state.counters[stage] = benchmark::Counter(
+          latency->Sum() / static_cast<double>(latency->Count()));
+    }
+  }
+  obs::ClearTraceBuffer();
+  state.SetLabel(tracing ? "trace buffer on" : "trace buffer off");
+}
+BENCHMARK(BM_PipelineAssess)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace doppler::core {
 
 namespace {
@@ -29,6 +32,7 @@ StatusOr<MiFilterResult> FilterMiCandidates(
   if (trace.num_samples() == 0) {
     return InvalidArgumentError("performance trace is empty");
   }
+  DOPPLER_TRACE_SPAN("ppm.mi_filter");
   DOPPLER_ASSIGN_OR_RETURN(catalog::LayoutLimits limits,
                            catalog::ComputeLayoutLimits(layout));
 
@@ -96,6 +100,12 @@ StatusOr<MiFilterResult> FilterMiCandidates(
         "no MI SKU can host the layout (storage need " +
         std::to_string(storage_need) + " GB)");
   }
+  static obs::Counter* const kCandidates =
+      obs::DefaultMetrics().GetCounter("ppm.mi_candidates");
+  static obs::Counter* const kRestricted =
+      obs::DefaultMetrics().GetCounter("ppm.mi_restricted_to_bc");
+  kCandidates->Increment(result.candidates.size());
+  if (result.restricted_to_bc) kRestricted->Increment();
   return result;
 }
 

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
 namespace doppler::core {
 
 const char* CurveShapeName(CurveShape shape) {
@@ -28,6 +32,13 @@ StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
   if (trace.num_samples() == 0) {
     return InvalidArgumentError("performance trace is empty");
   }
+  DOPPLER_TRACE_SPAN("ppm.curve_build");
+  static obs::Counter* const kSkusEvaluated =
+      obs::DefaultMetrics().GetCounter("ppm.skus_evaluated");
+  kSkusEvaluated->Increment(candidates.size());
+  DOPPLER_LOG(kDebug) << "building price-performance curve over "
+                      << candidates.size() << " SKUs, "
+                      << trace.num_samples() << " samples";
 
   // Mean CPU demand feeds usage-based (serverless) billing; 0 when the
   // trace carries no CPU counter (pricing then assumes the worst case).

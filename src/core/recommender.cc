@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace doppler::core {
@@ -24,6 +27,9 @@ void NoteDegradedDims(const std::vector<ResourceDim>& profile_dims,
   }
   recommendation->degraded = !recommendation->missing_profile_dims.empty();
   if (!recommendation->degraded) return;
+  static obs::Counter* const kDegraded =
+      obs::DefaultMetrics().GetCounter("recommend.degraded");
+  kDegraded->Increment();
   std::string names;
   for (ResourceDim dim : recommendation->missing_profile_dims) {
     if (!names.empty()) names += ", ";
@@ -96,10 +102,41 @@ StatusOr<Recommendation> ElasticRecommender::Recommend(
   return RecommendMi(trace, layout);
 }
 
+namespace {
+
+// Curve-type tally (paper §5.1 reports the fleet-wide flat/simple/complex
+// split); one increment per recommendation produced.
+void CountCurveShape(CurveShape shape) {
+  static obs::Counter* const kFlat =
+      obs::DefaultMetrics().GetCounter("recommend.curve.flat");
+  static obs::Counter* const kSimple =
+      obs::DefaultMetrics().GetCounter("recommend.curve.simple");
+  static obs::Counter* const kComplex =
+      obs::DefaultMetrics().GetCounter("recommend.curve.complex");
+  switch (shape) {
+    case CurveShape::kFlat:
+      kFlat->Increment();
+      break;
+    case CurveShape::kSimple:
+      kSimple->Increment();
+      break;
+    case CurveShape::kComplex:
+      kComplex->Increment();
+      break;
+  }
+}
+
+}  // namespace
+
 StatusOr<Recommendation> ElasticRecommender::SelectFromCurve(
     PricePerformanceCurve curve, const telemetry::PerfTrace& trace) const {
+  DOPPLER_TRACE_SPAN("recommend.select");
   Recommendation recommendation;
   recommendation.curve_shape = curve.Classify(options_.classify_epsilon);
+  CountCurveShape(recommendation.curve_shape);
+  DOPPLER_LOG(kDebug) << "curve classified as "
+                      << CurveShapeName(recommendation.curve_shape) << " over "
+                      << curve.points().size() << " points";
 
   if (recommendation.curve_shape == CurveShape::kFlat) {
     // Every SKU satisfies the workload: the cheapest is the most
@@ -119,7 +156,11 @@ StatusOr<Recommendation> ElasticRecommender::SelectFromCurve(
   }
 
   // Profile the customer and pull the learned group target (Eqs. 2-6).
-  DOPPLER_ASSIGN_OR_RETURN(CustomerProfile profile, profiler_->Profile(trace));
+  StatusOr<CustomerProfile> profiled = [&] {
+    DOPPLER_TRACE_SPAN("recommend.profile");
+    return profiler_->Profile(trace);
+  }();
+  DOPPLER_ASSIGN_OR_RETURN(CustomerProfile profile, std::move(profiled));
   recommendation.group_id = profile.group_id;
   recommendation.group_target = group_model_->TargetProbability(profile.group_id);
 

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "stats/kde.h"
 #include "stats/normal.h"
 #include "util/random.h"
@@ -15,6 +16,17 @@ namespace {
 
 using catalog::ResourceDim;
 using catalog::ResourceVector;
+
+// Hot path: one Probability call per candidate SKU per curve. Counter
+// pointers are resolved once so each evaluation costs a relaxed atomic add.
+void CountEvaluation(std::size_t samples_scanned) {
+  static obs::Counter* const kEvaluations =
+      obs::DefaultMetrics().GetCounter("ppm.throttling_evaluations");
+  static obs::Counter* const kSamples =
+      obs::DefaultMetrics().GetCounter("ppm.samples_scanned");
+  kEvaluations->Increment();
+  kSamples->Increment(samples_scanned);
+}
 
 // Dimensions modelled by both the trace and the capacity vector.
 StatusOr<std::vector<ResourceDim>> SharedDims(
@@ -41,6 +53,7 @@ StatusOr<double> NonParametricEstimator::Probability(
   DOPPLER_ASSIGN_OR_RETURN(std::vector<ResourceDim> dims,
                            SharedDims(trace, capacities));
   const std::size_t n = trace.num_samples();
+  CountEvaluation(n);
   std::size_t throttled = 0;
   for (std::size_t i = 0; i < n; ++i) {
     for (ResourceDim dim : dims) {
@@ -59,6 +72,7 @@ StatusOr<double> KdeEstimator::Probability(
     const ResourceVector& capacities) const {
   DOPPLER_ASSIGN_OR_RETURN(std::vector<ResourceDim> dims,
                            SharedDims(trace, capacities));
+  CountEvaluation(trace.num_samples());
   double none_exceeds = 1.0;
   for (ResourceDim dim : dims) {
     DOPPLER_ASSIGN_OR_RETURN(stats::GaussianKde kde,
@@ -116,6 +130,7 @@ StatusOr<double> GaussianCopulaEstimator::Probability(
                            SharedDims(trace, capacities));
   const std::size_t d = dims.size();
   const std::size_t n = trace.num_samples();
+  CountEvaluation(n);
 
   // Rank-transform each marginal to normal scores; keep the sorted sample
   // as the empirical quantile function.

@@ -6,6 +6,9 @@
 #include "core/drift.h"
 #include "core/forecast.h"
 #include "dma/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
 #include "dma/preprocess.h"
 #include "dma/resource_report.h"
 #include "dma/static_inputs.h"
@@ -34,6 +37,14 @@ Commands:
   drift     --trace F --current-sku ID [--recent-fraction X]
   tco       --trace F
   synth     --trace F
+
+Global flags (any command; --flag=value and --flag value both work):
+  --log-level debug|info|warning|error   stderr verbosity (default info)
+  --log-json                             one JSON object per log line
+  --metrics-out F    write the metrics registry after the command
+                     (Prometheus text; .json extension switches to JSON)
+  --trace-out F      record spans and write a Chrome trace_event JSON —
+                     open in chrome://tracing or https://ui.perfetto.dev
 
 Traces are CSV files with a t_seconds column plus cpu/memory/iops/
 log_rate/io_latency/storage/workers columns (any subset).
@@ -201,6 +212,14 @@ StatusOr<int> RunAssess(const CliOptions& options, std::ostream& out) {
   }
   out << RenderRecommendationReport(outcome.instance_trace, outcome.elastic);
   out << "\nTelemetry quality: " << outcome.quality.Summary() << "\n";
+  if (!outcome.stage_timings.empty()) {
+    out << "Stage timings:";
+    for (const StageTiming& timing : outcome.stage_timings) {
+      out << " " << timing.stage << " "
+          << FormatDouble(timing.seconds * 1000.0, 2) << " ms;";
+    }
+    out << "\n";
+  }
   out << "\n"
       << RenderNegotiabilityReport(outcome.instance_trace, request.target);
   if (outcome.confidence.has_value()) {
@@ -329,6 +348,45 @@ StatusOr<int> RunTco(const CliOptions& options, std::ostream& out) {
   return 0;
 }
 
+// Applies the command-independent observability flags before dispatch:
+// logging verbosity/format and span recording. Collected metrics always
+// accumulate; --metrics-out / --trace-out only control export.
+Status ApplyGlobalFlags(const CliOptions& options) {
+  if (options.Has("log-level")) {
+    LogLevel level = LogLevel::kInfo;
+    if (!ParseLogLevel(options.Get("log-level"), &level)) {
+      return InvalidArgumentError(
+          "unknown log level '" + options.Get("log-level") +
+          "' (expected debug, info, warning or error)");
+    }
+    SetMinLogLevel(level);
+  }
+  if (options.Has("log-json")) SetLogFormat(LogFormat::kJson);
+  if (options.Has("trace-out")) {
+    obs::SetTracingEnabled(true);
+    obs::ClearTraceBuffer();
+  }
+  return OkStatus();
+}
+
+// Writes the requested exports after the command ran (also on command
+// failure — the partial record is exactly what debugging needs).
+Status ExportObservability(const CliOptions& options) {
+  if (options.Has("metrics-out")) {
+    const std::string path = options.Get("metrics-out");
+    const bool json = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".json") == 0;
+    const obs::MetricsRegistry& metrics = obs::DefaultMetrics();
+    DOPPLER_RETURN_IF_ERROR(obs::WriteTextFile(
+        path, json ? metrics.RenderJson() : metrics.RenderPrometheusText()));
+  }
+  if (options.Has("trace-out")) {
+    DOPPLER_RETURN_IF_ERROR(obs::WriteChromeTrace(options.Get("trace-out")));
+    obs::SetTracingEnabled(false);
+  }
+  return OkStatus();
+}
+
 StatusOr<int> RunSynth(const CliOptions& options, std::ostream& out) {
   const std::string trace_path = options.Get("trace");
   if (trace_path.empty()) {
@@ -369,13 +427,18 @@ StatusOr<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
     if (!StartsWith(args[i], "--") || args[i].size() <= 2) {
       return InvalidArgumentError("expected --flag, got '" + args[i] + "'");
     }
-    const std::string name = args[i].substr(2);
+    const std::string flag = args[i].substr(2);
     ++i;
-    if (i < args.size() && !StartsWith(args[i], "--")) {
-      options.flags[name] = args[i];
+    // --flag=value binds inline; otherwise the next non-flag token (if
+    // any) is the value and a missing one makes a boolean flag.
+    const std::size_t equals = flag.find('=');
+    if (equals != std::string::npos) {
+      options.flags[flag.substr(0, equals)] = flag.substr(equals + 1);
+    } else if (i < args.size() && !StartsWith(args[i], "--")) {
+      options.flags[flag] = args[i];
       ++i;
     } else {
-      options.flags[name] = "";  // Boolean flag.
+      options.flags[flag] = "";  // Boolean flag.
     }
   }
   return options;
@@ -423,7 +486,19 @@ int CliMain(const std::vector<std::string>& args, std::ostream& out) {
     out << "error: " << options.status().message() << "\n" << kUsage;
     return 2;
   }
+  const Status global = ApplyGlobalFlags(*options);
+  if (!global.ok()) {
+    out << "error: " << global.message() << "\n" << kUsage;
+    return 2;
+  }
   StatusOr<int> code = RunCli(*options, out);
+  // Export even when the command failed: the metrics and spans recorded up
+  // to the failure point are the debugging record.
+  const Status exported = ExportObservability(*options);
+  if (!exported.ok()) {
+    out << "error: " << exported.ToString() << "\n";
+    if (code.ok()) return ExitCodeForStatus(exported);
+  }
   if (!code.ok()) {
     out << "error: " << code.status().ToString() << "\n";
     return ExitCodeForStatus(code.status());

@@ -1,8 +1,12 @@
 #include "dma/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
+#include "util/logging.h"
 #include "workload/population.h"
 
 namespace doppler::dma {
@@ -11,6 +15,35 @@ namespace {
 
 using catalog::Deployment;
 using catalog::ResourceDim;
+
+/// Times one pipeline stage: emits an obs span (trace buffer + latency
+/// histogram) and appends a per-request StageTiming to the outcome so the
+/// breakdown ships with the assessment itself.
+class StageScope {
+ public:
+  StageScope(const char* name, AssessmentOutcome* outcome)
+      : span_(name),
+        name_(name),
+        outcome_(outcome),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~StageScope() {
+    const double seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    outcome_->stage_timings.push_back({name_, seconds});
+  }
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  obs::ScopedSpan span_;
+  const char* name_;
+  AssessmentOutcome* outcome_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace
 
@@ -58,6 +91,10 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
   if (request.database_traces.empty()) {
     return InvalidArgumentError("assessment request carries no traces");
   }
+  DOPPLER_TRACE_SPAN("pipeline.assess");
+  static obs::Counter* const kAssessments =
+      obs::DefaultMetrics().GetCounter("pipeline.assessments");
+  kAssessments->Increment();
 
   AssessmentOutcome outcome;
   outcome.customer_id = request.customer_id;
@@ -71,10 +108,13 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
   quality::GateOptions gate;
   gate.policy = request.quality_policy;
   quality::TraceQualityReport pipeline_gate;
-  DOPPLER_ASSIGN_OR_RETURN(
-      outcome.instance_trace,
-      preprocessing_.PrepareInstanceTrace(request.database_traces, gate,
-                                          &pipeline_gate));
+  {
+    StageScope stage("pipeline.preprocess", &outcome);
+    DOPPLER_ASSIGN_OR_RETURN(
+        outcome.instance_trace,
+        preprocessing_.PrepareInstanceTrace(request.database_traces, gate,
+                                            &pipeline_gate));
+  }
   if (pregated) {
     // Ingestion already counted the raw samples; the in-pipeline re-gate
     // of the repaired trace contributes defect findings only.
@@ -85,9 +125,17 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
 
   // Degraded mode is judged exactly once, on the instance rollup, against
   // the profiling dimensions the target deployment expects.
-  quality::AssessDegradedMode(outcome.instance_trace.PresentDims(),
-                              workload::ProfilingDims(request.target),
-                              &outcome.quality);
+  {
+    StageScope stage("pipeline.quality", &outcome);
+    quality::AssessDegradedMode(outcome.instance_trace.PresentDims(),
+                                workload::ProfilingDims(request.target),
+                                &outcome.quality);
+  }
+  if (outcome.quality.degraded) {
+    static obs::Counter* const kDegraded =
+        obs::DefaultMetrics().GetCounter("quality.degraded_assessments");
+    kDegraded->Increment();
+  }
   if (request.quality_policy == quality::QualityPolicy::kStrict &&
       outcome.quality.degraded) {
     std::string names;
@@ -115,13 +163,24 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
   const core::ElasticRecommender& recommender =
       request.target == Deployment::kSqlDb ? *db_recommender_
                                            : *mi_recommender_;
-  DOPPLER_ASSIGN_OR_RETURN(
-      outcome.elastic,
-      recommender.Recommend(outcome.instance_trace, request.target, layout));
+  {
+    StageScope stage("pipeline.recommend", &outcome);
+    DOPPLER_ASSIGN_OR_RETURN(
+        outcome.elastic,
+        recommender.Recommend(outcome.instance_trace, request.target, layout));
+  }
+  DOPPLER_LOG(kDebug) << "elastic pick " << outcome.elastic.sku.id << " ("
+                      << core::CurveShapeName(outcome.elastic.curve_shape)
+                      << " curve) for " << outcome.customer_id;
 
-  outcome.baseline = baseline_->Recommend(outcome.instance_trace, request.target);
+  {
+    StageScope stage("pipeline.baseline", &outcome);
+    outcome.baseline =
+        baseline_->Recommend(outcome.instance_trace, request.target);
+  }
 
   if (request.compute_confidence) {
+    StageScope stage("pipeline.confidence", &outcome);
     Rng rng(config_.confidence_seed);
     core::RecommendFn rerun =
         [&recommender, &request, &layout](const telemetry::PerfTrace& trace) {
@@ -135,6 +194,7 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
   }
 
   if (!request.current_sku_id.empty()) {
+    StageScope stage("pipeline.rightsizing", &outcome);
     StatusOr<core::RightSizingAssessment> rightsizing =
         core::AssessRightSizing(outcome.elastic.curve, request.current_sku_id);
     if (rightsizing.ok()) outcome.rightsizing = std::move(rightsizing).value();

@@ -41,6 +41,15 @@ struct AssessmentRequest {
   quality::TraceQualityReport ingest_quality;
 };
 
+/// Wall-clock latency of one pipeline stage of an assessment, named by the
+/// observability span scheme ("pipeline.preprocess", "pipeline.recommend",
+/// ...). Per-request counterpart of the process-wide `latency.*`
+/// histograms in obs::DefaultMetrics().
+struct StageTiming {
+  std::string stage;
+  double seconds = 0.0;
+};
+
 /// Everything the DMA UI surfaces for one request.
 struct AssessmentOutcome {
   std::string customer_id;
@@ -60,6 +69,10 @@ struct AssessmentOutcome {
   /// ingestion and preprocessing, plus the degraded-mode assessment of the
   /// instance trace against the target's profiling dimensions.
   quality::TraceQualityReport quality;
+  /// Where the assessment's time went, one entry per executed stage in
+  /// execution order (skipped stages — confidence, right-sizing — do not
+  /// appear).
+  std::vector<StageTiming> stage_timings;
 };
 
 /// The SKU Recommendation Pipeline (paper §4): preprocessing, curve

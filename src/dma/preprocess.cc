@@ -1,6 +1,9 @@
 #include "dma/preprocess.h"
 
 #include "core/backtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
 #include "workload/population.h"
 
 namespace doppler::dma {
@@ -14,6 +17,13 @@ StatusOr<telemetry::PerfTrace> DataPreprocessingModule::PrepareDatabaseTrace(
 StatusOr<telemetry::PerfTrace> DataPreprocessingModule::PrepareDatabaseTrace(
     const telemetry::PerfTrace& raw, const quality::GateOptions& gate,
     quality::TraceQualityReport* report) const {
+  DOPPLER_TRACE_SPAN("preprocess.database");
+  static obs::Counter* const kDatabases =
+      obs::DefaultMetrics().GetCounter("preprocess.databases");
+  static obs::Counter* const kSamplesIn =
+      obs::DefaultMetrics().GetCounter("preprocess.samples_in");
+  kDatabases->Increment();
+  kSamplesIn->Increment(raw.num_samples());
   quality::GateOptions per_database = gate;
   // Expected dimensions are judged once on the instance rollup; a single
   // database legitimately misses dimensions its siblings carry.
@@ -35,7 +45,18 @@ StatusOr<telemetry::PerfTrace> DataPreprocessingModule::PrepareInstanceTrace(
                              PrepareDatabaseTrace(raw, gate, report));
     prepared.push_back(std::move(trace));
   }
-  return telemetry::RollupToInstance(prepared);
+  DOPPLER_TRACE_SPAN("preprocess.rollup");
+  StatusOr<telemetry::PerfTrace> instance =
+      telemetry::RollupToInstance(prepared);
+  if (instance.ok()) {
+    static obs::Counter* const kSamplesOut =
+        obs::DefaultMetrics().GetCounter("preprocess.samples_out");
+    kSamplesOut->Increment(instance->num_samples());
+    DOPPLER_LOG(kDebug) << "rolled " << prepared.size()
+                        << " database traces into " << instance->num_samples()
+                        << " instance samples";
+  }
+  return instance;
 }
 
 StatusOr<telemetry::PerfTrace> DataPreprocessingModule::PrepareInstanceTrace(

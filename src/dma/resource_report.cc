@@ -221,6 +221,15 @@ std::string RenderAssessmentJson(const AssessmentOutcome& outcome) {
   json.Key("quality");
   WriteQualityReport(json, outcome.quality);
 
+  json.Key("stage_timings").BeginArray();
+  for (const StageTiming& timing : outcome.stage_timings) {
+    json.BeginObject();
+    json.Key("stage").String(timing.stage);
+    json.Key("seconds").Number(timing.seconds);
+    json.EndObject();
+  }
+  json.EndArray();
+
   json.Key("elastic");
   WriteRecommendation(json, outcome.elastic, /*include_curve=*/true);
 

@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/json_writer.h"
+
+namespace doppler::obs {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; dotted doppler names map to
+/// underscores under a common prefix.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "doppler_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Shortest round-trippable formatting for bucket bounds and values.
+std::string FormatNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  // %.17g is exact but ugly; prefer the shortest form that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[64];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == value) return candidate;
+  }
+  return buffer;
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {}
+
+void Histogram::Observe(double value) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& LatencyBucketBounds() {
+  static const std::vector<double>* const kBounds = new std::vector<double>{
+      1e-6,   2.5e-6, 5e-6,   1e-5,   2.5e-5, 5e-5,   1e-4,  2.5e-4,
+      5e-4,   1e-3,   2.5e-3, 5e-3,   1e-2,   2.5e-2, 5e-2,  1e-1,
+      2.5e-1, 5e-1,   1.0,    2.5,    5.0,    10.0};
+  return *kBounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, LatencyBucketBounds());
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name) + "_total";
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->Value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FormatNumber(gauge->Value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram->num_buckets(); ++i) {
+      cumulative += histogram->BucketCount(i);
+      const std::string le = i < histogram->bounds().size()
+                                 ? FormatNumber(histogram->bounds()[i])
+                                 : "+Inf";
+      out += prom + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_sum " + FormatNumber(histogram->Sum()) + "\n";
+    out += prom + "_count " + std::to_string(histogram->Count()) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter* json) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json->BeginObject();
+  json->Key("counters").BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json->Key(name).Int(static_cast<long long>(counter->Value()));
+  }
+  json->EndObject();
+  json->Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json->Key(name).Number(gauge->Value());
+  }
+  json->EndObject();
+  json->Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    json->Key(name).BeginObject();
+    json->Key("count").Int(static_cast<long long>(histogram->Count()));
+    json->Key("sum").Number(histogram->Sum());
+    json->Key("buckets").BeginArray();
+    for (std::size_t i = 0; i < histogram->num_buckets(); ++i) {
+      json->BeginObject();
+      if (i < histogram->bounds().size()) {
+        json->Key("le").Number(histogram->bounds()[i]);
+      } else {
+        json->Key("le").String("+Inf");
+      }
+      json->Key("count").Int(static_cast<long long>(histogram->BucketCount(i)));
+      json->EndObject();
+    }
+    json->EndArray();
+    json->EndObject();
+  }
+  json->EndObject();
+  json->EndObject();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  JsonWriter json;
+  WriteJson(&json);
+  return json.str();
+}
+
+MetricsRegistry& DefaultMetrics() {
+  static MetricsRegistry* const kRegistry = new MetricsRegistry();
+  return *kRegistry;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return UnavailableError("cannot open '" + path + "' for writing");
+  }
+  out << content;
+  out.flush();
+  if (!out.good()) {
+    return UnavailableError("write to '" + path + "' failed");
+  }
+  return OkStatus();
+}
+
+}  // namespace doppler::obs

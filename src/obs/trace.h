@@ -1,0 +1,81 @@
+#ifndef DOPPLER_OBS_TRACE_H_
+#define DOPPLER_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace doppler::obs {
+
+/// One completed span as recorded by a thread: a named interval on the
+/// process-wide steady-clock timeline, with its nesting depth at record
+/// time. Spans nest lexically (ScopedSpan is RAII), so a child's interval
+/// always lies inside its parent's and its depth is parent + 1.
+struct SpanRecord {
+  std::string name;
+  /// Nanoseconds since the tracer's process-start epoch.
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;
+  /// Nesting depth on the recording thread (0 = top level).
+  int depth = 0;
+  /// Dense per-process thread id (assigned on a thread's first span).
+  std::uint32_t thread_id = 0;
+};
+
+/// Turns span buffering on or off. Spans are *timed* regardless — their
+/// durations always feed the `latency.<name>` histograms in
+/// DefaultMetrics() — but records are appended to the per-thread trace
+/// buffers only while tracing is enabled, so long-running processes pay no
+/// memory growth unless a trace was requested.
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+/// Drops every buffered span (all threads). Depth counters are per-thread
+/// live state and are not touched.
+void ClearTraceBuffer();
+
+/// All buffered spans across threads, sorted by start time (parents before
+/// children on ties via descending duration).
+std::vector<SpanRecord> SnapshotSpans();
+
+/// Chrome trace_event JSON ("X" complete events) — load the file directly
+/// in chrome://tracing or https://ui.perfetto.dev.
+std::string RenderChromeTrace();
+
+/// Renders and writes the Chrome trace to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+/// RAII span: times the enclosing scope, observes the duration into the
+/// `latency.<name>` histogram, and (when tracing is enabled) appends a
+/// SpanRecord to the calling thread's buffer. `name` must outlive the
+/// span; pass a string literal (the DOPPLER_TRACE_SPAN macro enforces the
+/// idiom). Cost when tracing is disabled: two steady_clock reads and one
+/// histogram lookup per scope — place at stage granularity, not inside
+/// per-sample loops (use a cached Counter there instead).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace doppler::obs
+
+#define DOPPLER_OBS_CONCAT_INNER(a, b) a##b
+#define DOPPLER_OBS_CONCAT(a, b) DOPPLER_OBS_CONCAT_INNER(a, b)
+
+/// Times the rest of the enclosing scope as a span named `name` (a string
+/// literal in the dotted `stage.substage` scheme, e.g. "ppm.curve_build").
+#define DOPPLER_TRACE_SPAN(name)         \
+  ::doppler::obs::ScopedSpan DOPPLER_OBS_CONCAT(doppler_trace_span_, \
+                                                __COUNTER__)(name)
+
+#endif  // DOPPLER_OBS_TRACE_H_

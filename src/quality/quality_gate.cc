@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace doppler::quality {
@@ -95,6 +97,24 @@ std::string RowContext(std::size_t source_row, const std::string& column) {
          "'";
 }
 
+// Exports what a completed gate found: total/repaired counts plus one
+// counter per defect class ("quality.defect.gap", ...). Gate granularity,
+// so the name lookups are off the hot path.
+void RecordGateMetrics(const TraceQualityReport& report) {
+  obs::MetricsRegistry& metrics = obs::DefaultMetrics();
+  metrics.GetCounter("quality.gates")->Increment();
+  metrics.GetCounter("quality.defects_found")
+      ->Increment(static_cast<std::uint64_t>(report.TotalDefects()));
+  metrics.GetCounter("quality.defects_repaired")
+      ->Increment(static_cast<std::uint64_t>(report.RepairedDefects()));
+  for (const QualityDefect& defect : report.defects) {
+    metrics
+        .GetCounter(std::string("quality.defect.") +
+                    DefectClassName(defect.defect))
+        ->Increment(static_cast<std::uint64_t>(defect.count));
+  }
+}
+
 }  // namespace
 
 void AssessDegradedMode(const std::vector<ResourceDim>& present,
@@ -128,6 +148,7 @@ void AssessDegradedMode(const std::vector<ResourceDim>& present,
 
 StatusOr<GatedTrace> GateTraceCsv(const CsvTable& table,
                                   const GateOptions& options) {
+  DOPPLER_TRACE_SPAN("quality.gate_csv");
   DOPPLER_ASSIGN_OR_RETURN(std::size_t time_col,
                            table.ColumnIndex("t_seconds"));
   const bool strict = options.policy == QualityPolicy::kStrict;
@@ -475,11 +496,13 @@ StatusOr<GatedTrace> GateTraceCsv(const CsvTable& table,
 
   gated.report.samples_out = static_cast<int>(trace.num_samples());
   gated.trace = std::move(trace);
+  RecordGateMetrics(gated.report);
   return gated;
 }
 
 StatusOr<GatedTrace> GateTrace(const PerfTrace& trace,
                                const GateOptions& options) {
+  DOPPLER_TRACE_SPAN("quality.gate");
   const bool strict = options.policy == QualityPolicy::kStrict;
   const bool repair = options.policy == QualityPolicy::kRepair;
   if (trace.num_samples() < options.min_samples) {
@@ -588,6 +611,7 @@ StatusOr<GatedTrace> GateTrace(const PerfTrace& trace,
   }
 
   gated.trace = std::move(cleaned);
+  RecordGateMetrics(gated.report);
   return gated;
 }
 

@@ -1,13 +1,17 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+
+#include "util/json_writer.h"
 
 namespace doppler {
 
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -33,22 +37,74 @@ LogLevel MinLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warning") {
+    *level = LogLevel::kWarning;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogFormat(LogFormat format) {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat CurrentLogFormat() {
+  return static_cast<LogFormat>(g_format.load(std::memory_order_relaxed));
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
+    : level_(level), file_(file), line_(line) {
   // Strip directories for compactness; file is a literal and outlives us.
-  const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {
-    if (*p == '/') base = p + 1;
+    if (*p == '/') file_ = p + 1;
   }
-  stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) < static_cast<int>(MinLogLevel())) return;
-  std::string message = stream_.str();
-  std::fprintf(stderr, "%s\n", message.c_str());
+  // The macro already filtered; this guards direct LogMessage users.
+  if (!IsLogOn(level_)) return;
+  const std::string message = stream_.str();
+  if (CurrentLogFormat() == LogFormat::kJson) {
+    const double epoch_seconds =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count()) /
+        1000.0;
+    std::fprintf(stderr,
+                 "{\"ts\":%.3f,\"level\":\"%s\",\"file\":\"%s\",\"line\":%d,"
+                 "\"message\":\"%s\"}\n",
+                 epoch_seconds, LogLevelName(level_),
+                 JsonWriter::Escape(file_).c_str(), line_,
+                 JsonWriter::Escape(message).c_str());
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level_), file_, line_,
+               message.c_str());
 }
 
 }  // namespace internal_logging

@@ -15,7 +15,28 @@ void SetMinLogLevel(LogLevel level);
 /// Current minimum severity.
 LogLevel MinLogLevel();
 
+/// Stable lower-case level name ("debug", "info", "warning", "error").
+const char* LogLevelName(LogLevel level);
+
+/// Inverse of LogLevelName; returns true and sets `level` on success.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
+/// How emitted lines are rendered: classic text, or one JSON object per
+/// line ({"ts":...,"level":...,"file":...,"line":...,"message":...}) for
+/// log shippers. Structured output keeps the same stderr sink.
+enum class LogFormat { kText = 0, kJson = 1 };
+
+void SetLogFormat(LogFormat format);
+LogFormat CurrentLogFormat();
+
 namespace internal_logging {
+
+/// True when a message at `level` would be emitted; the DOPPLER_LOG macro
+/// short-circuits on this so streamed arguments are never evaluated for
+/// suppressed severities (debug logging in hot loops is free when off).
+inline bool IsLogOn(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(MinLogLevel());
+}
 
 /// Stream-style log sink: accumulates a message and writes it on
 /// destruction. Use via the DOPPLER_LOG macro, not directly.
@@ -35,15 +56,33 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;  ///< Basename; points into a __FILE__ literal.
+  int line_;
   std::ostringstream stream_;
+};
+
+/// Lets the lazy DOPPLER_LOG ternary type-match its discarded branch:
+/// `operator&` swallows the fully streamed LogMessage and yields void.
+/// `&` binds looser than `<<`, so every streamed argument is evaluated
+/// first — but only when the severity check chose this branch.
+class Voidify {
+ public:
+  void operator&(const LogMessage&) {}
 };
 
 }  // namespace internal_logging
 }  // namespace doppler
 
 /// Usage: DOPPLER_LOG(kInfo) << "assessed " << n << " databases";
-#define DOPPLER_LOG(severity)                                       \
-  ::doppler::internal_logging::LogMessage(                          \
-      ::doppler::LogLevel::severity, __FILE__, __LINE__)
+/// Streamed expressions are NOT evaluated when the severity is below
+/// MinLogLevel() — the macro short-circuits before constructing the
+/// message, so hot-path debug logging costs one relaxed atomic load when
+/// disabled.
+#define DOPPLER_LOG(severity)                                              \
+  !::doppler::internal_logging::IsLogOn(::doppler::LogLevel::severity)     \
+      ? (void)0                                                            \
+      : ::doppler::internal_logging::Voidify() &                           \
+            ::doppler::internal_logging::LogMessage(                       \
+                ::doppler::LogLevel::severity, __FILE__, __LINE__)
 
 #endif  // DOPPLER_UTIL_LOGGING_H_

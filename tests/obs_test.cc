@@ -1,0 +1,382 @@
+// Tests for the observability subsystem: metrics registry concurrency,
+// histogram bucket semantics, export formats, span recording/nesting, and
+// an end-to-end pipeline run asserting the expected stage spans appear.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "dma/pipeline.h"
+#include "dma/preprocess.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/generator.h"
+
+namespace doppler::obs {
+namespace {
+
+using catalog::Deployment;
+using catalog::ResourceDim;
+
+// ------------------------------------------------------------- Counters.
+
+TEST(MetricsRegistryTest, CounterHammeredFromThreadsKeepsExactTotal) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Resolve through the registry every time: registration races are
+      // part of what this exercises.
+      Counter* counter = registry.GetCounter("hammer.total");
+      for (int i = 0; i < kIncrementsPerThread; ++i) counter->Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("hammer.total")->Value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrementsPerThread);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationYieldsOneCounterPerName) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      seen[t] = registry.GetCounter("raced.name");
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+}
+
+TEST(MetricsRegistryTest, GaugeAddIsExactUnderContention) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("contended.gauge");
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([gauge] {
+      for (int i = 0; i < kAddsPerThread; ++i) gauge->Add(1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(gauge->Value(),
+                   static_cast<double>(kThreads) * kAddsPerThread);
+}
+
+// ----------------------------------------------------------- Histograms.
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 2.0, 4.0, 5.0}) histogram.Observe(v);
+  ASSERT_EQ(histogram.num_buckets(), 4u);
+  EXPECT_EQ(histogram.BucketCount(0), 2u);  // 0.5, 1.0 (le="1").
+  EXPECT_EQ(histogram.BucketCount(1), 2u);  // 1.5, 2.0 (le="2").
+  EXPECT_EQ(histogram.BucketCount(2), 1u);  // 4.0 (le="4").
+  EXPECT_EQ(histogram.BucketCount(3), 1u);  // 5.0 (+Inf overflow).
+  EXPECT_EQ(histogram.Count(), 6u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 14.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsKeepExactCountAndSum) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("hammer.latency", {0.5, 1.5});
+  constexpr int kThreads = 8;
+  constexpr int kObservationsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram] {
+      for (int i = 0; i < kObservationsPerThread; ++i) {
+        histogram->Observe(1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kObservationsPerThread;
+  EXPECT_EQ(histogram->Count(), total);
+  EXPECT_EQ(histogram->BucketCount(1), total);  // 1.0 lands in (0.5, 1.5].
+  EXPECT_DOUBLE_EQ(histogram->Sum(), static_cast<double>(total));
+}
+
+TEST(HistogramTest, DefaultLatencyBucketsAreStrictlyIncreasing) {
+  const std::vector<double>& bounds = LatencyBucketBounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// -------------------------------------------------------------- Exports.
+
+TEST(MetricsRegistryTest, PrometheusTextRendersAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("ppm.skus_evaluated")->Increment(80);
+  registry.GetGauge("fleet.size")->Set(42.0);
+  Histogram* histogram = registry.GetHistogram("latency.demo", {0.1, 1.0});
+  histogram->Observe(0.05);
+  histogram->Observe(0.5);
+  histogram->Observe(2.0);
+
+  const std::string text = registry.RenderPrometheusText();
+  EXPECT_NE(text.find("# TYPE doppler_ppm_skus_evaluated_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("doppler_ppm_skus_evaluated_total 80"),
+            std::string::npos);
+  EXPECT_NE(text.find("doppler_fleet_size 42"), std::string::npos);
+  // Histogram buckets are cumulative with le labels.
+  EXPECT_NE(text.find("doppler_latency_demo_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("doppler_latency_demo_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("doppler_latency_demo_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("doppler_latency_demo_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExportCarriesTheSameData) {
+  MetricsRegistry registry;
+  registry.GetCounter("quality.defects_found")->Increment(7);
+  registry.GetGauge("pipeline.queue_depth")->Set(3.0);
+  registry.GetHistogram("latency.gate", {1.0})->Observe(0.25);
+
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"quality.defects_found\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline.queue_depth\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"latency.gate\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesValuesButKeepsRegistration) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("reset.me");
+  counter->Increment(5);
+  Histogram* histogram = registry.GetHistogram("reset.latency", {1.0});
+  histogram->Observe(0.5);
+  registry.ResetAll();
+  EXPECT_EQ(counter->Value(), 0u);
+  EXPECT_EQ(histogram->Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram->Sum(), 0.0);
+  // Same pointer after reset: registration survives.
+  EXPECT_EQ(registry.GetCounter("reset.me"), counter);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotRegister) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.FindCounter("never.registered"), nullptr);
+  EXPECT_EQ(registry.FindGauge("never.registered"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("never.registered"), nullptr);
+}
+
+// ---------------------------------------------------------------- Spans.
+
+const SpanRecord* FindSpan(const std::vector<SpanRecord>& spans,
+                           const std::string& name) {
+  for (const SpanRecord& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+TEST(ScopedSpanTest, NestedSpansRecordContainmentAndDepth) {
+  SetTracingEnabled(true);
+  ClearTraceBuffer();
+  {
+    DOPPLER_TRACE_SPAN("obs_test.outer");
+    {
+      DOPPLER_TRACE_SPAN("obs_test.inner");
+    }
+  }
+  SetTracingEnabled(false);
+
+  const std::vector<SpanRecord> spans = SnapshotSpans();
+  const SpanRecord* outer = FindSpan(spans, "obs_test.outer");
+  const SpanRecord* inner = FindSpan(spans, "obs_test.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->depth, outer->depth + 1);
+  EXPECT_EQ(inner->thread_id, outer->thread_id);
+  // The child's interval lies inside the parent's.
+  EXPECT_GE(inner->start_ns, outer->start_ns);
+  EXPECT_LE(inner->start_ns + inner->duration_ns,
+            outer->start_ns + outer->duration_ns);
+  // Sorted by start time: the parent comes first.
+  EXPECT_LT(outer - spans.data(), inner - spans.data());
+  ClearTraceBuffer();
+}
+
+TEST(ScopedSpanTest, DisabledTracingBuffersNothingButFeedsHistograms) {
+  SetTracingEnabled(false);
+  ClearTraceBuffer();
+  {
+    DOPPLER_TRACE_SPAN("obs_test.disabled");
+  }
+  EXPECT_EQ(FindSpan(SnapshotSpans(), "obs_test.disabled"), nullptr);
+  const Histogram* latency =
+      DefaultMetrics().FindHistogram("latency.obs_test.disabled");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->Count(), 1u);
+}
+
+TEST(ScopedSpanTest, SpansFromMultipleThreadsCarryDistinctThreadIds) {
+  SetTracingEnabled(true);
+  ClearTraceBuffer();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([] {
+      DOPPLER_TRACE_SPAN("obs_test.worker");
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  SetTracingEnabled(false);
+
+  std::vector<std::uint32_t> tids;
+  for (const SpanRecord& span : SnapshotSpans()) {
+    if (span.name == "obs_test.worker") tids.push_back(span.thread_id);
+  }
+  ASSERT_EQ(tids.size(), 3u);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end());
+  ClearTraceBuffer();
+}
+
+TEST(ScopedSpanTest, ChromeTraceExportIsWellFormedTraceEventJson) {
+  SetTracingEnabled(true);
+  ClearTraceBuffer();
+  {
+    DOPPLER_TRACE_SPAN("obs_test.export");
+  }
+  SetTracingEnabled(false);
+  const std::string json = RenderChromeTrace();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"obs_test.export\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  ClearTraceBuffer();
+}
+
+// ------------------------------------------------ Pipeline integration.
+
+telemetry::PerfTrace SyntheticDbTrace(std::uint64_t seed) {
+  Rng rng(seed);
+  workload::WorkloadSpec spec;
+  spec.name = "obs";
+  spec.dims[ResourceDim::kCpu] =
+      workload::DimensionSpec::DailyPeriodic(0.8, 0.5);
+  spec.dims[ResourceDim::kMemoryGb] =
+      workload::DimensionSpec::Steady(3.0, 0.03);
+  spec.dims[ResourceDim::kIops] =
+      workload::DimensionSpec::DailyPeriodic(200.0, 120.0);
+  spec.dims[ResourceDim::kIoLatencyMs] =
+      workload::DimensionSpec::Steady(7.0, 0.03);
+  spec.dims[ResourceDim::kStorageGb] =
+      workload::DimensionSpec::Steady(50.0, 0.01);
+  StatusOr<telemetry::PerfTrace> trace =
+      workload::GenerateTrace(spec, 7.0, 60, &rng);
+  EXPECT_TRUE(trace.ok());
+  return *std::move(trace);
+}
+
+TEST(ObsPipelineIntegrationTest, AssessEmitsExpectedStageSpansAndCounters) {
+  catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+  StatusOr<core::GroupModel> model = dma::FitGroupModelOffline(
+      catalog, pricing, estimator, Deployment::kSqlDb, 40, 7);
+  ASSERT_TRUE(model.ok());
+  StatusOr<dma::SkuRecommendationPipeline> pipeline =
+      dma::SkuRecommendationPipeline::Create(
+          {std::move(catalog), *std::move(model)});
+  ASSERT_TRUE(pipeline.ok());
+
+  const std::uint64_t skus_before =
+      DefaultMetrics().GetCounter("ppm.skus_evaluated")->Value();
+  const std::uint64_t evals_before =
+      DefaultMetrics().GetCounter("ppm.throttling_evaluations")->Value();
+  const std::uint64_t assessments_before =
+      DefaultMetrics().GetCounter("pipeline.assessments")->Value();
+  const std::uint64_t curves_before =
+      DefaultMetrics().GetCounter("recommend.curve.flat")->Value() +
+      DefaultMetrics().GetCounter("recommend.curve.simple")->Value() +
+      DefaultMetrics().GetCounter("recommend.curve.complex")->Value();
+
+  SetTracingEnabled(true);
+  ClearTraceBuffer();
+  dma::AssessmentRequest request;
+  request.customer_id = "obs-integration";
+  request.target = Deployment::kSqlDb;
+  request.database_traces = {SyntheticDbTrace(11)};
+  StatusOr<dma::AssessmentOutcome> outcome = pipeline->Assess(request);
+  SetTracingEnabled(false);
+  ASSERT_TRUE(outcome.ok());
+
+  // The expected stage spans appear, correctly nested inside the
+  // assessment root: preprocess -> quality -> recommend, with the curve
+  // build inside the recommend stage.
+  const std::vector<SpanRecord> spans = SnapshotSpans();
+  const SpanRecord* assess = FindSpan(spans, "pipeline.assess");
+  ASSERT_NE(assess, nullptr);
+  for (const char* stage :
+       {"pipeline.preprocess", "pipeline.quality", "pipeline.recommend",
+        "pipeline.baseline", "preprocess.database", "quality.gate",
+        "ppm.curve_build", "recommend.select"}) {
+    const SpanRecord* span = FindSpan(spans, stage);
+    ASSERT_NE(span, nullptr) << "missing span " << stage;
+    EXPECT_GE(span->start_ns, assess->start_ns) << stage;
+    EXPECT_LE(span->start_ns + span->duration_ns,
+              assess->start_ns + assess->duration_ns)
+        << stage;
+    EXPECT_GT(span->depth, assess->depth) << stage;
+  }
+  const SpanRecord* recommend = FindSpan(spans, "pipeline.recommend");
+  const SpanRecord* curve_build = FindSpan(spans, "ppm.curve_build");
+  EXPECT_GE(curve_build->start_ns, recommend->start_ns);
+  EXPECT_LE(curve_build->start_ns + curve_build->duration_ns,
+            recommend->start_ns + recommend->duration_ns);
+  ClearTraceBuffer();
+
+  // Counters moved: every candidate SKU was evaluated once, one curve was
+  // classified, one assessment ran.
+  EXPECT_GT(DefaultMetrics().GetCounter("ppm.skus_evaluated")->Value(),
+            skus_before);
+  EXPECT_GT(
+      DefaultMetrics().GetCounter("ppm.throttling_evaluations")->Value(),
+      evals_before);
+  EXPECT_EQ(DefaultMetrics().GetCounter("pipeline.assessments")->Value(),
+            assessments_before + 1);
+  const std::uint64_t curves_after =
+      DefaultMetrics().GetCounter("recommend.curve.flat")->Value() +
+      DefaultMetrics().GetCounter("recommend.curve.simple")->Value() +
+      DefaultMetrics().GetCounter("recommend.curve.complex")->Value();
+  EXPECT_GE(curves_after, curves_before + 1);
+
+  // Per-request stage timings ship with the outcome, in execution order.
+  ASSERT_GE(outcome->stage_timings.size(), 4u);
+  EXPECT_EQ(outcome->stage_timings[0].stage, "pipeline.preprocess");
+  for (const dma::StageTiming& timing : outcome->stage_timings) {
+    EXPECT_GE(timing.seconds, 0.0);
+  }
+
+  // Stage latency histograms populated for the metrics export.
+  const Histogram* preprocess_latency =
+      DefaultMetrics().FindHistogram("latency.pipeline.preprocess");
+  ASSERT_NE(preprocess_latency, nullptr);
+  EXPECT_GE(preprocess_latency->Count(), 1u);
+  const std::string prom = DefaultMetrics().RenderPrometheusText();
+  EXPECT_NE(prom.find("doppler_latency_pipeline_preprocess_bucket"),
+            std::string::npos);
+  EXPECT_NE(prom.find("doppler_ppm_skus_evaluated_total"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace doppler::obs

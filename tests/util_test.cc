@@ -241,6 +241,53 @@ TEST(LoggingTest, MacroStreamsWithoutCrashing) {
   SUCCEED();
 }
 
+TEST(LoggingTest, SuppressedLevelsSkipMessageEvaluation) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("built");
+  };
+  DOPPLER_LOG(kDebug) << expensive();
+  DOPPLER_LOG(kInfo) << expensive();
+  EXPECT_EQ(evaluations, 0);  // Below the threshold: never constructed.
+  DOPPLER_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+  SetMinLogLevel(original);
+}
+
+TEST(LoggingTest, ParseLogLevelRecognisesNames) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kError);  // Untouched on failure.
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "warning");
+}
+
+TEST(LoggingTest, JsonFormatEmitsOneJsonObjectPerLine) {
+  const LogLevel original = MinLogLevel();
+  SetMinLogLevel(LogLevel::kInfo);
+  SetLogFormat(LogFormat::kJson);
+  testing::internal::CaptureStderr();
+  DOPPLER_LOG(kInfo) << "structured \"quoted\" message";
+  const std::string line = testing::internal::GetCapturedStderr();
+  SetLogFormat(LogFormat::kText);
+  SetMinLogLevel(original);
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(line.find("\"message\":\"structured \\\"quoted\\\" message\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"line\":"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
 // --------------------------------------------------------------- Strings.
 
 TEST(StringUtilTest, SplitKeepsEmptyFields) {

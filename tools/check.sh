@@ -1,10 +1,24 @@
 #!/usr/bin/env bash
-# Builds the tree with AddressSanitizer + UBSan and runs the full tier-1
-# suite under it. Usage: tools/check.sh [build-dir] (default build-asan).
+# Repo hygiene + sanitizer gate:
+#   1. fails if generated build trees are tracked by git,
+#   2. builds with AddressSanitizer + UBSan and runs the full tier-1 suite,
+#   3. builds with ThreadSanitizer and runs the obs concurrency tests.
+# Usage: tools/check.sh [build-dir] (default build-asan; the TSan tree
+# lands next to it with a -tsan suffix).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-asan}"
+tsan_dir="${build_dir}-tsan"
+
+# Generated trees must never be committed; .gitignore covers build*/ but a
+# force-add would slip through silently without this.
+tracked_build_files="$(git -C "${repo_root}" ls-files 'build*/' | wc -l)"
+if [[ "${tracked_build_files}" -ne 0 ]]; then
+  echo "error: ${tracked_build_files} generated build file(s) are tracked:" >&2
+  git -C "${repo_root}" ls-files 'build*/' | head >&2
+  exit 1
+fi
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DDOPPLER_SANITIZE="address;undefined" \
@@ -15,3 +29,12 @@ cmake --build "${build_dir}" -j"$(nproc)"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 export ASAN_OPTIONS="detect_leaks=1"
 ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
+
+# ThreadSanitizer pass over the lock-free metrics/tracer concurrency
+# tests. Only the obs_test target is built, so run the binary directly
+# (ctest discovery would also cover targets never built in this tree).
+cmake -B "${tsan_dir}" -S "${repo_root}" \
+  -DDOPPLER_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${tsan_dir}" -j"$(nproc)" --target obs_test
+TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_test"

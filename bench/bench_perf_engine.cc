@@ -9,6 +9,11 @@
 //    latency must support hundreds of requests per day on commodity
 //    hardware.
 
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "catalog/catalog.h"
@@ -18,6 +23,7 @@
 #include "core/throttling.h"
 #include "dma/pipeline.h"
 #include "dma/preprocess.h"
+#include "exec/fleet_assessor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/stl.h"
@@ -56,6 +62,40 @@ const catalog::SkuCatalog& Catalog() {
   static const auto* const kCatalog =
       new catalog::SkuCatalog(catalog::BuildAzureLikeCatalog());
   return *kCatalog;
+}
+
+const core::GroupModel& OfflineModel() {
+  static const core::GroupModel* const kModel = [] {
+    StatusOr<core::GroupModel> model = dma::FitGroupModelOffline(
+        Catalog(), catalog::DefaultPricing(), core::NonParametricEstimator(),
+        catalog::Deployment::kSqlDb, 60, 5);
+    if (!model.ok()) std::abort();
+    return new core::GroupModel(*std::move(model));
+  }();
+  return *kModel;
+}
+
+// One pipeline per thread-count arg; benchmarks register serially so a
+// plain map needs no locking.
+const dma::SkuRecommendationPipeline& PipelineWithThreads(int num_threads) {
+  static auto* const kPipelines =
+      new std::map<int, std::unique_ptr<dma::SkuRecommendationPipeline>>();
+  auto it = kPipelines->find(num_threads);
+  if (it == kPipelines->end()) {
+    dma::SkuRecommendationPipeline::Config config;
+    config.num_threads = num_threads;
+    StatusOr<dma::SkuRecommendationPipeline> pipeline =
+        dma::SkuRecommendationPipeline::Create(
+            {catalog::SkuCatalog(Catalog()), core::GroupModel(OfflineModel())},
+            config);
+    if (!pipeline.ok()) std::abort();
+    it = kPipelines
+             ->emplace(num_threads,
+                       std::make_unique<dma::SkuRecommendationPipeline>(
+                           *std::move(pipeline)))
+             .first;
+  }
+  return *it->second;
 }
 
 // ---- Throttling probability: non-parametric vs KDE, per SKU.
@@ -170,18 +210,11 @@ void BM_EndToEndRecommendation(benchmark::State& state) {
   const telemetry::PerfTrace trace = MakeTrace(14, 4);
   const catalog::DefaultPricing pricing;
   const core::NonParametricEstimator estimator;
-  static const core::GroupModel* const kModel = [] {
-    StatusOr<core::GroupModel> model = dma::FitGroupModelOffline(
-        Catalog(), catalog::DefaultPricing(), core::NonParametricEstimator(),
-        catalog::Deployment::kSqlDb, 60, 5);
-    if (!model.ok()) std::abort();
-    return new core::GroupModel(*std::move(model));
-  }();
   const core::CustomerProfiler profiler(
       std::make_shared<core::ThresholdingStrategy>(),
       workload::ProfilingDims(catalog::Deployment::kSqlDb));
   const core::ElasticRecommender recommender(&Catalog(), &pricing, &estimator,
-                                             &profiler, kModel);
+                                             &profiler, &OfflineModel());
   for (auto _ : state) {
     benchmark::DoNotOptimize(recommender.RecommendDb(trace));
   }
@@ -189,26 +222,21 @@ void BM_EndToEndRecommendation(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndRecommendation)->Unit(benchmark::kMillisecond);
 
-// ---- Full pipeline assessment with observability on/off.
+// ---- Full pipeline assessment with observability on/off and the SKU
+// curve fan-out at 1/2/8 threads.
 //
-// Arg(0) runs with trace buffering disabled (the production default: spans
-// still feed latency histograms, counters still tick), Arg(1) with the
-// trace buffer enabled. Comparing the two quantifies the instrumentation
-// overhead; the acceptance bar is <2% with export disabled.
+// Args are {tracing, threads}. tracing=0 runs with trace buffering
+// disabled (the production default: spans still feed latency histograms,
+// counters still tick), tracing=1 with the trace buffer enabled;
+// comparing the two quantifies the instrumentation overhead (acceptance
+// bar <2% with export disabled). The threads axis exercises the exec
+// layer's per-SKU parallel curve build — the report is byte-identical at
+// every setting, only the wall time may move.
 
 void BM_PipelineAssess(benchmark::State& state) {
-  static const dma::SkuRecommendationPipeline* const kPipeline = [] {
-    StatusOr<core::GroupModel> model = dma::FitGroupModelOffline(
-        Catalog(), catalog::DefaultPricing(), core::NonParametricEstimator(),
-        catalog::Deployment::kSqlDb, 60, 5);
-    if (!model.ok()) std::abort();
-    StatusOr<dma::SkuRecommendationPipeline> pipeline =
-        dma::SkuRecommendationPipeline::Create(
-            {catalog::SkuCatalog(Catalog()), *std::move(model)});
-    if (!pipeline.ok()) std::abort();
-    return new dma::SkuRecommendationPipeline(*std::move(pipeline));
-  }();
   const bool tracing = state.range(0) != 0;
+  const int threads = static_cast<int>(state.range(1));
+  const dma::SkuRecommendationPipeline& pipeline = PipelineWithThreads(threads);
   obs::SetTracingEnabled(tracing);
   obs::ClearTraceBuffer();
   dma::AssessmentRequest request;
@@ -216,7 +244,7 @@ void BM_PipelineAssess(benchmark::State& state) {
   request.target = catalog::Deployment::kSqlDb;
   request.database_traces = {MakeTrace(7, 5)};
   for (auto _ : state) {
-    StatusOr<dma::AssessmentOutcome> outcome = kPipeline->Assess(request);
+    StatusOr<dma::AssessmentOutcome> outcome = pipeline.Assess(request);
     benchmark::DoNotOptimize(outcome);
     if (!outcome.ok()) std::abort();
   }
@@ -233,9 +261,45 @@ void BM_PipelineAssess(benchmark::State& state) {
     }
   }
   obs::ClearTraceBuffer();
-  state.SetLabel(tracing ? "trace buffer on" : "trace buffer off");
+  state.SetLabel(std::string(tracing ? "trace buffer on" : "trace buffer off") +
+                 ", " + std::to_string(threads) + " threads");
 }
-BENCHMARK(BM_PipelineAssess)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PipelineAssess)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 2})
+    ->Args({0, 8})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Fleet assessment: an 8-customer batch through FleetAssessor at
+// jobs = 1/2/8, pipeline SKU fan-out matched to the job count the way
+// `doppler assess-batch --jobs N` wires it.
+
+void BM_FleetAssess(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const dma::SkuRecommendationPipeline& pipeline = PipelineWithThreads(jobs);
+  std::vector<dma::AssessmentRequest> requests;
+  for (int i = 0; i < 8; ++i) {
+    dma::AssessmentRequest request;
+    request.customer_id = "fleet-" + std::to_string(i);
+    request.target = catalog::Deployment::kSqlDb;
+    request.database_traces = {MakeTrace(7, 10 + static_cast<std::uint64_t>(i))};
+    requests.push_back(std::move(request));
+  }
+  const exec::FleetAssessor assessor(&pipeline, jobs);
+  for (auto _ : state) {
+    std::vector<StatusOr<dma::AssessmentOutcome>> outcomes =
+        assessor.AssessAll(requests);
+    benchmark::DoNotOptimize(outcomes);
+    for (const StatusOr<dma::AssessmentOutcome>& outcome : outcomes) {
+      if (!outcome.ok()) std::abort();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requests.size()));
+  state.SetLabel(std::to_string(jobs) + " jobs, 8-customer fleet");
+}
+BENCHMARK(BM_FleetAssess)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -25,7 +26,7 @@ const char* CurveShapeName(CurveShape shape) {
 StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
     const telemetry::PerfTrace& trace, const std::vector<Candidate>& candidates,
     const catalog::PricingService& pricing,
-    const ThrottlingEstimator& estimator) {
+    const ThrottlingEstimator& estimator, exec::ThreadPool* executor) {
   if (candidates.empty()) {
     return InvalidArgumentError("no candidate SKUs for curve building");
   }
@@ -49,24 +50,43 @@ StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
     mean_cpu /= static_cast<double>(cpu.size());
   }
 
+  // Each candidate is scored into its own pre-sized slot, so the parallel
+  // partition below writes disjoint memory and candidate order — hence the
+  // final curve — is identical to the serial loop.
   PricePerformanceCurve curve;
-  curve.points_.reserve(candidates.size());
-  for (const Candidate& candidate : candidates) {
-    const catalog::ResourceVector capacities =
-        candidate.iops_limit >= 0.0
-            ? candidate.sku.CapacitiesWithIopsLimit(candidate.iops_limit)
-            : candidate.sku.Capacities();
-    DOPPLER_ASSIGN_OR_RETURN(double probability,
-                             estimator.Probability(trace, capacities));
-    PricePerformancePoint point;
-    point.sku = candidate.sku;
-    point.monthly_price =
-        candidate.sku.serverless && mean_cpu > 0.0
-            ? pricing.MonthlyCostForUsage(candidate.sku, mean_cpu)
-            : pricing.MonthlyCost(candidate.sku);
-    point.throttling_probability = probability;
-    point.performance = 1.0 - probability;
-    curve.points_.push_back(std::move(point));
+  curve.points_.resize(candidates.size());
+  std::vector<Status> failures(candidates.size());
+  const auto score_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Candidate& candidate = candidates[i];
+      const catalog::ResourceVector capacities =
+          candidate.iops_limit >= 0.0
+              ? candidate.sku.CapacitiesWithIopsLimit(candidate.iops_limit)
+              : candidate.sku.Capacities();
+      StatusOr<double> probability = estimator.Probability(trace, capacities);
+      if (!probability.ok()) {
+        failures[i] = probability.status();
+        continue;
+      }
+      PricePerformancePoint& point = curve.points_[i];
+      point.sku = candidate.sku;
+      point.monthly_price =
+          candidate.sku.serverless && mean_cpu > 0.0
+              ? pricing.MonthlyCostForUsage(candidate.sku, mean_cpu)
+              : pricing.MonthlyCost(candidate.sku);
+      point.throttling_probability = *probability;
+      point.performance = 1.0 - *probability;
+    }
+  };
+  if (executor != nullptr && candidates.size() > 1) {
+    executor->ParallelFor(candidates.size(), score_range);
+  } else {
+    score_range(0, candidates.size());
+  }
+  // First failure in candidate order wins, matching the serial early
+  // return.
+  for (const Status& failure : failures) {
+    if (!failure.ok()) return failure;
   }
 
   // Price order, ties broken by id for determinism.
@@ -91,11 +111,11 @@ StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
     const telemetry::PerfTrace& trace,
     const std::vector<catalog::Sku>& candidates,
     const catalog::PricingService& pricing,
-    const ThrottlingEstimator& estimator) {
+    const ThrottlingEstimator& estimator, exec::ThreadPool* executor) {
   std::vector<Candidate> wrapped;
   wrapped.reserve(candidates.size());
   for (const catalog::Sku& sku : candidates) wrapped.push_back({sku, -1.0});
-  return Build(trace, wrapped, pricing, estimator);
+  return Build(trace, wrapped, pricing, estimator, executor);
 }
 
 CurveShape PricePerformanceCurve::Classify(double epsilon) const {

@@ -10,6 +10,10 @@
 #include "telemetry/perf_trace.h"
 #include "util/statusor.h"
 
+namespace doppler::exec {
+class ThreadPool;
+}
+
 namespace doppler::core {
 
 /// A candidate SKU for curve building, with an optional MI file-layout
@@ -52,19 +56,24 @@ const char* CurveShapeName(CurveShape shape);
 class PricePerformanceCurve {
  public:
   /// Builds the curve for `trace` over `candidates`. Fails when the
-  /// candidate list or trace is empty, or when estimation fails.
+  /// candidate list or trace is empty, or when estimation fails. With a
+  /// non-null `executor` the per-SKU probability scans are partitioned
+  /// across the pool (each worker writes its candidate's slot by index, so
+  /// the result is bit-identical to the serial path at any thread count).
   static StatusOr<PricePerformanceCurve> Build(
       const telemetry::PerfTrace& trace,
       const std::vector<Candidate>& candidates,
       const catalog::PricingService& pricing,
-      const ThrottlingEstimator& estimator);
+      const ThrottlingEstimator& estimator,
+      exec::ThreadPool* executor = nullptr);
 
   /// Convenience overload over plain SKUs (no IOPS overrides).
   static StatusOr<PricePerformanceCurve> Build(
       const telemetry::PerfTrace& trace,
       const std::vector<catalog::Sku>& candidates,
       const catalog::PricingService& pricing,
-      const ThrottlingEstimator& estimator);
+      const ThrottlingEstimator& estimator,
+      exec::ThreadPool* executor = nullptr);
 
   /// Points ordered by ascending monthly price.
   const std::vector<PricePerformancePoint>& points() const { return points_; }

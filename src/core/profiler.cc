@@ -26,12 +26,14 @@ CustomerProfiler::CustomerProfiler(
     : strategy_(std::move(strategy)), dims_(std::move(dims)) {}
 
 StatusOr<CustomerProfile> CustomerProfiler::Profile(
-    const telemetry::PerfTrace& trace) const {
+    const telemetry::PerfTrace& trace,
+    const telemetry::TraceStatsCache* stats) const {
   if (strategy_ == nullptr) {
     return FailedPreconditionError("profiler has no strategy");
   }
   CustomerProfile profile;
-  DOPPLER_ASSIGN_OR_RETURN(profile.summary, strategy_->Evaluate(trace, dims_));
+  DOPPLER_ASSIGN_OR_RETURN(profile.summary,
+                           strategy_->Evaluate(trace, dims_, stats));
   profile.group_id = GroupIdFromBits(profile.summary.negotiable);
   return profile;
 }

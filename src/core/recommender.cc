@@ -64,7 +64,8 @@ ElasticRecommender::ElasticRecommender(const catalog::SkuCatalog* catalog,
                          Options()) {}
 
 StatusOr<Recommendation> ElasticRecommender::RecommendDb(
-    const telemetry::PerfTrace& trace) const {
+    const telemetry::PerfTrace& trace,
+    const telemetry::TraceStatsCache* stats) const {
   const std::vector<catalog::Sku> candidates =
       catalog_->ForDeployment(Deployment::kSqlDb);
   if (candidates.empty()) {
@@ -72,21 +73,22 @@ StatusOr<Recommendation> ElasticRecommender::RecommendDb(
   }
   DOPPLER_ASSIGN_OR_RETURN(
       PricePerformanceCurve curve,
-      PricePerformanceCurve::Build(trace, candidates, *pricing_, *estimator_));
-  return SelectFromCurve(std::move(curve), trace);
+      PricePerformanceCurve::Build(trace, candidates, *pricing_, *estimator_,
+                                   executor_));
+  return SelectFromCurve(std::move(curve), trace, stats);
 }
 
 StatusOr<Recommendation> ElasticRecommender::RecommendMi(
-    const telemetry::PerfTrace& trace,
-    const catalog::FileLayout& layout) const {
+    const telemetry::PerfTrace& trace, const catalog::FileLayout& layout,
+    const telemetry::TraceStatsCache* stats) const {
   DOPPLER_ASSIGN_OR_RETURN(MiFilterResult filtered,
                            FilterMiCandidates(*catalog_, layout, trace));
   DOPPLER_ASSIGN_OR_RETURN(
       PricePerformanceCurve curve,
       PricePerformanceCurve::Build(trace, filtered.candidates, *pricing_,
-                                   *estimator_));
+                                   *estimator_, executor_));
   DOPPLER_ASSIGN_OR_RETURN(Recommendation recommendation,
-                           SelectFromCurve(std::move(curve), trace));
+                           SelectFromCurve(std::move(curve), trace, stats));
   if (filtered.restricted_to_bc) {
     recommendation.rationale +=
         " (GP premium-disk layouts could not reach 95% IOPS/throughput "
@@ -97,9 +99,10 @@ StatusOr<Recommendation> ElasticRecommender::RecommendMi(
 
 StatusOr<Recommendation> ElasticRecommender::Recommend(
     const telemetry::PerfTrace& trace, Deployment deployment,
-    const catalog::FileLayout& layout) const {
-  if (deployment == Deployment::kSqlDb) return RecommendDb(trace);
-  return RecommendMi(trace, layout);
+    const catalog::FileLayout& layout,
+    const telemetry::TraceStatsCache* stats) const {
+  if (deployment == Deployment::kSqlDb) return RecommendDb(trace, stats);
+  return RecommendMi(trace, layout, stats);
 }
 
 namespace {
@@ -129,7 +132,8 @@ void CountCurveShape(CurveShape shape) {
 }  // namespace
 
 StatusOr<Recommendation> ElasticRecommender::SelectFromCurve(
-    PricePerformanceCurve curve, const telemetry::PerfTrace& trace) const {
+    PricePerformanceCurve curve, const telemetry::PerfTrace& trace,
+    const telemetry::TraceStatsCache* stats) const {
   DOPPLER_TRACE_SPAN("recommend.select");
   Recommendation recommendation;
   recommendation.curve_shape = curve.Classify(options_.classify_epsilon);
@@ -158,7 +162,7 @@ StatusOr<Recommendation> ElasticRecommender::SelectFromCurve(
   // Profile the customer and pull the learned group target (Eqs. 2-6).
   StatusOr<CustomerProfile> profiled = [&] {
     DOPPLER_TRACE_SPAN("recommend.profile");
-    return profiler_->Profile(trace);
+    return profiler_->Profile(trace, stats);
   }();
   DOPPLER_ASSIGN_OR_RETURN(CustomerProfile profile, std::move(profiled));
   recommendation.group_id = profile.group_id;
@@ -198,24 +202,30 @@ BaselineRecommender::BaselineRecommender(const catalog::SkuCatalog* catalog,
     : catalog_(catalog), pricing_(pricing), quantile_(quantile) {}
 
 StatusOr<ResourceVector> BaselineRecommender::ScalarRequirements(
-    const telemetry::PerfTrace& trace) const {
+    const telemetry::PerfTrace& trace,
+    const telemetry::TraceStatsCache* cache) const {
   if (trace.num_samples() == 0) {
     return InvalidArgumentError("performance trace is empty");
   }
   ResourceVector needs;
   for (ResourceDim dim : trace.PresentDims()) {
-    const std::vector<double>& values = trace.Values(dim);
     // Inverted dimensions need the LOW quantile: the tightest latency the
     // workload relies on.
     const double q = catalog::IsInvertedDim(dim) ? 1.0 - quantile_ : quantile_;
-    needs.Set(dim, stats::Quantile(values, q));
+    // The cache holds the sorted series; stats::Quantile sorts a copy and
+    // interpolates identically, so both paths agree bit for bit.
+    needs.Set(dim, cache != nullptr
+                       ? cache->Quantile(dim, q)
+                       : stats::Quantile(trace.Values(dim), q));
   }
   return needs;
 }
 
 StatusOr<Recommendation> BaselineRecommender::Recommend(
-    const telemetry::PerfTrace& trace, Deployment deployment) const {
-  DOPPLER_ASSIGN_OR_RETURN(ResourceVector needs, ScalarRequirements(trace));
+    const telemetry::PerfTrace& trace, Deployment deployment,
+    const telemetry::TraceStatsCache* cache) const {
+  DOPPLER_ASSIGN_OR_RETURN(ResourceVector needs,
+                           ScalarRequirements(trace, cache));
   const std::vector<catalog::Sku> candidates =
       catalog_->ForDeployment(deployment);
   if (candidates.empty()) {

@@ -13,7 +13,12 @@
 #include "core/profiler.h"
 #include "core/throttling.h"
 #include "telemetry/perf_trace.h"
+#include "telemetry/trace_stats.h"
 #include "util/statusor.h"
+
+namespace doppler::exec {
+class ThreadPool;
+}
 
 namespace doppler::core {
 
@@ -70,31 +75,40 @@ class ElasticRecommender {
                      const CustomerProfiler* profiler,
                      const GroupModel* group_model);
 
-  /// Recommendation for a workload migrating to Azure SQL DB.
+  /// Optional execution pool for the per-SKU curve build; nullptr (the
+  /// default) keeps the serial path. The pool is borrowed and must outlive
+  /// the recommender. Results are bit-identical with or without it.
+  void SetExecutor(exec::ThreadPool* executor) { executor_ = executor; }
+
+  /// Recommendation for a workload migrating to Azure SQL DB. A non-null
+  /// `stats` cache (built over the same trace) is reused for profiling.
   StatusOr<Recommendation> RecommendDb(
-      const telemetry::PerfTrace& trace) const;
+      const telemetry::PerfTrace& trace,
+      const telemetry::TraceStatsCache* stats = nullptr) const;
 
   /// Recommendation for a workload migrating to Azure SQL MI; the file
   /// layout drives premium-disk Steps 1-2.
   StatusOr<Recommendation> RecommendMi(
-      const telemetry::PerfTrace& trace,
-      const catalog::FileLayout& layout) const;
+      const telemetry::PerfTrace& trace, const catalog::FileLayout& layout,
+      const telemetry::TraceStatsCache* stats = nullptr) const;
 
   /// Deployment-dispatching convenience used by the DMA pipeline.
-  StatusOr<Recommendation> Recommend(const telemetry::PerfTrace& trace,
-                                     catalog::Deployment deployment,
-                                     const catalog::FileLayout& layout) const;
+  StatusOr<Recommendation> Recommend(
+      const telemetry::PerfTrace& trace, catalog::Deployment deployment,
+      const catalog::FileLayout& layout,
+      const telemetry::TraceStatsCache* stats = nullptr) const;
 
  private:
-  StatusOr<Recommendation> SelectFromCurve(PricePerformanceCurve curve,
-                                           const telemetry::PerfTrace& trace)
-      const;
+  StatusOr<Recommendation> SelectFromCurve(
+      PricePerformanceCurve curve, const telemetry::PerfTrace& trace,
+      const telemetry::TraceStatsCache* stats) const;
 
   const catalog::SkuCatalog* catalog_;
   const catalog::PricingService* pricing_;
   const ThrottlingEstimator* estimator_;
   const CustomerProfiler* profiler_;
   const GroupModel* group_model_;
+  exec::ThreadPool* executor_ = nullptr;
   Options options_;
 };
 
@@ -109,12 +123,16 @@ class BaselineRecommender {
                       const catalog::PricingService* pricing,
                       double quantile = 0.95);
 
-  StatusOr<Recommendation> Recommend(const telemetry::PerfTrace& trace,
-                                     catalog::Deployment deployment) const;
+  StatusOr<Recommendation> Recommend(
+      const telemetry::PerfTrace& trace, catalog::Deployment deployment,
+      const telemetry::TraceStatsCache* stats = nullptr) const;
 
-  /// The scalar requirement the baseline derives per dimension.
+  /// The scalar requirement the baseline derives per dimension. A non-null
+  /// `stats` cache reads the quantiles from the memoized sorted series
+  /// (bit-identical to sorting in place here).
   StatusOr<catalog::ResourceVector> ScalarRequirements(
-      const telemetry::PerfTrace& trace) const;
+      const telemetry::PerfTrace& trace,
+      const telemetry::TraceStatsCache* stats = nullptr) const;
 
  private:
   const catalog::SkuCatalog* catalog_;

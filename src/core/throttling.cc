@@ -54,15 +54,54 @@ StatusOr<double> NonParametricEstimator::Probability(
                            SharedDims(trace, capacities));
   const std::size_t n = trace.num_samples();
   CountEvaluation(n);
+
+  // Columnar union scan: instead of gathering every dimension per time
+  // point (one cache line per dimension per row), sweep each contiguous
+  // column once, marking rows throttled by ANY dimension so far. The
+  // throttled-row count is identical to the row-major formulation — a row
+  // is counted exactly once, by whichever column marks it first — so the
+  // result is bit-for-bit the same at any scan order.
+  const telemetry::DemandColumns matrix = trace.Columns(dims);
+
+  // Single shared dimension: no mark buffer needed, pure count.
+  if (matrix.num_columns == 1) {
+    const double* const column = matrix.column(0);
+    const double capacity = capacities.Get(matrix.dim(0));
+    std::size_t throttled = 0;
+    if (catalog::IsInvertedDim(matrix.dim(0))) {
+      for (std::size_t i = 0; i < n; ++i) throttled += column[i] < capacity;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) throttled += column[i] > capacity;
+    }
+    return static_cast<double>(throttled) / static_cast<double>(n);
+  }
+
+  // Reused per thread so the hot loop never allocates after warm-up; each
+  // worker of a parallel curve build gets its own buffer.
+  thread_local std::vector<unsigned char> throttled_rows;
+  throttled_rows.assign(n, 0);
   std::size_t throttled = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (ResourceDim dim : dims) {
-      if (ResourceVector::Exceeds(dim, trace.Values(dim)[i],
-                                  capacities.Get(dim))) {
-        ++throttled;
-        break;  // Union event: one exceeding dimension throttles the point.
+  for (std::size_t k = 0; k < matrix.num_columns; ++k) {
+    const double* const column = matrix.column(k);
+    const double capacity = capacities.Get(matrix.dim(k));
+    if (catalog::IsInvertedDim(matrix.dim(k))) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!throttled_rows[i] && column[i] < capacity) {
+          throttled_rows[i] = 1;
+          ++throttled;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!throttled_rows[i] && column[i] > capacity) {
+          throttled_rows[i] = 1;
+          ++throttled;
+        }
       }
     }
+    // Early-exit union test: once every row is throttled no further
+    // dimension can change the count.
+    if (throttled == n) break;
   }
   return static_cast<double>(throttled) / static_cast<double>(n);
 }

@@ -34,6 +34,12 @@ class ThrottlingEstimator {
 /// the joint frequency, over time points, of any dimension exceeding its
 /// capacity. Exact with respect to the empirical joint distribution, O(n·d)
 /// per SKU, and the reason Doppler scales to full catalogs.
+///
+/// Implemented as a columnar kernel: the trace's contiguous per-dimension
+/// columns (PerfTrace::Columns) are swept one at a time with an early-exit
+/// union test, which keeps the scan cache-friendly and allocation-free on
+/// the hot path. Thread-safe: concurrent Probability calls on shared traces
+/// are the unit of work the parallel curve build fans out.
 class NonParametricEstimator : public ThrottlingEstimator {
  public:
   StatusOr<double> Probability(

@@ -1,11 +1,14 @@
 #include "dma/cli.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 
 #include "catalog/catalog.h"
 #include "core/drift.h"
 #include "core/forecast.h"
 #include "dma/pipeline.h"
+#include "exec/fleet_assessor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -33,6 +36,9 @@ Commands:
   assess    --trace F [--target db|mi] [--catalog F] [--profiles F]
             [--layout F] [--current-sku ID] [--confidence] [--json]
             [--quality strict|repair|permissive]
+  assess-batch --traces DIR [--jobs N] [--target db|mi] [--catalog F]
+            [--profiles F] [--quality strict|repair|permissive] [--json]
+            [--timings] [--out F]
   forecast  --trace F [--current-sku ID] [--months N]
   drift     --trace F --current-sku ID [--recent-fraction X]
   tco       --trace F
@@ -52,6 +58,11 @@ log_rate/io_latency/storage/workers columns (any subset).
 --quality selects how assess treats dirty telemetry: strict rejects the
 first defect, repair (default) fixes and records every intervention,
 permissive records without repairing.
+
+assess-batch assesses every *.csv under --traces (sorted by name; the file
+name is the customer id) across --jobs workers (default: one per hardware
+thread). Reports are byte-identical at any --jobs value; per-trace wall
+clocks are only included with --timings.
 
 Exit codes: 0 success, 2 bad command line, 3 invalid input,
 4 not found, 5 failed precondition (e.g. strict quality rejection),
@@ -242,6 +253,137 @@ StatusOr<int> RunAssess(const CliOptions& options, std::ostream& out) {
         << " saves " << FormatDollars(outcome.rightsizing->annual_savings, 0)
         << "/year\n";
   }
+  return 0;
+}
+
+StatusOr<int> RunAssessBatch(const CliOptions& options, std::ostream& out) {
+  const std::string dir = options.Get("traces");
+  if (dir.empty()) {
+    return InvalidArgumentError("assess-batch requires --traces <directory>");
+  }
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return InvalidArgumentError("--traces '" + dir + "' is not a directory");
+  }
+  // Lexicographic file order fixes both the customer ids and the request
+  // order, so the batch report is reproducible run to run.
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".csv") {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    return InvalidArgumentError("cannot scan '" + dir + "': " + ec.message());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    return NotFoundError("no *.csv traces under '" + dir + "'");
+  }
+
+  int jobs = 0;  // 0 = one per hardware thread.
+  if (options.Has("jobs")) {
+    DOPPLER_ASSIGN_OR_RETURN(jobs,
+                             ParsePositiveInt(options.Get("jobs"), "--jobs"));
+  }
+  quality::QualityPolicy policy = quality::QualityPolicy::kRepair;
+  if (options.Has("quality") &&
+      !quality::ParseQualityPolicy(options.Get("quality"), &policy)) {
+    return InvalidArgumentError("unknown quality policy '" +
+                                options.Get("quality") +
+                                "' (expected strict, repair or permissive)");
+  }
+  DOPPLER_ASSIGN_OR_RETURN(catalog::Deployment deployment,
+                           ParseDeployment(options.Get("target", "db")));
+  DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
+  DOPPLER_ASSIGN_OR_RETURN(core::GroupModel profiles,
+                           ResolveProfiles(options, skus, deployment, out));
+  SkuRecommendationPipeline::Config config;
+  config.num_threads = jobs;  // --jobs drives both fan-out levels.
+  DOPPLER_ASSIGN_OR_RETURN(
+      SkuRecommendationPipeline pipeline,
+      SkuRecommendationPipeline::Create(
+          {std::move(skus), std::move(profiles)}, config));
+
+  // Ingestion stays on the calling thread (the gate reads files); only the
+  // assessments fan out. Read failures become error slots so one bad file
+  // never sinks the batch.
+  std::vector<std::string> customer_ids;
+  std::vector<std::size_t> request_index(files.size());
+  std::vector<AssessmentRequest> requests;
+  std::vector<StatusOr<AssessmentOutcome>> results;
+  results.reserve(files.size());
+  quality::GateOptions gate;
+  gate.policy = policy;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    customer_ids.push_back(files[i].filename().string());
+    StatusOr<quality::GatedTrace> gated =
+        quality::ReadTraceFileGated(files[i].string(), gate);
+    if (!gated.ok()) {
+      request_index[i] = static_cast<std::size_t>(-1);
+      results.emplace_back(gated.status());
+      continue;
+    }
+    AssessmentRequest request;
+    request.customer_id = customer_ids.back();
+    request.target = deployment;
+    request.database_traces = {std::move(gated->trace)};
+    request.quality_policy = policy;
+    request.ingest_quality = std::move(gated->report);
+    request_index[i] = requests.size();
+    requests.push_back(std::move(request));
+    results.emplace_back(InternalError("request not assessed"));
+  }
+
+  const exec::FleetAssessor assessor(&pipeline, jobs == 0
+                                                    ? exec::ThreadPool::
+                                                          HardwareConcurrency()
+                                                    : jobs);
+  std::vector<StatusOr<AssessmentOutcome>> assessed =
+      assessor.AssessAll(requests);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (request_index[i] != static_cast<std::size_t>(-1)) {
+      results[i] = std::move(assessed[request_index[i]]);
+    }
+  }
+
+  std::string rendered;
+  if (options.Has("json")) {
+    AssessmentJsonOptions json_options;
+    json_options.include_stage_seconds = options.Has("timings");
+    rendered = RenderFleetAssessmentJson(customer_ids, results, json_options);
+    rendered += "\n";
+  } else {
+    TablePrinter table({"customer", "SKU", "monthly", "P(throttle)", "curve"});
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        table.AddRow({customer_ids[i],
+                      "error: " + std::string(results[i].status().message()),
+                      "-", "-", "-"});
+        ++failed;
+        continue;
+      }
+      const AssessmentOutcome& outcome = *results[i];
+      table.AddRow({customer_ids[i], outcome.elastic.sku.DisplayName(),
+                    FormatDollars(outcome.elastic.monthly_cost, 0),
+                    FormatPercent(outcome.elastic.throttling_probability, 1),
+                    core::CurveShapeName(outcome.elastic.curve_shape)});
+    }
+    std::ostringstream text;
+    table.Print(text);
+    text << "\nAssessed " << results.size() - failed << "/" << results.size()
+         << " traces with " << assessor.jobs() << " job(s)\n";
+    rendered = text.str();
+  }
+  const std::string out_path = options.Get("out");
+  if (!out_path.empty()) {
+    DOPPLER_RETURN_IF_ERROR(obs::WriteTextFile(out_path, rendered));
+    out << "wrote batch report for " << results.size() << " traces to "
+        << out_path << "\n";
+    return 0;
+  }
+  out << rendered;
   return 0;
 }
 
@@ -452,6 +594,7 @@ StatusOr<int> RunCli(const CliOptions& options, std::ostream& out) {
   if (options.command == "catalog") return RunCatalog(options, out);
   if (options.command == "fit-profiles") return RunFitProfiles(options, out);
   if (options.command == "assess") return RunAssess(options, out);
+  if (options.command == "assess-batch") return RunAssessBatch(options, out);
   if (options.command == "forecast") return RunForecast(options, out);
   if (options.command == "drift") return RunDrift(options, out);
   if (options.command == "tco") return RunTco(options, out);

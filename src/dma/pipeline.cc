@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/descriptive.h"
+#include "telemetry/trace_stats.h"
 #include "util/logging.h"
 #include "workload/population.h"
 
@@ -16,15 +18,47 @@ namespace {
 using catalog::Deployment;
 using catalog::ResourceDim;
 
+/// Collects per-request stage timings. StageScope used to append straight
+/// to AssessmentOutcome::stage_timings from its destructor, which is a data
+/// race the moment any stage runs work on pool threads that itself opens a
+/// scope. The sink serialises writes behind a mutex and keeps entries in
+/// scope-OPEN order (a slot is reserved on entry), so the drained list is
+/// order-stable no matter which thread closes a scope first.
+class TimingSink {
+ public:
+  /// Reserves a slot in entry order and returns its index.
+  std::size_t Open(const char* stage) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back({stage, 0.0});
+    return entries_.size() - 1;
+  }
+
+  void Close(std::size_t slot, double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[slot].seconds = seconds;
+  }
+
+  /// Moves the collected timings (entry order) into `out`.
+  void DrainTo(std::vector<StageTiming>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    *out = std::move(entries_);
+    entries_.clear();
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<StageTiming> entries_;
+};
+
 /// Times one pipeline stage: emits an obs span (trace buffer + latency
-/// histogram) and appends a per-request StageTiming to the outcome so the
+/// histogram) and records a per-request StageTiming through the sink so the
 /// breakdown ships with the assessment itself.
 class StageScope {
  public:
-  StageScope(const char* name, AssessmentOutcome* outcome)
+  StageScope(const char* name, TimingSink* sink)
       : span_(name),
-        name_(name),
-        outcome_(outcome),
+        sink_(sink),
+        slot_(sink->Open(name)),
         start_(std::chrono::steady_clock::now()) {}
 
   ~StageScope() {
@@ -32,7 +66,7 @@ class StageScope {
         std::chrono::duration_cast<std::chrono::duration<double>>(
             std::chrono::steady_clock::now() - start_)
             .count();
-    outcome_->stage_timings.push_back({name_, seconds});
+    sink_->Close(slot_, seconds);
   }
 
   StageScope(const StageScope&) = delete;
@@ -40,8 +74,8 @@ class StageScope {
 
  private:
   obs::ScopedSpan span_;
-  const char* name_;
-  AssessmentOutcome* outcome_;
+  TimingSink* sink_;
+  std::size_t slot_;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -83,6 +117,18 @@ StatusOr<SkuRecommendationPipeline> SkuRecommendationPipeline::Create(
   pipeline.baseline_ = std::make_unique<core::BaselineRecommender>(
       pipeline.catalog_.get(), pipeline.pricing_.get(),
       config.baseline_quantile);
+
+  // Execution pool for the per-SKU probability scans. num_threads == 1 (or
+  // auto on a single-core host) keeps the engine strictly serial; either
+  // way the assessment bytes are identical.
+  const int threads = config.num_threads == 0
+                          ? exec::ThreadPool::HardwareConcurrency()
+                          : config.num_threads;
+  if (threads > 1) {
+    pipeline.pool_ = std::make_unique<exec::ThreadPool>(threads);
+    pipeline.db_recommender_->SetExecutor(pipeline.pool_.get());
+    pipeline.mi_recommender_->SetExecutor(pipeline.pool_.get());
+  }
   return pipeline;
 }
 
@@ -99,6 +145,7 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
   AssessmentOutcome outcome;
   outcome.customer_id = request.customer_id;
   outcome.target = request.target;
+  TimingSink timings;
 
   // The quality report starts from whatever ingestion already found (the
   // CLI's CSV-boundary gate) and accumulates the per-database gates.
@@ -109,7 +156,7 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
   gate.policy = request.quality_policy;
   quality::TraceQualityReport pipeline_gate;
   {
-    StageScope stage("pipeline.preprocess", &outcome);
+    StageScope stage("pipeline.preprocess", &timings);
     DOPPLER_ASSIGN_OR_RETURN(
         outcome.instance_trace,
         preprocessing_.PrepareInstanceTrace(request.database_traces, gate,
@@ -126,7 +173,7 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
   // Degraded mode is judged exactly once, on the instance rollup, against
   // the profiling dimensions the target deployment expects.
   {
-    StageScope stage("pipeline.quality", &outcome);
+    StageScope stage("pipeline.quality", &timings);
     quality::AssessDegradedMode(outcome.instance_trace.PresentDims(),
                                 workload::ProfilingDims(request.target),
                                 &outcome.quality);
@@ -163,28 +210,37 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
   const core::ElasticRecommender& recommender =
       request.target == Deployment::kSqlDb ? *db_recommender_
                                            : *mi_recommender_;
+  // One memoized order-statistics view of the (now frozen) instance trace,
+  // shared by profiling and the baseline so each dimension is sorted once
+  // per assessment instead of once per consumer.
+  telemetry::TraceStatsCache instance_stats(outcome.instance_trace);
   {
-    StageScope stage("pipeline.recommend", &outcome);
+    StageScope stage("pipeline.recommend", &timings);
     DOPPLER_ASSIGN_OR_RETURN(
         outcome.elastic,
-        recommender.Recommend(outcome.instance_trace, request.target, layout));
+        recommender.Recommend(outcome.instance_trace, request.target, layout,
+                              &instance_stats));
   }
   DOPPLER_LOG(kDebug) << "elastic pick " << outcome.elastic.sku.id << " ("
                       << core::CurveShapeName(outcome.elastic.curve_shape)
                       << " curve) for " << outcome.customer_id;
 
   {
-    StageScope stage("pipeline.baseline", &outcome);
-    outcome.baseline =
-        baseline_->Recommend(outcome.instance_trace, request.target);
+    StageScope stage("pipeline.baseline", &timings);
+    outcome.baseline = baseline_->Recommend(outcome.instance_trace,
+                                            request.target, &instance_stats);
   }
 
   if (request.compute_confidence) {
-    StageScope stage("pipeline.confidence", &outcome);
+    StageScope stage("pipeline.confidence", &timings);
     Rng rng(config_.confidence_seed);
     core::RecommendFn rerun =
         [&recommender, &request, &layout](const telemetry::PerfTrace& trace) {
-          return recommender.Recommend(trace, request.target, layout);
+          // Each bootstrap resample is a distinct trace, so it gets its own
+          // memoized view for the profiling re-run.
+          telemetry::TraceStatsCache resample_stats(trace);
+          return recommender.Recommend(trace, request.target, layout,
+                                       &resample_stats);
         };
     DOPPLER_ASSIGN_OR_RETURN(
         core::ConfidenceResult confidence,
@@ -194,11 +250,12 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
   }
 
   if (!request.current_sku_id.empty()) {
-    StageScope stage("pipeline.rightsizing", &outcome);
+    StageScope stage("pipeline.rightsizing", &timings);
     StatusOr<core::RightSizingAssessment> rightsizing =
         core::AssessRightSizing(outcome.elastic.curve, request.current_sku_id);
     if (rightsizing.ok()) outcome.rightsizing = std::move(rightsizing).value();
   }
+  timings.DrainTo(&outcome.stage_timings);
   return outcome;
 }
 

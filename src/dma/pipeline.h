@@ -11,6 +11,7 @@
 #include "core/recommender.h"
 #include "core/rightsizing.h"
 #include "dma/preprocess.h"
+#include "exec/thread_pool.h"
 #include "quality/quality_gate.h"
 #include "util/statusor.h"
 
@@ -86,6 +87,11 @@ class SkuRecommendationPipeline {
     double rho = 0.10;  ///< Thresholding-duration cutoff.
     core::ConfidenceOptions confidence;
     std::uint64_t confidence_seed = 19;
+    /// Worker threads for the per-SKU curve build: 0 picks the hardware
+    /// concurrency, 1 keeps the engine strictly serial (no pool is
+    /// created), >1 sizes the pool. Assessments are bit-identical at every
+    /// setting — parallelism changes wall-clock only.
+    int num_threads = 0;
   };
 
   /// Builds a pipeline around the shipped static inputs.
@@ -101,6 +107,9 @@ class SkuRecommendationPipeline {
 
   const catalog::SkuCatalog& catalog() const { return *catalog_; }
   const core::GroupModel& group_model() const { return *group_model_; }
+  /// The pipeline's SKU-scoring pool; nullptr when the engine is serial
+  /// (num_threads == 1 or single-core auto detection).
+  exec::ThreadPool* executor() const { return pool_.get(); }
 
  private:
   SkuRecommendationPipeline() = default;
@@ -116,6 +125,9 @@ class SkuRecommendationPipeline {
   std::unique_ptr<core::ElasticRecommender> db_recommender_;
   std::unique_ptr<core::ElasticRecommender> mi_recommender_;
   std::unique_ptr<core::BaselineRecommender> baseline_;
+  // SKU-scoring pool shared by both recommenders; they borrow the raw
+  // pointer, which stays valid across moves of the pipeline object.
+  std::unique_ptr<exec::ThreadPool> pool_;
   DataPreprocessingModule preprocessing_;
   Config config_;
 };

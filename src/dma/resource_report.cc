@@ -211,6 +211,11 @@ void WriteQualityReport(JsonWriter& json,
 }  // namespace
 
 std::string RenderAssessmentJson(const AssessmentOutcome& outcome) {
+  return RenderAssessmentJson(outcome, AssessmentJsonOptions());
+}
+
+std::string RenderAssessmentJson(const AssessmentOutcome& outcome,
+                                 const AssessmentJsonOptions& options) {
   JsonWriter json;
   json.BeginObject();
   json.Key("customer_id").String(outcome.customer_id);
@@ -225,7 +230,9 @@ std::string RenderAssessmentJson(const AssessmentOutcome& outcome) {
   for (const StageTiming& timing : outcome.stage_timings) {
     json.BeginObject();
     json.Key("stage").String(timing.stage);
-    json.Key("seconds").Number(timing.seconds);
+    if (options.include_stage_seconds) {
+      json.Key("seconds").Number(timing.seconds);
+    }
     json.EndObject();
   }
   json.EndArray();
@@ -279,6 +286,36 @@ std::string RenderAssessmentJson(const AssessmentOutcome& outcome) {
   }
   json.EndObject();
   return json.str();
+}
+
+std::string RenderFleetAssessmentJson(
+    const std::vector<std::string>& customer_ids,
+    const std::vector<StatusOr<AssessmentOutcome>>& outcomes,
+    const AssessmentJsonOptions& options) {
+  std::size_t succeeded = 0;
+  for (const auto& outcome : outcomes) succeeded += outcome.ok();
+  // Per-assessment documents are emitted by RenderAssessmentJson and
+  // spliced into the array verbatim (the writer emits compact JSON, so
+  // concatenation stays well-formed).
+  std::string out = "{\"fleet_size\":" + std::to_string(outcomes.size()) +
+                    ",\"succeeded\":" + std::to_string(succeeded) +
+                    ",\"assessments\":[";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (i > 0) out += ",";
+    if (outcomes[i].ok()) {
+      out += RenderAssessmentJson(*outcomes[i], options);
+    } else {
+      JsonWriter error;
+      error.BeginObject();
+      error.Key("customer_id")
+          .String(i < customer_ids.size() ? customer_ids[i] : "");
+      error.Key("error").String(outcomes[i].status().ToString());
+      error.EndObject();
+      out += error.str();
+    }
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace doppler::dma

@@ -35,10 +35,32 @@ std::string RenderRecommendationReport(const telemetry::PerfTrace& trace,
 std::string RenderNegotiabilityReport(const telemetry::PerfTrace& trace,
                                       catalog::Deployment deployment);
 
+/// Rendering knobs for the assessment JSON.
+struct AssessmentJsonOptions {
+  /// Emit each stage's wall-clock seconds. Stage NAMES are always listed
+  /// (execution order is part of the assessment); the seconds are the one
+  /// nondeterministic field in the report, so batch/golden/determinism
+  /// consumers turn them off to get byte-identical output.
+  bool include_stage_seconds = true;
+};
+
 /// Machine-readable form of a full assessment for downstream tooling
 /// (`doppler assess --json`): the elastic recommendation, the baseline
 /// outcome, confidence, right-sizing, and the full curve.
 std::string RenderAssessmentJson(const AssessmentOutcome& outcome);
+
+/// Options-taking overload; the default options match the plain overload.
+std::string RenderAssessmentJson(const AssessmentOutcome& outcome,
+                                 const AssessmentJsonOptions& options);
+
+/// Batch document for `doppler assess-batch --json`: one entry per request
+/// in request order — the full assessment JSON on success, a
+/// {customer_id, error} object on per-request failure. `customer_ids`
+/// aligns with `outcomes` (error slots have no outcome to name themselves).
+std::string RenderFleetAssessmentJson(
+    const std::vector<std::string>& customer_ids,
+    const std::vector<StatusOr<AssessmentOutcome>>& outcomes,
+    const AssessmentJsonOptions& options);
 
 }  // namespace doppler::dma
 

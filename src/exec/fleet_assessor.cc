@@ -1,0 +1,41 @@
+#include "exec/fleet_assessor.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace doppler::exec {
+
+FleetAssessor::FleetAssessor(const dma::SkuRecommendationPipeline* pipeline,
+                             int jobs)
+    : pipeline_(pipeline), jobs_(jobs < 1 ? 1 : jobs) {
+  if (jobs_ > 1) pool_ = std::make_unique<ThreadPool>(jobs_);
+}
+
+std::vector<StatusOr<dma::AssessmentOutcome>> FleetAssessor::AssessAll(
+    const std::vector<dma::AssessmentRequest>& requests) const {
+  DOPPLER_TRACE_SPAN("exec.fleet_assess");
+  static obs::Counter* const kFleetRequests =
+      obs::DefaultMetrics().GetCounter("exec.fleet_requests");
+  kFleetRequests->Increment(requests.size());
+
+  // Pre-sized error slots: each worker overwrites exactly its own index,
+  // so the batch result is request-ordered regardless of completion order.
+  std::vector<StatusOr<dma::AssessmentOutcome>> results;
+  results.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    results.emplace_back(InternalError("request not assessed"));
+  }
+  const auto assess_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      results[i] = pipeline_->Assess(requests[i]);
+    }
+  };
+  if (pool_ != nullptr && requests.size() > 1) {
+    pool_->ParallelFor(requests.size(), assess_range);
+  } else {
+    assess_range(0, requests.size());
+  }
+  return results;
+}
+
+}  // namespace doppler::exec

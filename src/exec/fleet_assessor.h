@@ -1,0 +1,47 @@
+#ifndef DOPPLER_EXEC_FLEET_ASSESSOR_H_
+#define DOPPLER_EXEC_FLEET_ASSESSOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "dma/pipeline.h"
+#include "exec/thread_pool.h"
+#include "util/statusor.h"
+
+namespace doppler::exec {
+
+/// Fans a batch of assessment requests across a request-level worker pool
+/// (paper §4: DMA assesses whole estates, one SKU recommendation per
+/// database server). Each request lands in its own pre-sized result slot,
+/// so the output vector is in request order and byte-identical to running
+/// the requests serially — `jobs` changes wall-clock only.
+///
+/// The request-level pool is separate from the pipeline's SKU-scoring pool
+/// (SkuRecommendationPipeline::executor()), so a worker blocked inside
+/// Assess never waits on its own pool; combined with the pools'
+/// caller-runs overflow policy this makes the two-level fan-out
+/// deadlock-free.
+class FleetAssessor {
+ public:
+  /// Borrows `pipeline` (must outlive the assessor). `jobs <= 1` assesses
+  /// inline on the calling thread; otherwise a dedicated pool of `jobs`
+  /// workers is spun up for the assessor's lifetime.
+  FleetAssessor(const dma::SkuRecommendationPipeline* pipeline, int jobs);
+
+  /// Assesses every request; result i corresponds to requests[i]. Per-
+  /// request failures are carried as error slots, never thrown across the
+  /// batch: one bad trace does not sink the fleet.
+  std::vector<StatusOr<dma::AssessmentOutcome>> AssessAll(
+      const std::vector<dma::AssessmentRequest>& requests) const;
+
+  int jobs() const { return jobs_; }
+
+ private:
+  const dma::SkuRecommendationPipeline* pipeline_;
+  int jobs_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace doppler::exec
+
+#endif  // DOPPLER_EXEC_FLEET_ASSESSOR_H_

@@ -1,0 +1,158 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace doppler::exec {
+
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* const kGauge =
+      obs::DefaultMetrics().GetGauge("exec.queue_depth");
+  return kGauge;
+}
+
+obs::Histogram* TaskLatencyHistogram() {
+  static obs::Histogram* const kHistogram =
+      obs::DefaultMetrics().GetHistogram("exec.task_latency");
+  return kHistogram;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads, std::size_t queue_capacity)
+    : queue_capacity_(std::max<std::size_t>(1, queue_capacity)) {
+  const int count = std::max(1, num_threads);
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunTask(QueuedTask task, bool inline_run) {
+  static obs::Counter* const kExecuted =
+      obs::DefaultMetrics().GetCounter("exec.tasks_executed");
+  static obs::Counter* const kInline =
+      obs::DefaultMetrics().GetCounter("exec.tasks_inline");
+  task.work();
+  kExecuted->Increment();
+  if (inline_run) kInline->Increment();
+  TaskLatencyHistogram()->Observe(
+      static_cast<double>(NowNs() - task.enqueue_ns) * 1e-9);
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  QueuedTask queued;
+  queued.work = std::packaged_task<void()>(std::move(task));
+  queued.enqueue_ns = NowNs();
+  std::future<void> future = queued.work.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!shutting_down_ && queue_.size() < queue_capacity_) {
+      queue_.push_back(std::move(queued));
+      QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+      lock.unlock();
+      task_ready_.notify_one();
+      return future;
+    }
+  }
+  // Queue full (or pool tearing down): caller runs. This is the overflow
+  // policy that makes nested fan-out deadlock-free.
+  RunTask(std::move(queued), /*inline_run=*/true);
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    QueuedTask task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutting down with nothing left.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+    }
+    RunTask(std::move(task), /*inline_run=*/false);
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunk count depends only on n and the pool size, never on scheduling:
+  // 2x threads balances load without hurting determinism (chunks are
+  // identified by their [begin, end) range, not by which worker ran them).
+  const std::size_t max_chunks =
+      static_cast<std::size_t>(num_threads()) * 2;
+  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, max_chunks));
+  const std::size_t stride = (n + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks);
+  for (std::size_t begin = 0; begin < n; begin += stride) {
+    const std::size_t end = std::min(n, begin + stride);
+    if (end == n) {
+      // The calling thread takes the final chunk instead of idling on the
+      // futures; with a single chunk this degenerates to a plain loop.
+      fn(begin, end);
+      break;
+    }
+    pending.push_back(Submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  // Help-drain while waiting: a blocked waiter keeps executing queued tasks
+  // (its own chunks or anyone else's). Without this, nested ParallelFor can
+  // park every worker on futures of tasks still sitting in a non-full queue.
+  for (std::future<void>& future : pending) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!RunOneQueuedTask()) {
+        future.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+    future.get();
+  }
+}
+
+bool ThreadPool::RunOneQueuedTask() {
+  QueuedTask task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+    QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+  }
+  RunTask(std::move(task), /*inline_run=*/false);
+  return true;
+}
+
+std::size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int ThreadPool::HardwareConcurrency() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+}  // namespace doppler::exec

@@ -42,9 +42,14 @@ double Max(const std::vector<double>& values) {
 
 double Quantile(const std::vector<double>& values, double q) {
   if (values.empty()) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
   std::vector<double> sorted = values;
   std::sort(sorted.begin(), sorted.end());
+  return QuantileFromSorted(sorted, q);
+}
+
+double QuantileFromSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
   const double position = q * static_cast<double>(sorted.size() - 1);
   const std::size_t lower = static_cast<std::size_t>(position);
   const std::size_t upper = std::min(lower + 1, sorted.size() - 1);

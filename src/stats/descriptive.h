@@ -26,6 +26,11 @@ double Max(const std::vector<double>& values);
 /// series with this at q = 0.95 (or q = 1.0 for "max").
 double Quantile(const std::vector<double>& values, double q);
 
+/// Same R-7 quantile over an already ascending-sorted input, skipping the
+/// copy + sort. Bit-identical to Quantile on the sorted data; the
+/// TraceStatsCache amortises one sort across many quantile reads with this.
+double QuantileFromSorted(const std::vector<double>& sorted, double q);
+
 /// Median (Quantile at 0.5).
 double Median(const std::vector<double>& values);
 

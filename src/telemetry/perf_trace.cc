@@ -43,6 +43,19 @@ catalog::ResourceVector PerfTrace::DemandAt(std::size_t i) const {
   return demand;
 }
 
+DemandColumns PerfTrace::Columns(
+    const std::vector<catalog::ResourceDim>& dims) const {
+  DemandColumns view;
+  view.num_rows = num_samples_;
+  for (catalog::ResourceDim dim : dims) {
+    if (!Has(dim)) continue;
+    view.columns[view.num_columns] = series_[Index(dim)].data();
+    view.dims[view.num_columns] = dim;
+    ++view.num_columns;
+  }
+  return view;
+}
+
 PerfTrace PerfTrace::Select(const std::vector<std::size_t>& indices) const {
   PerfTrace out(interval_seconds_);
   out.set_id(id_);

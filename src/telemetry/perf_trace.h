@@ -19,6 +19,23 @@ inline constexpr std::int64_t kDmaIntervalSeconds = 600;
 inline constexpr int kSamplesPerDay =
     static_cast<int>(86400 / kDmaIntervalSeconds);
 
+/// Zero-copy column-major view of a trace's demand matrix over a chosen
+/// dimension subset: column k is the contiguous series for the k-th
+/// requested dimension, every column sharing one row count. This is the
+/// shape the throttling kernel scans — one tight pass per column instead of
+/// a per-row gather across dimensions.
+struct DemandColumns {
+  /// One pointer per requested dimension, each to `num_rows` contiguous
+  /// doubles. Absent dimensions are skipped entirely.
+  std::array<const double*, catalog::kNumResourceDims> columns{};
+  std::array<catalog::ResourceDim, catalog::kNumResourceDims> dims{};
+  std::size_t num_columns = 0;
+  std::size_t num_rows = 0;
+
+  const double* column(std::size_t k) const { return columns[k]; }
+  catalog::ResourceDim dim(std::size_t k) const { return dims[k]; }
+};
+
 /// A customer's performance history: one aligned, evenly spaced series per
 /// collected resource dimension. Index i of every present dimension refers
 /// to the same wall-clock sample, which is what the joint (multivariate)
@@ -62,6 +79,11 @@ class PerfTrace {
 
   /// Joint demand at sample `i` across the present dimensions.
   catalog::ResourceVector DemandAt(std::size_t i) const;
+
+  /// Column-major demand matrix over `dims` (absent dimensions are
+  /// skipped). The view borrows the trace's storage — it is valid only
+  /// while the trace is alive and unmutated.
+  DemandColumns Columns(const std::vector<catalog::ResourceDim>& dims) const;
 
   /// New trace holding the samples at `indices` (in the given order) for
   /// every present dimension; the bootstrap resampler drives this.

@@ -1,0 +1,53 @@
+#include "telemetry/trace_stats.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace doppler::telemetry {
+
+const TraceStatsCache::DimEntry& TraceStatsCache::Entry(
+    catalog::ResourceDim dim) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DimEntry& entry = entries_[Index(dim)];
+  if (entry.built) return entry;
+  if (trace_->Has(dim)) {
+    const std::vector<double>& values = trace_->Values(dim);
+    entry.sorted = values;
+    std::sort(entry.sorted.begin(), entry.sorted.end());
+    entry.mean = stats::Mean(values);
+    entry.stddev = stats::StdDev(values);
+    // Sorted extremes match stats::Min/Max on non-empty input.
+    entry.min = entry.sorted.empty() ? 0.0 : entry.sorted.front();
+    entry.max = entry.sorted.empty() ? 0.0 : entry.sorted.back();
+  }
+  entry.built = true;
+  return entry;
+}
+
+const std::vector<double>& TraceStatsCache::Sorted(
+    catalog::ResourceDim dim) const {
+  return Entry(dim).sorted;
+}
+
+double TraceStatsCache::Quantile(catalog::ResourceDim dim, double q) const {
+  return stats::QuantileFromSorted(Entry(dim).sorted, q);
+}
+
+double TraceStatsCache::Mean(catalog::ResourceDim dim) const {
+  return Entry(dim).mean;
+}
+
+double TraceStatsCache::StdDev(catalog::ResourceDim dim) const {
+  return Entry(dim).stddev;
+}
+
+double TraceStatsCache::Min(catalog::ResourceDim dim) const {
+  return Entry(dim).min;
+}
+
+double TraceStatsCache::Max(catalog::ResourceDim dim) const {
+  return Entry(dim).max;
+}
+
+}  // namespace doppler::telemetry

@@ -1,0 +1,76 @@
+#ifndef DOPPLER_TELEMETRY_TRACE_STATS_H_
+#define DOPPLER_TELEMETRY_TRACE_STATS_H_
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "catalog/resource.h"
+#include "telemetry/perf_trace.h"
+
+namespace doppler::telemetry {
+
+/// Memoized per-(trace, dimension) order statistics: one sort per dimension
+/// amortised across every consumer of the same assessment — the baseline
+/// recommender's scalar quantiles, the thresholding profiler's max/stddev
+/// window, and the confidence resampler's per-rerun profiling all read the
+/// same sorted state instead of re-deriving it.
+///
+/// The cache BORROWS the trace and snapshots nothing up front; entries are
+/// built lazily on first access, under a mutex, so concurrent workers of a
+/// parallel curve build or fleet assessment may share one cache safely.
+///
+/// Invalidation contract (DESIGN.md §7): a trace must not be mutated while
+/// a cache over it is alive. There is no invalidation hook on purpose —
+/// traces are frozen once they enter the assessment pipeline, and the cache
+/// object's lifetime is one assessment. Every value is computed by the same
+/// stats:: routines the uncached paths use, so cached and uncached results
+/// are bit-identical.
+class TraceStatsCache {
+ public:
+  /// Borrows `trace`, which must outlive the cache and stay unmutated.
+  explicit TraceStatsCache(const PerfTrace& trace) : trace_(&trace) {}
+
+  TraceStatsCache(const TraceStatsCache&) = delete;
+  TraceStatsCache& operator=(const TraceStatsCache&) = delete;
+
+  const PerfTrace& trace() const { return *trace_; }
+
+  /// Ascending-sorted copy of the dimension's series; empty when the
+  /// dimension is absent from the trace.
+  const std::vector<double>& Sorted(catalog::ResourceDim dim) const;
+
+  /// R-7 quantile over the memoized sorted series (0 when absent).
+  double Quantile(catalog::ResourceDim dim, double q) const;
+
+  double Mean(catalog::ResourceDim dim) const;
+  double StdDev(catalog::ResourceDim dim) const;
+  double Min(catalog::ResourceDim dim) const;
+  double Max(catalog::ResourceDim dim) const;
+
+ private:
+  struct DimEntry {
+    bool built = false;
+    std::vector<double> sorted;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  /// Builds (first call) and returns the entry for one dimension.
+  const DimEntry& Entry(catalog::ResourceDim dim) const;
+
+  static constexpr std::size_t Index(catalog::ResourceDim dim) {
+    return static_cast<std::size_t>(static_cast<int>(dim));
+  }
+
+  const PerfTrace* trace_;
+  mutable std::mutex mu_;
+  mutable std::array<DimEntry, catalog::kNumResourceDims> entries_;
+};
+
+}  // namespace doppler::telemetry
+
+#endif  // DOPPLER_TELEMETRY_TRACE_STATS_H_

@@ -249,6 +249,109 @@ TEST_P(EngineProperty, RecommendationRespectsGroupConstraint) {
   }
 }
 
+// Improving capacity in ANY single dimension (raising normal capacities,
+// lowering the delivered latency for the inverted dimension) can only lower
+// or keep the throttling estimate — per-dimension monotonicity, not just
+// the all-dims-at-once variant above.
+TEST_P(EngineProperty, ProbabilityMonotonePerDimensionCapacityGrowth) {
+  const telemetry::PerfTrace trace = RandomTrace(GetParam());
+  const catalog::Sku sku = catalog_->skus()[GetParam() % catalog_->size()];
+  const catalog::ResourceVector base = sku.Capacities();
+  StatusOr<double> p_base = estimator_->Probability(trace, base);
+  ASSERT_TRUE(p_base.ok());
+  for (ResourceDim dim : base.PresentDims()) {
+    if (!trace.Has(dim)) continue;
+    double previous = *p_base;
+    for (double factor : {1.5, 4.0, 64.0}) {
+      catalog::ResourceVector grown = base;
+      grown.Set(dim, catalog::IsInvertedDim(dim) ? base.Get(dim) / factor
+                                                 : base.Get(dim) * factor);
+      StatusOr<double> p_grown = estimator_->Probability(trace, grown);
+      ASSERT_TRUE(p_grown.ok());
+      EXPECT_LE(*p_grown, previous + 1e-12)
+          << catalog::ResourceDimName(dim) << " x" << factor;
+      previous = *p_grown;
+    }
+  }
+}
+
+// The naive row-major formulation of paper Eq. 1, kept here as the
+// executable specification the production columnar kernel must match.
+double NaiveRowMajorProbability(const telemetry::PerfTrace& trace,
+                                const catalog::ResourceVector& capacities) {
+  std::vector<ResourceDim> dims;
+  for (ResourceDim dim : catalog::kAllResourceDims) {
+    if (trace.Has(dim) && capacities.Has(dim)) dims.push_back(dim);
+  }
+  const std::size_t n = trace.num_samples();
+  std::size_t throttled = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    bool any = false;
+    for (ResourceDim dim : dims) {
+      any |= catalog::ResourceVector::Exceeds(dim, trace.Values(dim)[t],
+                                              capacities.Get(dim));
+    }
+    throttled += any;
+  }
+  return static_cast<double>(throttled) / static_cast<double>(n);
+}
+
+// The columnar early-exit union scan is an optimisation, not a model
+// change: it must agree with the naive reference EXACTLY (same count, same
+// division), on every SKU of the catalog.
+TEST_P(EngineProperty, ColumnarScanMatchesNaiveRowMajorReference) {
+  const telemetry::PerfTrace trace = RandomTrace(GetParam());
+  for (const catalog::Sku& sku : catalog_->skus()) {
+    StatusOr<double> columnar = estimator_->Probability(trace, sku.Capacities());
+    ASSERT_TRUE(columnar.ok());
+    EXPECT_EQ(*columnar, NaiveRowMajorProbability(trace, sku.Capacities()))
+        << sku.id;
+  }
+}
+
+// The TraceStatsCache is pure memoization: every consumer must get bit-
+// identical numbers with and without it.
+TEST_P(EngineProperty, TraceStatsCacheIsBitIdenticalToDirectComputation) {
+  const telemetry::PerfTrace trace = RandomTrace(GetParam());
+  const telemetry::TraceStatsCache cache(trace);
+  for (ResourceDim dim : trace.PresentDims()) {
+    const std::vector<double>& values = trace.Values(dim);
+    EXPECT_EQ(cache.Mean(dim), stats::Mean(values));
+    EXPECT_EQ(cache.StdDev(dim), stats::StdDev(values));
+    EXPECT_EQ(cache.Min(dim), stats::Min(values));
+    EXPECT_EQ(cache.Max(dim), stats::Max(values));
+    for (double q : {0.05, 0.5, 0.95, 1.0}) {
+      EXPECT_EQ(cache.Quantile(dim, q), stats::Quantile(values, q));
+    }
+  }
+
+  // Thresholding profile: cached and uncached scores byte-equal.
+  const core::ThresholdingStrategy thresholding;
+  const std::vector<ResourceDim> dims =
+      workload::ProfilingDims(Deployment::kSqlDb);
+  StatusOr<core::NegotiabilityScores> plain =
+      thresholding.Evaluate(trace, dims);
+  StatusOr<core::NegotiabilityScores> cached =
+      thresholding.Evaluate(trace, dims, &cache);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(cached.ok());
+  for (std::size_t i = 0; i < plain->scores.size(); ++i) {
+    EXPECT_EQ(plain->scores[i], cached->scores[i]);
+    EXPECT_EQ(plain->negotiable[i], cached->negotiable[i]);
+  }
+
+  // Baseline scalar requirements: same quantiles either way.
+  const core::BaselineRecommender baseline(catalog_, pricing_);
+  StatusOr<catalog::ResourceVector> direct = baseline.ScalarRequirements(trace);
+  StatusOr<catalog::ResourceVector> memoized =
+      baseline.ScalarRequirements(trace, &cache);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(memoized.ok());
+  for (ResourceDim dim : direct->PresentDims()) {
+    EXPECT_EQ(direct->Get(dim), memoized->Get(dim));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty,
                          ::testing::Values(101, 202, 303, 404, 505, 606, 707,
                                            808, 909, 1010));

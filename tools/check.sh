@@ -2,7 +2,8 @@
 # Repo hygiene + sanitizer gate:
 #   1. fails if generated build trees are tracked by git,
 #   2. builds with AddressSanitizer + UBSan and runs the full tier-1 suite,
-#   3. builds with ThreadSanitizer and runs the obs concurrency tests.
+#   3. builds with ThreadSanitizer and runs the obs concurrency tests plus
+#      the exec thread-pool / fleet determinism suite.
 # Usage: tools/check.sh [build-dir] (default build-asan; the TSan tree
 # lands next to it with a -tsan suffix).
 set -euo pipefail
@@ -30,11 +31,14 @@ export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 export ASAN_OPTIONS="detect_leaks=1"
 ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
 
-# ThreadSanitizer pass over the lock-free metrics/tracer concurrency
-# tests. Only the obs_test target is built, so run the binary directly
-# (ctest discovery would also cover targets never built in this tree).
+# ThreadSanitizer pass over the concurrency-sensitive suites: the
+# lock-free metrics/tracer tests and the exec thread-pool / parallel fleet
+# assessment tests. Only these targets are built, so run the binaries
+# directly (ctest discovery would also cover targets never built in this
+# tree).
 cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DDOPPLER_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${tsan_dir}" -j"$(nproc)" --target obs_test
+cmake --build "${tsan_dir}" -j"$(nproc)" --target obs_test exec_test
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_test"
+TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/exec_test"

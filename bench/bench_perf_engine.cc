@@ -271,6 +271,31 @@ BENCHMARK(BM_PipelineAssess)
     ->Args({0, 8})
     ->Unit(benchmark::kMillisecond);
 
+// ---- Repeated assessments over the one compiled catalog snapshot. The
+// pipeline compiles the SKU search space (price-sorted candidate sets,
+// capacity matrix, disk-tier table) exactly once at Create; every
+// assessment afterwards reads borrowed views. Items = assessments, so
+// items_per_second is the steady-state single-pipeline assessment
+// throughput the fleet layer multiplies.
+
+void BM_CompiledAssess(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const dma::SkuRecommendationPipeline& pipeline = PipelineWithThreads(threads);
+  dma::AssessmentRequest request;
+  request.customer_id = "compiled";
+  request.target = catalog::Deployment::kSqlDb;
+  request.database_traces = {MakeTrace(7, 6)};
+  for (auto _ : state) {
+    StatusOr<dma::AssessmentOutcome> outcome = pipeline.Assess(request);
+    benchmark::DoNotOptimize(outcome);
+    if (!outcome.ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("shared compiled snapshot, " + std::to_string(threads) +
+                 " threads");
+}
+BENCHMARK(BM_CompiledAssess)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
 // ---- Fleet assessment: an 8-customer batch through FleetAssessor at
 // jobs = 1/2/8, pipeline SKU fan-out matched to the job count the way
 // `doppler assess-batch --jobs N` wires it.

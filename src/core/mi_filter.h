@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "catalog/file_layout.h"
 #include "core/price_performance.h"
 #include "telemetry/perf_trace.h"
@@ -39,6 +40,15 @@ struct MiFilterResult {
   catalog::LayoutLimits layout_limits;
 };
 
+/// Step 1 output on the compiled-snapshot path: candidates borrow their
+/// CompiledEntry from the snapshot (valid for its lifetime) instead of
+/// copying SKUs, in the snapshot's cheapest-first order.
+struct MiCompiledFilterResult {
+  std::vector<CompiledCandidateRef> candidates;
+  bool restricted_to_bc = false;
+  catalog::LayoutLimits layout_limits;
+};
+
 /// Runs Steps 1-2 for a workload migrating to SQL MI:
 ///  1. Resolve each data file to its premium-disk tier and sum the
 ///     per-disk IOPS/throughput limits.
@@ -51,6 +61,15 @@ struct MiFilterResult {
 StatusOr<MiFilterResult> FilterMiCandidates(
     const catalog::SkuCatalog& catalog, const catalog::FileLayout& layout,
     const telemetry::PerfTrace& trace, const MiFilterOptions& options = {});
+
+/// Compiled-snapshot path: identical Steps 1-3 over the snapshot's
+/// pre-sorted MI view and its precomputed premium-disk table — no catalog
+/// copy, no SKU copies. Selects the same candidate set (same order) as the
+/// SkuCatalog overload for the catalog the snapshot was compiled from.
+StatusOr<MiCompiledFilterResult> FilterMiCandidates(
+    const catalog::CompiledCatalog& compiled,
+    const catalog::FileLayout& layout, const telemetry::PerfTrace& trace,
+    const MiFilterOptions& options = {});
 
 }  // namespace doppler::core
 

@@ -118,6 +118,135 @@ StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
   return Build(trace, wrapped, pricing, estimator, executor);
 }
 
+// Uniform accessor over the two compiled candidate sources: a whole
+// deployment view (no IOPS overrides) or a filtered ref list (MI path).
+// Avoids materialising a ref vector for the common DB route.
+struct PricePerformanceCurve::CompiledSpan {
+  const catalog::CompiledEntry* entries = nullptr;
+  const CompiledCandidateRef* refs = nullptr;
+  std::size_t count = 0;
+
+  const catalog::CompiledEntry& entry(std::size_t i) const {
+    return refs != nullptr ? *refs[i].entry : entries[i];
+  }
+  double iops_limit(std::size_t i) const {
+    return refs != nullptr ? refs[i].iops_limit : -1.0;
+  }
+};
+
+StatusOr<PricePerformanceCurve> PricePerformanceCurve::BuildCompiled(
+    const telemetry::PerfTrace& trace, const CompiledSpan& span,
+    const catalog::PricingService& pricing,
+    const ThrottlingEstimator& estimator, exec::ThreadPool* executor) {
+  if (span.count == 0) {
+    return InvalidArgumentError("no candidate SKUs for curve building");
+  }
+  if (trace.num_samples() == 0) {
+    return InvalidArgumentError("performance trace is empty");
+  }
+  DOPPLER_TRACE_SPAN("ppm.curve_build");
+  static obs::Counter* const kSkusEvaluated =
+      obs::DefaultMetrics().GetCounter("ppm.skus_evaluated");
+  kSkusEvaluated->Increment(span.count);
+  DOPPLER_LOG(kDebug) << "building price-performance curve over " << span.count
+                      << " compiled SKUs, " << trace.num_samples()
+                      << " samples";
+
+  double mean_cpu = 0.0;
+  if (trace.Has(catalog::ResourceDim::kCpu)) {
+    const std::vector<double>& cpu = trace.Values(catalog::ResourceDim::kCpu);
+    for (double v : cpu) mean_cpu += v;
+    mean_cpu /= static_cast<double>(cpu.size());
+  }
+
+  PricePerformanceCurve curve;
+  std::vector<PricePerformancePoint>& points = curve.points_;
+  points.resize(span.count);
+  std::vector<Status> failures(span.count);
+  const auto score_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const catalog::CompiledEntry& entry = span.entry(i);
+      const double iops_limit = span.iops_limit(i);
+      StatusOr<double> probability =
+          iops_limit >= 0.0
+              ? estimator.Probability(
+                    trace, entry.sku->CapacitiesWithIopsLimit(iops_limit))
+              : estimator.Probability(trace, entry.capacities);
+      if (!probability.ok()) {
+        failures[i] = probability.status();
+        continue;
+      }
+      PricePerformancePoint& point = points[i];
+      point.sku = *entry.sku;
+      point.monthly_price =
+          entry.sku->serverless && mean_cpu > 0.0
+              ? pricing.MonthlyCostForUsage(*entry.sku, mean_cpu)
+              : entry.monthly_price;
+      point.throttling_probability = *probability;
+      point.performance = 1.0 - *probability;
+    }
+  };
+  if (executor != nullptr && span.count > 1) {
+    executor->ParallelFor(span.count, score_range);
+  } else {
+    score_range(0, span.count);
+  }
+  for (const Status& failure : failures) {
+    if (!failure.ok()) return failure;
+  }
+
+  // A usage-billed SKU re-priced against the trace invalidates the
+  // memoized price order; provisioned SKUs keep their compiled price, so
+  // the pre-sorted order stands and the sort can be skipped entirely.
+  bool repriced = false;
+  if (mean_cpu > 0.0) {
+    for (std::size_t i = 0; i < span.count && !repriced; ++i) {
+      repriced = span.entry(i).sku->serverless;
+    }
+  }
+  if (repriced) {
+    // Same comparator the Candidate path applies unconditionally; compiled
+    // entries arrive pre-sorted by it, so the sort is needed only when a
+    // serverless re-price perturbed the order.
+    std::sort(
+        points.begin(), points.end(),
+        [](const PricePerformancePoint& a, const PricePerformancePoint& b) {
+          if (a.monthly_price != b.monthly_price) {
+            return a.monthly_price < b.monthly_price;
+          }
+          return a.sku.id < b.sku.id;
+        });
+  }
+
+  double best = 0.0;
+  for (PricePerformancePoint& point : points) {
+    best = std::max(best, point.performance);
+    point.performance = best;
+  }
+  return curve;
+}
+
+StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
+    const telemetry::PerfTrace& trace, catalog::CompiledView candidates,
+    const catalog::PricingService& pricing,
+    const ThrottlingEstimator& estimator, exec::ThreadPool* executor) {
+  CompiledSpan span;
+  span.entries = candidates.begin();
+  span.count = candidates.size();
+  return BuildCompiled(trace, span, pricing, estimator, executor);
+}
+
+StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
+    const telemetry::PerfTrace& trace,
+    const std::vector<CompiledCandidateRef>& candidates,
+    const catalog::PricingService& pricing,
+    const ThrottlingEstimator& estimator, exec::ThreadPool* executor) {
+  CompiledSpan span;
+  span.refs = candidates.data();
+  span.count = candidates.size();
+  return BuildCompiled(trace, span, pricing, estimator, executor);
+}
+
 CurveShape PricePerformanceCurve::Classify(double epsilon) const {
   bool all_full = true;
   bool all_extreme = true;

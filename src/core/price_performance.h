@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/compiled_catalog.h"
 #include "catalog/pricing.h"
 #include "catalog/sku.h"
 #include "core/throttling.h"
@@ -22,6 +23,15 @@ namespace doppler::core {
 struct Candidate {
   catalog::Sku sku;
   /// Effective IOPS limit; negative means "use sku.max_iops".
+  double iops_limit = -1.0;
+};
+
+/// The zero-copy counterpart of Candidate for the compiled-snapshot path:
+/// borrows a CompiledEntry (valid for the snapshot's lifetime) instead of
+/// copying the Sku, plus the same optional MI IOPS override.
+struct CompiledCandidateRef {
+  const catalog::CompiledEntry* entry = nullptr;
+  /// Effective IOPS limit; negative means "use the memoized capacities".
   double iops_limit = -1.0;
 };
 
@@ -75,6 +85,28 @@ class PricePerformanceCurve {
       const ThrottlingEstimator& estimator,
       exec::ThreadPool* executor = nullptr);
 
+  /// Compiled-snapshot path over a whole deployment view: reads the
+  /// memoized monthly prices and capacity vectors, performs no catalog
+  /// copy and — because compiled entries are already in (billed price, id)
+  /// order — no per-request sort unless a usage-billed (serverless) SKU
+  /// re-priced against the trace. Produces bit-identical curves to the
+  /// Candidate overload for the same catalog and pricing.
+  static StatusOr<PricePerformanceCurve> Build(
+      const telemetry::PerfTrace& trace, catalog::CompiledView candidates,
+      const catalog::PricingService& pricing,
+      const ThrottlingEstimator& estimator,
+      exec::ThreadPool* executor = nullptr);
+
+  /// Compiled-snapshot path over a filtered subset (the MI route, where
+  /// each candidate carries a layout-derived IOPS override). `candidates`
+  /// must preserve the compiled view's relative order.
+  static StatusOr<PricePerformanceCurve> Build(
+      const telemetry::PerfTrace& trace,
+      const std::vector<CompiledCandidateRef>& candidates,
+      const catalog::PricingService& pricing,
+      const ThrottlingEstimator& estimator,
+      exec::ThreadPool* executor = nullptr);
+
   /// Points ordered by ascending monthly price.
   const std::vector<PricePerformancePoint>& points() const { return points_; }
 
@@ -108,6 +140,14 @@ class PricePerformanceCurve {
   std::vector<double> Performances() const;
 
  private:
+  // Internal accessor unifying the two compiled candidate sources (whole
+  // view vs. filtered ref list); defined in the .cc.
+  struct CompiledSpan;
+  static StatusOr<PricePerformanceCurve> BuildCompiled(
+      const telemetry::PerfTrace& trace, const CompiledSpan& span,
+      const catalog::PricingService& pricing,
+      const ThrottlingEstimator& estimator, exec::ThreadPool* executor);
+
   std::vector<PricePerformancePoint> points_;
 };
 

@@ -42,14 +42,33 @@ void NoteDegradedDims(const std::vector<ResourceDim>& profile_dims,
 
 }  // namespace
 
+ElasticRecommender::ElasticRecommender(const catalog::CompiledCatalog* compiled,
+                                       const ThrottlingEstimator* estimator,
+                                       const CustomerProfiler* profiler,
+                                       const GroupModel* group_model,
+                                       Options options)
+    : compiled_(compiled),
+      estimator_(estimator),
+      profiler_(profiler),
+      group_model_(group_model),
+      options_(options) {}
+
+ElasticRecommender::ElasticRecommender(const catalog::CompiledCatalog* compiled,
+                                       const ThrottlingEstimator* estimator,
+                                       const CustomerProfiler* profiler,
+                                       const GroupModel* group_model)
+    : ElasticRecommender(compiled, estimator, profiler, group_model,
+                         Options()) {}
+
 ElasticRecommender::ElasticRecommender(const catalog::SkuCatalog* catalog,
                                        const catalog::PricingService* pricing,
                                        const ThrottlingEstimator* estimator,
                                        const CustomerProfiler* profiler,
                                        const GroupModel* group_model,
                                        Options options)
-    : catalog_(catalog),
-      pricing_(pricing),
+    : owned_compiled_(std::make_unique<catalog::CompiledCatalog>(
+          catalog::CompiledCatalog::Compile(*catalog, pricing))),
+      compiled_(owned_compiled_.get()),
       estimator_(estimator),
       profiler_(profiler),
       group_model_(group_model),
@@ -66,27 +85,28 @@ ElasticRecommender::ElasticRecommender(const catalog::SkuCatalog* catalog,
 StatusOr<Recommendation> ElasticRecommender::RecommendDb(
     const telemetry::PerfTrace& trace,
     const telemetry::TraceStatsCache* stats) const {
-  const std::vector<catalog::Sku> candidates =
-      catalog_->ForDeployment(Deployment::kSqlDb);
+  const catalog::CompiledView candidates =
+      compiled_->ForDeployment(Deployment::kSqlDb).view();
   if (candidates.empty()) {
     return FailedPreconditionError("catalog contains no SQL DB SKUs");
   }
   DOPPLER_ASSIGN_OR_RETURN(
       PricePerformanceCurve curve,
-      PricePerformanceCurve::Build(trace, candidates, *pricing_, *estimator_,
-                                   executor_));
+      PricePerformanceCurve::Build(trace, candidates, compiled_->pricing(),
+                                   *estimator_, executor_));
   return SelectFromCurve(std::move(curve), trace, stats);
 }
 
 StatusOr<Recommendation> ElasticRecommender::RecommendMi(
     const telemetry::PerfTrace& trace, const catalog::FileLayout& layout,
     const telemetry::TraceStatsCache* stats) const {
-  DOPPLER_ASSIGN_OR_RETURN(MiFilterResult filtered,
-                           FilterMiCandidates(*catalog_, layout, trace));
+  DOPPLER_ASSIGN_OR_RETURN(MiCompiledFilterResult filtered,
+                           FilterMiCandidates(*compiled_, layout, trace));
   DOPPLER_ASSIGN_OR_RETURN(
       PricePerformanceCurve curve,
-      PricePerformanceCurve::Build(trace, filtered.candidates, *pricing_,
-                                   *estimator_, executor_));
+      PricePerformanceCurve::Build(trace, filtered.candidates,
+                                   compiled_->pricing(), *estimator_,
+                                   executor_));
   DOPPLER_ASSIGN_OR_RETURN(Recommendation recommendation,
                            SelectFromCurve(std::move(curve), trace, stats));
   if (filtered.restricted_to_bc) {
@@ -196,10 +216,17 @@ StatusOr<Recommendation> ElasticRecommender::SelectFromCurve(
   return recommendation;
 }
 
+BaselineRecommender::BaselineRecommender(
+    const catalog::CompiledCatalog* compiled, double quantile)
+    : compiled_(compiled), quantile_(quantile) {}
+
 BaselineRecommender::BaselineRecommender(const catalog::SkuCatalog* catalog,
                                          const catalog::PricingService* pricing,
                                          double quantile)
-    : catalog_(catalog), pricing_(pricing), quantile_(quantile) {}
+    : owned_compiled_(std::make_unique<catalog::CompiledCatalog>(
+          catalog::CompiledCatalog::Compile(*catalog, pricing))),
+      compiled_(owned_compiled_.get()),
+      quantile_(quantile) {}
 
 StatusOr<ResourceVector> BaselineRecommender::ScalarRequirements(
     const telemetry::PerfTrace& trace,
@@ -226,15 +253,16 @@ StatusOr<Recommendation> BaselineRecommender::Recommend(
     const telemetry::TraceStatsCache* cache) const {
   DOPPLER_ASSIGN_OR_RETURN(ResourceVector needs,
                            ScalarRequirements(trace, cache));
-  const std::vector<catalog::Sku> candidates =
-      catalog_->ForDeployment(deployment);
+  const catalog::CompiledView candidates =
+      compiled_->ForDeployment(deployment).view();
   if (candidates.empty()) {
     return FailedPreconditionError("catalog has no SKUs for the deployment");
   }
-  // Candidates come back cheapest-first; the first SKU meeting every
-  // scalar requirement wins.
-  for (const catalog::Sku& sku : candidates) {
-    const ResourceVector caps = sku.Capacities();
+  // Compiled candidates are cheapest-first; the first SKU meeting every
+  // scalar requirement wins. Capacities and the monthly bill read the
+  // snapshot's memoized values — no per-call derivation.
+  for (const catalog::CompiledEntry& entry : candidates) {
+    const ResourceVector& caps = entry.capacities;
     bool fits = true;
     for (ResourceDim dim : needs.PresentDims()) {
       if (!caps.Has(dim)) continue;
@@ -245,8 +273,8 @@ StatusOr<Recommendation> BaselineRecommender::Recommend(
     }
     if (fits) {
       Recommendation recommendation;
-      recommendation.sku = sku;
-      recommendation.monthly_cost = pricing_->MonthlyCost(sku);
+      recommendation.sku = *entry.sku;
+      recommendation.monthly_cost = entry.monthly_price;
       recommendation.throttling_probability = 0.0;
       recommendation.rationale =
           "baseline: cheapest SKU meeting the " +

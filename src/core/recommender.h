@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "catalog/file_layout.h"
 #include "catalog/pricing.h"
 #include "core/mi_filter.h"
@@ -60,15 +61,32 @@ class ElasticRecommender {
     double classify_epsilon = 0.01;
   };
 
-  /// All dependencies are borrowed and must outlive the recommender.
-  ElasticRecommender(const catalog::SkuCatalog* catalog,
-                     const catalog::PricingService* pricing,
+  /// Serving-path constructor: all dependencies are borrowed and must
+  /// outlive the recommender. The compiled snapshot carries the candidate
+  /// sets, memoized prices, and the billing interface; the hot path does
+  /// no catalog copies or sorts.
+  ElasticRecommender(const catalog::CompiledCatalog* compiled,
                      const ThrottlingEstimator* estimator,
                      const CustomerProfiler* profiler,
                      const GroupModel* group_model, Options options);
 
   /// Default-options overload (a default argument of a nested aggregate
   /// cannot appear inside the enclosing class definition).
+  ElasticRecommender(const catalog::CompiledCatalog* compiled,
+                     const ThrottlingEstimator* estimator,
+                     const CustomerProfiler* profiler,
+                     const GroupModel* group_model);
+
+  /// Legacy constructors: compile an owned snapshot of `catalog` against
+  /// `pricing` (both borrowed, must outlive the recommender). Convenient
+  /// for one-shot callers; long-lived services should share one
+  /// CompiledCatalog across recommenders instead.
+  ElasticRecommender(const catalog::SkuCatalog* catalog,
+                     const catalog::PricingService* pricing,
+                     const ThrottlingEstimator* estimator,
+                     const CustomerProfiler* profiler,
+                     const GroupModel* group_model, Options options);
+
   ElasticRecommender(const catalog::SkuCatalog* catalog,
                      const catalog::PricingService* pricing,
                      const ThrottlingEstimator* estimator,
@@ -103,8 +121,9 @@ class ElasticRecommender {
       PricePerformanceCurve curve, const telemetry::PerfTrace& trace,
       const telemetry::TraceStatsCache* stats) const;
 
-  const catalog::SkuCatalog* catalog_;
-  const catalog::PricingService* pricing_;
+  /// Set only by the legacy constructors; compiled_ points at it then.
+  std::unique_ptr<const catalog::CompiledCatalog> owned_compiled_;
+  const catalog::CompiledCatalog* compiled_;
   const ThrottlingEstimator* estimator_;
   const CustomerProfiler* profiler_;
   const GroupModel* group_model_;
@@ -119,6 +138,12 @@ class ElasticRecommender {
 /// exactly the failure mode §5.3 reports.
 class BaselineRecommender {
  public:
+  /// Serving-path constructor over a borrowed compiled snapshot.
+  explicit BaselineRecommender(const catalog::CompiledCatalog* compiled,
+                               double quantile = 0.95);
+
+  /// Legacy constructor: compiles an owned snapshot of `catalog` against
+  /// `pricing` (both borrowed, must outlive the recommender).
   BaselineRecommender(const catalog::SkuCatalog* catalog,
                       const catalog::PricingService* pricing,
                       double quantile = 0.95);
@@ -135,8 +160,9 @@ class BaselineRecommender {
       const telemetry::TraceStatsCache* stats = nullptr) const;
 
  private:
-  const catalog::SkuCatalog* catalog_;
-  const catalog::PricingService* pricing_;
+  /// Set only by the legacy constructor; compiled_ points at it then.
+  std::unique_ptr<const catalog::CompiledCatalog> owned_compiled_;
+  const catalog::CompiledCatalog* compiled_;
   double quantile_;
 };
 

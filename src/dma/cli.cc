@@ -252,6 +252,9 @@ StatusOr<int> RunAssess(const CliOptions& options, std::ostream& out) {
         << "; moving to " << outcome.rightsizing->recommended.sku.DisplayName()
         << " saves " << FormatDollars(outcome.rightsizing->annual_savings, 0)
         << "/year\n";
+  } else if (!outcome.rightsizing_skip_reason.empty()) {
+    out << "Right-sizing: skipped (" << outcome.rightsizing_skip_reason
+        << ")\n";
   }
   return 0;
 }

@@ -2,12 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/descriptive.h"
-#include "telemetry/trace_stats.h"
 #include "util/logging.h"
 #include "workload/population.h"
 
@@ -18,41 +16,9 @@ namespace {
 using catalog::Deployment;
 using catalog::ResourceDim;
 
-/// Collects per-request stage timings. StageScope used to append straight
-/// to AssessmentOutcome::stage_timings from its destructor, which is a data
-/// race the moment any stage runs work on pool threads that itself opens a
-/// scope. The sink serialises writes behind a mutex and keeps entries in
-/// scope-OPEN order (a slot is reserved on entry), so the drained list is
-/// order-stable no matter which thread closes a scope first.
-class TimingSink {
- public:
-  /// Reserves a slot in entry order and returns its index.
-  std::size_t Open(const char* stage) {
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_.push_back({stage, 0.0});
-    return entries_.size() - 1;
-  }
-
-  void Close(std::size_t slot, double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_[slot].seconds = seconds;
-  }
-
-  /// Moves the collected timings (entry order) into `out`.
-  void DrainTo(std::vector<StageTiming>* out) {
-    std::lock_guard<std::mutex> lock(mu_);
-    *out = std::move(entries_);
-    entries_.clear();
-  }
-
- private:
-  std::mutex mu_;
-  std::vector<StageTiming> entries_;
-};
-
 /// Times one pipeline stage: emits an obs span (trace buffer + latency
-/// histogram) and records a per-request StageTiming through the sink so the
-/// breakdown ships with the assessment itself.
+/// histogram) and records a per-request StageTiming through the context's
+/// sink so the breakdown ships with the assessment itself.
 class StageScope {
  public:
   StageScope(const char* name, TimingSink* sink)
@@ -79,6 +45,15 @@ class StageScope {
   std::chrono::steady_clock::time_point start_;
 };
 
+// Emplaces the memoized order-statistics cache over the frozen instance
+// trace on first use (recommend and baseline share it, in either order).
+telemetry::TraceStatsCache* EnsureInstanceStats(RequestContext& ctx) {
+  if (!ctx.instance_stats.has_value()) {
+    ctx.instance_stats.emplace(ctx.outcome.instance_trace);
+  }
+  return &*ctx.instance_stats;
+}
+
 }  // namespace
 
 StatusOr<SkuRecommendationPipeline> SkuRecommendationPipeline::Create(
@@ -93,9 +68,14 @@ StatusOr<SkuRecommendationPipeline> SkuRecommendationPipeline::Create(
   }
   SkuRecommendationPipeline pipeline;
   pipeline.config_ = config;
-  pipeline.catalog_ =
-      std::make_unique<catalog::SkuCatalog>(std::move(inputs.catalog));
   pipeline.pricing_ = std::make_unique<catalog::DefaultPricing>();
+  // The whole SKU search space is compiled exactly once per pipeline:
+  // per-deployment candidate sets in final (billed price, id) order with
+  // memoized prices and capacities, plus the premium-disk limit table.
+  // Every assessment afterwards reads borrowed views of this snapshot.
+  pipeline.compiled_ = std::make_unique<const catalog::CompiledCatalog>(
+      catalog::CompiledCatalog::Compile(std::move(inputs.catalog),
+                                        pipeline.pricing_.get()));
   pipeline.estimator_ = std::make_unique<core::NonParametricEstimator>();
   pipeline.group_model_ =
       std::make_unique<core::GroupModel>(std::move(inputs.group_model));
@@ -107,16 +87,13 @@ StatusOr<SkuRecommendationPipeline> SkuRecommendationPipeline::Create(
       strategy, workload::ProfilingDims(Deployment::kSqlMi));
 
   pipeline.db_recommender_ = std::make_unique<core::ElasticRecommender>(
-      pipeline.catalog_.get(), pipeline.pricing_.get(),
-      pipeline.estimator_.get(), pipeline.db_profiler_.get(),
-      pipeline.group_model_.get());
+      pipeline.compiled_.get(), pipeline.estimator_.get(),
+      pipeline.db_profiler_.get(), pipeline.group_model_.get());
   pipeline.mi_recommender_ = std::make_unique<core::ElasticRecommender>(
-      pipeline.catalog_.get(), pipeline.pricing_.get(),
-      pipeline.estimator_.get(), pipeline.mi_profiler_.get(),
-      pipeline.group_model_.get());
+      pipeline.compiled_.get(), pipeline.estimator_.get(),
+      pipeline.mi_profiler_.get(), pipeline.group_model_.get());
   pipeline.baseline_ = std::make_unique<core::BaselineRecommender>(
-      pipeline.catalog_.get(), pipeline.pricing_.get(),
-      config.baseline_quantile);
+      pipeline.compiled_.get(), config.baseline_quantile);
 
   // Execution pool for the per-SKU probability scans. num_threads == 1 (or
   // auto on a single-core host) keeps the engine strictly serial; either
@@ -132,20 +109,9 @@ StatusOr<SkuRecommendationPipeline> SkuRecommendationPipeline::Create(
   return pipeline;
 }
 
-StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
-    const AssessmentRequest& request) const {
-  if (request.database_traces.empty()) {
-    return InvalidArgumentError("assessment request carries no traces");
-  }
-  DOPPLER_TRACE_SPAN("pipeline.assess");
-  static obs::Counter* const kAssessments =
-      obs::DefaultMetrics().GetCounter("pipeline.assessments");
-  kAssessments->Increment();
-
-  AssessmentOutcome outcome;
-  outcome.customer_id = request.customer_id;
-  outcome.target = request.target;
-  TimingSink timings;
+Status SkuRecommendationPipeline::StagePreprocess(RequestContext& ctx) const {
+  const AssessmentRequest& request = *ctx.request;
+  AssessmentOutcome& outcome = ctx.outcome;
 
   // The quality report starts from whatever ingestion already found (the
   // CLI's CSV-boundary gate) and accumulates the per-database gates.
@@ -154,26 +120,31 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
   const bool pregated = outcome.quality.samples_in > 0;
   quality::GateOptions gate;
   gate.policy = request.quality_policy;
-  quality::TraceQualityReport pipeline_gate;
   {
-    StageScope stage("pipeline.preprocess", &timings);
+    StageScope stage("pipeline.preprocess", &ctx.timings);
     DOPPLER_ASSIGN_OR_RETURN(
         outcome.instance_trace,
         preprocessing_.PrepareInstanceTrace(request.database_traces, gate,
-                                            &pipeline_gate));
+                                            &ctx.pipeline_gate));
   }
   if (pregated) {
     // Ingestion already counted the raw samples; the in-pipeline re-gate
     // of the repaired trace contributes defect findings only.
-    pipeline_gate.samples_in = 0;
-    pipeline_gate.samples_out = 0;
+    ctx.pipeline_gate.samples_in = 0;
+    ctx.pipeline_gate.samples_out = 0;
   }
-  outcome.quality.MergeFrom(pipeline_gate);
+  outcome.quality.MergeFrom(ctx.pipeline_gate);
+  return OkStatus();
+}
+
+Status SkuRecommendationPipeline::StageQuality(RequestContext& ctx) const {
+  const AssessmentRequest& request = *ctx.request;
+  AssessmentOutcome& outcome = ctx.outcome;
 
   // Degraded mode is judged exactly once, on the instance rollup, against
   // the profiling dimensions the target deployment expects.
   {
-    StageScope stage("pipeline.quality", &timings);
+    StageScope stage("pipeline.quality", &ctx.timings);
     quality::AssessDegradedMode(outcome.instance_trace.PresentDims(),
                                 workload::ProfilingDims(request.target),
                                 &outcome.quality);
@@ -195,68 +166,150 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
         "the trace: " +
         names);
   }
+  return OkStatus();
+}
 
-  // Default MI layout: one file sized to the observed allocation.
-  catalog::FileLayout layout = request.layout;
-  if (request.target == Deployment::kSqlMi && layout.files.empty()) {
-    double size_gb = 32.0;
-    if (outcome.instance_trace.Has(ResourceDim::kStorageGb)) {
-      size_gb = std::max(
-          1.0, stats::Max(outcome.instance_trace.Values(ResourceDim::kStorageGb)));
+Status SkuRecommendationPipeline::StageLayout(RequestContext& ctx) const {
+  const AssessmentRequest& request = *ctx.request;
+  // Layout resolution is a handful of scalar ops, so it is deliberately
+  // not a timed stage: the per-request stage_timings list is part of the
+  // stable report surface.
+  ctx.layout = request.layout;
+  if (request.target == Deployment::kSqlMi && ctx.layout.files.empty()) {
+    // Default MI layout: one file sized to the observed allocation.
+    double size_gb = config_.mi_default_storage_gb;
+    if (ctx.outcome.instance_trace.Has(ResourceDim::kStorageGb)) {
+      size_gb = std::max(1.0, stats::Max(ctx.outcome.instance_trace.Values(
+                                  ResourceDim::kStorageGb)));
     }
-    layout = catalog::UniformLayout(size_gb * 1.1, 1);
+    ctx.layout =
+        catalog::UniformLayout(size_gb * config_.mi_layout_headroom, 1);
   }
+  return OkStatus();
+}
 
+Status SkuRecommendationPipeline::StageRecommend(RequestContext& ctx) const {
+  const AssessmentRequest& request = *ctx.request;
+  AssessmentOutcome& outcome = ctx.outcome;
   const core::ElasticRecommender& recommender =
       request.target == Deployment::kSqlDb ? *db_recommender_
                                            : *mi_recommender_;
   // One memoized order-statistics view of the (now frozen) instance trace,
-  // shared by profiling and the baseline so each dimension is sorted once
-  // per assessment instead of once per consumer.
-  telemetry::TraceStatsCache instance_stats(outcome.instance_trace);
+  // shared with the baseline so each dimension is sorted once per
+  // assessment instead of once per consumer.
+  telemetry::TraceStatsCache* instance_stats = EnsureInstanceStats(ctx);
   {
-    StageScope stage("pipeline.recommend", &timings);
+    StageScope stage("pipeline.recommend", &ctx.timings);
     DOPPLER_ASSIGN_OR_RETURN(
         outcome.elastic,
-        recommender.Recommend(outcome.instance_trace, request.target, layout,
-                              &instance_stats));
+        recommender.Recommend(outcome.instance_trace, request.target,
+                              ctx.layout, instance_stats));
   }
   DOPPLER_LOG(kDebug) << "elastic pick " << outcome.elastic.sku.id << " ("
                       << core::CurveShapeName(outcome.elastic.curve_shape)
                       << " curve) for " << outcome.customer_id;
+  return OkStatus();
+}
 
-  {
-    StageScope stage("pipeline.baseline", &timings);
-    outcome.baseline = baseline_->Recommend(outcome.instance_trace,
-                                            request.target, &instance_stats);
-  }
+Status SkuRecommendationPipeline::StageBaseline(RequestContext& ctx) const {
+  const AssessmentRequest& request = *ctx.request;
+  telemetry::TraceStatsCache* instance_stats = EnsureInstanceStats(ctx);
+  StageScope stage("pipeline.baseline", &ctx.timings);
+  ctx.outcome.baseline = baseline_->Recommend(ctx.outcome.instance_trace,
+                                              request.target, instance_stats);
+  return OkStatus();
+}
 
-  if (request.compute_confidence) {
-    StageScope stage("pipeline.confidence", &timings);
-    Rng rng(config_.confidence_seed);
-    core::RecommendFn rerun =
-        [&recommender, &request, &layout](const telemetry::PerfTrace& trace) {
-          // Each bootstrap resample is a distinct trace, so it gets its own
-          // memoized view for the profiling re-run.
-          telemetry::TraceStatsCache resample_stats(trace);
-          return recommender.Recommend(trace, request.target, layout,
-                                       &resample_stats);
-        };
-    DOPPLER_ASSIGN_OR_RETURN(
-        core::ConfidenceResult confidence,
-        core::ScoreConfidence(outcome.instance_trace, rerun,
-                              config_.confidence, &rng));
-    outcome.confidence = std::move(confidence);
-  }
+Status SkuRecommendationPipeline::StageConfidence(RequestContext& ctx) const {
+  const AssessmentRequest& request = *ctx.request;
+  if (!request.compute_confidence) return OkStatus();
+  AssessmentOutcome& outcome = ctx.outcome;
+  const core::ElasticRecommender& recommender =
+      request.target == Deployment::kSqlDb ? *db_recommender_
+                                           : *mi_recommender_;
+  StageScope stage("pipeline.confidence", &ctx.timings);
+  Rng rng(config_.confidence_seed);
+  const catalog::FileLayout& layout = ctx.layout;
+  core::RecommendFn rerun =
+      [&recommender, &request, &layout](const telemetry::PerfTrace& trace) {
+        // Each bootstrap resample is a distinct trace, so it gets its own
+        // memoized view for the profiling re-run.
+        telemetry::TraceStatsCache resample_stats(trace);
+        return recommender.Recommend(trace, request.target, layout,
+                                     &resample_stats);
+      };
+  DOPPLER_ASSIGN_OR_RETURN(
+      core::ConfidenceResult confidence,
+      core::ScoreConfidence(outcome.instance_trace, rerun, config_.confidence,
+                            &rng));
+  outcome.confidence = std::move(confidence);
+  return OkStatus();
+}
 
-  if (!request.current_sku_id.empty()) {
-    StageScope stage("pipeline.rightsizing", &timings);
-    StatusOr<core::RightSizingAssessment> rightsizing =
-        core::AssessRightSizing(outcome.elastic.curve, request.current_sku_id);
-    if (rightsizing.ok()) outcome.rightsizing = std::move(rightsizing).value();
+Status SkuRecommendationPipeline::StageRightsizing(RequestContext& ctx) const {
+  const AssessmentRequest& request = *ctx.request;
+  if (request.current_sku_id.empty()) return OkStatus();
+  StageScope stage("pipeline.rightsizing", &ctx.timings);
+  StatusOr<core::RightSizingAssessment> rightsizing =
+      core::AssessRightSizing(ctx.outcome.elastic.curve,
+                              request.current_sku_id);
+  if (rightsizing.ok()) {
+    ctx.outcome.rightsizing = std::move(rightsizing).value();
+  } else {
+    // The request asked for right-sizing; a failure must not vanish.
+    // Record why the stage produced no assessment so the report (and its
+    // readers) can surface it.
+    ctx.outcome.rightsizing_skip_reason = rightsizing.status().ToString();
+    static obs::Counter* const kSkipped =
+        obs::DefaultMetrics().GetCounter("pipeline.rightsizing_skipped");
+    kSkipped->Increment();
   }
-  timings.DrainTo(&outcome.stage_timings);
-  return outcome;
+  return OkStatus();
+}
+
+AssessmentOutcome SkuRecommendationPipeline::Finish(RequestContext& ctx) const {
+  ctx.timings.DrainTo(&ctx.outcome.stage_timings);
+  return std::move(ctx.outcome);
+}
+
+StatusOr<AssessmentOutcome> SkuRecommendationPipeline::AssessStages(
+    const AssessmentRequest& request, StageMask stages) const {
+  if (request.database_traces.empty()) {
+    return InvalidArgumentError("assessment request carries no traces");
+  }
+  DOPPLER_TRACE_SPAN("pipeline.assess");
+  static obs::Counter* const kAssessments =
+      obs::DefaultMetrics().GetCounter("pipeline.assessments");
+  kAssessments->Increment();
+
+  RequestContext ctx(request);
+  if (stages & kStagePreprocess) {
+    DOPPLER_RETURN_IF_ERROR(StagePreprocess(ctx));
+  }
+  if (stages & kStageQuality) {
+    DOPPLER_RETURN_IF_ERROR(StageQuality(ctx));
+  }
+  if (stages & kStageLayout) {
+    DOPPLER_RETURN_IF_ERROR(StageLayout(ctx));
+  }
+  if (stages & kStageRecommend) {
+    DOPPLER_RETURN_IF_ERROR(StageRecommend(ctx));
+  }
+  if (stages & kStageBaseline) {
+    DOPPLER_RETURN_IF_ERROR(StageBaseline(ctx));
+  }
+  if (stages & kStageConfidence) {
+    DOPPLER_RETURN_IF_ERROR(StageConfidence(ctx));
+  }
+  if (stages & kStageRightsizing) {
+    DOPPLER_RETURN_IF_ERROR(StageRightsizing(ctx));
+  }
+  return Finish(ctx);
+}
+
+StatusOr<AssessmentOutcome> SkuRecommendationPipeline::Assess(
+    const AssessmentRequest& request) const {
+  return AssessStages(request, kAllStages);
 }
 
 }  // namespace doppler::dma

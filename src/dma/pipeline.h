@@ -6,80 +6,50 @@
 #include <string>
 #include <vector>
 
+#include "catalog/compiled_catalog.h"
 #include "catalog/file_layout.h"
 #include "core/confidence.h"
 #include "core/recommender.h"
 #include "core/rightsizing.h"
 #include "dma/preprocess.h"
+#include "dma/request_context.h"
 #include "exec/thread_pool.h"
 #include "quality/quality_gate.h"
 #include "util/statusor.h"
 
 namespace doppler::dma {
 
-/// One assessment request as the DMA tool would submit it: raw per-database
-/// counters plus migration intent.
-struct AssessmentRequest {
-  std::string customer_id;
-  catalog::Deployment target = catalog::Deployment::kSqlDb;
-  /// Raw collector output, one trace per database.
-  std::vector<telemetry::PerfTrace> database_traces;
-  /// MI targets: the data-file layout (defaults to one file sized from the
-  /// observed storage counter when empty).
-  catalog::FileLayout layout;
-  /// Cloud customers only: the SKU they currently run, enabling the
-  /// right-sizing assessment.
-  std::string current_sku_id;
-  /// Run the bootstrap confidence score (adds runs x curve builds).
-  bool compute_confidence = false;
-  /// How the telemetry quality gate reacts to defects in the raw traces:
-  /// kRepair (default) fixes and records, kStrict aborts the assessment on
-  /// the first defect, kPermissive records only.
-  quality::QualityPolicy quality_policy = quality::QualityPolicy::kRepair;
-  /// Quality findings from ingestion upstream of the pipeline (e.g. the
-  /// CLI's ReadTraceFileGated); merged into the outcome's report so the
-  /// full dirt trail survives end to end.
-  quality::TraceQualityReport ingest_quality;
+/// The pipeline's stages as bit flags, in canonical execution order.
+/// AssessStages masks select a subset; each stage assumes its upstream
+/// stages already ran on the context (see the stage functions below).
+enum Stage : unsigned {
+  kStagePreprocess = 1u << 0,
+  kStageQuality = 1u << 1,
+  kStageLayout = 1u << 2,
+  kStageRecommend = 1u << 3,
+  kStageBaseline = 1u << 4,
+  kStageConfidence = 1u << 5,
+  kStageRightsizing = 1u << 6,
 };
 
-/// Wall-clock latency of one pipeline stage of an assessment, named by the
-/// observability span scheme ("pipeline.preprocess", "pipeline.recommend",
-/// ...). Per-request counterpart of the process-wide `latency.*`
-/// histograms in obs::DefaultMetrics().
-struct StageTiming {
-  std::string stage;
-  double seconds = 0.0;
-};
+/// A set of Stage flags.
+using StageMask = unsigned;
 
-/// Everything the DMA UI surfaces for one request.
-struct AssessmentOutcome {
-  std::string customer_id;
-  /// Deployment the assessment targeted.
-  catalog::Deployment target = catalog::Deployment::kSqlDb;
-  /// The Doppler (elastic) recommendation.
-  core::Recommendation elastic;
-  /// The legacy baseline recommendation; NOT_FOUND when the baseline could
-  /// not find any SKU (its documented failure mode, §5.3).
-  StatusOr<core::Recommendation> baseline{
-      NotFoundError("baseline not evaluated")};
-  std::optional<core::ConfidenceResult> confidence;
-  std::optional<core::RightSizingAssessment> rightsizing;
-  /// The preprocessed instance-level trace the engine consumed.
-  telemetry::PerfTrace instance_trace;
-  /// Everything the telemetry quality gate found and repaired across
-  /// ingestion and preprocessing, plus the degraded-mode assessment of the
-  /// instance trace against the target's profiling dimensions.
-  quality::TraceQualityReport quality;
-  /// Where the assessment's time went, one entry per executed stage in
-  /// execution order (skipped stages — confidence, right-sizing — do not
-  /// appear).
-  std::vector<StageTiming> stage_timings;
-};
+inline constexpr StageMask kAllStages =
+    kStagePreprocess | kStageQuality | kStageLayout | kStageRecommend |
+    kStageBaseline | kStageConfidence | kStageRightsizing;
 
 /// The SKU Recommendation Pipeline (paper §4): preprocessing, curve
 /// building, profiling, elastic + baseline recommendations, confidence and
-/// right-sizing, behind one call. The pipeline owns its engine components;
-/// it is movable and cheap to share by const reference across a fleet.
+/// right-sizing. `Assess` runs the whole thing; batch drivers (the fleet
+/// assessor, backtests, the simulator's replayer) can instead run named
+/// stages over a RequestContext, or a masked subset via `AssessStages`.
+///
+/// Create() compiles the SKU catalog into an immutable CompiledCatalog
+/// snapshot exactly once; every assessment afterwards reads borrowed views
+/// of it (no per-request catalog copies, price derivations, or sorts). The
+/// pipeline owns its engine components; it is movable and cheap to share
+/// by const reference across a fleet.
 class SkuRecommendationPipeline {
  public:
   struct Config {
@@ -92,6 +62,15 @@ class SkuRecommendationPipeline {
     /// created), >1 sizes the pool. Assessments are bit-identical at every
     /// setting — parallelism changes wall-clock only.
     int num_threads = 0;
+    /// Default MI layout (used when an MI request carries no file layout):
+    /// allocated size to assume, in GB, when the trace never reported a
+    /// storage counter. Mirrors DMA's single-data-file default for small
+    /// databases.
+    double mi_default_storage_gb = 32.0;
+    /// Headroom multiplier applied to the observed (or assumed) allocated
+    /// size before placing the default MI layout on premium disks, so the
+    /// provisioned file is not 100% full on day one.
+    double mi_layout_headroom = 1.1;
   };
 
   /// Builds a pipeline around the shipped static inputs.
@@ -102,10 +81,59 @@ class SkuRecommendationPipeline {
   /// cannot appear inside the enclosing class definition).
   static StatusOr<SkuRecommendationPipeline> Create(StaticInputs inputs);
 
-  /// Runs one full assessment.
+  /// Runs one full assessment (all stages).
   StatusOr<AssessmentOutcome> Assess(const AssessmentRequest& request) const;
 
-  const catalog::SkuCatalog& catalog() const { return *catalog_; }
+  /// Runs the masked stages in canonical order over a fresh context and
+  /// finalises the outcome. The mask must be prefix-consistent: a selected
+  /// stage's upstream data dependencies (see each stage function) must
+  /// also be selected.
+  StatusOr<AssessmentOutcome> AssessStages(const AssessmentRequest& request,
+                                           StageMask stages) const;
+
+  // --- Individual stage functions -----------------------------------------
+  // Each operates on a caller-owned RequestContext and may be invoked at
+  // most once per context, in pipeline order. Conditional stages
+  // (confidence, right-sizing) are no-ops when the request does not ask
+  // for them.
+
+  /// Rolls the per-database traces up to the instance trace through the
+  /// telemetry quality gate; merges ingest + pipeline gate findings.
+  Status StagePreprocess(RequestContext& ctx) const;
+
+  /// Judges degraded mode on the instance rollup; fails under the strict
+  /// quality policy when profiling dimensions are missing. Requires
+  /// StagePreprocess.
+  Status StageQuality(RequestContext& ctx) const;
+
+  /// Resolves the effective file layout (MI default layout when the
+  /// request carries none). Requires StagePreprocess.
+  Status StageLayout(RequestContext& ctx) const;
+
+  /// Elastic (Doppler) recommendation over the compiled snapshot.
+  /// Requires StagePreprocess and StageLayout.
+  Status StageRecommend(RequestContext& ctx) const;
+
+  /// Legacy baseline recommendation; its failure is recorded in the
+  /// outcome, never propagated. Requires StagePreprocess.
+  Status StageBaseline(RequestContext& ctx) const;
+
+  /// Bootstrap confidence score (when the request asks for it). Requires
+  /// StageRecommend's inputs (preprocess + layout).
+  Status StageConfidence(RequestContext& ctx) const;
+
+  /// Right-sizing against the request's current SKU (when named). A
+  /// failure is recorded as the outcome's skip reason, never propagated.
+  /// Requires StageRecommend.
+  Status StageRightsizing(RequestContext& ctx) const;
+
+  /// Drains the stage timings into the outcome and releases it. The
+  /// context is dead afterwards.
+  AssessmentOutcome Finish(RequestContext& ctx) const;
+
+  const catalog::SkuCatalog& catalog() const { return compiled_->catalog(); }
+  /// The immutable compiled snapshot every assessment reads.
+  const catalog::CompiledCatalog& compiled() const { return *compiled_; }
   const core::GroupModel& group_model() const { return *group_model_; }
   /// The pipeline's SKU-scoring pool; nullptr when the engine is serial
   /// (num_threads == 1 or single-core auto detection).
@@ -116,8 +144,10 @@ class SkuRecommendationPipeline {
 
   // Engine components live behind unique_ptr so the recommenders' borrowed
   // pointers stay valid across moves of the pipeline object.
-  std::unique_ptr<catalog::SkuCatalog> catalog_;
   std::unique_ptr<catalog::DefaultPricing> pricing_;
+  // Compiled once at Create; immutable and read concurrently by every
+  // assessment worker. Borrows pricing_.
+  std::unique_ptr<const catalog::CompiledCatalog> compiled_;
   std::unique_ptr<core::NonParametricEstimator> estimator_;
   std::unique_ptr<core::GroupModel> group_model_;
   std::unique_ptr<core::CustomerProfiler> db_profiler_;

@@ -283,6 +283,10 @@ std::string RenderAssessmentJson(const AssessmentOutcome& outcome,
     json.Key("monthly_savings").Number(outcome.rightsizing->monthly_savings);
     json.Key("annual_savings").Number(outcome.rightsizing->annual_savings);
     json.EndObject();
+  } else if (!outcome.rightsizing_skip_reason.empty()) {
+    // Right-sizing was requested but produced no assessment; the reason
+    // must survive into the report rather than silently vanishing.
+    json.Key("rightsizing_skipped").String(outcome.rightsizing_skip_reason);
   }
   json.EndObject();
   return json.str();

@@ -13,6 +13,12 @@ FleetAssessor::FleetAssessor(const dma::SkuRecommendationPipeline* pipeline,
 
 std::vector<StatusOr<dma::AssessmentOutcome>> FleetAssessor::AssessAll(
     const std::vector<dma::AssessmentRequest>& requests) const {
+  return AssessAll(requests, dma::kAllStages);
+}
+
+std::vector<StatusOr<dma::AssessmentOutcome>> FleetAssessor::AssessAll(
+    const std::vector<dma::AssessmentRequest>& requests,
+    dma::StageMask stages) const {
   DOPPLER_TRACE_SPAN("exec.fleet_assess");
   static obs::Counter* const kFleetRequests =
       obs::DefaultMetrics().GetCounter("exec.fleet_requests");
@@ -27,7 +33,7 @@ std::vector<StatusOr<dma::AssessmentOutcome>> FleetAssessor::AssessAll(
   }
   const auto assess_range = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      results[i] = pipeline_->Assess(requests[i]);
+      results[i] = pipeline_->AssessStages(requests[i], stages);
     }
   };
   if (pool_ != nullptr && requests.size() > 1) {

@@ -34,6 +34,14 @@ class FleetAssessor {
   std::vector<StatusOr<dma::AssessmentOutcome>> AssessAll(
       const std::vector<dma::AssessmentRequest>& requests) const;
 
+  /// Same fan-out, but runs only the masked pipeline stages per request
+  /// (dma::StageMask): a backtest sweep can stop after the recommend
+  /// stage, a quality audit after the quality stage, without paying for
+  /// the rest of the monolith.
+  std::vector<StatusOr<dma::AssessmentOutcome>> AssessAll(
+      const std::vector<dma::AssessmentRequest>& requests,
+      dma::StageMask stages) const;
+
   int jobs() const { return jobs_; }
 
  private:

@@ -1,0 +1,345 @@
+// Unit and parity tests for the compiled catalog snapshot: price order,
+// the SoA capacity matrix against the Sku records, the precomputed
+// premium-disk limit table against premium_disk.cc, and bit-for-bit
+// agreement between the compiled engine paths (curve build, MI filter,
+// recommenders) and the legacy SkuCatalog+Pricing paths.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
+#include "catalog/file_layout.h"
+#include "catalog/premium_disk.h"
+#include "catalog/pricing.h"
+#include "core/mi_filter.h"
+#include "core/price_performance.h"
+#include "core/profiler.h"
+#include "core/recommender.h"
+#include "core/throttling.h"
+
+namespace doppler::catalog {
+namespace {
+
+using core::Candidate;
+using core::CompiledCandidateRef;
+using core::MiCompiledFilterResult;
+using core::MiFilterResult;
+using core::PricePerformanceCurve;
+
+const std::array<Deployment, 2> kPopulatedDeployments = {Deployment::kSqlDb,
+                                                         Deployment::kSqlMi};
+
+telemetry::PerfTrace MixedTrace() {
+  telemetry::PerfTrace trace;
+  EXPECT_TRUE(
+      trace.SetSeries(ResourceDim::kCpu, {2, 6, 10, 14, 30, 4, 8, 2}).ok());
+  EXPECT_TRUE(trace
+                  .SetSeries(ResourceDim::kIops,
+                             {300, 900, 2500, 5500, 9000, 400, 1200, 250})
+                  .ok());
+  EXPECT_TRUE(trace
+                  .SetSeries(ResourceDim::kMemoryGb,
+                             {8, 20, 44, 80, 150, 12, 24, 6})
+                  .ok());
+  EXPECT_TRUE(trace
+                  .SetSeries(ResourceDim::kStorageGb,
+                             {200, 210, 220, 230, 240, 250, 260, 270})
+                  .ok());
+  return trace;
+}
+
+// ------------------------------------------------- Snapshot unit tests.
+
+TEST(CompiledCatalogTest, PriceOrderIsBilledPriceThenId) {
+  const SkuCatalog catalog = BuildAzureLikeCatalog();
+  const DefaultPricing pricing;
+  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+
+  for (Deployment deployment : kPopulatedDeployments) {
+    const CompiledDeployment& dep = compiled.ForDeployment(deployment);
+    ASSERT_FALSE(dep.empty());
+    for (std::size_t i = 0; i + 1 < dep.size(); ++i) {
+      const CompiledEntry& a = dep.entries()[i];
+      const CompiledEntry& b = dep.entries()[i + 1];
+      const bool ordered =
+          a.monthly_price < b.monthly_price ||
+          (a.monthly_price == b.monthly_price && a.sku->id < b.sku->id);
+      EXPECT_TRUE(ordered) << a.sku->id << " before " << b.sku->id;
+    }
+    for (const CompiledEntry& entry : dep.view()) {
+      EXPECT_DOUBLE_EQ(entry.monthly_price, pricing.MonthlyCost(*entry.sku));
+      EXPECT_EQ(entry.sku->deployment, deployment);
+    }
+  }
+}
+
+TEST(CompiledCatalogTest, CoversEveryCatalogSkuExactlyOnce) {
+  const SkuCatalog catalog = BuildAzureLikeCatalog();
+  const DefaultPricing pricing;
+  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+
+  std::size_t total = 0;
+  for (Deployment deployment :
+       {Deployment::kSqlDb, Deployment::kSqlMi, Deployment::kSqlVm}) {
+    total += compiled.ForDeployment(deployment).size();
+  }
+  EXPECT_EQ(total, catalog.size());
+  EXPECT_EQ(compiled.catalog().size(), catalog.size());
+}
+
+TEST(CompiledCatalogTest, CapacityMatrixMatchesSkuFields) {
+  const SkuCatalog catalog = BuildAzureLikeCatalog();
+  const DefaultPricing pricing;
+  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+
+  for (Deployment deployment : kPopulatedDeployments) {
+    const CompiledDeployment& dep = compiled.ForDeployment(deployment);
+    for (ResourceDim dim : kAllResourceDims) {
+      const std::vector<double>& row = dep.CapacityRow(dim);
+      ASSERT_EQ(row.size(), dep.size());
+      for (std::size_t i = 0; i < dep.size(); ++i) {
+        const ResourceVector from_sku = dep.entries()[i].sku->Capacities();
+        // Sku::Capacities() sets every dimension, so the SoA row is the
+        // exact per-dimension transpose of the record's capacity vector.
+        ASSERT_TRUE(from_sku.Has(dim));
+        EXPECT_DOUBLE_EQ(row[i], from_sku.Get(dim))
+            << dep.entries()[i].sku->id << " dim "
+            << ResourceDimName(dim);
+        EXPECT_DOUBLE_EQ(dep.entries()[i].capacities.Get(dim),
+                         from_sku.Get(dim));
+      }
+    }
+  }
+}
+
+TEST(CompiledCatalogTest, DiskTierTableMatchesPremiumDisk) {
+  const SkuCatalog catalog = BuildAzureLikeCatalog();
+  const DefaultPricing pricing;
+  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+
+  const std::vector<PremiumDiskTier>& reference = PremiumDiskTiers();
+  ASSERT_EQ(compiled.disk_tiers().size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(compiled.disk_tiers()[i].name, reference[i].name);
+    EXPECT_DOUBLE_EQ(compiled.disk_tiers()[i].iops, reference[i].iops);
+    EXPECT_DOUBLE_EQ(compiled.disk_tiers()[i].throughput_mibps,
+                     reference[i].throughput_mibps);
+  }
+
+  // Tier resolution parity across every bucket boundary of Table 2.
+  for (double size :
+       {0.5, 1.0, 127.9, 128.0, 128.1, 511.0, 512.0, 513.0, 1024.0, 1025.0,
+        2048.0, 2049.0, 4096.0, 4097.0, 8191.0, 8192.0}) {
+    StatusOr<PremiumDiskTier> snapshot = compiled.DiskTierForFileSize(size);
+    StatusOr<PremiumDiskTier> live = TierForFileSize(size);
+    ASSERT_EQ(snapshot.ok(), live.ok()) << size;
+    ASSERT_TRUE(snapshot.ok()) << size;
+    EXPECT_EQ(snapshot->name, live->name) << size;
+    EXPECT_DOUBLE_EQ(snapshot->iops, live->iops);
+    EXPECT_DOUBLE_EQ(snapshot->throughput_mibps, live->throughput_mibps);
+  }
+  // Failure-mode parity: non-positive and oversized files.
+  for (double size : {0.0, -4.0, 8192.5, 100000.0}) {
+    StatusOr<PremiumDiskTier> snapshot = compiled.DiskTierForFileSize(size);
+    StatusOr<PremiumDiskTier> live = TierForFileSize(size);
+    ASSERT_FALSE(snapshot.ok()) << size;
+    EXPECT_EQ(snapshot.status().code(), live.status().code());
+    EXPECT_EQ(snapshot.status().message(), live.status().message());
+  }
+}
+
+TEST(CompiledCatalogTest, LayoutLimitsMatchComputeLayoutLimits) {
+  const SkuCatalog catalog = BuildAzureLikeCatalog();
+  const DefaultPricing pricing;
+  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+
+  FileLayout layout;
+  layout.files = {{"data0.mdf", 100.0}, {"data1.ndf", 600.0},
+                  {"data2.ndf", 2500.0}};
+  StatusOr<LayoutLimits> snapshot = compiled.LayoutLimitsFor(layout);
+  StatusOr<LayoutLimits> live = ComputeLayoutLimits(layout);
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_TRUE(live.ok());
+  EXPECT_DOUBLE_EQ(snapshot->total_iops, live->total_iops);
+  EXPECT_DOUBLE_EQ(snapshot->total_throughput_mibps,
+                   live->total_throughput_mibps);
+  EXPECT_DOUBLE_EQ(snapshot->total_size_gib, live->total_size_gib);
+  ASSERT_EQ(snapshot->tiers.size(), live->tiers.size());
+  for (std::size_t i = 0; i < live->tiers.size(); ++i) {
+    EXPECT_EQ(snapshot->tiers[i].name, live->tiers[i].name);
+  }
+
+  // Same failure modes, same messages.
+  const FileLayout empty;
+  EXPECT_EQ(compiled.LayoutLimitsFor(empty).status().message(),
+            ComputeLayoutLimits(empty).status().message());
+  FileLayout oversized;
+  oversized.files = {{"huge.mdf", 9000.0}};
+  EXPECT_EQ(compiled.LayoutLimitsFor(oversized).status().code(),
+            ComputeLayoutLimits(oversized).status().code());
+}
+
+TEST(CompiledCatalogTest, EntriesStayValidAfterMove) {
+  const SkuCatalog catalog = BuildAzureLikeCatalog();
+  const DefaultPricing pricing;
+  CompiledCatalog original = CompiledCatalog::Compile(catalog, &pricing);
+  const std::string first_id =
+      original.ForDeployment(Deployment::kSqlDb).entries().front().sku->id;
+
+  const CompiledCatalog moved = std::move(original);
+  const CompiledEntry& entry =
+      moved.ForDeployment(Deployment::kSqlDb).entries().front();
+  // Entry pointers target the snapshot's heap-allocated SKU storage, which
+  // the move transfers wholesale — they stay valid and point into the
+  // moved-to snapshot's own catalog copy.
+  EXPECT_EQ(entry.sku->id, first_id);
+  const std::vector<Sku>& skus = moved.catalog().skus();
+  EXPECT_GE(entry.sku, skus.data());
+  EXPECT_LT(entry.sku, skus.data() + skus.size());
+}
+
+// ----------------------------------------------- Engine-path parity.
+
+TEST(CompiledCatalogTest, CurveParityWithLegacyCandidatePath) {
+  const SkuCatalog catalog = BuildAzureLikeCatalog();
+  const DefaultPricing pricing;
+  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+  const core::NonParametricEstimator estimator;
+  const telemetry::PerfTrace trace = MixedTrace();
+
+  StatusOr<PricePerformanceCurve> legacy = PricePerformanceCurve::Build(
+      trace, catalog.ForDeployment(Deployment::kSqlDb), pricing, estimator);
+  StatusOr<PricePerformanceCurve> fast = PricePerformanceCurve::Build(
+      trace, compiled.ForDeployment(Deployment::kSqlDb).view(), pricing,
+      estimator);
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(fast.ok());
+  ASSERT_EQ(legacy->size(), fast->size());
+  for (std::size_t i = 0; i < legacy->size(); ++i) {
+    const core::PricePerformancePoint& a = legacy->points()[i];
+    const core::PricePerformancePoint& b = fast->points()[i];
+    EXPECT_EQ(a.sku.id, b.sku.id) << "point " << i;
+    EXPECT_DOUBLE_EQ(a.monthly_price, b.monthly_price);
+    EXPECT_DOUBLE_EQ(a.throttling_probability, b.throttling_probability);
+    EXPECT_DOUBLE_EQ(a.performance, b.performance);
+  }
+}
+
+TEST(CompiledCatalogTest, CurveParityWithServerlessReprice) {
+  CatalogOptions options;
+  options.include_serverless = true;
+  const SkuCatalog catalog = BuildAzureLikeCatalog(options);
+  const DefaultPricing pricing;
+  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+  const core::NonParametricEstimator estimator;
+  // CPU present => serverless SKUs re-price per trace, exercising the
+  // compiled path's conditional re-sort.
+  const telemetry::PerfTrace trace = MixedTrace();
+
+  StatusOr<PricePerformanceCurve> legacy = PricePerformanceCurve::Build(
+      trace, catalog.ForDeployment(Deployment::kSqlDb), pricing, estimator);
+  StatusOr<PricePerformanceCurve> fast = PricePerformanceCurve::Build(
+      trace, compiled.ForDeployment(Deployment::kSqlDb).view(), pricing,
+      estimator);
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(fast.ok());
+  ASSERT_EQ(legacy->size(), fast->size());
+  for (std::size_t i = 0; i < legacy->size(); ++i) {
+    EXPECT_EQ(legacy->points()[i].sku.id, fast->points()[i].sku.id)
+        << "point " << i;
+    EXPECT_DOUBLE_EQ(legacy->points()[i].monthly_price,
+                     fast->points()[i].monthly_price);
+  }
+}
+
+TEST(CompiledCatalogTest, MiFilterParityWithLegacyPath) {
+  const SkuCatalog catalog = BuildAzureLikeCatalog();
+  const DefaultPricing pricing;
+  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+  const telemetry::PerfTrace trace = MixedTrace();
+  const FileLayout layout = UniformLayout(300.0, 2);
+
+  StatusOr<MiFilterResult> legacy =
+      core::FilterMiCandidates(catalog, layout, trace);
+  StatusOr<MiCompiledFilterResult> fast =
+      core::FilterMiCandidates(compiled, layout, trace);
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(legacy->restricted_to_bc, fast->restricted_to_bc);
+  EXPECT_DOUBLE_EQ(legacy->layout_limits.total_iops,
+                   fast->layout_limits.total_iops);
+  EXPECT_DOUBLE_EQ(legacy->layout_limits.total_throughput_mibps,
+                   fast->layout_limits.total_throughput_mibps);
+  ASSERT_EQ(legacy->candidates.size(), fast->candidates.size());
+  // Both paths iterate cheapest-first under DefaultPricing, so the kept
+  // sets line up index by index.
+  for (std::size_t i = 0; i < legacy->candidates.size(); ++i) {
+    EXPECT_EQ(legacy->candidates[i].sku.id, fast->candidates[i].entry->sku->id)
+        << "candidate " << i;
+    EXPECT_DOUBLE_EQ(legacy->candidates[i].iops_limit,
+                     fast->candidates[i].iops_limit);
+  }
+}
+
+TEST(CompiledCatalogTest, RecommenderParityAcrossConstructors) {
+  const SkuCatalog catalog = BuildAzureLikeCatalog();
+  const DefaultPricing pricing;
+  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+  const core::NonParametricEstimator estimator;
+  auto strategy = std::make_shared<core::ThresholdingStrategy>(0.10);
+  const core::CustomerProfiler profiler(
+      strategy, {ResourceDim::kCpu, ResourceDim::kMemoryGb, ResourceDim::kIops});
+  StatusOr<core::GroupModel> group_model = core::GroupModel::Fit(
+      {{0, 0.0005}, {0, 0.001}, {1, 0.02}, {1, 0.03}, {2, 0.08}, {2, 0.09}});
+  ASSERT_TRUE(group_model.ok());
+  const telemetry::PerfTrace trace = MixedTrace();
+
+  const core::ElasticRecommender legacy(&catalog, &pricing, &estimator,
+                                        &profiler, &*group_model);
+  const core::ElasticRecommender fast(&compiled, &estimator, &profiler,
+                                      &*group_model);
+  StatusOr<core::Recommendation> legacy_rec = legacy.RecommendDb(trace);
+  StatusOr<core::Recommendation> fast_rec = fast.RecommendDb(trace);
+  ASSERT_TRUE(legacy_rec.ok());
+  ASSERT_TRUE(fast_rec.ok());
+  EXPECT_EQ(legacy_rec->sku.id, fast_rec->sku.id);
+  EXPECT_DOUBLE_EQ(legacy_rec->monthly_cost, fast_rec->monthly_cost);
+  EXPECT_DOUBLE_EQ(legacy_rec->throttling_probability,
+                   fast_rec->throttling_probability);
+  EXPECT_EQ(legacy_rec->rationale, fast_rec->rationale);
+
+  const core::BaselineRecommender legacy_base(&catalog, &pricing);
+  const core::BaselineRecommender fast_base(&compiled);
+  StatusOr<core::Recommendation> legacy_pick =
+      legacy_base.Recommend(trace, Deployment::kSqlDb);
+  StatusOr<core::Recommendation> fast_pick =
+      fast_base.Recommend(trace, Deployment::kSqlDb);
+  ASSERT_EQ(legacy_pick.ok(), fast_pick.ok());
+  if (legacy_pick.ok()) {
+    EXPECT_EQ(legacy_pick->sku.id, fast_pick->sku.id);
+    EXPECT_DOUBLE_EQ(legacy_pick->monthly_cost, fast_pick->monthly_cost);
+  }
+}
+
+TEST(CompiledCatalogTest, EmptyDeploymentViewFailsCurveBuild) {
+  CatalogOptions options;
+  options.include_sql_mi = false;
+  const SkuCatalog catalog = BuildAzureLikeCatalog(options);
+  const DefaultPricing pricing;
+  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+  EXPECT_TRUE(compiled.ForDeployment(Deployment::kSqlMi).empty());
+
+  const core::NonParametricEstimator estimator;
+  StatusOr<PricePerformanceCurve> curve = PricePerformanceCurve::Build(
+      MixedTrace(), compiled.ForDeployment(Deployment::kSqlMi).view(), pricing,
+      estimator);
+  EXPECT_FALSE(curve.ok());
+  EXPECT_EQ(curve.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace doppler::catalog

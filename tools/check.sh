@@ -2,8 +2,10 @@
 # Repo hygiene + sanitizer gate:
 #   1. fails if generated build trees are tracked by git,
 #   2. builds with AddressSanitizer + UBSan and runs the full tier-1 suite,
-#   3. builds with ThreadSanitizer and runs the obs concurrency tests plus
-#      the exec thread-pool / fleet determinism suite.
+#   3. builds with ThreadSanitizer and runs the obs concurrency tests, the
+#      exec thread-pool / fleet determinism suite, and the compiled-catalog
+#      / staged-pipeline suites (many workers reading the one shared
+#      compiled snapshot).
 # Usage: tools/check.sh [build-dir] (default build-asan; the TSan tree
 # lands next to it with a -tsan suffix).
 set -euo pipefail
@@ -39,6 +41,9 @@ ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
 cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DDOPPLER_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${tsan_dir}" -j"$(nproc)" --target obs_test exec_test
+cmake --build "${tsan_dir}" -j"$(nproc)" \
+  --target obs_test exec_test compiled_catalog_test pipeline_stage_test
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/exec_test"
+TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/compiled_catalog_test"
+TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/pipeline_stage_test"

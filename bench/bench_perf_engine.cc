@@ -9,6 +9,9 @@
 //    latency must support hundreds of requests per day on commodity
 //    hardware.
 
+#include <array>
+#include <cstdint>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <string>
@@ -35,6 +38,41 @@ namespace {
 
 using namespace doppler;
 using catalog::ResourceDim;
+
+// The evaluation-cost counters the bench-regression gate compares
+// (tools/check.sh --bench vs the committed BENCH_pipeline.json). Counts
+// are exact functions of (trace, catalog) — unlike wall time they are
+// stable on the 1-CPU container, so regressions in the throttling-kernel
+// work done per curve fail deterministically.
+constexpr const char* kCostCounters[] = {
+    "ppm.samples_scanned",
+    "ppm.index_hits",
+    "ppm.index_misses",
+    "ppm.index_union_words",
+};
+constexpr std::size_t kNumCostCounters = std::size(kCostCounters);
+
+std::array<std::uint64_t, kNumCostCounters> SnapshotCostCounters() {
+  std::array<std::uint64_t, kNumCostCounters> snapshot;
+  for (std::size_t i = 0; i < kNumCostCounters; ++i) {
+    snapshot[i] = obs::DefaultMetrics().GetCounter(kCostCounters[i])->Value();
+  }
+  return snapshot;
+}
+
+// Attaches the per-iteration counter deltas to the benchmark result, so
+// the JSON export carries e.g. "ppm.samples_scanned" per assessment.
+void ReportCostCounters(
+    benchmark::State& state,
+    const std::array<std::uint64_t, kNumCostCounters>& before) {
+  const std::array<std::uint64_t, kNumCostCounters> after =
+      SnapshotCostCounters();
+  for (std::size_t i = 0; i < kNumCostCounters; ++i) {
+    state.counters[kCostCounters[i]] = benchmark::Counter(
+        static_cast<double>(after[i] - before[i]) /
+        static_cast<double>(state.iterations()));
+  }
+}
 
 telemetry::PerfTrace MakeTrace(int days, std::uint64_t seed) {
   Rng rng(seed);
@@ -169,6 +207,66 @@ void BM_CurveKde(benchmark::State& state) {
 }
 BENCHMARK(BM_CurveKde)->Arg(7)->Arg(30)->Unit(benchmark::kMillisecond);
 
+// ---- Amortized exceedance index (DESIGN.md §9): the batch curve
+// evaluator vs the per-SKU columnar scan it replaced, over the full DB
+// catalog. Same probabilities bit for bit; the counters quantify the work
+// collapse — the scan charges ppm.samples_scanned per column visited per
+// candidate, the index only per distinct (dimension, capacity) bitset it
+// materialises, then answers every candidate by word-OR + popcount
+// (ppm.index_union_words).
+
+std::vector<catalog::ResourceVector> CatalogCapacities() {
+  std::vector<catalog::ResourceVector> capacities;
+  for (const catalog::Sku& sku :
+       Catalog().ForDeployment(catalog::Deployment::kSqlDb)) {
+    capacities.push_back(sku.Capacities());
+  }
+  return capacities;
+}
+
+void BM_ExceedanceIndexBatch(benchmark::State& state) {
+  const telemetry::PerfTrace trace =
+      MakeTrace(static_cast<int>(state.range(0)), 2);
+  const core::NonParametricEstimator estimator;
+  const std::vector<catalog::ResourceVector> capacities = CatalogCapacities();
+  const auto before = SnapshotCostCounters();
+  for (auto _ : state) {
+    StatusOr<std::vector<double>> probabilities =
+        estimator.EstimateCurveProbabilities(trace, capacities);
+    if (!probabilities.ok()) std::abort();
+    benchmark::DoNotOptimize(probabilities);
+  }
+  ReportCostCounters(state, before);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(capacities.size()));
+  state.SetLabel(std::to_string(capacities.size()) + " SKUs, memoized bitsets");
+}
+BENCHMARK(BM_ExceedanceIndexBatch)->Arg(7)->Arg(30)->Unit(benchmark::kMicrosecond);
+
+void BM_ExceedanceIndexScalarScan(benchmark::State& state) {
+  const telemetry::PerfTrace trace =
+      MakeTrace(static_cast<int>(state.range(0)), 2);
+  const core::NonParametricEstimator estimator;
+  const std::vector<catalog::ResourceVector> capacities = CatalogCapacities();
+  const auto before = SnapshotCostCounters();
+  for (auto _ : state) {
+    for (const catalog::ResourceVector& candidate : capacities) {
+      StatusOr<double> probability = estimator.Probability(trace, candidate);
+      if (!probability.ok()) std::abort();
+      benchmark::DoNotOptimize(probability);
+    }
+  }
+  ReportCostCounters(state, before);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(capacities.size()));
+  state.SetLabel(std::to_string(capacities.size()) +
+                 " SKUs, per-candidate column scan");
+}
+BENCHMARK(BM_ExceedanceIndexScalarScan)
+    ->Arg(7)
+    ->Arg(30)
+    ->Unit(benchmark::kMicrosecond);
+
 // ---- Negotiability strategies (the Table 4 cost axis).
 
 void BM_StrategyThresholding(benchmark::State& state) {
@@ -243,11 +341,13 @@ void BM_PipelineAssess(benchmark::State& state) {
   request.customer_id = "bench";
   request.target = catalog::Deployment::kSqlDb;
   request.database_traces = {MakeTrace(7, 5)};
+  const auto before = SnapshotCostCounters();
   for (auto _ : state) {
     StatusOr<dma::AssessmentOutcome> outcome = pipeline.Assess(request);
     benchmark::DoNotOptimize(outcome);
     if (!outcome.ok()) std::abort();
   }
+  ReportCostCounters(state, before);
   obs::SetTracingEnabled(false);
   // Surface the span-derived per-stage breakdown next to the timing.
   for (const char* stage :
@@ -285,11 +385,13 @@ void BM_CompiledAssess(benchmark::State& state) {
   request.customer_id = "compiled";
   request.target = catalog::Deployment::kSqlDb;
   request.database_traces = {MakeTrace(7, 6)};
+  const auto before = SnapshotCostCounters();
   for (auto _ : state) {
     StatusOr<dma::AssessmentOutcome> outcome = pipeline.Assess(request);
     benchmark::DoNotOptimize(outcome);
     if (!outcome.ok()) std::abort();
   }
+  ReportCostCounters(state, before);
   state.SetItemsProcessed(state.iterations());
   state.SetLabel("shared compiled snapshot, " + std::to_string(threads) +
                  " threads");

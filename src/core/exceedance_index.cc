@@ -1,0 +1,168 @@
+#include "core/exceedance_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "obs/metrics.h"
+
+namespace doppler::core {
+
+namespace {
+
+using catalog::ResourceDim;
+using catalog::ResourceVector;
+
+// Counter pointers resolved once; every memo access costs a relaxed add.
+// `ppm.samples_scanned` is charged on construction misses only — the rows
+// materialised into a bitset — because the union path never re-reads the
+// demand columns. The charge is a function of (dimension, capacity) alone,
+// never of scheduling, so counter totals stay identical at any job count.
+void CountIndexMiss(std::size_t set_rows) {
+  static obs::Counter* const kMisses =
+      obs::DefaultMetrics().GetCounter("ppm.index_misses");
+  static obs::Counter* const kSamples =
+      obs::DefaultMetrics().GetCounter("ppm.samples_scanned");
+  kMisses->Increment();
+  kSamples->Increment(set_rows);
+}
+
+void CountIndexHit() {
+  static obs::Counter* const kHits =
+      obs::DefaultMetrics().GetCounter("ppm.index_hits");
+  kHits->Increment();
+}
+
+void CountUnionWords(std::size_t words) {
+  static obs::Counter* const kWords =
+      obs::DefaultMetrics().GetCounter("ppm.index_union_words");
+  kWords->Increment(words);
+}
+
+}  // namespace
+
+ExceedanceIndex::ExceedanceIndex(const telemetry::PerfTrace& trace,
+                                 const std::vector<ResourceDim>& dims,
+                                 const telemetry::TraceStatsCache* stats)
+    : trace_(&trace),
+      num_rows_(trace.num_samples()),
+      num_words_((trace.num_samples() + 63) / 64) {
+  // A cache over a different trace is silently ignored: the confidence
+  // resampler hands the original trace's cache around while evaluating
+  // bootstrap resamples, and reusing its argsort there would be wrong.
+  if (stats != nullptr && &stats->trace() != &trace) stats = nullptr;
+  for (ResourceDim dim : dims) {
+    if (!trace.Has(dim)) continue;
+    DimState& state = dims_[Index(dim)];
+    if (state.covered) continue;
+    state.covered = true;
+    covered_dims_.push_back(dim);
+    if (stats != nullptr) {
+      state.sorted = &stats->Sorted(dim);
+      state.perm = &stats->Argsort(dim);
+    } else {
+      // Same permutation TraceStatsCache::Argsort builds: ascending value,
+      // ties by ascending row index.
+      const std::vector<double>& values = trace.Values(dim);
+      state.own_perm.resize(num_rows_);
+      std::iota(state.own_perm.begin(), state.own_perm.end(),
+                std::uint32_t{0});
+      std::sort(state.own_perm.begin(), state.own_perm.end(),
+                [&values](std::uint32_t a, std::uint32_t b) {
+                  if (values[a] != values[b]) return values[a] < values[b];
+                  return a < b;
+                });
+      state.own_sorted.resize(num_rows_);
+      for (std::size_t i = 0; i < num_rows_; ++i) {
+        state.own_sorted[i] = values[state.own_perm[i]];
+      }
+      state.sorted = &state.own_sorted;
+      state.perm = &state.own_perm;
+    }
+  }
+  // Enum order regardless of the order dimensions were requested in, so the
+  // union sweep below is deterministic for a given trace and candidate set.
+  std::sort(covered_dims_.begin(), covered_dims_.end());
+}
+
+const ExceedanceSet& ExceedanceIndex::SetFor(ResourceDim dim,
+                                             double capacity) const {
+  const DimState& state = dims_[Index(dim)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.memo.find(capacity);
+  if (it != state.memo.end()) {
+    CountIndexHit();
+    return it->second;
+  }
+
+  // Exceeding rows are one contiguous run of the sorted permutation.
+  // Normal dimension: demand > C, the suffix past upper_bound (strict
+  // comparison leaves rows tied at the capacity out). Inverted dimension:
+  // demand < C, the prefix before lower_bound.
+  const std::vector<double>& sorted = *state.sorted;
+  std::size_t begin = 0;
+  std::size_t end = num_rows_;
+  if (catalog::IsInvertedDim(dim)) {
+    end = static_cast<std::size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), capacity) -
+        sorted.begin());
+  } else {
+    begin = static_cast<std::size_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), capacity) -
+        sorted.begin());
+  }
+
+  ExceedanceSet set;
+  set.words.assign(num_words_, 0);
+  set.count = end - begin;
+  const std::uint32_t* const perm = state.perm->data();
+  for (std::size_t j = begin; j < end; ++j) {
+    const std::uint32_t row = perm[j];
+    set.words[row >> 6] |= std::uint64_t{1} << (row & 63);
+  }
+  CountIndexMiss(set.count);
+  return state.memo.emplace(capacity, std::move(set)).first->second;
+}
+
+std::size_t ExceedanceIndex::CountExceedingUnion(
+    const ResourceVector& capacities) const {
+  // Gather the participating memoized sets first, so the union sweep below
+  // runs allocation- and lock-free.
+  std::array<const ExceedanceSet*, catalog::kNumResourceDims> sets;
+  std::size_t num_sets = 0;
+  for (ResourceDim dim : covered_dims_) {
+    if (!capacities.Has(dim)) continue;
+    sets[num_sets++] = &SetFor(dim, capacities.Get(dim));
+  }
+  if (num_sets == 0) return 0;
+  // Single participating dimension: the memoized popcount is the answer.
+  if (num_sets == 1) return sets[0]->count;
+
+  // Word-wise OR accumulation; the popcount of newly-set bits per word
+  // gives the union size without a final pass. Already-saturated words are
+  // skipped, and a dimension cannot grow a saturated union (early exit).
+  thread_local std::vector<std::uint64_t> union_words;
+  union_words.assign(num_words_, 0);
+  std::size_t count = 0;
+  std::size_t words_touched = 0;
+  for (std::size_t k = 0; k < num_sets && count < num_rows_; ++k) {
+    const ExceedanceSet& set = *sets[k];
+    if (set.count == 0) continue;
+    const std::uint64_t* const words = set.words.data();
+    for (std::size_t w = 0; w < num_words_; ++w) {
+      const std::uint64_t prev = union_words[w];
+      if (prev == ~std::uint64_t{0}) continue;
+      const std::uint64_t merged = prev | words[w];
+      if (merged != prev) {
+        count += static_cast<std::size_t>(std::popcount(merged ^ prev));
+        union_words[w] = merged;
+      }
+    }
+    words_touched += num_words_;
+  }
+  CountUnionWords(words_touched);
+  TrimScratch(union_words);
+  return count;
+}
+
+}  // namespace doppler::core

@@ -1,0 +1,143 @@
+#ifndef DOPPLER_CORE_EXCEEDANCE_INDEX_H_
+#define DOPPLER_CORE_EXCEEDANCE_INDEX_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "catalog/resource.h"
+#include "telemetry/perf_trace.h"
+#include "telemetry/trace_stats.h"
+
+namespace doppler::core {
+
+/// Scratch-lifetime policy shared by the throttling kernels (DESIGN.md §9):
+/// per-thread scratch buffers are reused across evaluations so the hot path
+/// never allocates after warm-up, but one oversized trace must not pin its
+/// high-water mark for the lifetime of the thread. After each use, a buffer
+/// whose capacity exceeds this bound is released back to the allocator.
+/// Steady-state DMA traces sit far below it (a 30-day trace is ~4.3k rows,
+/// ~4 KiB of scan marks or ~0.5 KiB of bitset words), so the trim only ever
+/// fires after an outlier trace.
+inline constexpr std::size_t kScratchRetainBytes = std::size_t{1} << 20;
+
+/// Applies the policy above to one scratch vector: keep the buffer when its
+/// footprint is within kScratchRetainBytes, release it otherwise.
+template <typename T>
+void TrimScratch(std::vector<T>& scratch) {
+  if (scratch.capacity() * sizeof(T) > kScratchRetainBytes) {
+    scratch = std::vector<T>();
+  }
+}
+
+/// One memoized exceedance set: the rows of a trace whose demand in one
+/// dimension exceeds one capacity value, packed 64 rows per word (row r is
+/// bit r%64 of word r/64; padding bits past the last row are zero).
+struct ExceedanceSet {
+  std::vector<std::uint64_t> words;
+  /// Popcount over `words` — the number of exceeding rows.
+  std::size_t count = 0;
+};
+
+/// Amortized per-(trace, dimension) exceedance index (DESIGN.md §9).
+///
+/// Offline (construction): each demand column is argsorted once — reusing
+/// TraceStatsCache sorted state when a cache over the same trace is
+/// supplied — so the rows exceeding ANY capacity C form a contiguous run of
+/// the sorted permutation: the suffix of rows with value > C for normal
+/// dimensions, the prefix with value < C for inverted ones (kIoLatencyMs).
+/// The run boundary is a binary search; strict comparisons keep rows tied
+/// exactly at the capacity out of the set, matching ResourceVector::Exceeds.
+///
+/// Online (evaluation): SetFor() materialises the run as a word-packed
+/// bitset, memoized per *distinct* capacity value, so adjacent SKUs on a
+/// price-sorted curve that share capacity values share the bitset build.
+/// CountExceedingUnion() ORs the per-dimension bitsets for one capacity
+/// vector and popcounts — O(d·n/64) per SKU instead of the O(n·d) column
+/// rescan — with word-level skip of saturated words and a per-dimension
+/// early exit once every row is counted. Counting is exact integer
+/// arithmetic over the same row set as the columnar scan, so probabilities
+/// are bit-identical to the row-major formulation.
+///
+/// Thread safety: the memo is guarded per dimension, so one index may be
+/// shared by every worker of a parallel curve build. A memoized set's
+/// content depends only on (dimension, capacity) — never on which worker
+/// built it first — which keeps counter totals and results deterministic at
+/// any thread count.
+///
+/// Invalidation contract: like TraceStatsCache, the index BORROWS the trace
+/// (and the cache, when given); both must outlive it and stay unmutated.
+/// There is no invalidation hook — traces are frozen inside the assessment
+/// pipeline and an index lives for one curve build.
+class ExceedanceIndex {
+ public:
+  /// Indexes the subset of `dims` present in `trace`. When `stats` is a
+  /// cache over the SAME trace object its memoized argsort is borrowed
+  /// (no extra sort); a cache over any other trace is ignored, so callers
+  /// may pass whatever cache travels with the request.
+  ExceedanceIndex(const telemetry::PerfTrace& trace,
+                  const std::vector<catalog::ResourceDim>& dims,
+                  const telemetry::TraceStatsCache* stats = nullptr);
+
+  ExceedanceIndex(const ExceedanceIndex&) = delete;
+  ExceedanceIndex& operator=(const ExceedanceIndex&) = delete;
+
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_words() const { return num_words_; }
+
+  /// True when the dimension was requested at construction and present in
+  /// the trace.
+  bool Covers(catalog::ResourceDim dim) const {
+    return dims_[Index(dim)].covered;
+  }
+
+  /// The memoized exceedance set for one (dimension, capacity); builds it
+  /// on first use (counted as `ppm.index_misses`, charging the set's row
+  /// count to `ppm.samples_scanned`), returns the memo on every later call
+  /// (`ppm.index_hits`). The reference stays valid for the index's
+  /// lifetime. The dimension must be covered.
+  const ExceedanceSet& SetFor(catalog::ResourceDim dim, double capacity) const;
+
+  /// Number of rows throttled by ANY covered dimension priced in
+  /// `capacities` — the exact numerator of paper Eq. 1. Dimensions absent
+  /// from the capacity vector are skipped; with a single participating
+  /// dimension the memoized count is returned without touching scratch.
+  std::size_t CountExceedingUnion(
+      const catalog::ResourceVector& capacities) const;
+
+  /// Covered dimensions in enum order.
+  const std::vector<catalog::ResourceDim>& covered_dims() const {
+    return covered_dims_;
+  }
+
+ private:
+  struct DimState {
+    bool covered = false;
+    // Borrowed from TraceStatsCache when possible, else the owned copies.
+    const std::vector<double>* sorted = nullptr;
+    const std::vector<std::uint32_t>* perm = nullptr;
+    std::vector<double> own_sorted;
+    std::vector<std::uint32_t> own_perm;
+    mutable std::mutex mu;
+    // std::map for node stability: SetFor hands out references that must
+    // survive later insertions by other workers.
+    mutable std::map<double, ExceedanceSet> memo;
+  };
+
+  static constexpr std::size_t Index(catalog::ResourceDim dim) {
+    return static_cast<std::size_t>(static_cast<int>(dim));
+  }
+
+  const telemetry::PerfTrace* trace_;
+  std::size_t num_rows_ = 0;
+  std::size_t num_words_ = 0;
+  std::array<DimState, catalog::kNumResourceDims> dims_;
+  std::vector<catalog::ResourceDim> covered_dims_;
+};
+
+}  // namespace doppler::core
+
+#endif  // DOPPLER_CORE_EXCEEDANCE_INDEX_H_

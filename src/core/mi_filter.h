@@ -8,6 +8,7 @@
 #include "catalog/file_layout.h"
 #include "core/price_performance.h"
 #include "telemetry/perf_trace.h"
+#include "telemetry/trace_stats.h"
 #include "util/statusor.h"
 
 namespace doppler::core {
@@ -66,10 +67,14 @@ StatusOr<MiFilterResult> FilterMiCandidates(
 /// pre-sorted MI view and its precomputed premium-disk table — no catalog
 /// copy, no SKU copies. Selects the same candidate set (same order) as the
 /// SkuCatalog overload for the catalog the snapshot was compiled from.
+/// A non-null `stats` cache over this trace resolves the IOPS satisfaction
+/// fraction by binary search on the memoized sorted series (an identical
+/// integer count, so the keep/drop decisions cannot change).
 StatusOr<MiCompiledFilterResult> FilterMiCandidates(
     const catalog::CompiledCatalog& compiled,
     const catalog::FileLayout& layout, const telemetry::PerfTrace& trace,
-    const MiFilterOptions& options = {});
+    const MiFilterOptions& options = {},
+    const telemetry::TraceStatsCache* stats = nullptr);
 
 }  // namespace doppler::core
 

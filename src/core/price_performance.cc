@@ -26,7 +26,8 @@ const char* CurveShapeName(CurveShape shape) {
 StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
     const telemetry::PerfTrace& trace, const std::vector<Candidate>& candidates,
     const catalog::PricingService& pricing,
-    const ThrottlingEstimator& estimator, exec::ThreadPool* executor) {
+    const ThrottlingEstimator& estimator, exec::ThreadPool* executor,
+    const telemetry::TraceStatsCache* stats) {
   if (candidates.empty()) {
     return InvalidArgumentError("no candidate SKUs for curve building");
   }
@@ -50,43 +51,35 @@ StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
     mean_cpu /= static_cast<double>(cpu.size());
   }
 
-  // Each candidate is scored into its own pre-sized slot, so the parallel
-  // partition below writes disjoint memory and candidate order — hence the
-  // final curve — is identical to the serial loop.
+  // One batch call scores every candidate: the estimator sees the whole
+  // capacity set at once, so index-backed estimators amortise their
+  // per-trace state across candidates; the executor fan-out (and the
+  // bit-identical-at-any-thread-count guarantee) lives inside the batch
+  // API now. Prices are filled serially — they are cheap table lookups.
+  std::vector<catalog::ResourceVector> capacity_vectors;
+  capacity_vectors.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) {
+    capacity_vectors.push_back(
+        candidate.iops_limit >= 0.0
+            ? candidate.sku.CapacitiesWithIopsLimit(candidate.iops_limit)
+            : candidate.sku.Capacities());
+  }
+  DOPPLER_ASSIGN_OR_RETURN(const std::vector<double> probabilities,
+                           estimator.EstimateCurveProbabilities(
+                               trace, capacity_vectors, executor, stats));
+
   PricePerformanceCurve curve;
   curve.points_.resize(candidates.size());
-  std::vector<Status> failures(candidates.size());
-  const auto score_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const Candidate& candidate = candidates[i];
-      const catalog::ResourceVector capacities =
-          candidate.iops_limit >= 0.0
-              ? candidate.sku.CapacitiesWithIopsLimit(candidate.iops_limit)
-              : candidate.sku.Capacities();
-      StatusOr<double> probability = estimator.Probability(trace, capacities);
-      if (!probability.ok()) {
-        failures[i] = probability.status();
-        continue;
-      }
-      PricePerformancePoint& point = curve.points_[i];
-      point.sku = candidate.sku;
-      point.monthly_price =
-          candidate.sku.serverless && mean_cpu > 0.0
-              ? pricing.MonthlyCostForUsage(candidate.sku, mean_cpu)
-              : pricing.MonthlyCost(candidate.sku);
-      point.throttling_probability = *probability;
-      point.performance = 1.0 - *probability;
-    }
-  };
-  if (executor != nullptr && candidates.size() > 1) {
-    executor->ParallelFor(candidates.size(), score_range);
-  } else {
-    score_range(0, candidates.size());
-  }
-  // First failure in candidate order wins, matching the serial early
-  // return.
-  for (const Status& failure : failures) {
-    if (!failure.ok()) return failure;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& candidate = candidates[i];
+    PricePerformancePoint& point = curve.points_[i];
+    point.sku = candidate.sku;
+    point.monthly_price =
+        candidate.sku.serverless && mean_cpu > 0.0
+            ? pricing.MonthlyCostForUsage(candidate.sku, mean_cpu)
+            : pricing.MonthlyCost(candidate.sku);
+    point.throttling_probability = probabilities[i];
+    point.performance = 1.0 - probabilities[i];
   }
 
   // Price order, ties broken by id for determinism.
@@ -111,11 +104,12 @@ StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
     const telemetry::PerfTrace& trace,
     const std::vector<catalog::Sku>& candidates,
     const catalog::PricingService& pricing,
-    const ThrottlingEstimator& estimator, exec::ThreadPool* executor) {
+    const ThrottlingEstimator& estimator, exec::ThreadPool* executor,
+    const telemetry::TraceStatsCache* stats) {
   std::vector<Candidate> wrapped;
   wrapped.reserve(candidates.size());
   for (const catalog::Sku& sku : candidates) wrapped.push_back({sku, -1.0});
-  return Build(trace, wrapped, pricing, estimator, executor);
+  return Build(trace, wrapped, pricing, estimator, executor, stats);
 }
 
 // Uniform accessor over the two compiled candidate sources: a whole
@@ -137,7 +131,8 @@ struct PricePerformanceCurve::CompiledSpan {
 StatusOr<PricePerformanceCurve> PricePerformanceCurve::BuildCompiled(
     const telemetry::PerfTrace& trace, const CompiledSpan& span,
     const catalog::PricingService& pricing,
-    const ThrottlingEstimator& estimator, exec::ThreadPool* executor) {
+    const ThrottlingEstimator& estimator, exec::ThreadPool* executor,
+    const telemetry::TraceStatsCache* stats) {
   if (span.count == 0) {
     return InvalidArgumentError("no candidate SKUs for curve building");
   }
@@ -159,40 +154,35 @@ StatusOr<PricePerformanceCurve> PricePerformanceCurve::BuildCompiled(
     mean_cpu /= static_cast<double>(cpu.size());
   }
 
+  // Batch scoring over the memoized capacity vectors (with the MI route's
+  // per-candidate IOPS overrides applied first); see the Candidate overload
+  // for the determinism rationale.
+  std::vector<catalog::ResourceVector> capacity_vectors;
+  capacity_vectors.reserve(span.count);
+  for (std::size_t i = 0; i < span.count; ++i) {
+    const catalog::CompiledEntry& entry = span.entry(i);
+    const double iops_limit = span.iops_limit(i);
+    capacity_vectors.push_back(
+        iops_limit >= 0.0 ? entry.sku->CapacitiesWithIopsLimit(iops_limit)
+                          : entry.capacities);
+  }
+  DOPPLER_ASSIGN_OR_RETURN(const std::vector<double> probabilities,
+                           estimator.EstimateCurveProbabilities(
+                               trace, capacity_vectors, executor, stats));
+
   PricePerformanceCurve curve;
   std::vector<PricePerformancePoint>& points = curve.points_;
   points.resize(span.count);
-  std::vector<Status> failures(span.count);
-  const auto score_range = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const catalog::CompiledEntry& entry = span.entry(i);
-      const double iops_limit = span.iops_limit(i);
-      StatusOr<double> probability =
-          iops_limit >= 0.0
-              ? estimator.Probability(
-                    trace, entry.sku->CapacitiesWithIopsLimit(iops_limit))
-              : estimator.Probability(trace, entry.capacities);
-      if (!probability.ok()) {
-        failures[i] = probability.status();
-        continue;
-      }
-      PricePerformancePoint& point = points[i];
-      point.sku = *entry.sku;
-      point.monthly_price =
-          entry.sku->serverless && mean_cpu > 0.0
-              ? pricing.MonthlyCostForUsage(*entry.sku, mean_cpu)
-              : entry.monthly_price;
-      point.throttling_probability = *probability;
-      point.performance = 1.0 - *probability;
-    }
-  };
-  if (executor != nullptr && span.count > 1) {
-    executor->ParallelFor(span.count, score_range);
-  } else {
-    score_range(0, span.count);
-  }
-  for (const Status& failure : failures) {
-    if (!failure.ok()) return failure;
+  for (std::size_t i = 0; i < span.count; ++i) {
+    const catalog::CompiledEntry& entry = span.entry(i);
+    PricePerformancePoint& point = points[i];
+    point.sku = *entry.sku;
+    point.monthly_price =
+        entry.sku->serverless && mean_cpu > 0.0
+            ? pricing.MonthlyCostForUsage(*entry.sku, mean_cpu)
+            : entry.monthly_price;
+    point.throttling_probability = probabilities[i];
+    point.performance = 1.0 - probabilities[i];
   }
 
   // A usage-billed SKU re-priced against the trace invalidates the
@@ -229,22 +219,24 @@ StatusOr<PricePerformanceCurve> PricePerformanceCurve::BuildCompiled(
 StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
     const telemetry::PerfTrace& trace, catalog::CompiledView candidates,
     const catalog::PricingService& pricing,
-    const ThrottlingEstimator& estimator, exec::ThreadPool* executor) {
+    const ThrottlingEstimator& estimator, exec::ThreadPool* executor,
+    const telemetry::TraceStatsCache* stats) {
   CompiledSpan span;
   span.entries = candidates.begin();
   span.count = candidates.size();
-  return BuildCompiled(trace, span, pricing, estimator, executor);
+  return BuildCompiled(trace, span, pricing, estimator, executor, stats);
 }
 
 StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
     const telemetry::PerfTrace& trace,
     const std::vector<CompiledCandidateRef>& candidates,
     const catalog::PricingService& pricing,
-    const ThrottlingEstimator& estimator, exec::ThreadPool* executor) {
+    const ThrottlingEstimator& estimator, exec::ThreadPool* executor,
+    const telemetry::TraceStatsCache* stats) {
   CompiledSpan span;
   span.refs = candidates.data();
   span.count = candidates.size();
-  return BuildCompiled(trace, span, pricing, estimator, executor);
+  return BuildCompiled(trace, span, pricing, estimator, executor, stats);
 }
 
 CurveShape PricePerformanceCurve::Classify(double epsilon) const {

@@ -9,6 +9,7 @@
 #include "catalog/sku.h"
 #include "core/throttling.h"
 #include "telemetry/perf_trace.h"
+#include "telemetry/trace_stats.h"
 #include "util/statusor.h"
 
 namespace doppler::exec {
@@ -66,16 +67,21 @@ const char* CurveShapeName(CurveShape shape);
 class PricePerformanceCurve {
  public:
   /// Builds the curve for `trace` over `candidates`. Fails when the
-  /// candidate list or trace is empty, or when estimation fails. With a
-  /// non-null `executor` the per-SKU probability scans are partitioned
-  /// across the pool (each worker writes its candidate's slot by index, so
-  /// the result is bit-identical to the serial path at any thread count).
+  /// candidate list or trace is empty, or when estimation fails. Scoring
+  /// goes through the estimator's batch API
+  /// (ThrottlingEstimator::EstimateCurveProbabilities): with a non-null
+  /// `executor` candidates are partitioned across the pool (each one is
+  /// scored into its own slot by index, so the result is bit-identical to
+  /// the serial path at any thread count), and a non-null `stats` cache
+  /// over this trace lets index-backed estimators reuse its memoized
+  /// argsort instead of re-sorting.
   static StatusOr<PricePerformanceCurve> Build(
       const telemetry::PerfTrace& trace,
       const std::vector<Candidate>& candidates,
       const catalog::PricingService& pricing,
       const ThrottlingEstimator& estimator,
-      exec::ThreadPool* executor = nullptr);
+      exec::ThreadPool* executor = nullptr,
+      const telemetry::TraceStatsCache* stats = nullptr);
 
   /// Convenience overload over plain SKUs (no IOPS overrides).
   static StatusOr<PricePerformanceCurve> Build(
@@ -83,7 +89,8 @@ class PricePerformanceCurve {
       const std::vector<catalog::Sku>& candidates,
       const catalog::PricingService& pricing,
       const ThrottlingEstimator& estimator,
-      exec::ThreadPool* executor = nullptr);
+      exec::ThreadPool* executor = nullptr,
+      const telemetry::TraceStatsCache* stats = nullptr);
 
   /// Compiled-snapshot path over a whole deployment view: reads the
   /// memoized monthly prices and capacity vectors, performs no catalog
@@ -95,7 +102,8 @@ class PricePerformanceCurve {
       const telemetry::PerfTrace& trace, catalog::CompiledView candidates,
       const catalog::PricingService& pricing,
       const ThrottlingEstimator& estimator,
-      exec::ThreadPool* executor = nullptr);
+      exec::ThreadPool* executor = nullptr,
+      const telemetry::TraceStatsCache* stats = nullptr);
 
   /// Compiled-snapshot path over a filtered subset (the MI route, where
   /// each candidate carries a layout-derived IOPS override). `candidates`
@@ -105,7 +113,8 @@ class PricePerformanceCurve {
       const std::vector<CompiledCandidateRef>& candidates,
       const catalog::PricingService& pricing,
       const ThrottlingEstimator& estimator,
-      exec::ThreadPool* executor = nullptr);
+      exec::ThreadPool* executor = nullptr,
+      const telemetry::TraceStatsCache* stats = nullptr);
 
   /// Points ordered by ascending monthly price.
   const std::vector<PricePerformancePoint>& points() const { return points_; }
@@ -146,7 +155,8 @@ class PricePerformanceCurve {
   static StatusOr<PricePerformanceCurve> BuildCompiled(
       const telemetry::PerfTrace& trace, const CompiledSpan& span,
       const catalog::PricingService& pricing,
-      const ThrottlingEstimator& estimator, exec::ThreadPool* executor);
+      const ThrottlingEstimator& estimator, exec::ThreadPool* executor,
+      const telemetry::TraceStatsCache* stats);
 
   std::vector<PricePerformancePoint> points_;
 };

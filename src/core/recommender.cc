@@ -93,20 +93,21 @@ StatusOr<Recommendation> ElasticRecommender::RecommendDb(
   DOPPLER_ASSIGN_OR_RETURN(
       PricePerformanceCurve curve,
       PricePerformanceCurve::Build(trace, candidates, compiled_->pricing(),
-                                   *estimator_, executor_));
+                                   *estimator_, executor_, stats));
   return SelectFromCurve(std::move(curve), trace, stats);
 }
 
 StatusOr<Recommendation> ElasticRecommender::RecommendMi(
     const telemetry::PerfTrace& trace, const catalog::FileLayout& layout,
     const telemetry::TraceStatsCache* stats) const {
-  DOPPLER_ASSIGN_OR_RETURN(MiCompiledFilterResult filtered,
-                           FilterMiCandidates(*compiled_, layout, trace));
+  DOPPLER_ASSIGN_OR_RETURN(
+      MiCompiledFilterResult filtered,
+      FilterMiCandidates(*compiled_, layout, trace, {}, stats));
   DOPPLER_ASSIGN_OR_RETURN(
       PricePerformanceCurve curve,
       PricePerformanceCurve::Build(trace, filtered.candidates,
                                    compiled_->pricing(), *estimator_,
-                                   executor_));
+                                   executor_, stats));
   DOPPLER_ASSIGN_OR_RETURN(Recommendation recommendation,
                            SelectFromCurve(std::move(curve), trace, stats));
   if (filtered.restricted_to_bc) {

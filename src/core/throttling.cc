@@ -1,10 +1,14 @@
 #include "core/throttling.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <functional>
 #include <numeric>
 #include <vector>
 
+#include "core/exceedance_index.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "stats/kde.h"
 #include "stats/normal.h"
@@ -17,8 +21,13 @@ namespace {
 using catalog::ResourceDim;
 using catalog::ResourceVector;
 
-// Hot path: one Probability call per candidate SKU per curve. Counter
-// pointers are resolved once so each evaluation costs a relaxed atomic add.
+// Hot path: one call per candidate SKU per curve. Counter pointers are
+// resolved once so each evaluation costs a relaxed atomic add.
+// `samples_scanned` must be the rows the evaluation ACTUALLY visited —
+// charged after the scan, so early exits report the truth, not the worst
+// case. Index-backed batch evaluations pass 0 here: their row visits are
+// charged at bitset-construction time (core/exceedance_index.cc), once per
+// distinct capacity instead of once per SKU.
 void CountEvaluation(std::size_t samples_scanned) {
   static obs::Counter* const kEvaluations =
       obs::DefaultMetrics().GetCounter("ppm.throttling_evaluations");
@@ -45,7 +54,61 @@ StatusOr<std::vector<ResourceDim>> SharedDims(
   return dims;
 }
 
+// Shared scoring skeleton for the batch API: every candidate's probability
+// is written to its own slot and the first failure in candidate order wins,
+// matching a serial loop with early return. Chunk boundaries come from
+// ParallelFor and depend only on the candidate count and pool size, so the
+// output is bit-identical at any thread count.
+StatusOr<std::vector<double>> ScoreCandidates(
+    std::size_t count, exec::ThreadPool* executor,
+    const std::function<StatusOr<double>(std::size_t)>& score_one) {
+  std::vector<double> probabilities(count, 0.0);
+  std::vector<Status> failures(count);
+  const auto score_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      StatusOr<double> probability = score_one(i);
+      if (probability.ok()) {
+        probabilities[i] = *probability;
+      } else {
+        failures[i] = probability.status();
+      }
+    }
+  };
+  if (executor != nullptr && count > 1) {
+    executor->ParallelFor(count, score_range);
+  } else {
+    score_range(0, count);
+  }
+  for (const Status& failure : failures) {
+    if (!failure.ok()) return failure;
+  }
+  return probabilities;
+}
+
 }  // namespace
+
+StatusOr<std::vector<double>> ThrottlingEstimator::EstimateCurveProbabilities(
+    const telemetry::PerfTrace& trace,
+    const std::vector<ResourceVector>& capacities, exec::ThreadPool* executor,
+    const telemetry::TraceStatsCache* stats) const {
+  (void)stats;  // The generic path has no per-trace state to share.
+  return ScoreCandidates(capacities.size(), executor,
+                         [&](std::size_t i) -> StatusOr<double> {
+                           return Probability(trace, capacities[i]);
+                         });
+}
+
+StatusOr<std::vector<double>> ThrottlingEstimator::EstimateCurveProbabilities(
+    const telemetry::PerfTrace& trace, catalog::CompiledView candidates,
+    exec::ThreadPool* executor,
+    const telemetry::TraceStatsCache* stats) const {
+  std::vector<ResourceVector> capacities;
+  capacities.reserve(candidates.size());
+  for (const catalog::CompiledEntry& entry : candidates) {
+    capacities.push_back(entry.capacities);
+  }
+  return EstimateCurveProbabilities(trace, capacities, executor, stats);
+}
 
 StatusOr<double> NonParametricEstimator::Probability(
     const telemetry::PerfTrace& trace,
@@ -53,7 +116,6 @@ StatusOr<double> NonParametricEstimator::Probability(
   DOPPLER_ASSIGN_OR_RETURN(std::vector<ResourceDim> dims,
                            SharedDims(trace, capacities));
   const std::size_t n = trace.num_samples();
-  CountEvaluation(n);
 
   // Columnar union scan: instead of gathering every dimension per time
   // point (one cache line per dimension per row), sweep each contiguous
@@ -73,6 +135,7 @@ StatusOr<double> NonParametricEstimator::Probability(
     } else {
       for (std::size_t i = 0; i < n; ++i) throttled += column[i] > capacity;
     }
+    CountEvaluation(n);
     return static_cast<double>(throttled) / static_cast<double>(n);
   }
 
@@ -81,6 +144,7 @@ StatusOr<double> NonParametricEstimator::Probability(
   thread_local std::vector<unsigned char> throttled_rows;
   throttled_rows.assign(n, 0);
   std::size_t throttled = 0;
+  std::size_t columns_scanned = 0;
   for (std::size_t k = 0; k < matrix.num_columns; ++k) {
     const double* const column = matrix.column(k);
     const double capacity = capacities.Get(matrix.dim(k));
@@ -101,9 +165,84 @@ StatusOr<double> NonParametricEstimator::Probability(
     }
     // Early-exit union test: once every row is throttled no further
     // dimension can change the count.
+    ++columns_scanned;
     if (throttled == n) break;
   }
+  // Charged after the loop so the early exit reports the rows actually
+  // visited (each scanned column touches all n rows), not the worst-case
+  // n·d the scan might have needed.
+  CountEvaluation(columns_scanned * n);
+  TrimScratch(throttled_rows);
   return static_cast<double>(throttled) / static_cast<double>(n);
+}
+
+StatusOr<std::vector<double>>
+NonParametricEstimator::EstimateCurveProbabilities(
+    const telemetry::PerfTrace& trace,
+    const std::vector<ResourceVector>& capacities, exec::ThreadPool* executor,
+    const telemetry::TraceStatsCache* stats) const {
+  if (capacities.empty()) return std::vector<double>{};
+  if (trace.num_samples() == 0) {
+    return InvalidArgumentError("performance trace is empty");
+  }
+  // Index the union of candidate dimensions: one argsort per dimension any
+  // candidate prices, shared by every candidate that prices it.
+  std::array<bool, catalog::kNumResourceDims> wanted{};
+  for (const ResourceVector& candidate : capacities) {
+    for (ResourceDim dim : catalog::kAllResourceDims) {
+      if (candidate.Has(dim)) {
+        wanted[static_cast<std::size_t>(static_cast<int>(dim))] = true;
+      }
+    }
+  }
+  std::vector<ResourceDim> dims;
+  for (ResourceDim dim : catalog::kAllResourceDims) {
+    if (wanted[static_cast<std::size_t>(static_cast<int>(dim))] &&
+        trace.Has(dim)) {
+      dims.push_back(dim);
+    }
+  }
+  const ExceedanceIndex index(trace, dims, stats);
+  const double n = static_cast<double>(trace.num_samples());
+  return ScoreCandidates(
+      capacities.size(), executor, [&](std::size_t i) -> StatusOr<double> {
+        const ResourceVector& candidate = capacities[i];
+        // Same failure mode as Probability: a candidate sharing no
+        // dimension with the trace is an error, not a zero.
+        bool any_shared = false;
+        for (ResourceDim dim : catalog::kAllResourceDims) {
+          if (trace.Has(dim) && candidate.Has(dim)) {
+            any_shared = true;
+            break;
+          }
+        }
+        if (!any_shared) {
+          return InvalidArgumentError(
+              "no resource dimension shared between trace and capacities");
+        }
+        // Row visits were charged when the bitsets were built; the union
+        // itself re-reads no samples.
+        CountEvaluation(0);
+        return static_cast<double>(index.CountExceedingUnion(candidate)) / n;
+      });
+}
+
+StatusOr<const stats::GaussianKde*> KdeEstimator::FittedKde(
+    ResourceDim dim) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<stats::GaussianKde>& slot =
+      fitted_[static_cast<std::size_t>(static_cast<int>(dim))];
+  if (!slot.has_value()) {
+    // The cache's memoized sorted series IS the dimension's sample (same
+    // multiset), so the fit — one copy, one stddev pass — happens once per
+    // dimension instead of once per Probability call.
+    DOPPLER_ASSIGN_OR_RETURN(stats::GaussianKde kde,
+                             stats::GaussianKde::Fit(stats_->Sorted(dim)));
+    slot = std::move(kde);
+  }
+  // Slots are write-once under the mutex and the array itself never moves,
+  // so the pointer stays valid and safe to read after unlock.
+  return &*slot;
 }
 
 StatusOr<double> KdeEstimator::Probability(
@@ -111,17 +250,29 @@ StatusOr<double> KdeEstimator::Probability(
     const ResourceVector& capacities) const {
   DOPPLER_ASSIGN_OR_RETURN(std::vector<ResourceDim> dims,
                            SharedDims(trace, capacities));
-  CountEvaluation(trace.num_samples());
+  // Bound-cache fast path only applies to the cache's own trace object;
+  // any other trace (bootstrap resamples, tests) takes the per-call fit.
+  const bool bound = stats_ != nullptr && &stats_->trace() == &trace;
   double none_exceeds = 1.0;
   for (ResourceDim dim : dims) {
-    DOPPLER_ASSIGN_OR_RETURN(stats::GaussianKde kde,
-                             stats::GaussianKde::Fit(trace.Values(dim)));
+    std::optional<stats::GaussianKde> local;
+    const stats::GaussianKde* kde = nullptr;
+    if (bound) {
+      DOPPLER_ASSIGN_OR_RETURN(kde, FittedKde(dim));
+    } else {
+      DOPPLER_ASSIGN_OR_RETURN(stats::GaussianKde fitted,
+                               stats::GaussianKde::Fit(trace.Values(dim)));
+      local = std::move(fitted);
+      kde = &*local;
+    }
     const double cap = capacities.Get(dim);
     // Inverted dimensions throttle when demand falls BELOW capacity.
     const double exceed =
-        catalog::IsInvertedDim(dim) ? kde.Cdf(cap) : kde.Exceedance(cap);
+        catalog::IsInvertedDim(dim) ? kde->Cdf(cap) : kde->Exceedance(cap);
     none_exceeds *= 1.0 - exceed;
   }
+  // Every dimension's kernel CDF sums over all n sample points.
+  CountEvaluation(dims.size() * trace.num_samples());
   return 1.0 - none_exceeds;
 }
 
@@ -169,7 +320,8 @@ StatusOr<double> GaussianCopulaEstimator::Probability(
                            SharedDims(trace, capacities));
   const std::size_t d = dims.size();
   const std::size_t n = trace.num_samples();
-  CountEvaluation(n);
+  // The rank transform reads every dimension's full column.
+  CountEvaluation(d * n);
 
   // Rank-transform each marginal to normal scores; keep the sorted sample
   // as the empirical quantile function.

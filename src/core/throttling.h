@@ -1,9 +1,21 @@
 #ifndef DOPPLER_CORE_THROTTLING_H_
 #define DOPPLER_CORE_THROTTLING_H_
 
+#include <array>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "catalog/compiled_catalog.h"
 #include "catalog/resource.h"
+#include "stats/kde.h"
 #include "telemetry/perf_trace.h"
+#include "telemetry/trace_stats.h"
 #include "util/statusor.h"
+
+namespace doppler::exec {
+class ThreadPool;
+}
 
 namespace doppler::core {
 
@@ -26,6 +38,32 @@ class ThrottlingEstimator {
       const telemetry::PerfTrace& trace,
       const catalog::ResourceVector& capacities) const = 0;
 
+  /// Batch counterpart for curve building: the throttling probability of
+  /// every capacity vector against ONE shared trace, in candidate order.
+  /// Fails with the error of the first (in candidate order) failing
+  /// candidate, matching a serial loop of Probability calls. With a
+  /// non-null `executor`, candidates are partitioned across the pool in
+  /// deterministic chunks; `stats` optionally shares memoized per-dimension
+  /// sorted state (ignored unless it caches this exact trace object).
+  ///
+  /// The base implementation simply loops Probability; estimators with
+  /// amortisable per-trace state override it (NonParametricEstimator builds
+  /// an ExceedanceIndex, DESIGN.md §9). Overrides must stay bit-identical
+  /// to the per-candidate loop — this is an evaluation-strategy hook, not a
+  /// semantics hook.
+  virtual StatusOr<std::vector<double>> EstimateCurveProbabilities(
+      const telemetry::PerfTrace& trace,
+      const std::vector<catalog::ResourceVector>& capacities,
+      exec::ThreadPool* executor = nullptr,
+      const telemetry::TraceStatsCache* stats = nullptr) const;
+
+  /// Convenience overload over a compiled deployment view (no IOPS
+  /// overrides): evaluates every entry's memoized capacity vector.
+  StatusOr<std::vector<double>> EstimateCurveProbabilities(
+      const telemetry::PerfTrace& trace, catalog::CompiledView candidates,
+      exec::ThreadPool* executor = nullptr,
+      const telemetry::TraceStatsCache* stats = nullptr) const;
+
   /// Human-readable estimator name for benchmark output.
   virtual const char* name() const = 0;
 };
@@ -45,6 +83,20 @@ class NonParametricEstimator : public ThrottlingEstimator {
   StatusOr<double> Probability(
       const telemetry::PerfTrace& trace,
       const catalog::ResourceVector& capacities) const override;
+
+  /// Amortized batch path (DESIGN.md §9): builds one ExceedanceIndex over
+  /// the union of candidate dimensions — argsort once per dimension,
+  /// exceedance bitsets memoized per distinct capacity value — then counts
+  /// each candidate's union by word-wise OR + popcount, O(d·n/64) per SKU.
+  /// Bit-identical to looping Probability: both count exactly the rows
+  /// where any shared dimension exceeds its capacity and divide by n.
+  StatusOr<std::vector<double>> EstimateCurveProbabilities(
+      const telemetry::PerfTrace& trace,
+      const std::vector<catalog::ResourceVector>& capacities,
+      exec::ThreadPool* executor = nullptr,
+      const telemetry::TraceStatsCache* stats = nullptr) const override;
+  using ThrottlingEstimator::EstimateCurveProbabilities;
+
   const char* name() const override { return "non-parametric"; }
 };
 
@@ -52,15 +104,44 @@ class NonParametricEstimator : public ThrottlingEstimator {
 /// grounds (§3.2, "Gaussian smoothing"): a Gaussian KDE per dimension with
 /// Silverman bandwidth; the joint exceedance combines the per-dimension
 /// exceedances under an independence approximation,
-/// P(any) = 1 - prod_d (1 - e_d). The KDE is re-fit per call, which is what
-/// makes curve generation over a 150+-SKU catalog impractical — the
-/// bench_perf_engine benchmark quantifies the gap.
+/// P(any) = 1 - prod_d (1 - e_d).
+///
+/// Unbound (default constructor), the KDE is copied out of the trace and
+/// re-fit on every call — the per-call cost the paper rejected, kept as-is
+/// so the bench_perf_engine ablation still quantifies it. Bound to a
+/// TraceStatsCache, calls whose trace IS the cache's trace fit each
+/// dimension once from the cache's memoized sorted series and reuse the
+/// fit, so the §3.2 estimator comparison measures the smoothing model
+/// rather than redundant sorting and re-fitting. Note the bound path sums
+/// the kernel CDF over the sample in sorted order, so results may differ
+/// from the unbound path by floating-point summation order (never used on
+/// the golden path, which is non-parametric).
 class KdeEstimator : public ThrottlingEstimator {
  public:
+  KdeEstimator() = default;
+
+  /// Binds `stats` (borrowed; must outlive the estimator). Calls with any
+  /// other trace fall back to the unbound per-call fit.
+  explicit KdeEstimator(const telemetry::TraceStatsCache* stats)
+      : stats_(stats) {}
+
   StatusOr<double> Probability(
       const telemetry::PerfTrace& trace,
       const catalog::ResourceVector& capacities) const override;
   const char* name() const override { return "gaussian-kde"; }
+
+ private:
+  /// The memoized fit for one dimension of the bound cache's trace; fits on
+  /// first use. The pointer stays valid for the estimator's lifetime.
+  StatusOr<const stats::GaussianKde*> FittedKde(catalog::ResourceDim dim) const;
+
+  const telemetry::TraceStatsCache* stats_ = nullptr;
+  // Memoized per-dimension fits over stats_'s sorted series, built lazily
+  // under the mutex so concurrent Probability calls may share them.
+  mutable std::mutex mu_;
+  mutable std::array<std::optional<stats::GaussianKde>,
+                     catalog::kNumResourceDims>
+      fitted_;
 };
 
 /// The copula-family alternative the paper cites (§3.2, "multivariate

@@ -230,10 +230,19 @@ Status SkuRecommendationPipeline::StageConfidence(RequestContext& ctx) const {
   StageScope stage("pipeline.confidence", &ctx.timings);
   Rng rng(config_.confidence_seed);
   const catalog::FileLayout& layout = ctx.layout;
+  // The scorer's first rerun evaluates the original instance trace: reuse
+  // the assessment's memoized cache (sorted series + argsort feeding the
+  // exceedance index) instead of re-sorting every dimension again. Each
+  // bootstrap resample is a distinct trace and gets its own view.
+  telemetry::TraceStatsCache* instance_stats = EnsureInstanceStats(ctx);
+  const telemetry::PerfTrace* instance_trace = &outcome.instance_trace;
   core::RecommendFn rerun =
-      [&recommender, &request, &layout](const telemetry::PerfTrace& trace) {
-        // Each bootstrap resample is a distinct trace, so it gets its own
-        // memoized view for the profiling re-run.
+      [&recommender, &request, &layout, instance_stats,
+       instance_trace](const telemetry::PerfTrace& trace) {
+        if (&trace == instance_trace) {
+          return recommender.Recommend(trace, request.target, layout,
+                                       instance_stats);
+        }
         telemetry::TraceStatsCache resample_stats(trace);
         return recommender.Recommend(trace, request.target, layout,
                                      &resample_stats);

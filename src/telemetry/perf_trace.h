@@ -22,8 +22,11 @@ inline constexpr int kSamplesPerDay =
 /// Zero-copy column-major view of a trace's demand matrix over a chosen
 /// dimension subset: column k is the contiguous series for the k-th
 /// requested dimension, every column sharing one row count. This is the
-/// shape the throttling kernel scans — one tight pass per column instead of
-/// a per-row gather across dimensions.
+/// shape the throttling kernels consume — the scalar scan
+/// (NonParametricEstimator::Probability) sweeps each column once per
+/// evaluation, while the batch path argsorts each column once per trace
+/// and answers every evaluation from memoized exceedance bitsets
+/// (core/exceedance_index.h, DESIGN.md §9).
 struct DemandColumns {
   /// One pointer per requested dimension, each to `num_rows` contiguous
   /// doubles. Absent dimensions are skipped entirely.

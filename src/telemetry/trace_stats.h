@@ -2,6 +2,7 @@
 #define DOPPLER_TELEMETRY_TRACE_STATS_H_
 
 #include <array>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -41,6 +42,14 @@ class TraceStatsCache {
   /// dimension is absent from the trace.
   const std::vector<double>& Sorted(catalog::ResourceDim dim) const;
 
+  /// The sorting permutation behind Sorted(): row indices of the original
+  /// series in ascending value order, ties broken by ascending row index,
+  /// so the permutation is a deterministic function of the series alone.
+  /// Sorted()[i] == Values(dim)[Argsort(dim)[i]]. The exceedance index
+  /// (DESIGN.md §9) reads this to turn "rows above a capacity" into a
+  /// suffix of the permutation. Empty when the dimension is absent.
+  const std::vector<std::uint32_t>& Argsort(catalog::ResourceDim dim) const;
+
   /// R-7 quantile over the memoized sorted series (0 when absent).
   double Quantile(catalog::ResourceDim dim, double q) const;
 
@@ -53,6 +62,7 @@ class TraceStatsCache {
   struct DimEntry {
     bool built = false;
     std::vector<double> sorted;
+    std::vector<std::uint32_t> argsort;
     double mean = 0.0;
     double stddev = 0.0;
     double min = 0.0;

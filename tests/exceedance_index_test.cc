@@ -1,0 +1,512 @@
+// The amortized exceedance index (core/exceedance_index.h, DESIGN.md §9)
+// and the batch curve evaluator built on it. The binding property
+// throughout: the index is an evaluation-strategy change, never a model
+// change — every count, probability and counter total must be an exact
+// function of (trace, capacities), bit-identical to the scalar scan and
+// independent of thread count or memo build order.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
+#include "core/exceedance_index.h"
+#include "core/throttling.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "telemetry/perf_trace.h"
+#include "telemetry/trace_stats.h"
+#include "util/random.h"
+
+namespace doppler {
+namespace {
+
+using catalog::ResourceDim;
+using catalog::ResourceVector;
+using core::ExceedanceIndex;
+using core::ExceedanceSet;
+
+std::uint64_t CounterValue(const char* name) {
+  return obs::DefaultMetrics().GetCounter(name)->Value();
+}
+
+// A random multi-dimensional trace with deliberate value collisions: CPU
+// is quantised to whole vCores and latency to half-milliseconds, so
+// capacities drawn from the observed values sit exactly on ties.
+telemetry::PerfTrace MakeTrace(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  telemetry::PerfTrace trace;
+  std::vector<double> cpu(n), memory(n), iops(n), latency(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cpu[i] = std::floor(rng.Uniform(0.0, 16.0));
+    memory[i] = rng.Uniform(1.0, 64.0);
+    iops[i] = rng.Uniform(50.0, 5000.0);
+    latency[i] = 0.5 * std::floor(rng.Uniform(2.0, 20.0));
+  }
+  EXPECT_TRUE(trace.SetSeries(ResourceDim::kCpu, cpu).ok());
+  EXPECT_TRUE(trace.SetSeries(ResourceDim::kMemoryGb, memory).ok());
+  EXPECT_TRUE(trace.SetSeries(ResourceDim::kIops, iops).ok());
+  EXPECT_TRUE(trace.SetSeries(ResourceDim::kIoLatencyMs, latency).ok());
+  return trace;
+}
+
+std::vector<ResourceDim> TraceDims(const telemetry::PerfTrace& trace) {
+  return trace.PresentDims();
+}
+
+// Executable specification: the row-major union count of paper Eq. 1.
+std::size_t NaiveUnionCount(const telemetry::PerfTrace& trace,
+                            const ResourceVector& capacities) {
+  std::size_t throttled = 0;
+  for (std::size_t t = 0; t < trace.num_samples(); ++t) {
+    bool any = false;
+    for (ResourceDim dim : catalog::kAllResourceDims) {
+      if (!trace.Has(dim) || !capacities.Has(dim)) continue;
+      any |= ResourceVector::Exceeds(dim, trace.Values(dim)[t],
+                                     capacities.Get(dim));
+    }
+    throttled += any;
+  }
+  return throttled;
+}
+
+bool SetContainsRow(const ExceedanceSet& set, std::size_t row) {
+  return (set.words[row / 64] >> (row % 64)) & 1u;
+}
+
+// Capacity values worth probing for one dimension: observed values (exact
+// ties), their neighbourhoods, and both extremes.
+std::vector<double> ProbeCapacities(const telemetry::PerfTrace& trace,
+                                    ResourceDim dim) {
+  const std::vector<double>& values = trace.Values(dim);
+  std::vector<double> probes = {values[0], values[values.size() / 2],
+                                values[0] + 0.25, values[0] - 0.25, -1.0,
+                                1e12, 0.0};
+  return probes;
+}
+
+TEST(ExceedanceIndexTest, SetMatchesDirectScanIncludingTies) {
+  const telemetry::PerfTrace trace = MakeTrace(42, 301);
+  const ExceedanceIndex index(trace, TraceDims(trace));
+  for (ResourceDim dim : TraceDims(trace)) {
+    const std::vector<double>& values = trace.Values(dim);
+    for (double capacity : ProbeCapacities(trace, dim)) {
+      const ExceedanceSet& set = index.SetFor(dim, capacity);
+      std::size_t expected = 0;
+      for (std::size_t row = 0; row < values.size(); ++row) {
+        const bool exceeds =
+            ResourceVector::Exceeds(dim, values[row], capacity);
+        expected += exceeds;
+        EXPECT_EQ(SetContainsRow(set, row), exceeds)
+            << catalog::ResourceDimName(dim) << " capacity " << capacity
+            << " row " << row;
+      }
+      EXPECT_EQ(set.count, expected);
+    }
+  }
+}
+
+TEST(ExceedanceIndexTest, PaddingBitsStayZero) {
+  // 301 rows -> 5 words, 19 padding bits that must never be set (they
+  // would corrupt popcounts).
+  const telemetry::PerfTrace trace = MakeTrace(7, 301);
+  const ExceedanceIndex index(trace, TraceDims(trace));
+  const ExceedanceSet& all =
+      index.SetFor(ResourceDim::kCpu, -1.0);  // every row exceeds
+  ASSERT_EQ(all.count, trace.num_samples());
+  const std::uint64_t last_word = all.words.back();
+  for (std::size_t bit = trace.num_samples() % 64; bit < 64; ++bit) {
+    EXPECT_EQ((last_word >> bit) & 1u, 0u) << "padding bit " << bit;
+  }
+}
+
+TEST(ExceedanceIndexTest, UnionCountMatchesNaiveReference) {
+  const telemetry::PerfTrace trace = MakeTrace(9, 500);
+  const ExceedanceIndex index(trace, TraceDims(trace));
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    ResourceVector capacities;
+    capacities.Set(ResourceDim::kCpu, std::floor(rng.Uniform(0.0, 18.0)));
+    capacities.Set(ResourceDim::kMemoryGb, rng.Uniform(0.0, 80.0));
+    capacities.Set(ResourceDim::kIops, rng.Uniform(0.0, 6000.0));
+    // Inverted: the workload is throttled when demand sits BELOW this.
+    capacities.Set(ResourceDim::kIoLatencyMs,
+                   0.5 * std::floor(rng.Uniform(0.0, 24.0)));
+    EXPECT_EQ(index.CountExceedingUnion(capacities),
+              NaiveUnionCount(trace, capacities))
+        << "vector " << i;
+  }
+}
+
+TEST(ExceedanceIndexTest, SingleDimFastPathMatchesMemoizedCount) {
+  const telemetry::PerfTrace trace = MakeTrace(11, 200);
+  const ExceedanceIndex index(trace, TraceDims(trace));
+  for (ResourceDim dim : TraceDims(trace)) {
+    ResourceVector capacities;
+    const double capacity = trace.Values(dim)[42];
+    capacities.Set(dim, capacity);
+    EXPECT_EQ(index.CountExceedingUnion(capacities),
+              index.SetFor(dim, capacity).count);
+    EXPECT_EQ(index.CountExceedingUnion(capacities),
+              NaiveUnionCount(trace, capacities));
+  }
+}
+
+TEST(ExceedanceIndexTest, MemoizesPerDistinctCapacity) {
+  const telemetry::PerfTrace trace = MakeTrace(23, 150);
+  const ExceedanceIndex index(trace, TraceDims(trace));
+  const std::uint64_t hits0 = CounterValue("ppm.index_hits");
+  const std::uint64_t misses0 = CounterValue("ppm.index_misses");
+  const std::uint64_t samples0 = CounterValue("ppm.samples_scanned");
+
+  const ExceedanceSet& first = index.SetFor(ResourceDim::kCpu, 8.0);
+  EXPECT_EQ(CounterValue("ppm.index_misses") - misses0, 1u);
+  EXPECT_EQ(CounterValue("ppm.samples_scanned") - samples0, first.count);
+
+  const ExceedanceSet& again = index.SetFor(ResourceDim::kCpu, 8.0);
+  EXPECT_EQ(&first, &again);  // node-stable memo, same object
+  EXPECT_EQ(CounterValue("ppm.index_hits") - hits0, 1u);
+  EXPECT_EQ(CounterValue("ppm.index_misses") - misses0, 1u);
+  // A hit re-reads nothing.
+  EXPECT_EQ(CounterValue("ppm.samples_scanned") - samples0, first.count);
+
+  // A distinct capacity (and the same value on another dimension) are
+  // separate memo entries.
+  index.SetFor(ResourceDim::kCpu, 4.0);
+  index.SetFor(ResourceDim::kMemoryGb, 8.0);
+  EXPECT_EQ(CounterValue("ppm.index_misses") - misses0, 3u);
+}
+
+TEST(ExceedanceIndexTest, StatsCacheBackedIndexIsBitIdentical) {
+  const telemetry::PerfTrace trace = MakeTrace(31, 400);
+  const telemetry::TraceStatsCache cache(trace);
+  // Argsort invariant the index leans on: gathering through the
+  // permutation reproduces the sorted series.
+  for (ResourceDim dim : TraceDims(trace)) {
+    const std::vector<double>& values = trace.Values(dim);
+    const std::vector<std::uint32_t>& perm = cache.Argsort(dim);
+    const std::vector<double>& sorted = cache.Sorted(dim);
+    ASSERT_EQ(perm.size(), values.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      EXPECT_EQ(sorted[i], values[perm[i]]);
+    }
+  }
+
+  const ExceedanceIndex with_cache(trace, TraceDims(trace), &cache);
+  const ExceedanceIndex without(trace, TraceDims(trace));
+  Rng rng(77);
+  for (int i = 0; i < 30; ++i) {
+    ResourceVector capacities;
+    capacities.Set(ResourceDim::kCpu, std::floor(rng.Uniform(0.0, 18.0)));
+    capacities.Set(ResourceDim::kIoLatencyMs, rng.Uniform(0.0, 12.0));
+    capacities.Set(ResourceDim::kIops, rng.Uniform(0.0, 6000.0));
+    EXPECT_EQ(with_cache.CountExceedingUnion(capacities),
+              without.CountExceedingUnion(capacities));
+  }
+
+  // A cache over a DIFFERENT trace object must be ignored, not misused.
+  const telemetry::PerfTrace other = MakeTrace(32, 400);
+  const telemetry::TraceStatsCache other_cache(other);
+  const ExceedanceIndex defensive(trace, TraceDims(trace), &other_cache);
+  ResourceVector capacities;
+  capacities.Set(ResourceDim::kCpu, 8.0);
+  EXPECT_EQ(defensive.CountExceedingUnion(capacities),
+            without.CountExceedingUnion(capacities));
+}
+
+TEST(ExceedanceIndexTest, TrimScratchReleasesOnlyOversizedBuffers) {
+  std::vector<std::uint64_t> small(128, 0);
+  core::TrimScratch(small);
+  EXPECT_GE(small.capacity(), 128u);  // within the retain cap: kept
+
+  std::vector<std::uint64_t> big;
+  big.resize(core::kScratchRetainBytes / sizeof(std::uint64_t) + 1);
+  core::TrimScratch(big);
+  EXPECT_EQ(big.capacity(), 0u);  // oversized: released
+}
+
+// ---------------------------------------------------------------------------
+// Batch curve evaluation through NonParametricEstimator.
+
+class BatchEvaluationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new catalog::SkuCatalog(catalog::BuildAzureLikeCatalog());
+    estimator_ = new core::NonParametricEstimator();
+  }
+  static void TearDownTestSuite() {
+    delete estimator_;
+    delete catalog_;
+  }
+
+  static std::vector<ResourceVector> CatalogCapacities() {
+    std::vector<ResourceVector> capacities;
+    for (const catalog::Sku& sku : catalog_->skus()) {
+      capacities.push_back(sku.Capacities());
+    }
+    return capacities;
+  }
+
+  static catalog::SkuCatalog* catalog_;
+  static core::NonParametricEstimator* estimator_;
+};
+
+catalog::SkuCatalog* BatchEvaluationTest::catalog_ = nullptr;
+core::NonParametricEstimator* BatchEvaluationTest::estimator_ = nullptr;
+
+TEST_F(BatchEvaluationTest, MatchesScalarProbabilityExactlyAtAnyJobCount) {
+  const telemetry::PerfTrace trace = MakeTrace(55, 700);
+  const std::vector<ResourceVector> capacities = CatalogCapacities();
+  const telemetry::TraceStatsCache cache(trace);
+
+  std::vector<double> expected;
+  for (const ResourceVector& candidate : capacities) {
+    StatusOr<double> p = estimator_->Probability(trace, candidate);
+    ASSERT_TRUE(p.ok());
+    expected.push_back(*p);
+  }
+
+  for (int jobs : {1, 2, 8}) {
+    std::optional<exec::ThreadPool> pool;
+    exec::ThreadPool* executor = nullptr;
+    if (jobs > 1) {
+      pool.emplace(jobs);
+      executor = &*pool;
+    }
+    for (const telemetry::TraceStatsCache* stats :
+         {static_cast<const telemetry::TraceStatsCache*>(nullptr), &cache}) {
+      StatusOr<std::vector<double>> batch =
+          estimator_->EstimateCurveProbabilities(trace, capacities, executor,
+                                                 stats);
+      ASSERT_TRUE(batch.ok());
+      ASSERT_EQ(batch->size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ((*batch)[i], expected[i])
+            << "jobs " << jobs << " candidate " << i;
+      }
+    }
+  }
+}
+
+TEST_F(BatchEvaluationTest, ReportsFirstFailureInCandidateOrder) {
+  const telemetry::PerfTrace trace = MakeTrace(56, 100);
+  std::vector<ResourceVector> capacities = CatalogCapacities();
+  // Two candidates share no dimension with the trace (storage only); the
+  // FIRST one's error must surface, even under a thread pool.
+  ResourceVector disjoint;
+  disjoint.Set(ResourceDim::kStorageGb, 100.0);
+  capacities.insert(capacities.begin() + 1, disjoint);
+  capacities.push_back(disjoint);
+
+  const Status scalar =
+      estimator_->Probability(trace, disjoint).status();
+  exec::ThreadPool pool(8);
+  StatusOr<std::vector<double>> batch =
+      estimator_->EstimateCurveProbabilities(trace, capacities, &pool);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), scalar.code());
+  EXPECT_EQ(batch.status().message(), scalar.message());
+}
+
+TEST_F(BatchEvaluationTest, EmptyInputsBehaveLikeScalarPath) {
+  const telemetry::PerfTrace trace = MakeTrace(57, 50);
+  StatusOr<std::vector<double>> empty_candidates =
+      estimator_->EstimateCurveProbabilities(trace,
+                                             std::vector<ResourceVector>{});
+  ASSERT_TRUE(empty_candidates.ok());
+  EXPECT_TRUE(empty_candidates->empty());
+
+  const telemetry::PerfTrace no_samples;
+  StatusOr<std::vector<double>> empty_trace =
+      estimator_->EstimateCurveProbabilities(no_samples, CatalogCapacities());
+  EXPECT_FALSE(empty_trace.ok());
+}
+
+TEST_F(BatchEvaluationTest, CompiledViewOverloadMatchesVectorOverload) {
+  const telemetry::PerfTrace trace = MakeTrace(58, 300);
+  const catalog::DefaultPricing pricing;
+  const catalog::CompiledCatalog compiled = catalog::CompiledCatalog::Compile(
+      *catalog_, &pricing);
+  const catalog::CompiledView view =
+      compiled.ForDeployment(catalog::Deployment::kSqlDb).view();
+  ASSERT_FALSE(view.empty());
+
+  std::vector<ResourceVector> capacities;
+  for (const catalog::CompiledEntry& entry : view) {
+    capacities.push_back(entry.capacities);
+  }
+  StatusOr<std::vector<double>> from_view =
+      estimator_->EstimateCurveProbabilities(trace, view);
+  StatusOr<std::vector<double>> from_vector =
+      estimator_->EstimateCurveProbabilities(trace, capacities);
+  ASSERT_TRUE(from_view.ok());
+  ASSERT_TRUE(from_vector.ok());
+  EXPECT_EQ(*from_view, *from_vector);
+}
+
+TEST_F(BatchEvaluationTest, MissesBoundedByDistinctCapacityTable) {
+  const telemetry::PerfTrace trace = MakeTrace(59, 300);
+  const catalog::DefaultPricing pricing;
+  const catalog::CompiledCatalog compiled = catalog::CompiledCatalog::Compile(
+      *catalog_, &pricing);
+  const catalog::CompiledDeployment& deployment =
+      compiled.ForDeployment(catalog::Deployment::kSqlDb);
+
+  // DistinctCapacities is the sorted-unique view of CapacityRow.
+  std::size_t distinct_total = 0;
+  for (ResourceDim dim : catalog::kAllResourceDims) {
+    std::vector<double> expected = deployment.CapacityRow(dim);
+    std::sort(expected.begin(), expected.end());
+    expected.erase(std::unique(expected.begin(), expected.end()),
+                   expected.end());
+    EXPECT_EQ(deployment.DistinctCapacities(dim), expected);
+    distinct_total += expected.size();
+  }
+
+  // A full-deployment batch build can materialise at most one bitset per
+  // distinct (dimension, capacity) — the amortisation the index exists
+  // for. (Dimensions absent from the trace don't even get that.)
+  const std::uint64_t misses0 = CounterValue("ppm.index_misses");
+  StatusOr<std::vector<double>> batch =
+      estimator_->EstimateCurveProbabilities(trace, deployment.view());
+  ASSERT_TRUE(batch.ok());
+  const std::uint64_t misses = CounterValue("ppm.index_misses") - misses0;
+  EXPECT_LE(misses, distinct_total);
+  EXPECT_LT(misses, deployment.size() * TraceDims(trace).size());
+  EXPECT_GT(misses, 0u);
+}
+
+TEST_F(BatchEvaluationTest, CounterTotalsAreScheduleIndependent) {
+  const telemetry::PerfTrace trace = MakeTrace(60, 400);
+  const std::vector<ResourceVector> capacities = CatalogCapacities();
+  const char* const counters[] = {"ppm.throttling_evaluations",
+                                  "ppm.samples_scanned", "ppm.index_hits",
+                                  "ppm.index_misses",
+                                  "ppm.index_union_words"};
+  std::vector<std::vector<std::uint64_t>> deltas;
+  for (int jobs : {1, 2, 8}) {
+    std::vector<std::uint64_t> before;
+    for (const char* name : counters) before.push_back(CounterValue(name));
+    std::optional<exec::ThreadPool> pool;
+    exec::ThreadPool* executor = nullptr;
+    if (jobs > 1) {
+      pool.emplace(jobs);
+      executor = &*pool;
+    }
+    StatusOr<std::vector<double>> batch =
+        estimator_->EstimateCurveProbabilities(trace, capacities, executor);
+    ASSERT_TRUE(batch.ok());
+    std::vector<std::uint64_t> delta;
+    for (std::size_t i = 0; i < std::size(counters); ++i) {
+      delta.push_back(CounterValue(counters[i]) - before[i]);
+    }
+    deltas.push_back(std::move(delta));
+  }
+  for (std::size_t i = 0; i < std::size(counters); ++i) {
+    EXPECT_EQ(deltas[0][i], deltas[1][i]) << counters[i] << " jobs 1 vs 2";
+    EXPECT_EQ(deltas[0][i], deltas[2][i]) << counters[i] << " jobs 1 vs 8";
+  }
+}
+
+// TSan target: one index (and one bound KDE estimator) shared by many
+// workers; results must match the serial evaluation and the memo must not
+// race.
+TEST_F(BatchEvaluationTest, SharedIndexSurvivesConcurrentEvaluation) {
+  const telemetry::PerfTrace trace = MakeTrace(61, 600);
+  const telemetry::TraceStatsCache cache(trace);
+  const ExceedanceIndex index(trace, TraceDims(trace), &cache);
+  const std::vector<ResourceVector> capacities = CatalogCapacities();
+
+  std::vector<std::size_t> serial(capacities.size());
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    serial[i] = index.CountExceedingUnion(capacities[i]);
+  }
+
+  exec::ThreadPool pool(8);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::size_t> parallel(capacities.size());
+    pool.ParallelFor(capacities.size(),
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         parallel[i] = index.CountExceedingUnion(capacities[i]);
+                       }
+                     });
+    EXPECT_EQ(parallel, serial);
+  }
+
+  // Bound KDE estimator: lazily fitted per-dimension models shared across
+  // workers.
+  const core::KdeEstimator kde(&cache);
+  std::vector<double> kde_parallel(capacities.size());
+  pool.ParallelFor(capacities.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      StatusOr<double> p = kde.Probability(trace, capacities[i]);
+      kde_parallel[i] = p.ok() ? *p : -1.0;
+    }
+  });
+  for (double p : kde_parallel) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST_F(BatchEvaluationTest, BoundKdeMatchesUnboundWithinSummationTolerance) {
+  const telemetry::PerfTrace trace = MakeTrace(62, 350);
+  const telemetry::TraceStatsCache cache(trace);
+  const core::KdeEstimator unbound;
+  const core::KdeEstimator bound(&cache);
+  for (const ResourceVector& candidate : CatalogCapacities()) {
+    StatusOr<double> a = unbound.Probability(trace, candidate);
+    StatusOr<double> b = bound.Probability(trace, candidate);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    // Same model; the bound path sums kernels in sorted order, so only
+    // floating-point summation order may differ.
+    EXPECT_NEAR(*a, *b, 1e-9);
+  }
+
+  // On any OTHER trace the bound estimator must fall back to the per-call
+  // fit and agree exactly.
+  const telemetry::PerfTrace other = MakeTrace(63, 350);
+  for (const ResourceVector& candidate : CatalogCapacities()) {
+    StatusOr<double> a = unbound.Probability(other, candidate);
+    StatusOr<double> b = bound.Probability(other, candidate);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b);
+  }
+}
+
+TEST(ScanCounterTest, SamplesScannedReflectsRowsActuallyVisited) {
+  // A capacity of 0 on the first scanned dimension throttles every row
+  // immediately: the early exit means only ONE column is visited.
+  const telemetry::PerfTrace trace = MakeTrace(64, 128);
+  const core::NonParametricEstimator estimator;
+  ResourceVector all_throttled;
+  all_throttled.Set(ResourceDim::kCpu, -1.0);  // every cpu demand exceeds
+  all_throttled.Set(ResourceDim::kMemoryGb, -1.0);
+  all_throttled.Set(ResourceDim::kIops, -1.0);
+
+  const std::uint64_t before = CounterValue("ppm.samples_scanned");
+  ASSERT_TRUE(estimator.Probability(trace, all_throttled).ok());
+  EXPECT_EQ(CounterValue("ppm.samples_scanned") - before,
+            trace.num_samples());
+
+  // No early exit: every one of the three columns is swept.
+  ResourceVector none_throttled;
+  none_throttled.Set(ResourceDim::kCpu, 1e12);
+  none_throttled.Set(ResourceDim::kMemoryGb, 1e12);
+  none_throttled.Set(ResourceDim::kIops, 1e12);
+  const std::uint64_t before_full = CounterValue("ppm.samples_scanned");
+  ASSERT_TRUE(estimator.Probability(trace, none_throttled).ok());
+  EXPECT_EQ(CounterValue("ppm.samples_scanned") - before_full,
+            3 * trace.num_samples());
+}
+
+}  // namespace
+}  // namespace doppler

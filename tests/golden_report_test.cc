@@ -12,6 +12,7 @@
 // rewrites examples/golden/*.json in the source tree; review the diff like
 // any other code change.
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -24,6 +25,7 @@
 #include "dma/pipeline.h"
 #include "dma/preprocess.h"
 #include "dma/resource_report.h"
+#include "obs/metrics.h"
 #include "quality/quality_gate.h"
 
 #ifndef DOPPLER_SOURCE_DIR
@@ -156,6 +158,35 @@ TEST_F(GoldenReportTest, SpikyBatchMi) {
 
 TEST_F(GoldenReportTest, BurstyDwDb) {
   CheckGolden("bursty_dw_db", "bursty_dw", Deployment::kSqlDb);
+}
+
+// The goldens above were produced by the amortized exceedance index
+// (DESIGN.md §9) because it IS the default curve path — this pins that
+// down so a silent fallback to the scalar scan can't masquerade as
+// byte-identity. Amortisation means the memoized bitsets get REUSED: over
+// a full catalog sweep, most (dimension, capacity) lookups must be memo
+// hits, because catalogs quantise capacities into far fewer distinct
+// values than candidate evaluations need.
+TEST_F(GoldenReportTest, IndexedBatchPathServesGoldenRenders) {
+  obs::MetricsRegistry& metrics = obs::DefaultMetrics();
+  const std::uint64_t misses0 =
+      metrics.GetCounter("ppm.index_misses")->Value();
+  const std::uint64_t hits0 = metrics.GetCounter("ppm.index_hits")->Value();
+  const std::uint64_t evals0 =
+      metrics.GetCounter("ppm.throttling_evaluations")->Value();
+  StatusOr<std::string> rendered =
+      RenderCanonical("steady_oltp", Deployment::kSqlDb, false);
+  ASSERT_TRUE(rendered.ok()) << rendered.status().ToString();
+  const std::uint64_t misses =
+      metrics.GetCounter("ppm.index_misses")->Value() - misses0;
+  const std::uint64_t hits =
+      metrics.GetCounter("ppm.index_hits")->Value() - hits0;
+  const std::uint64_t evals =
+      metrics.GetCounter("ppm.throttling_evaluations")->Value() - evals0;
+  EXPECT_GT(misses, 0u) << "curve build did not go through the index";
+  EXPECT_GT(evals, 0u);
+  EXPECT_GT(hits, misses)
+      << "memoization is not amortising across candidates";
 }
 
 // The report must not depend on which identically-configured pipeline

@@ -4,10 +4,12 @@
 // leans on without ever stating them.
 
 #include <cmath>
+#include <optional>
 
 #include <gtest/gtest.h>
 
 #include "catalog/catalog.h"
+#include "exec/thread_pool.h"
 #include "core/negotiability.h"
 #include "core/price_performance.h"
 #include "core/recommender.h"
@@ -306,6 +308,63 @@ TEST_P(EngineProperty, ColumnarScanMatchesNaiveRowMajorReference) {
     ASSERT_TRUE(columnar.ok());
     EXPECT_EQ(*columnar, NaiveRowMajorProbability(trace, sku.Capacities()))
         << sku.id;
+  }
+}
+
+// The batch curve evaluator answers every candidate from memoized
+// exceedance bitsets instead of re-scanning columns (DESIGN.md §9). Like
+// the columnar scan above, it is an evaluation strategy, not a model: the
+// probabilities must match the naive row-major reference EXACTLY — over
+// the whole catalog, with a candidate tied exactly at an observed demand
+// value, with a single-dimension (inverted-latency) candidate that takes
+// the no-union fast path — at every job count, with and without a stats
+// cache.
+TEST_P(EngineProperty, BatchCurveProbabilitiesMatchNaiveRowMajorReference) {
+  const telemetry::PerfTrace trace = RandomTrace(GetParam());
+  const telemetry::TraceStatsCache cache(trace);
+
+  std::vector<catalog::ResourceVector> capacities;
+  for (const catalog::Sku& sku : catalog_->skus()) {
+    capacities.push_back(sku.Capacities());
+  }
+  // Ties at capacity: pin CPU exactly on an observed demand value (strict
+  // '>' must exclude the tied rows, in both kernels).
+  catalog::ResourceVector tied = capacities.front();
+  tied.Set(ResourceDim::kCpu,
+           trace.Values(ResourceDim::kCpu)[trace.num_samples() / 2]);
+  capacities.push_back(tied);
+  // Single inverted dimension: latency-only candidate, tied as well
+  // (strict '<' must exclude the tied rows).
+  catalog::ResourceVector latency_only;
+  latency_only.Set(ResourceDim::kIoLatencyMs,
+                   trace.Values(ResourceDim::kIoLatencyMs)[0]);
+  capacities.push_back(latency_only);
+
+  std::vector<double> expected;
+  for (const catalog::ResourceVector& candidate : capacities) {
+    expected.push_back(NaiveRowMajorProbability(trace, candidate));
+  }
+
+  for (int jobs : {1, 2, 8}) {
+    std::optional<exec::ThreadPool> pool;
+    exec::ThreadPool* executor = nullptr;
+    if (jobs > 1) {
+      pool.emplace(jobs);
+      executor = &*pool;
+    }
+    for (const telemetry::TraceStatsCache* stats :
+         {static_cast<const telemetry::TraceStatsCache*>(nullptr), &cache}) {
+      StatusOr<std::vector<double>> batch =
+          estimator_->EstimateCurveProbabilities(trace, capacities, executor,
+                                                 stats);
+      ASSERT_TRUE(batch.ok());
+      ASSERT_EQ(batch->size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ((*batch)[i], expected[i])
+            << "candidate " << i << " jobs " << jobs << " stats "
+            << (stats != nullptr);
+      }
+    }
   }
 }
 

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Counter-based benchmark regression gate.
+
+Compares a fresh google-benchmark JSON export against the committed
+baseline (BENCH_pipeline.json), on the evaluation-cost COUNTERS the
+engine attaches per benchmark (ppm.samples_scanned and friends) rather
+than on wall time. Counts are exact functions of (trace, catalog), so
+they are reproducible on the 1-CPU container where timings are not: a
+fresh value above baseline * (1 + tolerance) means the change genuinely
+does more throttling-kernel work per curve, not that the machine was
+busy.
+
+Usage:
+    tools/bench_check.py BASELINE.json FRESH.json \
+        [--counter ppm.samples_scanned] [--tolerance 0.05]
+
+Benchmarks present only in one file are reported but are not failures
+(new benchmarks land before their baseline is refreshed); a counter that
+exists in the baseline entry but not in the fresh one IS a failure — the
+instrumentation was lost.
+
+Exit status: 0 when every shared counter is within tolerance, 1 on any
+regression or lost counter, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_COUNTERS = ["ppm.samples_scanned"]
+
+
+def load_benchmarks(path):
+    """Returns {benchmark name: entry dict} for aggregate-free runs."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+    entries = {}
+    for entry in document.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used;
+        # the raw iteration rows carry the counters.
+        if entry.get("run_type") == "aggregate":
+            continue
+        entries[entry["name"]] = entry
+    if not entries:
+        raise SystemExit(f"error: {path} contains no benchmark entries")
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare benchmark counters against a committed baseline")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly produced benchmark JSON")
+    parser.add_argument(
+        "--counter", action="append", dest="counters", metavar="NAME",
+        help="counter to compare (repeatable; default: %s)"
+             % ", ".join(DEFAULT_COUNTERS))
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="allowed relative growth over baseline (default 0.05 = 5%%)")
+    args = parser.parse_args()
+    counters = args.counters or DEFAULT_COUNTERS
+
+    baseline = load_benchmarks(args.baseline)
+    fresh = load_benchmarks(args.fresh)
+
+    failures = []
+    compared = 0
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"note: {name} only in baseline (not run this time)")
+            continue
+        for counter in counters:
+            if counter not in baseline[name]:
+                continue  # baseline predates this counter for this bench
+            base_value = float(baseline[name][counter])
+            if counter not in fresh[name]:
+                failures.append(
+                    f"{name}: counter {counter} missing from fresh run "
+                    f"(baseline {base_value:.1f}) — instrumentation lost?")
+                continue
+            fresh_value = float(fresh[name][counter])
+            limit = base_value * (1.0 + args.tolerance)
+            compared += 1
+            verdict = "ok" if fresh_value <= limit else "REGRESSION"
+            print(f"{verdict}: {name} {counter} "
+                  f"baseline={base_value:.1f} fresh={fresh_value:.1f} "
+                  f"limit={limit:.1f}")
+            if fresh_value > limit:
+                failures.append(
+                    f"{name}: {counter} rose {base_value:.1f} -> "
+                    f"{fresh_value:.1f} (>{args.tolerance:.0%} over baseline)")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"note: {name} only in fresh run (no baseline yet)")
+
+    if compared == 0:
+        print("error: no comparable (benchmark, counter) pairs", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} counter comparisons within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,14 +3,41 @@
 #   1. fails if generated build trees are tracked by git,
 #   2. builds with AddressSanitizer + UBSan and runs the full tier-1 suite,
 #   3. builds with ThreadSanitizer and runs the obs concurrency tests, the
-#      exec thread-pool / fleet determinism suite, and the compiled-catalog
+#      exec thread-pool / fleet determinism suite, the compiled-catalog
 #      / staged-pipeline suites (many workers reading the one shared
-#      compiled snapshot).
+#      compiled snapshot), and the exceedance-index suite (shared memo
+#      under concurrent curve evaluation).
 # Usage: tools/check.sh [build-dir] (default build-asan; the TSan tree
 # lands next to it with a -tsan suffix).
+#
+# Bench-regression mode: tools/check.sh --bench [build-dir] (default
+# build) builds bench_perf_engine, runs the assessment + exceedance-index
+# benchmarks, and compares the per-curve evaluation-cost counters
+# (ppm.samples_scanned) against the committed BENCH_pipeline.json via
+# tools/bench_check.py. Counter-based, so it is stable on the 1-CPU
+# container where wall time is not. After an INTENDED cost change,
+# refresh the baseline:
+#   ./build/bench/bench_perf_engine \
+#     --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_FleetAssess|BM_ExceedanceIndex' \
+#     --benchmark_out=BENCH_pipeline.json --benchmark_out_format=json
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ "${1:-}" == "--bench" ]]; then
+  bench_build_dir="${2:-${repo_root}/build}"
+  cmake -B "${bench_build_dir}" -S "${repo_root}"
+  cmake --build "${bench_build_dir}" -j"$(nproc)" --target bench_perf_engine
+  fresh_json="$(mktemp --suffix=.json)"
+  trap 'rm -f "${fresh_json}"' EXIT
+  "${bench_build_dir}/bench/bench_perf_engine" \
+    --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_ExceedanceIndex' \
+    --benchmark_out="${fresh_json}" --benchmark_out_format=json
+  python3 "${repo_root}/tools/bench_check.py" \
+    "${repo_root}/BENCH_pipeline.json" "${fresh_json}"
+  exit 0
+fi
+
 build_dir="${1:-${repo_root}/build-asan}"
 tsan_dir="${build_dir}-tsan"
 
@@ -42,8 +69,10 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DDOPPLER_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${tsan_dir}" -j"$(nproc)" \
-  --target obs_test exec_test compiled_catalog_test pipeline_stage_test
+  --target obs_test exec_test compiled_catalog_test pipeline_stage_test \
+  exceedance_index_test
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/exec_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/compiled_catalog_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/pipeline_stage_test"
+TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/exceedance_index_test"

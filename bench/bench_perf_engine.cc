@@ -11,10 +11,12 @@
 
 #include <array>
 #include <cstdint>
+#include <future>
 #include <iterator>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -29,7 +31,10 @@
 #include "exec/fleet_assessor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/assessment_service.h"
+#include "serve/snapshot_registry.h"
 #include "stats/stl.h"
+#include "util/deadline.h"
 #include "util/random.h"
 #include "workload/generator.h"
 #include "workload/population.h"
@@ -427,6 +432,111 @@ void BM_FleetAssess(benchmark::State& state) {
   state.SetLabel(std::to_string(jobs) + " jobs, 8-customer fleet");
 }
 BENCHMARK(BM_FleetAssess)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// ---- Serving-path overload: a deterministic admission-control scenario
+// whose serve.* counters the bench gate locks down next to the engine's
+// evaluation-cost counters. Per iteration, with the single worker wedged:
+// 4 requests fill the queue, 8 more are shed at admission, then (after
+// the queue drains) 3 pre-expired requests die at the first stage
+// boundary. admitted/shed/expired are exact functions of the scenario —
+// a drift means the admission or deadline semantics changed, not that
+// the machine was busy.
+
+std::shared_ptr<const dma::SkuRecommendationPipeline> ServePipeline() {
+  static auto* const kPipeline = [] {
+    dma::SkuRecommendationPipeline::Config config;
+    config.num_threads = 1;
+    StatusOr<dma::SkuRecommendationPipeline> pipeline =
+        dma::SkuRecommendationPipeline::Create(
+            {catalog::SkuCatalog(Catalog()), core::GroupModel(OfflineModel())},
+            config);
+    if (!pipeline.ok()) std::abort();
+    return new std::shared_ptr<const dma::SkuRecommendationPipeline>(
+        std::make_shared<const dma::SkuRecommendationPipeline>(
+            *std::move(pipeline)));
+  }();
+  return *kPipeline;
+}
+
+void BM_ServeOverload(benchmark::State& state) {
+  const telemetry::PerfTrace trace = MakeTrace(2, 42);
+  const auto request_for = [&trace](const std::string& id) {
+    dma::AssessmentRequest request;
+    request.customer_id = id;
+    request.target = catalog::Deployment::kSqlDb;
+    request.database_traces = {trace};
+    return request;
+  };
+
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  for (auto _ : state) {
+    serve::SnapshotRegistry registry(ServePipeline());
+    serve::ServiceOptions options;
+    options.workers = 1;
+    options.queue_depth = 4;
+    serve::AssessmentService service(&registry, options);
+
+    // Wedge the worker at the first stage boundary so the queue state
+    // behind it is exact.
+    std::promise<void> started;
+    std::promise<void> release_promise;
+    std::shared_future<void> release(release_promise.get_future());
+    dma::AssessmentRequest blocker = request_for("blocker");
+    bool first = true;
+    blocker.stage_boundary_hook = [&started, release, first](
+                                      const char*) mutable {
+      if (first) {
+        first = false;
+        started.set_value();
+        release.wait();
+      }
+    };
+    std::vector<std::future<serve::ServeResponse>> futures;
+    StatusOr<std::future<serve::ServeResponse>> wedged =
+        service.Submit(std::move(blocker));
+    if (!wedged.ok()) std::abort();
+    futures.push_back(std::move(*wedged));
+    started.get_future().wait();
+
+    // 4 fill the queue, 8 shed against the full queue.
+    for (int i = 0; i < 12; ++i) {
+      StatusOr<std::future<serve::ServeResponse>> submitted =
+          service.Submit(request_for("load-" + std::to_string(i)));
+      if (submitted.ok()) futures.push_back(std::move(*submitted));
+    }
+    release_promise.set_value();
+    for (auto& future : futures) (void)future.get();
+
+    // Queue drained: 3 pre-expired requests are admitted and die at the
+    // first boundary with kDeadlineExceeded.
+    std::vector<std::future<serve::ServeResponse>> doomed;
+    for (int i = 0; i < 3; ++i) {
+      dma::AssessmentRequest request = request_for("late-" + std::to_string(i));
+      request.deadline = Deadline::Expired();
+      StatusOr<std::future<serve::ServeResponse>> submitted =
+          service.Submit(std::move(request));
+      if (submitted.ok()) doomed.push_back(std::move(*submitted));
+    }
+    for (auto& future : doomed) (void)future.get();
+
+    const serve::AssessmentService::Stats stats = service.stats();
+    admitted += stats.admitted;
+    shed += stats.shed;
+    expired += stats.expired;
+    benchmark::DoNotOptimize(stats);
+  }
+  const double iterations = static_cast<double>(state.iterations());
+  state.counters["serve.admitted"] =
+      benchmark::Counter(static_cast<double>(admitted) / iterations);
+  state.counters["serve.shed"] =
+      benchmark::Counter(static_cast<double>(shed) / iterations);
+  state.counters["serve.expired"] =
+      benchmark::Counter(static_cast<double>(expired) / iterations);
+  state.SetLabel("1 worker, queue 4, 16 requests/iteration");
+}
+BENCHMARK(BM_ServeOverload)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,8 +1,12 @@
 #include "dma/cli.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
+#include <set>
+#include <thread>
 
 #include "catalog/catalog.h"
 #include "core/drift.h"
@@ -16,6 +20,9 @@
 #include "dma/resource_report.h"
 #include "dma/static_inputs.h"
 #include "quality/quality_gate.h"
+#include "serve/assessment_service.h"
+#include "serve/snapshot_registry.h"
+#include "serve/spool.h"
 #include "tco/tco.h"
 #include "telemetry/trace_io.h"
 #include "util/string_util.h"
@@ -39,6 +46,10 @@ Commands:
   assess-batch --traces DIR [--jobs N] [--target db|mi] [--catalog F]
             [--profiles F] [--quality strict|repair|permissive] [--json]
             [--timings] [--out F]
+  serve     --spool DIR [--jobs N] [--queue-depth N] [--deadline-ms N]
+            [--target db|mi] [--catalog F] [--profiles F] [--confidence]
+            [--quality strict|repair|permissive] [--json] [--out F]
+            [--watch-catalog F] [--rounds N] [--poll-ms N]
   forecast  --trace F [--current-sku ID] [--months N]
   drift     --trace F --current-sku ID [--recent-fraction X]
   tco       --trace F
@@ -62,11 +73,24 @@ permissive records without repairing.
 assess-batch assesses every *.csv under --traces (sorted by name; the file
 name is the customer id) across --jobs workers (default: one per hardware
 thread). Reports are byte-identical at any --jobs value; per-trace wall
-clocks are only included with --timings.
+clocks are only included with --timings. A bad trace never sinks the
+batch: its slot carries a structured status and the command exits 1.
 
-Exit codes: 0 success, 2 bad command line, 3 invalid input,
-4 not found, 5 failed precondition (e.g. strict quality rejection),
-6 out of range, 7 unavailable, 8 internal error.
+serve runs the long-lived assessment service against a request spool: each
+*.csv dropped under --spool is one request (the file name is the customer
+id). --jobs workers drain a bounded --queue-depth admission queue; a full
+queue sheds requests with RESOURCE_EXHAUSTED and sustained pressure sheds
+the confidence stage first. --deadline-ms bounds each request; expired
+requests report DEADLINE_EXCEEDED with the stages that completed. --rounds
+scans the spool that many times (sleeping --poll-ms between scans), and
+--watch-catalog hot-swaps a repriced catalog file into a new snapshot
+epoch without disturbing in-flight requests.
+
+Exit codes: 0 success, 1 partial failure (some batch/serve requests
+failed), 2 bad command line, 3 invalid input, 4 not found,
+5 failed precondition (e.g. strict quality rejection), 6 out of range,
+7 unavailable, 8 internal error, 9 resource exhausted (shed),
+10 deadline exceeded.
 )";
 
 StatusOr<catalog::Deployment> ParseDeployment(const std::string& text) {
@@ -350,6 +374,9 @@ StatusOr<int> RunAssessBatch(const CliOptions& options, std::ostream& out) {
     }
   }
 
+  std::size_t failed = 0;
+  for (const auto& result : results) failed += !result.ok();
+
   std::string rendered;
   if (options.Has("json")) {
     AssessmentJsonOptions json_options;
@@ -358,13 +385,11 @@ StatusOr<int> RunAssessBatch(const CliOptions& options, std::ostream& out) {
     rendered += "\n";
   } else {
     TablePrinter table({"customer", "SKU", "monthly", "P(throttle)", "curve"});
-    std::size_t failed = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
       if (!results[i].ok()) {
         table.AddRow({customer_ids[i],
                       "error: " + std::string(results[i].status().message()),
                       "-", "-", "-"});
-        ++failed;
         continue;
       }
       const AssessmentOutcome& outcome = *results[i];
@@ -384,10 +409,145 @@ StatusOr<int> RunAssessBatch(const CliOptions& options, std::ostream& out) {
     DOPPLER_RETURN_IF_ERROR(obs::WriteTextFile(out_path, rendered));
     out << "wrote batch report for " << results.size() << " traces to "
         << out_path << "\n";
-    return 0;
+  } else {
+    out << rendered;
   }
-  out << rendered;
-  return 0;
+  // Partial-failure contract: the report always renders every slot, and
+  // the exit code says whether every slot succeeded.
+  return failed == 0 ? 0 : 1;
+}
+
+// Builds one serving snapshot: a pipeline compiled from `skus` and a copy
+// of `profiles`. Separated out so --watch-catalog can rebuild against a
+// repriced catalog without refitting the group model.
+StatusOr<std::shared_ptr<const SkuRecommendationPipeline>> BuildSnapshot(
+    catalog::SkuCatalog skus, const core::GroupModel& profiles) {
+  DOPPLER_ASSIGN_OR_RETURN(
+      SkuRecommendationPipeline pipeline,
+      SkuRecommendationPipeline::Create({std::move(skus), profiles}));
+  return std::make_shared<const SkuRecommendationPipeline>(
+      std::move(pipeline));
+}
+
+StatusOr<int> RunServe(const CliOptions& options, std::ostream& out) {
+  const std::string spool_dir = options.Get("spool");
+  if (spool_dir.empty()) {
+    return InvalidArgumentError("serve requires --spool <directory>");
+  }
+  serve::ServiceOptions service_options;
+  if (options.Has("jobs")) {
+    DOPPLER_ASSIGN_OR_RETURN(service_options.workers,
+                             ParsePositiveInt(options.Get("jobs"), "--jobs"));
+  }
+  if (options.Has("queue-depth")) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        service_options.queue_depth,
+        ParsePositiveInt(options.Get("queue-depth"), "--queue-depth"));
+  }
+  serve::SpoolOptions spool_options;
+  spool_options.dir = spool_dir;
+  DOPPLER_ASSIGN_OR_RETURN(spool_options.target,
+                           ParseDeployment(options.Get("target", "db")));
+  if (options.Has("quality") &&
+      !quality::ParseQualityPolicy(options.Get("quality"),
+                                   &spool_options.quality_policy)) {
+    return InvalidArgumentError("unknown quality policy '" +
+                                options.Get("quality") +
+                                "' (expected strict, repair or permissive)");
+  }
+  if (options.Has("deadline-ms")) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        const int deadline_ms,
+        ParsePositiveInt(options.Get("deadline-ms"), "--deadline-ms"));
+    spool_options.deadline_seconds = deadline_ms / 1000.0;
+  }
+  spool_options.compute_confidence = options.Has("confidence");
+  int rounds = 1;
+  if (options.Has("rounds")) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        rounds, ParsePositiveInt(options.Get("rounds"), "--rounds"));
+  }
+  int poll_ms = 50;
+  if (options.Has("poll-ms")) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        poll_ms, ParsePositiveInt(options.Get("poll-ms"), "--poll-ms"));
+  }
+
+  DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
+  DOPPLER_ASSIGN_OR_RETURN(
+      core::GroupModel profiles,
+      ResolveProfiles(options, skus, spool_options.target, out));
+  DOPPLER_ASSIGN_OR_RETURN(auto initial,
+                           BuildSnapshot(std::move(skus), profiles));
+  serve::SnapshotRegistry registry(std::move(initial));
+  serve::AssessmentService service(&registry, service_options);
+
+  const std::string watch_path = options.Get("watch-catalog");
+  const bool quiet = options.Has("json");
+  std::filesystem::file_time_type watch_mtime{};
+  bool watch_loaded = false;
+  std::set<std::string> seen;
+  serve::SpoolReport report;
+  for (int round = 0; round < rounds; ++round) {
+    if (round > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+    // Hot swap: a new or rewritten --watch-catalog file becomes the next
+    // snapshot epoch. Requests already admitted keep their pinned epoch.
+    if (!watch_path.empty()) {
+      std::error_code ec;
+      const auto mtime = std::filesystem::last_write_time(watch_path, ec);
+      if (!ec && (!watch_loaded || mtime != watch_mtime)) {
+        watch_loaded = true;
+        watch_mtime = mtime;
+        StatusOr<catalog::SkuCatalog> fresh = LoadCatalog(watch_path);
+        if (fresh.ok()) {
+          StatusOr<std::shared_ptr<const SkuRecommendationPipeline>> next =
+              BuildSnapshot(std::move(*fresh), profiles);
+          if (next.ok()) {
+            const std::uint64_t epoch = registry.Swap(std::move(*next));
+            if (!quiet) {
+              out << "(swapped catalog snapshot to epoch " << epoch << ")\n";
+            }
+          } else if (!quiet) {
+            out << "(keeping current snapshot: " << next.status().ToString()
+                << ")\n";
+          }
+        } else if (!quiet) {
+          out << "(keeping current snapshot: " << fresh.status().ToString()
+              << ")\n";
+        }
+      }
+    }
+    DOPPLER_ASSIGN_OR_RETURN(const std::vector<std::string> paths,
+                             serve::ScanSpool(spool_dir, &seen));
+    if (paths.empty()) continue;
+    serve::SpoolReport pass = serve::DrainSpool(service, paths, spool_options);
+    report.failures += pass.failures;
+    for (serve::ServeResponse& response : pass.responses) {
+      report.responses.push_back(std::move(response));
+    }
+  }
+  if (report.responses.empty()) {
+    return NotFoundError("no *.csv requests appeared under '" + spool_dir +
+                         "' in " + std::to_string(rounds) + " scan(s)");
+  }
+
+  const serve::AssessmentService::Stats stats = service.stats();
+  const std::string rendered =
+      options.Has("json") ? serve::RenderSpoolReportJson(report, stats) + "\n"
+                          : serve::RenderSpoolReportText(report, stats);
+  const std::string out_path = options.Get("out");
+  if (!out_path.empty()) {
+    DOPPLER_RETURN_IF_ERROR(obs::WriteTextFile(out_path, rendered));
+    out << "wrote serve report for " << report.responses.size()
+        << " requests to " << out_path << "\n";
+  } else {
+    out << rendered;
+  }
+  // Same partial-failure contract as assess-batch: every request reached a
+  // terminal status and the report says which; exit 1 flags any non-OK.
+  return report.failures == 0 ? 0 : 1;
 }
 
 StatusOr<int> RunForecast(const CliOptions& options, std::ostream& out) {
@@ -598,6 +758,7 @@ StatusOr<int> RunCli(const CliOptions& options, std::ostream& out) {
   if (options.command == "fit-profiles") return RunFitProfiles(options, out);
   if (options.command == "assess") return RunAssess(options, out);
   if (options.command == "assess-batch") return RunAssessBatch(options, out);
+  if (options.command == "serve") return RunServe(options, out);
   if (options.command == "forecast") return RunForecast(options, out);
   if (options.command == "drift") return RunDrift(options, out);
   if (options.command == "tco") return RunTco(options, out);
@@ -622,6 +783,10 @@ int ExitCodeForStatus(const Status& status) {
       return 7;
     case StatusCode::kInternal:
       return 8;
+    case StatusCode::kResourceExhausted:
+      return 9;
+    case StatusCode::kDeadlineExceeded:
+      return 10;
   }
   return 8;
 }

@@ -56,6 +56,26 @@ telemetry::TraceStatsCache* EnsureInstanceStats(RequestContext& ctx) {
 
 }  // namespace
 
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case kStagePreprocess:
+      return "pipeline.preprocess";
+    case kStageQuality:
+      return "pipeline.quality";
+    case kStageLayout:
+      return "pipeline.layout";
+    case kStageRecommend:
+      return "pipeline.recommend";
+    case kStageBaseline:
+      return "pipeline.baseline";
+    case kStageConfidence:
+      return "pipeline.confidence";
+    case kStageRightsizing:
+      return "pipeline.rightsizing";
+  }
+  return "pipeline.unknown";
+}
+
 StatusOr<SkuRecommendationPipeline> SkuRecommendationPipeline::Create(
     StaticInputs inputs) {
   return Create(std::move(inputs), Config());
@@ -278,7 +298,47 @@ Status SkuRecommendationPipeline::StageRightsizing(RequestContext& ctx) const {
 
 AssessmentOutcome SkuRecommendationPipeline::Finish(RequestContext& ctx) const {
   ctx.timings.DrainTo(&ctx.outcome.stage_timings);
+  ctx.outcome.completed_stages = ctx.completed_stages;
   return std::move(ctx.outcome);
+}
+
+Status SkuRecommendationPipeline::RunStages(RequestContext& ctx,
+                                            StageMask stages) const {
+  struct StageEntry {
+    Stage stage;
+    Status (SkuRecommendationPipeline::*run)(RequestContext&) const;
+  };
+  static constexpr StageEntry kStageTable[] = {
+      {kStagePreprocess, &SkuRecommendationPipeline::StagePreprocess},
+      {kStageQuality, &SkuRecommendationPipeline::StageQuality},
+      {kStageLayout, &SkuRecommendationPipeline::StageLayout},
+      {kStageRecommend, &SkuRecommendationPipeline::StageRecommend},
+      {kStageBaseline, &SkuRecommendationPipeline::StageBaseline},
+      {kStageConfidence, &SkuRecommendationPipeline::StageConfidence},
+      {kStageRightsizing, &SkuRecommendationPipeline::StageRightsizing},
+  };
+  const AssessmentRequest& request = *ctx.request;
+  // The deadline is only polled when it can actually expire, keeping the
+  // unbounded (CLI one-shot) path branch-light and byte-identical.
+  const bool bounded = request.deadline.IsBounded();
+  for (const StageEntry& entry : kStageTable) {
+    if (!(stages & entry.stage)) continue;
+    const char* name = StageName(entry.stage);
+    // Hook first, check second: a hook that cancels the deadline at this
+    // boundary is observed by the very next check, which is what makes
+    // deadline-expiry tests schedule-independent.
+    if (request.stage_boundary_hook) request.stage_boundary_hook(name);
+    if (bounded && request.deadline.IsExpired()) {
+      static obs::Counter* const kExpired =
+          obs::DefaultMetrics().GetCounter("pipeline.deadline_expired");
+      kExpired->Increment();
+      return DeadlineExceededError(std::string("deadline expired before ") +
+                                   name);
+    }
+    DOPPLER_RETURN_IF_ERROR((this->*entry.run)(ctx));
+    ctx.completed_stages |= entry.stage;
+  }
+  return OkStatus();
 }
 
 StatusOr<AssessmentOutcome> SkuRecommendationPipeline::AssessStages(
@@ -292,27 +352,7 @@ StatusOr<AssessmentOutcome> SkuRecommendationPipeline::AssessStages(
   kAssessments->Increment();
 
   RequestContext ctx(request);
-  if (stages & kStagePreprocess) {
-    DOPPLER_RETURN_IF_ERROR(StagePreprocess(ctx));
-  }
-  if (stages & kStageQuality) {
-    DOPPLER_RETURN_IF_ERROR(StageQuality(ctx));
-  }
-  if (stages & kStageLayout) {
-    DOPPLER_RETURN_IF_ERROR(StageLayout(ctx));
-  }
-  if (stages & kStageRecommend) {
-    DOPPLER_RETURN_IF_ERROR(StageRecommend(ctx));
-  }
-  if (stages & kStageBaseline) {
-    DOPPLER_RETURN_IF_ERROR(StageBaseline(ctx));
-  }
-  if (stages & kStageConfidence) {
-    DOPPLER_RETURN_IF_ERROR(StageConfidence(ctx));
-  }
-  if (stages & kStageRightsizing) {
-    DOPPLER_RETURN_IF_ERROR(StageRightsizing(ctx));
-  }
+  DOPPLER_RETURN_IF_ERROR(RunStages(ctx, stages));
   return Finish(ctx);
 }
 

@@ -32,12 +32,17 @@ enum Stage : unsigned {
   kStageRightsizing = 1u << 6,
 };
 
-/// A set of Stage flags.
-using StageMask = unsigned;
+// StageMask (a set of Stage flags) is declared in dma/request_context.h so
+// outcomes can record stage progress without including this header.
 
 inline constexpr StageMask kAllStages =
     kStagePreprocess | kStageQuality | kStageLayout | kStageRecommend |
     kStageBaseline | kStageConfidence | kStageRightsizing;
+
+/// The stage's observability span name ("pipeline.preprocess", ...), also
+/// the name the request's stage_boundary_hook receives. `stage` must be a
+/// single Stage flag.
+const char* StageName(Stage stage);
 
 /// The SKU Recommendation Pipeline (paper §4): preprocessing, curve
 /// building, profiling, elastic + baseline recommendations, confidence and
@@ -90,6 +95,15 @@ class SkuRecommendationPipeline {
   /// also be selected.
   StatusOr<AssessmentOutcome> AssessStages(const AssessmentRequest& request,
                                            StageMask stages) const;
+
+  /// Runs the masked stages in canonical order over a caller-owned context,
+  /// invoking the request's stage_boundary_hook and checking its deadline
+  /// before each stage: on expiry, returns kDeadlineExceeded immediately
+  /// with ctx.completed_stages recording the prefix that DID run. Callers
+  /// that want the partial outcome (the serving layer) call Finish(ctx)
+  /// even on error; AssessStages instead drops it and propagates the
+  /// status.
+  Status RunStages(RequestContext& ctx, StageMask stages) const;
 
   // --- Individual stage functions -----------------------------------------
   // Each operates on a caller-owned RequestContext and may be invoked at

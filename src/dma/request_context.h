@@ -1,6 +1,7 @@
 #ifndef DOPPLER_DMA_REQUEST_CONTEXT_H_
 #define DOPPLER_DMA_REQUEST_CONTEXT_H_
 
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -14,9 +15,15 @@
 #include "quality/quality_report.h"
 #include "telemetry/perf_trace.h"
 #include "telemetry/trace_stats.h"
+#include "util/deadline.h"
 #include "util/statusor.h"
 
 namespace doppler::dma {
+
+/// A set of pipeline Stage flags (the enum lives in dma/pipeline.h; the
+/// alias lives here so outcomes can record stage progress without pulling
+/// the whole pipeline interface into every consumer).
+using StageMask = unsigned;
 
 /// One assessment request as the DMA tool would submit it: raw per-database
 /// counters plus migration intent.
@@ -41,6 +48,17 @@ struct AssessmentRequest {
   /// CLI's ReadTraceFileGated); merged into the outcome's report so the
   /// full dirt trail survives end to end.
   quality::TraceQualityReport ingest_quality;
+  /// Time budget for the assessment, checked cooperatively at stage
+  /// boundaries: an expired request returns kDeadlineExceeded carrying the
+  /// stages that DID complete (AssessmentOutcome::completed_stages) rather
+  /// than burning pool time on the rest. Default: never expires.
+  Deadline deadline;
+  /// Invoked at every stage boundary (before the deadline check) with the
+  /// stage's span name ("pipeline.recommend", ...). Fault-injection seam:
+  /// sim::StageLatencyPlan provides a seeded delay implementation, and
+  /// deterministic deadline tests cancel the request's deadline from here
+  /// at a chosen boundary instead of racing a timer. Null = no-op.
+  std::function<void(const char* stage)> stage_boundary_hook;
 };
 
 /// Wall-clock latency of one pipeline stage of an assessment, named by the
@@ -79,6 +97,11 @@ struct AssessmentOutcome {
   /// execution order (skipped stages — confidence, right-sizing — do not
   /// appear).
   std::vector<StageTiming> stage_timings;
+  /// Stages that ran to completion on this outcome (dma::Stage flags).
+  /// Equal to the requested mask on success; a strict prefix of it when a
+  /// deadline expired mid-pipeline and the serving layer salvaged the
+  /// partial outcome. Not part of the rendered JSON report.
+  StageMask completed_stages = 0;
 };
 
 /// Collects per-request stage timings. StageScope used to append straight
@@ -145,6 +168,9 @@ struct RequestContext {
   /// Findings of the in-pipeline quality gate, merged into outcome.quality
   /// by the preprocess stage.
   quality::TraceQualityReport pipeline_gate;
+  /// Stage flags RunStages has completed so far; Finish copies the mask
+  /// into the outcome so partial progress survives a deadline expiry.
+  StageMask completed_stages = 0;
 };
 
 }  // namespace doppler::dma

@@ -303,17 +303,25 @@ std::string RenderFleetAssessmentJson(
   // concatenation stays well-formed).
   std::string out = "{\"fleet_size\":" + std::to_string(outcomes.size()) +
                     ",\"succeeded\":" + std::to_string(succeeded) +
+                    ",\"failed\":" +
+                    std::to_string(outcomes.size() - succeeded) +
                     ",\"assessments\":[";
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     if (i > 0) out += ",";
     if (outcomes[i].ok()) {
       out += RenderAssessmentJson(*outcomes[i], options);
     } else {
+      // Failed slots carry a machine-readable status so batch callers can
+      // route on the code without parsing prose.
       JsonWriter error;
       error.BeginObject();
       error.Key("customer_id")
           .String(i < customer_ids.size() ? customer_ids[i] : "");
-      error.Key("error").String(outcomes[i].status().ToString());
+      error.Key("status").BeginObject();
+      error.Key("code").String(
+          StatusCodeToString(outcomes[i].status().code()));
+      error.Key("message").String(outcomes[i].status().message());
+      error.EndObject();
       error.EndObject();
       out += error.str();
     }

@@ -80,6 +80,20 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return future;
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  QueuedTask queued;
+  queued.work = std::packaged_task<void()>(std::move(task));
+  queued.enqueue_ns = NowNs();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutting_down_ || queue_.size() >= queue_capacity_) return false;
+    queue_.push_back(std::move(queued));
+    QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
+  }
+  task_ready_.notify_one();
+  return true;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     QueuedTask task;

@@ -47,6 +47,14 @@ class ThreadPool {
   /// calling thread (the future is ready on return).
   std::future<void> Submit(std::function<void()> task);
 
+  /// Admission-control variant: enqueues `task` only if the queue has
+  /// room, and returns false — WITHOUT running or retaining the task —
+  /// when it is full or the pool is shutting down. Never blocks and never
+  /// runs the task on the caller, which is what a load-shedding server
+  /// needs (the caller-runs overflow of Submit would turn overload into
+  /// unbounded admission latency instead of a fast reject).
+  bool TrySubmit(std::function<void()> task);
+
   /// Applies `fn(begin, end)` over [0, n) split into roughly
   /// 2x-threads chunks, the calling thread working alongside the pool
   /// (running its own chunk first, then draining queued tasks while it

@@ -1,0 +1,189 @@
+#include "serve/assessment_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace doppler::serve {
+
+namespace {
+
+// RED metrics for the serving path: request rates by outcome, queue
+// pressure, and per-outcome latency. Names follow the dotted scheme in
+// DESIGN.md §6.
+obs::Counter* AdmittedCounter() {
+  static obs::Counter* const kCounter =
+      obs::DefaultMetrics().GetCounter("serve.admitted");
+  return kCounter;
+}
+
+obs::Counter* ShedCounter() {
+  static obs::Counter* const kCounter =
+      obs::DefaultMetrics().GetCounter("serve.shed");
+  return kCounter;
+}
+
+obs::Counter* ExpiredCounter() {
+  static obs::Counter* const kCounter =
+      obs::DefaultMetrics().GetCounter("serve.expired");
+  return kCounter;
+}
+
+obs::Counter* DegradedCounter() {
+  static obs::Counter* const kCounter =
+      obs::DefaultMetrics().GetCounter("serve.confidence_shed");
+  return kCounter;
+}
+
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* const kGauge =
+      obs::DefaultMetrics().GetGauge("serve.queue_depth");
+  return kGauge;
+}
+
+// One latency histogram per terminal outcome so overload diagnosis can
+// separate "requests are slow" from "requests are dying at the deadline".
+obs::Histogram* LatencyHistogramFor(StatusCode code) {
+  static obs::Histogram* const kOk =
+      obs::DefaultMetrics().GetHistogram("serve.latency.ok");
+  static obs::Histogram* const kExpired =
+      obs::DefaultMetrics().GetHistogram("serve.latency.deadline_exceeded");
+  static obs::Histogram* const kError =
+      obs::DefaultMetrics().GetHistogram("serve.latency.error");
+  switch (code) {
+    case StatusCode::kOk:
+      return kOk;
+    case StatusCode::kDeadlineExceeded:
+      return kExpired;
+    default:
+      return kError;
+  }
+}
+
+}  // namespace
+
+AssessmentService::AssessmentService(SnapshotRegistry* registry,
+                                     ServiceOptions options)
+    : registry_(registry), options_(options) {
+  options_.workers = std::max(1, options_.workers);
+  options_.queue_depth = std::max(1, options_.queue_depth);
+  options_.degrade_watermark =
+      std::clamp(options_.degrade_watermark, 0.0, 1.0);
+  pool_ = std::make_unique<exec::ThreadPool>(
+      options_.workers, static_cast<std::size_t>(options_.queue_depth));
+}
+
+// The pool destructor drains every queued task before joining, so every
+// admitted request's promise resolves — shutdown never orphans a future.
+AssessmentService::~AssessmentService() = default;
+
+ServeResponse AssessmentService::Process(dma::AssessmentRequest& request,
+                                         bool confidence_shed) {
+  DOPPLER_TRACE_SPAN("serve.process");
+  const auto start = std::chrono::steady_clock::now();
+
+  // Pin the snapshot for the request's whole lifetime: a Swap during the
+  // assessment is invisible here, and the pinned pipeline stays alive
+  // until this shared_ptr drops.
+  const ServingSnapshot snapshot = registry_->Acquire();
+
+  ServeResponse response;
+  response.customer_id = request.customer_id;
+  response.snapshot_epoch = snapshot.epoch;
+  response.confidence_shed = confidence_shed;
+
+  if (request.database_traces.empty()) {
+    response.status =
+        InvalidArgumentError("assessment request carries no traces");
+  } else {
+    dma::RequestContext ctx(request);
+    response.status = snapshot.pipeline->RunStages(ctx, dma::kAllStages);
+    // Salvage whatever completed — a deadline-expired request still ships
+    // its finished stages (the paper's DMA UI renders partial reports the
+    // same way).
+    dma::AssessmentOutcome outcome = snapshot.pipeline->Finish(ctx);
+    response.completed_stages = outcome.completed_stages;
+    if (response.completed_stages != 0 || response.status.ok()) {
+      response.outcome = std::move(outcome);
+    }
+  }
+
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  LatencyHistogramFor(response.status.code())->Observe(seconds);
+  if (response.status.ok()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    ExpiredCounter()->Increment();
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+StatusOr<std::future<ServeResponse>> AssessmentService::Submit(
+    dma::AssessmentRequest request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Graceful degradation before load shedding: under sustained pressure
+  // the optional confidence resample goes first. Judged at admission so
+  // the decision rides the queue state that caused it.
+  bool confidence_shed = false;
+  const std::size_t depth = pool_->QueueDepth();
+  QueueDepthGauge()->Set(static_cast<double>(depth));
+  if (request.compute_confidence &&
+      static_cast<double>(depth) >=
+          options_.degrade_watermark *
+              static_cast<double>(options_.queue_depth)) {
+    request.compute_confidence = false;
+    confidence_shed = true;
+  }
+
+  auto promise = std::make_shared<std::promise<ServeResponse>>();
+  std::future<ServeResponse> future = promise->get_future();
+  // The request moves into shared state because std::function requires a
+  // copyable callable; the task is the sole owner either way.
+  auto boxed = std::make_shared<dma::AssessmentRequest>(std::move(request));
+  const bool admitted =
+      pool_->TrySubmit([this, promise, boxed, confidence_shed] {
+        promise->set_value(Process(*boxed, confidence_shed));
+      });
+  if (!admitted) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    ShedCounter()->Increment();
+    return ResourceExhaustedError(
+        "admission queue full (" + std::to_string(options_.queue_depth) +
+        " waiting); request '" + boxed->customer_id + "' shed");
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  AdmittedCounter()->Increment();
+  if (confidence_shed) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    DegradedCounter()->Increment();
+  }
+  return future;
+}
+
+AssessmentService::Stats AssessmentService::stats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.admitted = admitted_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::size_t AssessmentService::QueueDepth() const {
+  return pool_->QueueDepth();
+}
+
+}  // namespace doppler::serve

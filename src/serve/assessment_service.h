@@ -1,0 +1,122 @@
+#ifndef DOPPLER_SERVE_ASSESSMENT_SERVICE_H_
+#define DOPPLER_SERVE_ASSESSMENT_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dma/pipeline.h"
+#include "dma/request_context.h"
+#include "exec/thread_pool.h"
+#include "serve/snapshot_registry.h"
+#include "util/statusor.h"
+
+namespace doppler::serve {
+
+/// Admission + execution knobs for the long-lived assessment service.
+struct ServiceOptions {
+  /// Assessment worker threads (request-level; each pinned snapshot's
+  /// pipeline may additionally run its own SKU-scoring pool).
+  int workers = 2;
+  /// Bounded admission queue depth. A Submit finding the queue full is
+  /// rejected immediately with kResourceExhausted — the service NEVER
+  /// queues unboundedly and never blocks the submitter.
+  int queue_depth = 64;
+  /// Graceful degradation: when the queue is at least this full (as a
+  /// fraction of queue_depth) at admission time, the confidence-resampling
+  /// stage — the most expensive optional stage, and the cheapest quality
+  /// loss since it only annotates the recommendation with a bootstrap
+  /// agreement score — is shed from the request before whole requests are.
+  double degrade_watermark = 0.75;
+};
+
+/// Terminal record of one served request. `status` is always terminal:
+/// kOk, kDeadlineExceeded (partial work, see completed_stages), or the
+/// pipeline's own failure status; shed requests never construct one of
+/// these (Submit rejects them synchronously).
+struct ServeResponse {
+  std::string customer_id;
+  Status status;
+  /// Stages that ran to completion (dma::Stage flags) — the full mask on
+  /// kOk, the completed prefix when the deadline expired mid-pipeline.
+  dma::StageMask completed_stages = 0;
+  /// Epoch of the catalog snapshot the request was pinned to.
+  std::uint64_t snapshot_epoch = 0;
+  /// True when overload pressure shed the confidence stage.
+  bool confidence_shed = false;
+  /// The (possibly partial) outcome; present whenever at least one stage
+  /// completed, so deadline-expired responses still carry what they have.
+  std::optional<dma::AssessmentOutcome> outcome;
+};
+
+/// The long-lived serving front of the SKU recommendation pipeline:
+/// a bounded admission queue fanning requests across a fixed worker pool,
+/// each request pinned to the SnapshotRegistry's current catalog snapshot
+/// for its whole lifetime. Robustness properties:
+///  - load shedding: a full queue rejects instantly (kResourceExhausted);
+///  - cooperative deadlines: stage-boundary checks end expired requests
+///    with kDeadlineExceeded and partial results;
+///  - graceful degradation: sustained queue pressure sheds the confidence
+///    stage before shedding whole requests;
+///  - hot swap: Swap()ping the registry mid-flight never perturbs admitted
+///    requests — they finish byte-identical on their pinned epoch.
+class AssessmentService {
+ public:
+  /// Borrows `registry`, which must outlive the service.
+  AssessmentService(SnapshotRegistry* registry, ServiceOptions options);
+
+  /// Drains the admission queue (every admitted request still completes
+  /// with a terminal status) and joins the workers.
+  ~AssessmentService();
+
+  AssessmentService(const AssessmentService&) = delete;
+  AssessmentService& operator=(const AssessmentService&) = delete;
+
+  /// Admits `request` or rejects it NOW: returns kResourceExhausted when
+  /// the admission queue is full (the request is dropped, nothing blocks),
+  /// otherwise a future that resolves to the request's terminal response.
+  /// Thread-safe.
+  StatusOr<std::future<ServeResponse>> Submit(dma::AssessmentRequest request);
+
+  /// Point-in-time admission counters (monotonic since construction).
+  /// submitted = admitted + shed; admitted = completed + expired + failed
+  /// once the service drains.
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t failed = 0;
+  };
+  Stats stats() const;
+
+  /// Requests waiting for a worker (diagnostic; racy by nature).
+  std::size_t QueueDepth() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  ServeResponse Process(dma::AssessmentRequest& request,
+                        bool confidence_shed);
+
+  SnapshotRegistry* registry_;
+  ServiceOptions options_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> failed_{0};
+};
+
+}  // namespace doppler::serve
+
+#endif  // DOPPLER_SERVE_ASSESSMENT_SERVICE_H_

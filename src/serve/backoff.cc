@@ -1,0 +1,56 @@
+#include "serve/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace doppler::serve {
+
+double BackoffDelaySeconds(const BackoffPolicy& policy, int attempt,
+                           Rng* rng) {
+  const int exponent = std::max(0, attempt - 1);
+  double delay = policy.initial_delay_seconds *
+                 std::pow(policy.multiplier, static_cast<double>(exponent));
+  delay = std::min(delay, policy.max_delay_seconds);
+  if (rng != nullptr && policy.jitter > 0.0) {
+    const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+    delay *= 1.0 - jitter * rng->Uniform();
+  }
+  return delay;
+}
+
+Status RetryWithBackoff(const BackoffPolicy& policy, const Deadline& deadline,
+                        const std::function<Status()>& op, Rng* rng) {
+  static obs::Counter* const kRetries =
+      obs::DefaultMetrics().GetCounter("serve.ingest_retries");
+  Status last = OkStatus();
+  const int attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (deadline.IsExpired()) {
+      return DeadlineExceededError("deadline expired while retrying: " +
+                                   last.ToString());
+    }
+    last = op();
+    if (last.code() != StatusCode::kUnavailable) return last;
+    if (attempt == attempts) break;
+    kRetries->Increment();
+    const double delay = BackoffDelaySeconds(policy, attempt, rng);
+    // Never sleep past the budget: a deadline that cannot cover the delay
+    // ends the retry loop now rather than waking up already expired.
+    if (deadline.RemainingSeconds() <= delay) {
+      return DeadlineExceededError(
+          "deadline cannot cover the next backoff delay; last transient "
+          "failure: " +
+          last.ToString());
+    }
+    if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+  return last;
+}
+
+}  // namespace doppler::serve

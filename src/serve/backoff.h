@@ -1,0 +1,44 @@
+#ifndef DOPPLER_SERVE_BACKOFF_H_
+#define DOPPLER_SERVE_BACKOFF_H_
+
+#include <functional>
+
+#include "util/deadline.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace doppler::serve {
+
+/// Jittered exponential backoff for transient failures (a spool file still
+/// being written, an injected I/O fault). Attempt k waits
+/// initial * multiplier^(k-1), capped at `max_delay_seconds`, then
+/// multiplied by a uniform jitter in [1 - jitter, 1] so a burst of
+/// requests retrying the same hot file decorrelates instead of
+/// thundering back in lockstep.
+struct BackoffPolicy {
+  int max_attempts = 4;
+  double initial_delay_seconds = 0.005;
+  double multiplier = 2.0;
+  double max_delay_seconds = 0.25;
+  /// Fraction of the delay randomised away, in [0, 1).
+  double jitter = 0.5;
+};
+
+/// The delay before retry `attempt` (1-based: the wait after the attempt'th
+/// failure), jittered from `rng`. Deterministic for a given Rng stream.
+double BackoffDelaySeconds(const BackoffPolicy& policy, int attempt, Rng* rng);
+
+/// Runs `op` until it succeeds, fails terminally, or the budget runs out.
+/// Only kUnavailable is treated as transient; any other error returns
+/// immediately. Between attempts the caller sleeps the jittered delay —
+/// but never past `deadline`: when the deadline cannot cover the next
+/// delay (or has already expired) the wait is abandoned and
+/// kDeadlineExceeded is returned, so a retry loop can never hold a
+/// request beyond its budget. Exhausting max_attempts returns the last
+/// transient status.
+Status RetryWithBackoff(const BackoffPolicy& policy, const Deadline& deadline,
+                        const std::function<Status()>& op, Rng* rng);
+
+}  // namespace doppler::serve
+
+#endif  // DOPPLER_SERVE_BACKOFF_H_

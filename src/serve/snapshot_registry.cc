@@ -1,0 +1,60 @@
+#include "serve/snapshot_registry.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace doppler::serve {
+
+namespace {
+
+std::shared_ptr<const ServingSnapshot> MakeSnapshot(
+    std::uint64_t epoch,
+    std::shared_ptr<const dma::SkuRecommendationPipeline> pipeline) {
+  auto snapshot = std::make_shared<ServingSnapshot>();
+  snapshot->epoch = epoch;
+  snapshot->pipeline = std::move(pipeline);
+  return snapshot;
+}
+
+}  // namespace
+
+SnapshotRegistry::SnapshotRegistry(
+    std::shared_ptr<const dma::SkuRecommendationPipeline> initial)
+    : current_(MakeSnapshot(1, std::move(initial))) {
+  epoch_.store(1, std::memory_order_release);
+}
+
+ServingSnapshot SnapshotRegistry::Acquire() const {
+  std::shared_ptr<const ServingSnapshot> pin;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pin = current_;
+  }
+  return *pin;
+}
+
+std::uint64_t SnapshotRegistry::Swap(
+    std::shared_ptr<const dma::SkuRecommendationPipeline> next) {
+  std::uint64_t epoch = 0;
+  // The outgoing snapshot is released outside the lock: if this swap
+  // drops the last pin, the old pipeline's destructor must not run with
+  // mu_ held.
+  std::shared_ptr<const ServingSnapshot> outgoing;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = epoch_.load(std::memory_order_relaxed) + 1;
+    outgoing = std::move(current_);
+    current_ = MakeSnapshot(epoch, std::move(next));
+    epoch_.store(epoch, std::memory_order_release);
+  }
+  outgoing.reset();
+  static obs::Counter* const kSwaps =
+      obs::DefaultMetrics().GetCounter("serve.snapshot_swaps");
+  kSwaps->Increment();
+  obs::DefaultMetrics().GetGauge("serve.snapshot_epoch")->Set(
+      static_cast<double>(epoch));
+  return epoch;
+}
+
+}  // namespace doppler::serve

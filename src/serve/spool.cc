@@ -1,0 +1,223 @@
+#include "serve/spool.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "dma/pipeline.h"
+#include "util/json_writer.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace doppler::serve {
+
+namespace {
+
+/// The seven pipeline stages in canonical order, for rendering a
+/// completed-stage mask as names.
+constexpr dma::Stage kStageOrder[] = {
+    dma::kStagePreprocess, dma::kStageQuality,    dma::kStageLayout,
+    dma::kStageRecommend,  dma::kStageBaseline,   dma::kStageConfidence,
+    dma::kStageRightsizing,
+};
+
+std::vector<std::string> CompletedStageNames(dma::StageMask mask) {
+  std::vector<std::string> names;
+  for (dma::Stage stage : kStageOrder) {
+    if (mask & stage) names.emplace_back(dma::StageName(stage));
+  }
+  return names;
+}
+
+ServeResponse ErrorResponse(std::string customer_id, Status status) {
+  ServeResponse response;
+  response.customer_id = std::move(customer_id);
+  response.status = std::move(status);
+  return response;
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::string>> ScanSpool(const std::string& dir,
+                                             std::set<std::string>* seen) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return InvalidArgumentError("spool '" + dir + "' is not a directory");
+  }
+  std::vector<std::filesystem::path> fresh;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".csv") {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    if (seen != nullptr && seen->count(name) != 0) continue;
+    fresh.push_back(entry.path());
+  }
+  if (ec) {
+    return UnavailableError("cannot scan spool '" + dir +
+                            "': " + ec.message());
+  }
+  std::sort(fresh.begin(), fresh.end());
+  std::vector<std::string> paths;
+  paths.reserve(fresh.size());
+  for (const auto& path : fresh) {
+    if (seen != nullptr) seen->insert(path.filename().string());
+    paths.push_back(path.string());
+  }
+  return paths;
+}
+
+StatusOr<quality::GatedTrace> IngestWithRetry(const std::string& path,
+                                              const SpoolOptions& options,
+                                              const Deadline& deadline,
+                                              Rng* rng) {
+  quality::GateOptions gate;
+  gate.policy = options.quality_policy;
+  StatusOr<quality::GatedTrace> gated =
+      InternalError("spool ingest never attempted");
+  int attempt = 0;
+  const Status status = RetryWithBackoff(
+      options.backoff, deadline,
+      [&]() -> Status {
+        ++attempt;
+        if (options.io_fault_hook) {
+          const Status injected = options.io_fault_hook(path, attempt);
+          if (!injected.ok()) return injected;
+        }
+        gated = quality::ReadTraceFileGated(path, gate);
+        return gated.status();
+      },
+      rng);
+  if (!status.ok()) return status;
+  return gated;
+}
+
+SpoolReport DrainSpool(AssessmentService& service,
+                       const std::vector<std::string>& paths,
+                       const SpoolOptions& options) {
+  SpoolReport report;
+  report.responses.reserve(paths.size());
+
+  // Per-file jitter streams fork off one seed so a file's retry schedule
+  // does not depend on how many files preceded it in the pass.
+  Rng root(options.backoff_seed);
+
+  struct Pending {
+    std::size_t slot;
+    std::future<ServeResponse> future;
+  };
+  std::vector<Pending> pending;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::string customer_id =
+        std::filesystem::path(paths[i]).filename().string();
+    const Deadline deadline = options.deadline_seconds > 0.0
+                                  ? Deadline::After(options.deadline_seconds)
+                                  : Deadline();
+    Rng rng = root.Fork(i);
+    StatusOr<quality::GatedTrace> gated =
+        IngestWithRetry(paths[i], options, deadline, &rng);
+    if (!gated.ok()) {
+      report.responses.push_back(ErrorResponse(customer_id, gated.status()));
+      continue;
+    }
+    dma::AssessmentRequest request;
+    request.customer_id = customer_id;
+    request.target = options.target;
+    request.database_traces = {std::move(gated->trace)};
+    request.quality_policy = options.quality_policy;
+    request.ingest_quality = std::move(gated->report);
+    request.compute_confidence = options.compute_confidence;
+    request.deadline = deadline;
+    if (options.stage_hook_factory) {
+      request.stage_boundary_hook = options.stage_hook_factory(customer_id);
+    }
+    StatusOr<std::future<ServeResponse>> admitted =
+        service.Submit(std::move(request));
+    if (!admitted.ok()) {
+      report.responses.push_back(
+          ErrorResponse(customer_id, admitted.status()));
+      continue;
+    }
+    report.responses.push_back(ErrorResponse(customer_id, OkStatus()));
+    pending.push_back({report.responses.size() - 1, std::move(*admitted)});
+  }
+  for (Pending& entry : pending) {
+    report.responses[entry.slot] = entry.future.get();
+  }
+  for (const ServeResponse& response : report.responses) {
+    if (!response.status.ok()) ++report.failures;
+  }
+  return report;
+}
+
+std::string RenderSpoolReportJson(const SpoolReport& report,
+                                  const AssessmentService::Stats& stats) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("requests").BeginArray();
+  for (const ServeResponse& response : report.responses) {
+    json.BeginObject();
+    json.Key("customer_id").String(response.customer_id);
+    json.Key("status").BeginObject();
+    json.Key("code").String(StatusCodeToString(response.status.code()));
+    json.Key("message").String(response.status.message());
+    json.EndObject();
+    json.Key("snapshot_epoch")
+        .Int(static_cast<long long>(response.snapshot_epoch));
+    json.Key("confidence_shed").Bool(response.confidence_shed);
+    json.Key("completed_stages").BeginArray();
+    for (const std::string& name :
+         CompletedStageNames(response.completed_stages)) {
+      json.String(name);
+    }
+    json.EndArray();
+    if (response.outcome.has_value() &&
+        (response.completed_stages & dma::kStageRecommend)) {
+      json.Key("sku").String(response.outcome->elastic.sku.id);
+      json.Key("monthly_cost").Number(response.outcome->elastic.monthly_cost);
+      json.Key("throttling_probability")
+          .Number(response.outcome->elastic.throttling_probability);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("stats").BeginObject();
+  json.Key("submitted").Int(static_cast<long long>(stats.submitted));
+  json.Key("admitted").Int(static_cast<long long>(stats.admitted));
+  json.Key("shed").Int(static_cast<long long>(stats.shed));
+  json.Key("confidence_shed").Int(static_cast<long long>(stats.degraded));
+  json.Key("completed").Int(static_cast<long long>(stats.completed));
+  json.Key("expired").Int(static_cast<long long>(stats.expired));
+  json.Key("failed").Int(static_cast<long long>(stats.failed));
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+std::string RenderSpoolReportText(const SpoolReport& report,
+                                  const AssessmentService::Stats& stats) {
+  TablePrinter table({"customer", "status", "epoch", "SKU", "monthly"});
+  for (const ServeResponse& response : report.responses) {
+    std::string sku = "-";
+    std::string monthly = "-";
+    if (response.outcome.has_value() &&
+        (response.completed_stages & dma::kStageRecommend)) {
+      sku = response.outcome->elastic.sku.DisplayName();
+      monthly = FormatDollars(response.outcome->elastic.monthly_cost, 0);
+    }
+    table.AddRow({response.customer_id,
+                  StatusCodeToString(response.status.code()),
+                  std::to_string(response.snapshot_epoch), sku, monthly});
+  }
+  std::ostringstream out;
+  table.Print(out);
+  out << "\nServed " << report.responses.size() - report.failures << "/"
+      << report.responses.size() << " requests (admitted " << stats.admitted
+      << ", shed " << stats.shed << ", expired " << stats.expired
+      << ", confidence shed " << stats.degraded << ")\n";
+  return out.str();
+}
+
+}  // namespace doppler::serve

@@ -1,0 +1,87 @@
+#ifndef DOPPLER_SERVE_SPOOL_H_
+#define DOPPLER_SERVE_SPOOL_H_
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "quality/quality_gate.h"
+#include "serve/assessment_service.h"
+#include "serve/backoff.h"
+#include "util/statusor.h"
+
+namespace doppler::serve {
+
+/// How `doppler serve` turns a spool directory into requests. The spool is
+/// the network-free request source: drop a trace CSV into the directory
+/// and the next scan admits it (the file name is the customer id), so the
+/// whole serving stack is testable without sockets.
+struct SpoolOptions {
+  std::string dir;
+  catalog::Deployment target = catalog::Deployment::kSqlDb;
+  quality::QualityPolicy quality_policy = quality::QualityPolicy::kRepair;
+  /// Per-request deadline; <= 0 leaves requests unbounded.
+  double deadline_seconds = 0.0;
+  /// Ask for the bootstrap confidence score (sheddable under pressure).
+  bool compute_confidence = false;
+  /// Retry policy for transient ingest failures (a file still being
+  /// written reads as kUnavailable mid-write; injected I/O faults do too).
+  BackoffPolicy backoff;
+  /// Seeds the backoff jitter so runs are reproducible.
+  std::uint64_t backoff_seed = 97;
+  /// Fault-injection seam: invoked before each read attempt (1-based) of
+  /// `path`; a non-OK return is treated as that attempt's outcome.
+  /// sim::TransientIoPlan::Hook() provides a seeded implementation.
+  std::function<Status(const std::string& path, int attempt)> io_fault_hook;
+  /// Per-request stage-boundary hook factory (keyed by customer id),
+  /// threaded into AssessmentRequest::stage_boundary_hook.
+  /// sim::StageLatencyPlan::HookFor provides a seeded implementation.
+  std::function<std::function<void(const char*)>(const std::string&)>
+      stage_hook_factory;
+};
+
+/// One spool pass: every response in file order, plus the requests that
+/// never reached the service (shed at admission or failed ingestion
+/// terminally) recorded as error responses in the same order.
+struct SpoolReport {
+  std::vector<ServeResponse> responses;
+  /// Responses with a non-OK terminal status.
+  std::size_t failures = 0;
+};
+
+/// Scans `dir` for *.csv files (sorted by name) not already in `seen`,
+/// appends the newly found names to `seen`, and returns their full paths.
+/// The sort makes customer ids and admission order reproducible.
+StatusOr<std::vector<std::string>> ScanSpool(const std::string& dir,
+                                             std::set<std::string>* seen);
+
+/// Reads one spool file through the quality gate with jittered-backoff
+/// retries on transient (kUnavailable) failures, bounded by `deadline`.
+StatusOr<quality::GatedTrace> IngestWithRetry(const std::string& path,
+                                              const SpoolOptions& options,
+                                              const Deadline& deadline,
+                                              Rng* rng);
+
+/// Ingests and submits every file in `paths` against `service`, waits for
+/// all terminal responses, and folds shed/ingest-failed requests into the
+/// report. Every path produces exactly one response; the call never
+/// throws, blocks indefinitely, or aborts the pass on one bad file.
+SpoolReport DrainSpool(AssessmentService& service,
+                       const std::vector<std::string>& paths,
+                       const SpoolOptions& options);
+
+/// Machine-readable summary of a spool pass: per-request terminal status
+/// (code + message), pinned epoch, completed stage names, the elastic pick
+/// when present, and the service's admission totals.
+std::string RenderSpoolReportJson(const SpoolReport& report,
+                                  const AssessmentService::Stats& stats);
+
+/// Human-readable counterpart (one row per request plus a totals line).
+std::string RenderSpoolReportText(const SpoolReport& report,
+                                  const AssessmentService::Stats& stats);
+
+}  // namespace doppler::serve
+
+#endif  // DOPPLER_SERVE_SPOOL_H_

@@ -1,8 +1,10 @@
 #include "sim/fault_injector.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <thread>
 
 #include "telemetry/perf_trace.h"
 #include "util/string_util.h"
@@ -231,6 +233,92 @@ StatusOr<CsvTable> ApplyFaults(const CsvTable& table,
     DOPPLER_ASSIGN_OR_RETURN(current, InjectFault(current, spec, rng));
   }
   return current;
+}
+
+namespace {
+
+/// FNV-1a over the key bytes folded with splitmix64 — a stable, portable
+/// hash for fault decisions (std::hash would tie injection sites to the
+/// standard library build).
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashKey(std::uint64_t seed, const std::string& key,
+                      const char* salt) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (const char* p = salt; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ULL;
+  }
+  for (char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  return SplitMix64(h);
+}
+
+/// Maps a hash to [0, 1) with 53 bits of the mantissa.
+double UnitFromHash(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+TransientIoPlan::TransientIoPlan(std::uint64_t seed, double fail_fraction,
+                                 int max_failures)
+    : seed_(seed),
+      fail_fraction_(std::clamp(fail_fraction, 0.0, 1.0)),
+      max_failures_(std::max(0, max_failures)) {}
+
+int TransientIoPlan::FailuresFor(const std::string& key) const {
+  if (max_failures_ == 0) return 0;
+  const std::uint64_t pick = HashKey(seed_, key, "io.pick");
+  if (UnitFromHash(pick) >= fail_fraction_) return 0;
+  const std::uint64_t count = HashKey(seed_, key, "io.count");
+  return 1 + static_cast<int>(count %
+                              static_cast<std::uint64_t>(max_failures_));
+}
+
+std::function<Status(const std::string&, int)> TransientIoPlan::Hook() const {
+  // Copy the plan into the closure: the hook outlives no one, the plan is
+  // three words.
+  TransientIoPlan plan = *this;
+  return [plan](const std::string& path, int attempt) -> Status {
+    if (plan.ShouldFail(path, attempt)) {
+      return UnavailableError("injected transient I/O fault on '" + path +
+                              "' (attempt " + std::to_string(attempt) + ")");
+    }
+    return OkStatus();
+  };
+}
+
+StageLatencyPlan::StageLatencyPlan(std::uint64_t seed, double delay_fraction,
+                                   double max_delay_seconds)
+    : seed_(seed),
+      delay_fraction_(std::clamp(delay_fraction, 0.0, 1.0)),
+      max_delay_seconds_(std::max(0.0, max_delay_seconds)) {}
+
+double StageLatencyPlan::DelaySeconds(const std::string& key,
+                                      const char* stage) const {
+  if (max_delay_seconds_ <= 0.0) return 0.0;
+  const std::string site = key + "|" + stage;
+  if (UnitFromHash(HashKey(seed_, site, "lat.pick")) >= delay_fraction_) {
+    return 0.0;
+  }
+  return UnitFromHash(HashKey(seed_, site, "lat.len")) * max_delay_seconds_;
+}
+
+std::function<void(const char*)> StageLatencyPlan::HookFor(
+    std::string key) const {
+  StageLatencyPlan plan = *this;
+  return [plan, key = std::move(key)](const char* stage) {
+    const double delay = plan.DelaySeconds(key, stage);
+    if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  };
 }
 
 std::string CorruptBytes(const std::string& text, int num_flips, Rng* rng) {

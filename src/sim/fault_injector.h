@@ -1,6 +1,8 @@
 #ifndef DOPPLER_SIM_FAULT_INJECTOR_H_
 #define DOPPLER_SIM_FAULT_INJECTOR_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -64,6 +66,64 @@ StatusOr<CsvTable> ApplyFaults(const CsvTable& table,
 /// parse as CSV, which is exactly what the never-abort property test
 /// feeds through ReadTraceFile.
 std::string CorruptBytes(const std::string& text, int num_flips, Rng* rng);
+
+// --- Serving-layer fault plans ---------------------------------------------
+// Unlike the CSV recipes above (which mutate data), these inject FAILURES
+// around the serving path: transient I/O errors at ingest and latency at
+// stage boundaries. Both are pure functions of (seed, key) — no shared Rng
+// stream, no call-order dependence — so a multi-threaded soak makes
+// exactly the same injection decisions at any schedule and any worker
+// count.
+
+/// Deterministic transient-I/O fault plan: for each key (file path), the
+/// first `FailuresFor(key)` read attempts fail with kUnavailable, then
+/// reads succeed — modelling a file that is mid-write when the spool scan
+/// finds it. Whether a key fails at all (probability `fail_fraction`) and
+/// how many times (1..max_failures) are hashed from (seed, key).
+class TransientIoPlan {
+ public:
+  TransientIoPlan(std::uint64_t seed, double fail_fraction, int max_failures);
+
+  /// Number of leading attempts that fail for `key` (0 = never fails).
+  int FailuresFor(const std::string& key) const;
+
+  /// True when `attempt` (1-based) at `key` should fail.
+  bool ShouldFail(const std::string& key, int attempt) const {
+    return attempt <= FailuresFor(key);
+  }
+
+  /// Adapter in the shape serve::SpoolOptions::io_fault_hook expects:
+  /// kUnavailable on injected attempts, OK otherwise.
+  std::function<Status(const std::string& path, int attempt)> Hook() const;
+
+ private:
+  std::uint64_t seed_;
+  double fail_fraction_;
+  int max_failures_;
+};
+
+/// Deterministic stage-latency plan: each (key, stage) pair independently
+/// sleeps a hashed duration in [0, max_delay] with probability
+/// `delay_fraction`. The DECISIONS are schedule-independent (pure hash);
+/// only the wall-clock sleep is real, which is exactly what a soak test
+/// wants — genuine thread interleaving with reproducible injection sites.
+class StageLatencyPlan {
+ public:
+  StageLatencyPlan(std::uint64_t seed, double delay_fraction,
+                   double max_delay_seconds);
+
+  /// The injected delay for (key, stage); 0 when the pair is not chosen.
+  double DelaySeconds(const std::string& key, const char* stage) const;
+
+  /// Stage-boundary hook for one request (serve::SpoolOptions::
+  /// stage_hook_factory shape): sleeps DelaySeconds(key, stage).
+  std::function<void(const char* stage)> HookFor(std::string key) const;
+
+ private:
+  std::uint64_t seed_;
+  double delay_fraction_;
+  double max_delay_seconds_;
+};
 
 }  // namespace doppler::sim
 

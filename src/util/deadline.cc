@@ -1,0 +1,58 @@
+#include "util/deadline.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace doppler {
+
+Deadline Deadline::Cancellable() {
+  Deadline deadline;
+  deadline.cancelled_ = std::make_shared<std::atomic<bool>>(false);
+  return deadline;
+}
+
+Deadline Deadline::After(double seconds) {
+  Deadline deadline = Cancellable();
+  deadline.has_time_ = true;
+  deadline.at_ = std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(seconds));
+  return deadline;
+}
+
+Deadline Deadline::Expired() {
+  Deadline deadline = Cancellable();
+  deadline.cancelled_->store(true, std::memory_order_relaxed);
+  return deadline;
+}
+
+bool Deadline::IsExpired() const {
+  if (cancelled_ != nullptr && cancelled_->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return has_time_ && std::chrono::steady_clock::now() >= at_;
+}
+
+void Deadline::Cancel() const {
+  if (cancelled_ != nullptr) {
+    cancelled_->store(true, std::memory_order_relaxed);
+  }
+}
+
+double Deadline::RemainingSeconds() const {
+  if (cancelled_ != nullptr && cancelled_->load(std::memory_order_relaxed)) {
+    return has_time_ ? std::min(
+                           0.0,
+                           std::chrono::duration_cast<
+                               std::chrono::duration<double>>(
+                               at_ - std::chrono::steady_clock::now())
+                               .count())
+                     : 0.0;
+  }
+  if (!has_time_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             at_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+}  // namespace doppler

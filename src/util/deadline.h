@@ -1,0 +1,61 @@
+#ifndef DOPPLER_UTIL_DEADLINE_H_
+#define DOPPLER_UTIL_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace doppler {
+
+/// A per-request time budget plus a cooperative cancellation flag, threaded
+/// through the assessment pipeline and checked at stage boundaries. Two
+/// expiry sources combine:
+///  - a wall-clock deadline (steady_clock, so NTP steps cannot revive an
+///    expired request), and
+///  - an explicit Cancel() on any copy of the deadline — the handle shares
+///    its flag across copies, which is what makes expiry DETERMINISTIC in
+///    tests: a stage hook cancels at a chosen boundary instead of racing a
+///    timer.
+/// A default-constructed Deadline never expires and carries no shared
+/// state, so the common no-deadline request stays allocation-free.
+class Deadline {
+ public:
+  /// Never expires (unless a cancellable copy is cancelled — a default
+  /// deadline has no cancel flag and can never expire).
+  Deadline() = default;
+
+  /// Never expires on its own but CAN be cancelled: the returned handle
+  /// (and every copy of it) shares one cancellation flag.
+  static Deadline Cancellable();
+
+  /// Expires `seconds` from now (steady clock); also cancellable.
+  static Deadline After(double seconds);
+
+  /// Already expired — requests carrying it fail at the first boundary.
+  static Deadline Expired();
+
+  /// True when the time budget ran out or any copy was cancelled.
+  bool IsExpired() const;
+
+  /// True when this deadline can expire at all (it has a time bound or a
+  /// cancel flag). A plain Deadline() returns false.
+  bool IsBounded() const { return has_time_ || cancelled_ != nullptr; }
+
+  /// Trips the shared cancellation flag; a no-op on a default (flagless)
+  /// deadline. Safe from any thread.
+  void Cancel() const;
+
+  /// Seconds until the time bound; +infinity when unbounded, <= 0 when
+  /// expired (0 exactly when only the cancel flag tripped).
+  double RemainingSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  bool has_time_ = false;
+  /// Shared across copies so Cancel() on one handle expires them all.
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+}  // namespace doppler
+
+#endif  // DOPPLER_UTIL_DEADLINE_H_

@@ -18,6 +18,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -60,6 +64,14 @@ Status UnavailableError(std::string message) {
 
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
 }
 
 }  // namespace doppler

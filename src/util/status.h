@@ -19,6 +19,12 @@ enum class StatusCode {
   kOutOfRange = 4,
   kUnavailable = 5,
   kInternal = 6,
+  /// A bounded resource (the serving admission queue) is full; the request
+  /// was rejected up front, not queued. Retryable after backing off.
+  kResourceExhausted = 7,
+  /// The request's deadline expired before the work finished. The serving
+  /// layer returns whatever stages completed alongside this code.
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a stable human-readable name for a code ("OK", "NOT_FOUND", ...).
@@ -68,6 +74,8 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status UnavailableError(std::string message);
 Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 }  // namespace doppler
 

@@ -10,9 +10,20 @@ fresh value above baseline * (1 + tolerance) means the change genuinely
 does more throttling-kernel work per curve, not that the machine was
 busy.
 
+Two comparison modes:
+  - tolerance counters (--counter): cost counters may not GROW beyond
+    baseline * (1 + tolerance); shrinking is an improvement, not a
+    failure.
+  - exact counters (--exact-counter): the serving path's admission
+    accounting (serve.admitted / serve.shed / serve.expired from the
+    deterministic BM_ServeOverload scenario) must match the baseline
+    EXACTLY in both directions — any drift means the admission or
+    deadline semantics changed, which is never a machine artifact.
+
 Usage:
     tools/bench_check.py BASELINE.json FRESH.json \
-        [--counter ppm.samples_scanned] [--tolerance 0.05]
+        [--counter ppm.samples_scanned] [--exact-counter serve.shed] \
+        [--tolerance 0.05]
 
 Benchmarks present only in one file are reported but are not failures
 (new benchmarks land before their baseline is refreshed); a counter that
@@ -20,7 +31,8 @@ exists in the baseline entry but not in the fresh one IS a failure — the
 instrumentation was lost.
 
 Exit status: 0 when every shared counter is within tolerance, 1 on any
-regression or lost counter, 2 on malformed input.
+regression, drifted exact counter, or lost counter, 2 on malformed
+input.
 """
 
 import argparse
@@ -28,6 +40,7 @@ import json
 import sys
 
 DEFAULT_COUNTERS = ["ppm.samples_scanned"]
+DEFAULT_EXACT_COUNTERS = ["serve.admitted", "serve.shed", "serve.expired"]
 
 
 def load_benchmarks(path):
@@ -59,10 +72,16 @@ def main():
         help="counter to compare (repeatable; default: %s)"
              % ", ".join(DEFAULT_COUNTERS))
     parser.add_argument(
+        "--exact-counter", action="append", dest="exact_counters",
+        metavar="NAME",
+        help="counter that must match baseline exactly (repeatable; "
+             "default: %s)" % ", ".join(DEFAULT_EXACT_COUNTERS))
+    parser.add_argument(
         "--tolerance", type=float, default=0.05,
         help="allowed relative growth over baseline (default 0.05 = 5%%)")
     args = parser.parse_args()
     counters = args.counters or DEFAULT_COUNTERS
+    exact_counters = args.exact_counters or DEFAULT_EXACT_COUNTERS
 
     baseline = load_benchmarks(args.baseline)
     fresh = load_benchmarks(args.fresh)
@@ -93,6 +112,26 @@ def main():
                 failures.append(
                     f"{name}: {counter} rose {base_value:.1f} -> "
                     f"{fresh_value:.1f} (>{args.tolerance:.0%} over baseline)")
+        for counter in exact_counters:
+            if counter not in baseline[name]:
+                continue  # baseline predates this counter for this bench
+            base_value = float(baseline[name][counter])
+            if counter not in fresh[name]:
+                failures.append(
+                    f"{name}: counter {counter} missing from fresh run "
+                    f"(baseline {base_value:.1f}) — instrumentation lost?")
+                continue
+            fresh_value = float(fresh[name][counter])
+            compared += 1
+            verdict = "ok" if fresh_value == base_value else "DRIFT"
+            print(f"{verdict}: {name} {counter} "
+                  f"baseline={base_value:.1f} fresh={fresh_value:.1f} "
+                  f"(exact)")
+            if fresh_value != base_value:
+                failures.append(
+                    f"{name}: {counter} drifted {base_value:.1f} -> "
+                    f"{fresh_value:.1f} (exact counter; admission or "
+                    f"deadline semantics changed)")
     for name in sorted(set(fresh) - set(baseline)):
         print(f"note: {name} only in fresh run (no baseline yet)")
 

@@ -5,21 +5,28 @@
 #   3. builds with ThreadSanitizer and runs the obs concurrency tests, the
 #      exec thread-pool / fleet determinism suite, the compiled-catalog
 #      / staged-pipeline suites (many workers reading the one shared
-#      compiled snapshot), and the exceedance-index suite (shared memo
-#      under concurrent curve evaluation).
+#      compiled snapshot), the exceedance-index suite (shared memo under
+#      concurrent curve evaluation), and the serve suite (admission
+#      queue, deadlines, RCU snapshot swaps).
 # Usage: tools/check.sh [build-dir] (default build-asan; the TSan tree
 # lands next to it with a -tsan suffix).
 #
 # Bench-regression mode: tools/check.sh --bench [build-dir] (default
 # build) builds bench_perf_engine, runs the assessment + exceedance-index
-# benchmarks, and compares the per-curve evaluation-cost counters
-# (ppm.samples_scanned) against the committed BENCH_pipeline.json via
-# tools/bench_check.py. Counter-based, so it is stable on the 1-CPU
+# + serve-overload benchmarks, and compares the per-curve evaluation-cost
+# counters (ppm.samples_scanned) and the serving-path admission counters
+# (serve.admitted/shed/expired) against the committed BENCH_pipeline.json
+# via tools/bench_check.py. Counter-based, so it is stable on the 1-CPU
 # container where wall time is not. After an INTENDED cost change,
 # refresh the baseline:
 #   ./build/bench/bench_perf_engine \
-#     --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_FleetAssess|BM_ExceedanceIndex' \
+#     --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_FleetAssess|BM_ExceedanceIndex|BM_ServeOverload' \
 #     --benchmark_out=BENCH_pipeline.json --benchmark_out_format=json
+#
+# Soak mode: tools/check.sh --soak [build-dir] (default build-soak)
+# builds the serve suite under ThreadSanitizer and repeats the
+# deterministic overload soak (concurrent submitters + snapshot swaps +
+# pre-expired deadlines) so races in the serving path fail loudly.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -31,10 +38,25 @@ if [[ "${1:-}" == "--bench" ]]; then
   fresh_json="$(mktemp --suffix=.json)"
   trap 'rm -f "${fresh_json}"' EXIT
   "${bench_build_dir}/bench/bench_perf_engine" \
-    --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_ExceedanceIndex' \
+    --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_ExceedanceIndex|BM_ServeOverload' \
     --benchmark_out="${fresh_json}" --benchmark_out_format=json
   python3 "${repo_root}/tools/bench_check.py" \
     "${repo_root}/BENCH_pipeline.json" "${fresh_json}"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--soak" ]]; then
+  soak_dir="${2:-${repo_root}/build-soak}"
+  cmake -B "${soak_dir}" -S "${repo_root}" \
+    -DDOPPLER_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${soak_dir}" -j"$(nproc)" --target serve_test
+  # The whole serve suite runs once (queue saturation, deadline expiry,
+  # hot swap), then the overload soak repeats to widen the interleaving
+  # space TSan observes.
+  TSAN_OPTIONS="halt_on_error=1" "${soak_dir}/tests/serve_test"
+  TSAN_OPTIONS="halt_on_error=1" "${soak_dir}/tests/serve_test" \
+    --gtest_filter='*Soak*' --gtest_repeat=5
   exit 0
 fi
 
@@ -70,9 +92,10 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${tsan_dir}" -j"$(nproc)" \
   --target obs_test exec_test compiled_catalog_test pipeline_stage_test \
-  exceedance_index_test
+  exceedance_index_test serve_test
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/exec_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/compiled_catalog_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/pipeline_stage_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/exceedance_index_test"
+TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/serve_test"

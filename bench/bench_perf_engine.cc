@@ -29,6 +29,7 @@
 #include "dma/pipeline.h"
 #include "dma/preprocess.h"
 #include "exec/fleet_assessor.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/assessment_service.h"
@@ -537,6 +538,58 @@ void BM_ServeOverload(benchmark::State& state) {
   state.SetLabel("1 worker, queue 4, 16 requests/iteration");
 }
 BENCHMARK(BM_ServeOverload)->Unit(benchmark::kMillisecond);
+
+// ---- Flight-recorder overhead: the same single-threaded pipeline assess
+// with and without a terminal FlightRecord per request, mirroring exactly
+// what the serving layer records (queue wait, total latency, per-stage
+// timings). Arg is recorder on/off; comparing the two wall times bounds
+// the recorder's cost per assessment, and the exact obs.flight.recorded
+// counter (1 with the recorder attached, 0 without) locks the
+// record-per-request contract in the bench gate — a drift means requests
+// started being recorded zero or multiple times.
+
+void BM_FlightRecorderOverhead(benchmark::State& state) {
+  const bool recording = state.range(0) != 0;
+  const dma::SkuRecommendationPipeline& pipeline = PipelineWithThreads(1);
+  obs::FlightRecorder recorder;
+  dma::AssessmentRequest request;
+  request.customer_id = "flight";
+  request.target = catalog::Deployment::kSqlDb;
+  request.database_traces = {MakeTrace(7, 5)};
+  obs::Counter* const recorded =
+      obs::DefaultMetrics().GetCounter("obs.flight.recorded");
+  const std::uint64_t recorded_before = recorded->Value();
+  const auto before = SnapshotCostCounters();
+  std::uint64_t sequence = 0;
+  for (auto _ : state) {
+    StatusOr<dma::AssessmentOutcome> outcome = pipeline.Assess(request);
+    benchmark::DoNotOptimize(outcome);
+    if (!outcome.ok()) std::abort();
+    if (recording) {
+      obs::FlightRecord record;
+      record.request_id = "flight-" + std::to_string(++sequence);
+      record.snapshot_epoch = 1;
+      record.status = StatusCode::kOk;
+      record.cause = obs::FlightCause::kCompleted;
+      record.queue_wait_seconds = 0.0;
+      for (const dma::StageTiming& timing : outcome->stage_timings) {
+        record.total_seconds += timing.seconds;
+        record.stage_timings.push_back({timing.stage, timing.seconds});
+      }
+      recorder.Record(std::move(record));
+    }
+  }
+  ReportCostCounters(state, before);
+  state.counters["obs.flight.recorded"] = benchmark::Counter(
+      static_cast<double>(recorded->Value() - recorded_before) /
+      static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(recording ? "recorder on, 1 record/assess" : "recorder off");
+}
+BENCHMARK(BM_FlightRecorderOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -13,7 +13,9 @@
 #include "core/forecast.h"
 #include "dma/pipeline.h"
 #include "exec/fleet_assessor.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "dma/preprocess.h"
@@ -50,6 +52,9 @@ Commands:
             [--target db|mi] [--catalog F] [--profiles F] [--confidence]
             [--quality strict|repair|permissive] [--json] [--out F]
             [--watch-catalog F] [--rounds N] [--poll-ms N]
+            [--journal-out F] [--stats-interval-ms N] [--stats-out F]
+            [--slo-ms N]
+  stats     [--snapshots F] [--last N]       render the serve stats file
   forecast  --trace F [--current-sku ID] [--months N]
   drift     --trace F --current-sku ID [--recent-fraction X]
   tco       --trace F
@@ -85,6 +90,17 @@ requests report DEADLINE_EXCEEDED with the stages that completed. --rounds
 scans the spool that many times (sleeping --poll-ms between scans), and
 --watch-catalog hot-swaps a repriced catalog file into a new snapshot
 epoch without disturbing in-flight requests.
+
+serve observability: --journal-out appends every terminal request (status,
+cause, pinned epoch, queue wait, per-stage timings) to a JSON-lines flight
+journal; --stats-interval-ms runs the windowed metrics snapshotter on that
+cadence, writing --stats-out (default doppler-stats.jsonl, plus a .prom
+twin) atomically with windowed rates, p50/p95/p99 latency quantiles and —
+with --slo-ms — the fraction of requests inside the SLO. Recording never
+changes assessment results. `doppler stats` renders the snapshot file as a
+text dashboard (request rates per outcome, latency quantiles, queue
+gauges, catalog epoch history); --last N keeps only the newest N
+snapshots.
 
 Exit codes: 0 success, 1 partial failure (some batch/serve requests
 failed), 2 bad command line, 3 invalid input, 4 not found,
@@ -406,7 +422,7 @@ StatusOr<int> RunAssessBatch(const CliOptions& options, std::ostream& out) {
   }
   const std::string out_path = options.Get("out");
   if (!out_path.empty()) {
-    DOPPLER_RETURN_IF_ERROR(obs::WriteTextFile(out_path, rendered));
+    DOPPLER_RETURN_IF_ERROR(obs::WriteTextFileAtomic(out_path, rendered));
     out << "wrote batch report for " << results.size() << " traces to "
         << out_path << "\n";
   } else {
@@ -473,6 +489,40 @@ StatusOr<int> RunServe(const CliOptions& options, std::ostream& out) {
         poll_ms, ParsePositiveInt(options.Get("poll-ms"), "--poll-ms"));
   }
 
+  // Serving-grade observability: the flight recorder journals every
+  // terminal request, the snapshotter publishes windowed stats on a
+  // cadence. Both are passive — reports are byte-identical either way.
+  const std::string journal_path = options.Get("journal-out");
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!journal_path.empty()) {
+    recorder = std::make_unique<obs::FlightRecorder>();
+  }
+  service_options.flight_recorder = recorder.get();
+
+  int stats_interval_ms = 0;
+  if (options.Has("stats-interval-ms")) {
+    DOPPLER_ASSIGN_OR_RETURN(stats_interval_ms,
+                             ParsePositiveInt(options.Get("stats-interval-ms"),
+                                              "--stats-interval-ms"));
+  }
+  obs::SnapshotterOptions stats_options;
+  const bool stats_enabled = stats_interval_ms > 0 ||
+                             options.Has("stats-out") ||
+                             options.Has("slo-ms");
+  if (stats_enabled) {
+    stats_options.jsonl_path = options.Get("stats-out", "doppler-stats.jsonl");
+    // Prometheus twin next to the jsonl history, extension swapped.
+    const std::filesystem::path prom_twin =
+        std::filesystem::path(stats_options.jsonl_path)
+            .replace_extension(".prom");
+    stats_options.prom_path = prom_twin.string();
+    if (options.Has("slo-ms")) {
+      DOPPLER_ASSIGN_OR_RETURN(
+          const int slo_ms, ParsePositiveInt(options.Get("slo-ms"), "--slo-ms"));
+      stats_options.slo_seconds = slo_ms / 1000.0;
+    }
+  }
+
   DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
   DOPPLER_ASSIGN_OR_RETURN(
       core::GroupModel profiles,
@@ -481,6 +531,17 @@ StatusOr<int> RunServe(const CliOptions& options, std::ostream& out) {
                            BuildSnapshot(std::move(skus), profiles));
   serve::SnapshotRegistry registry(std::move(initial));
   serve::AssessmentService service(&registry, service_options);
+
+  std::unique_ptr<obs::MetricsSnapshotter> snapshotter;
+  if (stats_enabled) {
+    snapshotter = std::make_unique<obs::MetricsSnapshotter>(
+        &obs::DefaultMetrics(), stats_options);
+    // Startup tick anchors the first window at process start, so lifetime
+    // totals reconstructed from window deltas match the cumulative
+    // counters; the background cadence takes over from here.
+    snapshotter->Tick();
+    if (stats_interval_ms > 0) snapshotter->Start(stats_interval_ms);
+  }
 
   const std::string watch_path = options.Get("watch-catalog");
   const bool quiet = options.Has("json");
@@ -527,6 +588,30 @@ StatusOr<int> RunServe(const CliOptions& options, std::ostream& out) {
     for (serve::ServeResponse& response : pass.responses) {
       report.responses.push_back(std::move(response));
     }
+    // Publish the journal at every round boundary, not just at exit, so a
+    // killed server still leaves the journal of its completed rounds.
+    if (recorder != nullptr) {
+      const Status dumped = recorder->DumpJsonLines(journal_path);
+      if (!dumped.ok() && !quiet) {
+        out << "(journal write failed: " << dumped.ToString() << ")\n";
+      }
+    }
+  }
+  // Final tick after the last round guarantees at least two snapshot lines
+  // (startup + final) even when the run outpaces the cadence.
+  if (snapshotter != nullptr) {
+    snapshotter->Stop();
+    snapshotter->Tick();
+    if (const Status exported = snapshotter->LastExportStatus();
+        !exported.ok() && !quiet) {
+      out << "(stats write failed: " << exported.ToString() << ")\n";
+    }
+  }
+  if (recorder != nullptr) {
+    const Status dumped = recorder->DumpJsonLines(journal_path);
+    if (!dumped.ok() && !quiet) {
+      out << "(journal write failed: " << dumped.ToString() << ")\n";
+    }
   }
   if (report.responses.empty()) {
     return NotFoundError("no *.csv requests appeared under '" + spool_dir +
@@ -539,7 +624,7 @@ StatusOr<int> RunServe(const CliOptions& options, std::ostream& out) {
                           : serve::RenderSpoolReportText(report, stats);
   const std::string out_path = options.Get("out");
   if (!out_path.empty()) {
-    DOPPLER_RETURN_IF_ERROR(obs::WriteTextFile(out_path, rendered));
+    DOPPLER_RETURN_IF_ERROR(obs::WriteTextFileAtomic(out_path, rendered));
     out << "wrote serve report for " << report.responses.size()
         << " requests to " << out_path << "\n";
   } else {
@@ -548,6 +633,26 @@ StatusOr<int> RunServe(const CliOptions& options, std::ostream& out) {
   // Same partial-failure contract as assess-batch: every request reached a
   // terminal status and the report says which; exit 1 flags any non-OK.
   return report.failures == 0 ? 0 : 1;
+}
+
+// Renders the snapshot history `serve --stats-interval-ms` maintains.
+// Reads the same file serve writes atomically, so running this while the
+// server is live always sees a complete history, never a torn write.
+StatusOr<int> RunStats(const CliOptions& options, std::ostream& out) {
+  const std::string path = options.Get("snapshots", "doppler-stats.jsonl");
+  std::vector<obs::WindowedSnapshot> history;
+  DOPPLER_RETURN_IF_ERROR(
+      obs::MetricsSnapshotter::ReadJsonLines(path, &history));
+  if (options.Has("last")) {
+    DOPPLER_ASSIGN_OR_RETURN(const int last,
+                             ParsePositiveInt(options.Get("last"), "--last"));
+    if (history.size() > static_cast<std::size_t>(last)) {
+      history.erase(history.begin(),
+                    history.end() - static_cast<std::ptrdiff_t>(last));
+    }
+  }
+  out << obs::RenderStatsDashboard(history);
+  return 0;
 }
 
 StatusOr<int> RunForecast(const CliOptions& options, std::ostream& out) {
@@ -682,7 +787,7 @@ Status ExportObservability(const CliOptions& options) {
     const bool json = path.size() >= 5 &&
                       path.compare(path.size() - 5, 5, ".json") == 0;
     const obs::MetricsRegistry& metrics = obs::DefaultMetrics();
-    DOPPLER_RETURN_IF_ERROR(obs::WriteTextFile(
+    DOPPLER_RETURN_IF_ERROR(obs::WriteTextFileAtomic(
         path, json ? metrics.RenderJson() : metrics.RenderPrometheusText()));
   }
   if (options.Has("trace-out")) {
@@ -759,6 +864,7 @@ StatusOr<int> RunCli(const CliOptions& options, std::ostream& out) {
   if (options.command == "assess") return RunAssess(options, out);
   if (options.command == "assess-batch") return RunAssessBatch(options, out);
   if (options.command == "serve") return RunServe(options, out);
+  if (options.command == "stats") return RunStats(options, out);
   if (options.command == "forecast") return RunForecast(options, out);
   if (options.command == "drift") return RunDrift(options, out);
   if (options.command == "tco") return RunTco(options, out);

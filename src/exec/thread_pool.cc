@@ -52,6 +52,11 @@ void ThreadPool::RunTask(QueuedTask task, bool inline_run) {
       obs::DefaultMetrics().GetCounter("exec.tasks_executed");
   static obs::Counter* const kInline =
       obs::DefaultMetrics().GetCounter("exec.tasks_inline");
+  // Queue wait (enqueue to pickup) before the task runs; exec.task_latency
+  // below is the full submit-to-completion span, so wait = latency - work.
+  static obs::Histogram* const kQueueWait =
+      obs::DefaultMetrics().GetHistogram("exec.queue_wait");
+  kQueueWait->Observe(static_cast<double>(NowNs() - task.enqueue_ns) * 1e-9);
   task.work();
   kExecuted->Increment();
   if (inline_run) kInline->Increment();

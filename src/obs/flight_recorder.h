@@ -1,0 +1,123 @@
+#ifndef DOPPLER_OBS_FLIGHT_RECORDER_H_
+#define DOPPLER_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace doppler::obs {
+
+/// Why a request reached its terminal state. Mirrors the serving layer's
+/// accounting identity (submitted = admitted + shed; admitted = completed +
+/// expired + failed) plus kIngestFailed for requests that never produced an
+/// assessable payload (spool CSV parse/read errors).
+enum class FlightCause {
+  kCompleted = 0,
+  kShed = 1,
+  kExpired = 2,
+  kFailed = 3,
+  kIngestFailed = 4,
+};
+
+const char* FlightCauseName(FlightCause cause);
+
+/// Per-stage wall time as recorded by the pipeline's TimingSink. The obs
+/// layer sits below dma, so this is a plain mirror of dma::StageTiming
+/// (stage name already resolved to text) rather than a dependency on it.
+struct FlightStageTiming {
+  std::string stage;
+  double seconds = 0.0;
+};
+
+/// One terminal per-request record: everything an operator needs to answer
+/// "what happened to request X" after the fact, and one labelled outcome
+/// row for a future learned recommender (ROADMAP item 4).
+struct FlightRecord {
+  /// Global admission-order sequence number, assigned by Record().
+  std::uint64_t sequence = 0;
+  std::string request_id;
+  /// Catalog snapshot epoch the request was pinned to (0 = none pinned).
+  std::uint64_t snapshot_epoch = 0;
+  StatusCode status = StatusCode::kOk;
+  std::string status_message;
+  FlightCause cause = FlightCause::kCompleted;
+  /// True when sustained pressure shed the confidence stage pre-admission.
+  bool confidence_shed = false;
+  /// Admission-queue wait: submit to worker pickup. 0 for shed requests
+  /// (they never waited) and ingest failures (never enqueued).
+  double queue_wait_seconds = 0.0;
+  /// End-to-end service time (pickup to terminal state).
+  double total_seconds = 0.0;
+  std::vector<FlightStageTiming> stage_timings;
+};
+
+struct FlightRecorderOptions {
+  /// Ring capacity for healthy (kCompleted, no error) traffic.
+  std::size_t capacity = 4096;
+  /// Separate retention for anomalies (any non-kCompleted cause or non-OK
+  /// status) so they are never rotated out by healthy traffic.
+  std::size_t anomaly_capacity = 1024;
+  /// Slowest healthy requests retained even after rotating out of the main
+  /// ring (tail-latency forensics).
+  std::size_t slow_capacity = 256;
+};
+
+/// Fixed-capacity, thread-safe journal of terminal request records with
+/// tail-based retention (DESIGN.md §12): healthy traffic rotates through a
+/// bounded ring, while (a) every anomaly and (b) the slowest healthy
+/// requests survive arbitrarily many rotations, up to their own caps.
+/// Record() is mutex-guarded and O(log slow_capacity) — measured by
+/// BM_FlightRecorderOverhead; per-cause totals are unaffected by rotation.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends a terminal record and returns its assigned sequence number.
+  std::uint64_t Record(FlightRecord record);
+
+  /// All retained records, sorted by sequence (ascending, deduplicated).
+  std::vector<FlightRecord> Snapshot() const;
+
+  /// Lifetime totals per cause — counts every Record() call ever made,
+  /// regardless of whether the record is still retained.
+  std::map<FlightCause, std::uint64_t> CauseTotals() const;
+  std::uint64_t TotalRecorded() const;
+
+  /// Retained records as JSON lines (one object per record, sequence
+  /// order), the `serve --journal-out` format that obs/snapshot.cc's
+  /// `doppler stats` helpers can read back.
+  std::string RenderJsonLines() const;
+
+  /// Atomically writes RenderJsonLines() to `path` (tmp+fsync+rename).
+  Status DumpJsonLines(const std::string& path) const;
+
+  const FlightRecorderOptions& options() const { return options_; }
+
+ private:
+  bool IsAnomaly(const FlightRecord& record) const;
+  /// Offers a rotated-out healthy record to the slowest-retained set.
+  void OfferSlow(FlightRecord record);
+
+  const FlightRecorderOptions options_;
+  mutable std::mutex mu_;
+  std::uint64_t next_sequence_ = 1;
+  /// Healthy-traffic ring: evictions from the front are offered to slow_.
+  std::deque<FlightRecord> normal_;
+  /// Anomalies (shed/expired/failed/ingest-failed or non-OK status).
+  std::deque<FlightRecord> anomalies_;
+  /// Slowest rotated-out healthy records, kept sorted by total_seconds
+  /// ascending so the fastest is cheap to evict.
+  std::vector<FlightRecord> slow_;
+  std::map<FlightCause, std::uint64_t> cause_totals_;
+};
+
+}  // namespace doppler::obs
+
+#endif  // DOPPLER_OBS_FLIGHT_RECORDER_H_

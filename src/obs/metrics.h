@@ -72,6 +72,9 @@ class Histogram {
     return count_.load(std::memory_order_relaxed);
   }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Interpolated quantile estimate over the live bucket counts (see
+  /// QuantileFromBuckets for the estimation contract). 0 when empty.
+  double Quantile(double q) const;
   void Reset();
 
  private:
@@ -84,10 +87,38 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Sanitises a dotted doppler metric name to a Prometheus exposition name
+/// under the `doppler_` prefix: runs of characters outside [a-zA-Z0-9_]
+/// collapse to one underscore, trailing separators drop. Exposed so the
+/// windowed snapshotter renders the same names as RenderPrometheusText.
+std::string PrometheusMetricName(const std::string& name);
+
 /// Default latency bucket bounds in seconds: 1 µs to 10 s, roughly
 /// 1-2.5-5 per decade — wide enough for a per-SKU probability scan and a
 /// full fleet assessment on the same scale.
 const std::vector<double>& LatencyBucketBounds();
+
+/// Interpolated quantile estimate from fixed-bucket histogram data.
+/// `buckets` holds per-bucket (non-cumulative) counts, one more entry than
+/// `bounds` (the trailing +Inf overflow bucket); `count` is their sum.
+/// The rank-q observation (rank = ceil(q * count), 1-based over the sorted
+/// samples) is located in its bucket and linearly interpolated between the
+/// bucket's edges, so the estimate is off from the exact sorted-sample
+/// quantile by at most one bucket width (the documented error bound,
+/// DESIGN.md §12). The +Inf bucket cannot be interpolated: ranks landing
+/// there clamp to the last finite bound. Returns 0 when count == 0.
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<std::uint64_t>& buckets,
+                           std::uint64_t count, double q);
+
+/// Fraction of observations with value <= `threshold`, linearly
+/// interpolating inside the bucket that straddles the threshold (the SLO
+/// budget estimator: "what fraction of requests met --slo-ms"). Overflow
+/// (+Inf) observations always count as over the threshold. Returns -1 when
+/// count == 0 (no traffic — distinct from 0, every request over budget).
+double FractionUnderThreshold(const std::vector<double>& bounds,
+                              const std::vector<std::uint64_t>& buckets,
+                              std::uint64_t count, double threshold);
 
 /// Thread-safe name -> metric registry. Registration (first Get* for a
 /// name) takes a mutex; the returned pointers are stable for the registry's
@@ -119,6 +150,25 @@ class MetricsRegistry {
   /// them) stay valid — this resets data, not registration.
   void ResetAll();
 
+  /// Point-in-time plain-data copy of every registered metric, the input
+  /// the windowed snapshotter (obs/snapshot.h) diffs between ticks.
+  /// Individual values are relaxed atomic reads — the copy is not a
+  /// cross-metric atomic cut, which windowed diffing tolerates (each
+  /// metric's delta is still exact between two of ITS OWN reads).
+  struct RegistrySnapshot {
+    struct HistogramData {
+      std::vector<double> bounds;
+      /// Per-bucket (non-cumulative) counts; one more than bounds (+Inf).
+      std::vector<std::uint64_t> buckets;
+      std::uint64_t count = 0;
+      double sum = 0.0;
+    };
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
+  };
+  RegistrySnapshot Snapshot() const;
+
   /// Prometheus text exposition: dotted names are sanitised to
   /// `doppler_stage_substage`, counters gain the `_total` suffix, histogram
   /// buckets render cumulatively with `le` labels.
@@ -142,8 +192,17 @@ class MetricsRegistry {
 MetricsRegistry& DefaultMetrics();
 
 /// Writes `content` of a rendered export to `path` (UNAVAILABLE on I/O
-/// failure). Shared by the CLI's --metrics-out and --trace-out handling.
+/// failure). Not atomic — a concurrent reader can observe a partial file;
+/// exports that scrapers poll should use WriteTextFileAtomic instead.
 Status WriteTextFile(const std::string& path, const std::string& content);
+
+/// Atomically replaces `path` with `content`: writes a sibling temp file,
+/// fsyncs it, then rename(2)s it over `path`, so a concurrent reader sees
+/// either the previous complete file or the new complete file — never a
+/// torn write. Shared by the CLI's --metrics-out/--trace-out exports, the
+/// windowed snapshotter, and the flight-recorder journal dump.
+Status WriteTextFileAtomic(const std::string& path,
+                           const std::string& content);
 
 }  // namespace doppler::obs
 

@@ -1,0 +1,136 @@
+#ifndef DOPPLER_OBS_SNAPSHOT_H_
+#define DOPPLER_OBS_SNAPSHOT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace doppler::obs {
+
+/// Windowed view of one histogram: counts/sum are deltas over the window,
+/// quantiles are interpolated from the window's bucket deltas (error bound:
+/// one bucket width, see QuantileFromBuckets).
+struct WindowedHistogram {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Fraction of the window's observations under the SLO threshold;
+  /// -1 when no SLO is configured or the window saw no observations.
+  double slo_fraction = -1.0;
+};
+
+/// One tick of the snapshot engine: everything that changed since the
+/// previous tick, plus instantaneous gauge values. Serialised as one JSON
+/// line (RenderJsonLine) and parseable back (ParseJsonLine) so `doppler
+/// stats` can tail the file the serve process appends to.
+struct WindowedSnapshot {
+  std::uint64_t tick = 0;
+  /// Wall-clock width of the window in seconds (time since previous tick).
+  double window_seconds = 0.0;
+  /// Counter increments over the window (clamped at 0 — a ResetAll between
+  /// ticks reads as an empty window, not a negative one).
+  std::map<std::string, std::uint64_t> counter_deltas;
+  /// Instantaneous gauge values at tick time.
+  std::map<std::string, double> gauges;
+  std::map<std::string, WindowedHistogram> histograms;
+};
+
+struct SnapshotterOptions {
+  /// SLO threshold in seconds for WindowedHistogram::slo_fraction;
+  /// <= 0 disables the SLO column.
+  double slo_seconds = 0.0;
+  /// Prometheus text export path ("" = skip). Written atomically, whole
+  /// file replaced each tick.
+  std::string prom_path;
+  /// JSON-lines history path ("" = skip). Written atomically each tick
+  /// with the full retained history, newest line last.
+  std::string jsonl_path;
+  /// Ticks retained in memory (and in the jsonl file).
+  std::size_t history_limit = 1024;
+};
+
+/// Diffs a MetricsRegistry between ticks into WindowedSnapshots: windowed
+/// counter rates, instantaneous gauges, per-window histogram quantiles and
+/// SLO fractions. Tick() is explicit (tests, CLI round boundaries);
+/// Start(interval_ms) runs it on a background cadence until Stop(). File
+/// exports are atomic (tmp+fsync+rename) so a concurrent `doppler stats`
+/// never reads a torn file.
+class MetricsSnapshotter {
+ public:
+  MetricsSnapshotter(MetricsRegistry* registry, SnapshotterOptions options);
+  ~MetricsSnapshotter();
+  MetricsSnapshotter(const MetricsSnapshotter&) = delete;
+  MetricsSnapshotter& operator=(const MetricsSnapshotter&) = delete;
+
+  /// Takes a snapshot now, diffing against the previous tick. Thread-safe
+  /// (serialised with the background thread). Returns the new snapshot;
+  /// export-file write failures are reported in the returned status of
+  /// LastExportStatus(), not here — a full disk must not kill serving.
+  WindowedSnapshot Tick();
+
+  /// Starts the background cadence; no-op if already running.
+  void Start(int interval_ms);
+  /// Stops the background thread (joins it). Safe to call when stopped.
+  void Stop();
+
+  /// Retained snapshot history, oldest first.
+  std::vector<WindowedSnapshot> History() const;
+
+  /// Status of the most recent export-file write (OK before any export).
+  Status LastExportStatus() const;
+
+  /// One snapshot as a single JSON line (no trailing newline).
+  static std::string RenderJsonLine(const WindowedSnapshot& snapshot);
+  /// Prometheus text for one snapshot: windowed counters as
+  /// `doppler_window_*` gauges plus instantaneous gauges and quantiles.
+  static std::string RenderPrometheusText(const WindowedSnapshot& snapshot);
+  /// Parses a RenderJsonLine() line back. INVALID_ARGUMENT on malformed
+  /// input (the parser accepts exactly the subset JsonWriter emits).
+  static Status ParseJsonLine(const std::string& line,
+                              WindowedSnapshot* snapshot);
+  /// Reads a whole snapshot history file (jsonl_path format), oldest first.
+  static Status ReadJsonLines(const std::string& path,
+                              std::vector<WindowedSnapshot>* snapshots);
+
+ private:
+  void RunLoop(int interval_ms);
+  WindowedSnapshot Diff(const MetricsRegistry::RegistrySnapshot& prev,
+                        const MetricsRegistry::RegistrySnapshot& cur,
+                        double window_seconds) const;
+  void Export();
+
+  MetricsRegistry* const registry_;
+  const SnapshotterOptions options_;
+  mutable std::mutex mu_;
+  MetricsRegistry::RegistrySnapshot prev_;
+  bool has_prev_ = false;
+  std::uint64_t next_tick_ = 1;
+  std::chrono::steady_clock::time_point prev_time_;
+  std::vector<WindowedSnapshot> history_;
+  Status last_export_status_;
+
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool running_ = false;
+  std::thread worker_;
+};
+
+/// Renders the `doppler stats` text dashboard from a snapshot history:
+/// RED table (rate per outcome over the latest window + lifetime totals),
+/// latency quantiles with the SLO column, queue gauges, and the snapshot
+/// epoch/swap history reconstructed from the serve.snapshot_epoch gauge.
+std::string RenderStatsDashboard(const std::vector<WindowedSnapshot>& history);
+
+}  // namespace doppler::obs
+
+#endif  // DOPPLER_OBS_SNAPSHOT_H_

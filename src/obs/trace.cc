@@ -123,7 +123,7 @@ std::string RenderChromeTrace() {
 }
 
 Status WriteChromeTrace(const std::string& path) {
-  return WriteTextFile(path, RenderChromeTrace());
+  return WriteTextFileAtomic(path, RenderChromeTrace());
 }
 
 ScopedSpan::ScopedSpan(const char* name) : name_(name), start_ns_(NowNs()) {

@@ -14,9 +14,27 @@ namespace {
 // RED metrics for the serving path: request rates by outcome, queue
 // pressure, and per-outcome latency. Names follow the dotted scheme in
 // DESIGN.md §6.
+obs::Counter* SubmittedCounter() {
+  static obs::Counter* const kCounter =
+      obs::DefaultMetrics().GetCounter("serve.submitted");
+  return kCounter;
+}
+
 obs::Counter* AdmittedCounter() {
   static obs::Counter* const kCounter =
       obs::DefaultMetrics().GetCounter("serve.admitted");
+  return kCounter;
+}
+
+obs::Counter* CompletedCounter() {
+  static obs::Counter* const kCounter =
+      obs::DefaultMetrics().GetCounter("serve.completed");
+  return kCounter;
+}
+
+obs::Counter* FailedCounter() {
+  static obs::Counter* const kCounter =
+      obs::DefaultMetrics().GetCounter("serve.failed");
   return kCounter;
 }
 
@@ -42,6 +60,19 @@ obs::Gauge* QueueDepthGauge() {
   static obs::Gauge* const kGauge =
       obs::DefaultMetrics().GetGauge("serve.queue_depth");
   return kGauge;
+}
+
+// Admission-queue wait (submit to worker pickup), the half of latency the
+// per-outcome histograms can't see. Shared name with the thread pool's
+// exec.queue_wait so both layers are comparable.
+obs::Histogram* QueueWaitHistogram() {
+  static obs::Histogram* const kHistogram =
+      obs::DefaultMetrics().GetHistogram("serve.queue_wait");
+  return kHistogram;
+}
+
+obs::FlightStageTiming ToFlightTiming(const dma::StageTiming& timing) {
+  return obs::FlightStageTiming{timing.stage, timing.seconds};
 }
 
 // One latency histogram per terminal outcome so overload diagnosis can
@@ -81,9 +112,11 @@ AssessmentService::AssessmentService(SnapshotRegistry* registry,
 AssessmentService::~AssessmentService() = default;
 
 ServeResponse AssessmentService::Process(dma::AssessmentRequest& request,
-                                         bool confidence_shed) {
+                                         bool confidence_shed,
+                                         double queue_wait_seconds) {
   DOPPLER_TRACE_SPAN("serve.process");
   const auto start = std::chrono::steady_clock::now();
+  QueueWaitHistogram()->Observe(queue_wait_seconds);
 
   // Pin the snapshot for the request's whole lifetime: a Swap during the
   // assessment is invisible here, and the pinned pipeline stays alive
@@ -116,13 +149,36 @@ ServeResponse AssessmentService::Process(dma::AssessmentRequest& request,
           std::chrono::steady_clock::now() - start)
           .count();
   LatencyHistogramFor(response.status.code())->Observe(seconds);
+  obs::FlightCause cause = obs::FlightCause::kCompleted;
   if (response.status.ok()) {
     completed_.fetch_add(1, std::memory_order_relaxed);
+    CompletedCounter()->Increment();
   } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
     expired_.fetch_add(1, std::memory_order_relaxed);
     ExpiredCounter()->Increment();
+    cause = obs::FlightCause::kExpired;
   } else {
     failed_.fetch_add(1, std::memory_order_relaxed);
+    FailedCounter()->Increment();
+    cause = obs::FlightCause::kFailed;
+  }
+  if (options_.flight_recorder != nullptr) {
+    obs::FlightRecord record;
+    record.request_id = response.customer_id;
+    record.snapshot_epoch = response.snapshot_epoch;
+    record.status = response.status.code();
+    record.status_message = response.status.message();
+    record.cause = cause;
+    record.confidence_shed = confidence_shed;
+    record.queue_wait_seconds = queue_wait_seconds;
+    record.total_seconds = seconds;
+    if (response.outcome.has_value()) {
+      record.stage_timings.reserve(response.outcome->stage_timings.size());
+      for (const dma::StageTiming& timing : response.outcome->stage_timings) {
+        record.stage_timings.push_back(ToFlightTiming(timing));
+      }
+    }
+    options_.flight_recorder->Record(std::move(record));
   }
   return response;
 }
@@ -130,6 +186,7 @@ ServeResponse AssessmentService::Process(dma::AssessmentRequest& request,
 StatusOr<std::future<ServeResponse>> AssessmentService::Submit(
     dma::AssessmentRequest request) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  SubmittedCounter()->Increment();
 
   // Graceful degradation before load shedding: under sustained pressure
   // the optional confidence resample goes first. Judged at admission so
@@ -150,13 +207,29 @@ StatusOr<std::future<ServeResponse>> AssessmentService::Submit(
   // The request moves into shared state because std::function requires a
   // copyable callable; the task is the sole owner either way.
   auto boxed = std::make_shared<dma::AssessmentRequest>(std::move(request));
+  const auto enqueue_time = std::chrono::steady_clock::now();
   const bool admitted =
-      pool_->TrySubmit([this, promise, boxed, confidence_shed] {
-        promise->set_value(Process(*boxed, confidence_shed));
+      pool_->TrySubmit([this, promise, boxed, confidence_shed, enqueue_time] {
+        const double queue_wait =
+            std::chrono::duration_cast<std::chrono::duration<double>>(
+                std::chrono::steady_clock::now() - enqueue_time)
+                .count();
+        promise->set_value(Process(*boxed, confidence_shed, queue_wait));
       });
   if (!admitted) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     ShedCounter()->Increment();
+    // A shed request never waited (fast-reject) and never pinned a
+    // snapshot, but it still earns a journal entry — operators debugging
+    // overload need the who/when of every rejection.
+    if (options_.flight_recorder != nullptr) {
+      obs::FlightRecord record;
+      record.request_id = boxed->customer_id;
+      record.status = StatusCode::kResourceExhausted;
+      record.status_message = "admission queue full";
+      record.cause = obs::FlightCause::kShed;
+      options_.flight_recorder->Record(std::move(record));
+    }
     return ResourceExhaustedError(
         "admission queue full (" + std::to_string(options_.queue_depth) +
         " waiting); request '" + boxed->customer_id + "' shed");

@@ -11,6 +11,7 @@
 #include "dma/pipeline.h"
 #include "dma/request_context.h"
 #include "exec/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "serve/snapshot_registry.h"
 #include "util/statusor.h"
 
@@ -31,6 +32,11 @@ struct ServiceOptions {
   /// loss since it only annotates the recommendation with a bootstrap
   /// agreement score — is shed from the request before whole requests are.
   double degrade_watermark = 0.75;
+  /// Optional terminal-request journal (borrowed, may be nullptr). Every
+  /// request that reaches a terminal state — completed, shed at admission,
+  /// expired, or failed — appends one FlightRecord. Recording never alters
+  /// assessment results: reports are byte-identical recorder on or off.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 /// Terminal record of one served request. `status` is always terminal:
@@ -101,8 +107,8 @@ class AssessmentService {
   const ServiceOptions& options() const { return options_; }
 
  private:
-  ServeResponse Process(dma::AssessmentRequest& request,
-                        bool confidence_shed);
+  ServeResponse Process(dma::AssessmentRequest& request, bool confidence_shed,
+                        double queue_wait_seconds);
 
   SnapshotRegistry* registry_;
   ServiceOptions options_;

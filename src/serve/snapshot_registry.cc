@@ -23,6 +23,9 @@ SnapshotRegistry::SnapshotRegistry(
     std::shared_ptr<const dma::SkuRecommendationPipeline> initial)
     : current_(MakeSnapshot(1, std::move(initial))) {
   epoch_.store(1, std::memory_order_release);
+  // Publish the initial epoch too, so a stats snapshot taken before the
+  // first Swap already shows epoch 1 instead of a missing gauge.
+  obs::DefaultMetrics().GetGauge("serve.snapshot_epoch")->Set(1.0);
 }
 
 ServingSnapshot SnapshotRegistry::Acquire() const {

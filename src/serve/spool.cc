@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "dma/pipeline.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "util/json_writer.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -36,6 +38,12 @@ ServeResponse ErrorResponse(std::string customer_id, Status status) {
   response.customer_id = std::move(customer_id);
   response.status = std::move(status);
   return response;
+}
+
+obs::Counter* IngestFailedCounter() {
+  static obs::Counter* const kCounter =
+      obs::DefaultMetrics().GetCounter("serve.ingest_failed");
+  return kCounter;
 }
 
 }  // namespace
@@ -120,6 +128,18 @@ SpoolReport DrainSpool(AssessmentService& service,
         IngestWithRetry(paths[i], options, deadline, &rng);
     if (!gated.ok()) {
       report.responses.push_back(ErrorResponse(customer_id, gated.status()));
+      IngestFailedCounter()->Increment();
+      // Requests that die before submission still journal: the flight
+      // recorder is the one place every terminal fate is accounted for.
+      if (obs::FlightRecorder* recorder = service.options().flight_recorder;
+          recorder != nullptr) {
+        obs::FlightRecord record;
+        record.request_id = customer_id;
+        record.status = gated.status().code();
+        record.status_message = gated.status().message();
+        record.cause = obs::FlightCause::kIngestFailed;
+        recorder->Record(std::move(record));
+      }
       continue;
     }
     dma::AssessmentRequest request;

@@ -34,6 +34,7 @@
 #include "catalog/catalog.h"
 #include "dma/pipeline.h"
 #include "dma/resource_report.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "serve/assessment_service.h"
 #include "serve/backoff.h"
@@ -735,6 +736,11 @@ TEST_F(ServeFixture, SoakOverloadEveryRequestReachesTerminalStatus) {
   serve::ServiceOptions options;
   options.workers = 2;
   options.queue_depth = 4;
+  // Journal every terminal fate; default capacities exceed the soak's 36
+  // requests, so the retained records are the complete population and the
+  // journal accounting below is exact, not sampled.
+  obs::FlightRecorder recorder;
+  options.flight_recorder = &recorder;
   serve::AssessmentService service(&registry, options);
 
   std::mutex mu;
@@ -812,6 +818,74 @@ TEST_F(ServeFixture, SoakOverloadEveryRequestReachesTerminalStatus) {
   EXPECT_EQ(stats.admitted, completed + expired);
   // At least the pre-expired requests must have hit the deadline path.
   EXPECT_GT(expired, 0u);
+
+  // Journal accounting matches the admission identity exactly: one record
+  // per submitted request, causes mirroring the terminal counters.
+  EXPECT_EQ(recorder.TotalRecorded(), stats.submitted);
+  const auto causes = recorder.CauseTotals();
+  const auto cause_count = [&causes](obs::FlightCause cause) {
+    const auto it = causes.find(cause);
+    return it == causes.end() ? std::uint64_t{0} : it->second;
+  };
+  EXPECT_EQ(cause_count(obs::FlightCause::kShed), stats.shed);
+  EXPECT_EQ(cause_count(obs::FlightCause::kCompleted), stats.completed);
+  EXPECT_EQ(cause_count(obs::FlightCause::kExpired), stats.expired);
+  EXPECT_EQ(cause_count(obs::FlightCause::kFailed), stats.failed);
+
+  // The retained records ARE the population (capacity > traffic), so the
+  // per-status census equals the counters too.
+  const std::vector<obs::FlightRecord> records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), stats.submitted);
+  std::uint64_t journal_ok = 0;
+  std::uint64_t journal_expired = 0;
+  std::uint64_t journal_shed = 0;
+  for (const obs::FlightRecord& record : records) {
+    switch (record.status) {
+      case StatusCode::kOk:
+        ++journal_ok;
+        // Completed requests journal their pinned epoch and stage times.
+        EXPECT_GE(record.snapshot_epoch, 1u);
+        EXPECT_FALSE(record.stage_timings.empty());
+        break;
+      case StatusCode::kDeadlineExceeded:
+        ++journal_expired;
+        break;
+      case StatusCode::kResourceExhausted:
+        ++journal_shed;
+        break;
+      default:
+        ADD_FAILURE() << "unexpected journal status "
+                      << StatusCodeToString(record.status);
+    }
+  }
+  EXPECT_EQ(journal_ok, stats.completed);
+  EXPECT_EQ(journal_expired, stats.expired);
+  EXPECT_EQ(journal_shed, stats.shed);
+}
+
+// Recording is observability, not behaviour: the same request renders a
+// byte-identical report with the flight recorder attached and without.
+TEST_F(ServeFixture, RecorderOnOffReportsAreByteIdentical) {
+  serve::SnapshotRegistry registry(pipeline_a_);
+  std::vector<std::string> rendered;
+  for (const bool with_recorder : {false, true}) {
+    obs::FlightRecorder recorder;
+    serve::ServiceOptions options;
+    options.workers = 1;
+    if (with_recorder) options.flight_recorder = &recorder;
+    serve::AssessmentService service(&registry, options);
+    StatusOr<std::future<serve::ServeResponse>> submitted =
+        service.Submit(ServeRequest(/*seed=*/1));
+    ASSERT_TRUE(submitted.ok());
+    const serve::ServeResponse response = submitted->get();
+    ASSERT_TRUE(response.status.ok());
+    ASSERT_TRUE(response.outcome.has_value());
+    rendered.push_back(Render(*response.outcome));
+    if (with_recorder) {
+      EXPECT_EQ(recorder.TotalRecorded(), 1u);
+    }
+  }
+  EXPECT_EQ(rendered[0], rendered[1]);
 }
 
 }  // namespace

@@ -16,9 +16,11 @@ Two comparison modes:
     failure.
   - exact counters (--exact-counter): the serving path's admission
     accounting (serve.admitted / serve.shed / serve.expired from the
-    deterministic BM_ServeOverload scenario) must match the baseline
-    EXACTLY in both directions — any drift means the admission or
-    deadline semantics changed, which is never a machine artifact.
+    deterministic BM_ServeOverload scenario) and the flight recorder's
+    record-per-request contract (obs.flight.recorded from
+    BM_FlightRecorderOverhead) must match the baseline EXACTLY in both
+    directions — any drift means the admission, deadline, or recording
+    semantics changed, which is never a machine artifact.
 
 Usage:
     tools/bench_check.py BASELINE.json FRESH.json \
@@ -40,7 +42,9 @@ import json
 import sys
 
 DEFAULT_COUNTERS = ["ppm.samples_scanned"]
-DEFAULT_EXACT_COUNTERS = ["serve.admitted", "serve.shed", "serve.expired"]
+DEFAULT_EXACT_COUNTERS = [
+    "serve.admitted", "serve.shed", "serve.expired", "obs.flight.recorded",
+]
 
 
 def load_benchmarks(path):

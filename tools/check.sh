@@ -20,7 +20,7 @@
 # container where wall time is not. After an INTENDED cost change,
 # refresh the baseline:
 #   ./build/bench/bench_perf_engine \
-#     --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_FleetAssess|BM_ExceedanceIndex|BM_ServeOverload' \
+#     --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_FleetAssess|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead' \
 #     --benchmark_out=BENCH_pipeline.json --benchmark_out_format=json
 #
 # Soak mode: tools/check.sh --soak [build-dir] (default build-soak)
@@ -38,7 +38,7 @@ if [[ "${1:-}" == "--bench" ]]; then
   fresh_json="$(mktemp --suffix=.json)"
   trap 'rm -f "${fresh_json}"' EXIT
   "${bench_build_dir}/bench/bench_perf_engine" \
-    --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_ExceedanceIndex|BM_ServeOverload' \
+    --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead' \
     --benchmark_out="${fresh_json}" --benchmark_out_format=json
   python3 "${repo_root}/tools/bench_check.py" \
     "${repo_root}/BENCH_pipeline.json" "${fresh_json}"
@@ -91,9 +91,10 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DDOPPLER_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${tsan_dir}" -j"$(nproc)" \
-  --target obs_test exec_test compiled_catalog_test pipeline_stage_test \
-  exceedance_index_test serve_test
+  --target obs_test obs_flight_test exec_test compiled_catalog_test \
+  pipeline_stage_test exceedance_index_test serve_test
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_test"
+TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_flight_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/exec_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/compiled_catalog_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/pipeline_stage_test"

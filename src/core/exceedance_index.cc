@@ -39,6 +39,23 @@ void CountUnionWords(std::size_t words) {
   kWords->Increment(words);
 }
 
+// Same permutation TraceStatsCache::Argsort builds: ascending value, ties
+// by ascending row index.
+void SortColumn(const std::vector<double>& values,
+                std::vector<std::uint32_t>& perm,
+                std::vector<double>& sorted) {
+  const std::size_t n = values.size();
+  perm.resize(n);
+  std::iota(perm.begin(), perm.end(), std::uint32_t{0});
+  std::sort(perm.begin(), perm.end(),
+            [&values](std::uint32_t a, std::uint32_t b) {
+              if (values[a] != values[b]) return values[a] < values[b];
+              return a < b;
+            });
+  sorted.resize(n);
+  for (std::size_t i = 0; i < n; ++i) sorted[i] = values[perm[i]];
+}
+
 }  // namespace
 
 ExceedanceIndex::ExceedanceIndex(const telemetry::PerfTrace& trace,
@@ -51,6 +68,7 @@ ExceedanceIndex::ExceedanceIndex(const telemetry::PerfTrace& trace,
   // resampler hands the original trace's cache around while evaluating
   // bootstrap resamples, and reusing its argsort there would be wrong.
   if (stats != nullptr && &stats->trace() != &trace) stats = nullptr;
+  stats_ = stats;
   for (ResourceDim dim : dims) {
     if (!trace.Has(dim)) continue;
     DimState& state = dims_[Index(dim)];
@@ -61,24 +79,11 @@ ExceedanceIndex::ExceedanceIndex(const telemetry::PerfTrace& trace,
       state.sorted = &stats->Sorted(dim);
       state.perm = &stats->Argsort(dim);
     } else {
-      // Same permutation TraceStatsCache::Argsort builds: ascending value,
-      // ties by ascending row index.
-      const std::vector<double>& values = trace.Values(dim);
-      state.own_perm.resize(num_rows_);
-      std::iota(state.own_perm.begin(), state.own_perm.end(),
-                std::uint32_t{0});
-      std::sort(state.own_perm.begin(), state.own_perm.end(),
-                [&values](std::uint32_t a, std::uint32_t b) {
-                  if (values[a] != values[b]) return values[a] < values[b];
-                  return a < b;
-                });
-      state.own_sorted.resize(num_rows_);
-      for (std::size_t i = 0; i < num_rows_; ++i) {
-        state.own_sorted[i] = values[state.own_perm[i]];
-      }
+      SortColumn(trace.Values(dim), state.own_perm, state.own_sorted);
       state.sorted = &state.own_sorted;
       state.perm = &state.own_perm;
     }
+    state.generation = trace.generation();
   }
   // Enum order regardless of the order dimensions were requested in, so the
   // union sweep below is deterministic for a given trace and candidate set.
@@ -89,6 +94,21 @@ const ExceedanceSet& ExceedanceIndex::SetFor(ResourceDim dim,
                                              double capacity) const {
   const DimState& state = dims_[Index(dim)];
   std::lock_guard<std::mutex> lock(state.mu);
+  if (state.generation != trace_->generation()) {
+    // The trace was mutated since this dimension's state was built: the
+    // memoized sets describe rows that no longer exist, so drop them and
+    // refresh the sorted view before answering. Re-borrowing through the
+    // cache accessors forces the cache's own generation-checked rebuild,
+    // so both borrower and owner converge on the mutated data.
+    state.memo.clear();
+    if (stats_ != nullptr) {
+      state.sorted = &stats_->Sorted(dim);
+      state.perm = &stats_->Argsort(dim);
+    } else {
+      SortColumn(trace_->Values(dim), state.own_perm, state.own_sorted);
+    }
+    state.generation = trace_->generation();
+  }
   const auto it = state.memo.find(capacity);
   if (it != state.memo.end()) {
     CountIndexHit();

@@ -68,10 +68,14 @@ struct ExceedanceSet {
 /// built it first — which keeps counter totals and results deterministic at
 /// any thread count.
 ///
-/// Invalidation contract: like TraceStatsCache, the index BORROWS the trace
-/// (and the cache, when given); both must outlive it and stay unmutated.
-/// There is no invalidation hook — traces are frozen inside the assessment
-/// pipeline and an index lives for one curve build.
+/// Invalidation contract (hardened in DESIGN.md §13): like TraceStatsCache,
+/// the index BORROWS the trace (and the cache, when given); both must
+/// outlive it and must not be mutated concurrently with reads. Sequential
+/// mutation is tolerated: each dimension records the trace generation its
+/// sorted state and memo were built against, and SetFor() drops the stale
+/// memo and refreshes the sorted view when the trace has moved on — so a
+/// mutated window invalidates its borrowers instead of serving sets built
+/// over sorted order that no longer matches the data.
 class ExceedanceIndex {
  public:
   /// Indexes the subset of `dims` present in `trace`. When `stats` is a
@@ -97,8 +101,8 @@ class ExceedanceIndex {
   /// The memoized exceedance set for one (dimension, capacity); builds it
   /// on first use (counted as `ppm.index_misses`, charging the set's row
   /// count to `ppm.samples_scanned`), returns the memo on every later call
-  /// (`ppm.index_hits`). The reference stays valid for the index's
-  /// lifetime. The dimension must be covered.
+  /// (`ppm.index_hits`). The reference stays valid until the trace is next
+  /// mutated (the memo is dropped then). The dimension must be covered.
   const ExceedanceSet& SetFor(catalog::ResourceDim dim, double capacity) const;
 
   /// Number of rows throttled by ANY covered dimension priced in
@@ -117,10 +121,15 @@ class ExceedanceIndex {
   struct DimState {
     bool covered = false;
     // Borrowed from TraceStatsCache when possible, else the owned copies.
-    const std::vector<double>* sorted = nullptr;
-    const std::vector<std::uint32_t>* perm = nullptr;
-    std::vector<double> own_sorted;
-    std::vector<std::uint32_t> own_perm;
+    // Mutable because SetFor refreshes them under `mu` after a trace
+    // mutation (generation mismatch).
+    mutable const std::vector<double>* sorted = nullptr;
+    mutable const std::vector<std::uint32_t>* perm = nullptr;
+    mutable std::vector<double> own_sorted;
+    mutable std::vector<std::uint32_t> own_perm;
+    // PerfTrace::generation() the sorted state and memo were built
+    // against; SetFor refreshes both when the trace has moved on.
+    mutable std::uint64_t generation = 0;
     mutable std::mutex mu;
     // std::map for node stability: SetFor hands out references that must
     // survive later insertions by other workers.
@@ -132,6 +141,10 @@ class ExceedanceIndex {
   }
 
   const telemetry::PerfTrace* trace_;
+  // The cache whose argsort is borrowed, or null when sorting locally;
+  // kept so a generation refresh can re-borrow (which forces the cache's
+  // own rebuild) instead of silently diverging from it.
+  const telemetry::TraceStatsCache* stats_ = nullptr;
   std::size_t num_rows_ = 0;
   std::size_t num_words_ = 0;
   std::array<DimState, catalog::kNumResourceDims> dims_;

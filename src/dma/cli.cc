@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <thread>
 
 #include "catalog/catalog.h"
@@ -25,6 +26,8 @@
 #include "serve/assessment_service.h"
 #include "serve/snapshot_registry.h"
 #include "serve/spool.h"
+#include "stream/monitor.h"
+#include "util/json_writer.h"
 #include "tco/tco.h"
 #include "telemetry/trace_io.h"
 #include "util/string_util.h"
@@ -54,6 +57,10 @@ Commands:
             [--watch-catalog F] [--rounds N] [--poll-ms N]
             [--journal-out F] [--stats-interval-ms N] [--stats-out F]
             [--slo-ms N]
+  monitor   --spool DIR [--target db|mi] [--catalog F] [--profiles F]
+            [--rounds N] [--poll-ms N] [--window-rows N] [--sketch-budget N]
+            [--min-assess-rows N] [--drift-tolerance X] [--current-sku ID]
+            [--quality strict|repair|permissive] [--json] [--out F]
   stats     [--snapshots F] [--last N]       render the serve stats file
   forecast  --trace F [--current-sku ID] [--months N]
   drift     --trace F --current-sku ID [--recent-fraction X]
@@ -101,6 +108,17 @@ changes assessment results. `doppler stats` renders the snapshot file as a
 text dashboard (request rates per outcome, latency quantiles, queue
 gauges, catalog epoch history); --last N keeps only the newest N
 snapshots.
+
+monitor tails a telemetry spool as a STREAM: each *.csv under --spool is
+one batch for the customer named by the file name up to the first '.'
+("acme.0001.csv" extends acme's stream), appended into a per-customer
+sliding window of --window-rows rows with incrementally maintained order
+statistics and exceedance bitsets (windows past --sketch-budget rows fall
+back to bounded-memory quantile sketches). A customer's first
+--min-assess-rows rows trigger one full assessment (minus confidence);
+afterwards a window-mean shift past --drift-tolerance on any dimension
+re-runs ONLY the affected stages, and with --current-sku also the SKU
+drift detector. --rounds/--poll-ms scan like serve.
 
 Exit codes: 0 success, 1 partial failure (some batch/serve requests
 failed), 2 bad command line, 3 invalid input, 4 not found,
@@ -635,6 +653,143 @@ StatusOr<int> RunServe(const CliOptions& options, std::ostream& out) {
   return report.failures == 0 ? 0 : 1;
 }
 
+StatusOr<int> RunMonitor(const CliOptions& options, std::ostream& out) {
+  const std::string spool_dir = options.Get("spool");
+  if (spool_dir.empty()) {
+    return InvalidArgumentError("monitor requires --spool <directory>");
+  }
+  stream::MonitorOptions monitor_options;
+  DOPPLER_ASSIGN_OR_RETURN(monitor_options.target,
+                           ParseDeployment(options.Get("target", "db")));
+  if (options.Has("window-rows")) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        const int rows,
+        ParsePositiveInt(options.Get("window-rows"), "--window-rows"));
+    monitor_options.window_rows = static_cast<std::size_t>(rows);
+  }
+  if (options.Has("sketch-budget")) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        const int budget,
+        ParsePositiveInt(options.Get("sketch-budget"), "--sketch-budget"));
+    monitor_options.sketch_row_budget = static_cast<std::size_t>(budget);
+  }
+  if (options.Has("min-assess-rows")) {
+    DOPPLER_ASSIGN_OR_RETURN(const int rows,
+                             ParsePositiveInt(options.Get("min-assess-rows"),
+                                              "--min-assess-rows"));
+    monitor_options.min_assess_rows = static_cast<std::size_t>(rows);
+  }
+  if (options.Has("drift-tolerance")) {
+    char* end = nullptr;
+    monitor_options.drift_tolerance =
+        std::strtod(options.Get("drift-tolerance").c_str(), &end);
+    if (end == nullptr || *end != '\0' ||
+        monitor_options.drift_tolerance <= 0.0) {
+      return InvalidArgumentError("--drift-tolerance expects a positive "
+                                  "number, got '" +
+                                  options.Get("drift-tolerance") + "'");
+    }
+  }
+  monitor_options.current_sku_id = options.Get("current-sku");
+  quality::GateOptions gate;
+  if (options.Has("quality") &&
+      !quality::ParseQualityPolicy(options.Get("quality"), &gate.policy)) {
+    return InvalidArgumentError("unknown quality policy '" +
+                                options.Get("quality") +
+                                "' (expected strict, repair or permissive)");
+  }
+  int rounds = 1;
+  if (options.Has("rounds")) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        rounds, ParsePositiveInt(options.Get("rounds"), "--rounds"));
+  }
+  int poll_ms = 50;
+  if (options.Has("poll-ms")) {
+    DOPPLER_ASSIGN_OR_RETURN(
+        poll_ms, ParsePositiveInt(options.Get("poll-ms"), "--poll-ms"));
+  }
+
+  DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
+  DOPPLER_ASSIGN_OR_RETURN(
+      core::GroupModel profiles,
+      ResolveProfiles(options, skus, monitor_options.target, out));
+  DOPPLER_ASSIGN_OR_RETURN(
+      SkuRecommendationPipeline pipeline,
+      SkuRecommendationPipeline::Create({std::move(skus), profiles}));
+  stream::StreamMonitor monitor(&pipeline, monitor_options);
+
+  const bool json = options.Has("json");
+  std::ostringstream rendered;
+  std::set<std::string> seen;
+  std::size_t batches = 0;
+  std::size_t failures = 0;
+  std::size_t reassessments = 0;
+  std::size_t drift_trips = 0;
+  for (int round = 0; round < rounds; ++round) {
+    if (round > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+    DOPPLER_ASSIGN_OR_RETURN(const std::vector<std::string> paths,
+                             serve::ScanSpool(spool_dir, &seen));
+    for (const std::string& path : paths) {
+      const std::string customer_id = serve::SpoolCustomerId(path);
+      StatusOr<quality::GatedTrace> gated =
+          quality::ReadTraceFileGated(path, gate);
+      if (!gated.ok()) {
+        ++failures;
+        rendered << (json ? "{\"customer_id\":\"" +
+                                JsonWriter::Escape(customer_id) +
+                                "\",\"error\":\"" +
+                                JsonWriter::Escape(
+                                    gated.status().ToString()) +
+                                "\"}\n"
+                          : customer_id + ": ingest failed: " +
+                                gated.status().ToString() + "\n");
+        continue;
+      }
+      StatusOr<stream::MonitorEvent> event =
+          monitor.Ingest(customer_id, gated->trace);
+      if (!event.ok()) {
+        ++failures;
+        rendered << (json ? "{\"customer_id\":\"" +
+                                JsonWriter::Escape(customer_id) +
+                                "\",\"error\":\"" +
+                                JsonWriter::Escape(
+                                    event.status().ToString()) +
+                                "\"}\n"
+                          : customer_id + ": " +
+                                event.status().ToString() + "\n");
+        continue;
+      }
+      ++batches;
+      if (event->assessed && !event->initial) ++reassessments;
+      drift_trips += event->drifted_dims.size();
+      rendered << (json ? stream::RenderMonitorEventJson(*event) + "\n"
+                        : stream::RenderMonitorEventText(*event));
+    }
+  }
+  if (batches == 0 && failures == 0) {
+    return NotFoundError("no *.csv batches appeared under '" + spool_dir +
+                         "' in " + std::to_string(rounds) + " scan(s)");
+  }
+  if (!json) {
+    rendered << "monitored " << batches << " batches across "
+             << monitor.num_customers() << " customers ("
+             << reassessments << " drift re-assessments, " << drift_trips
+             << " dimension trips, " << failures << " failures)\n";
+  }
+  const std::string out_path = options.Get("out");
+  if (!out_path.empty()) {
+    DOPPLER_RETURN_IF_ERROR(
+        obs::WriteTextFileAtomic(out_path, rendered.str()));
+    out << "wrote monitor log for " << batches << " batches to " << out_path
+        << "\n";
+  } else {
+    out << rendered.str();
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 // Renders the snapshot history `serve --stats-interval-ms` maintains.
 // Reads the same file serve writes atomically, so running this while the
 // server is live always sees a complete history, never a torn write.
@@ -864,6 +1019,7 @@ StatusOr<int> RunCli(const CliOptions& options, std::ostream& out) {
   if (options.command == "assess") return RunAssess(options, out);
   if (options.command == "assess-batch") return RunAssessBatch(options, out);
   if (options.command == "serve") return RunServe(options, out);
+  if (options.command == "monitor") return RunMonitor(options, out);
   if (options.command == "stats") return RunStats(options, out);
   if (options.command == "forecast") return RunForecast(options, out);
   if (options.command == "drift") return RunDrift(options, out);

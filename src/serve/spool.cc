@@ -77,6 +77,12 @@ StatusOr<std::vector<std::string>> ScanSpool(const std::string& dir,
   return paths;
 }
 
+std::string SpoolCustomerId(const std::string& path) {
+  const std::string name = std::filesystem::path(path).filename().string();
+  const std::size_t dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
 StatusOr<quality::GatedTrace> IngestWithRetry(const std::string& path,
                                               const SpoolOptions& options,
                                               const Deadline& deadline,

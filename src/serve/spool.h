@@ -57,6 +57,14 @@ struct SpoolReport {
 StatusOr<std::vector<std::string>> ScanSpool(const std::string& dir,
                                              std::set<std::string>* seen);
 
+/// Logical customer id of one spool file: the file name up to the FIRST
+/// '.', so a batch sequence ("acme.0001.csv", "acme.0002.csv") addresses
+/// one customer stream. This is the keying `doppler monitor` uses to
+/// route batches into per-customer sliding windows; `doppler serve` keeps
+/// its historical full-file-name ids (every drop is an independent
+/// request there, and journals depend on the exact names).
+std::string SpoolCustomerId(const std::string& path);
+
 /// Reads one spool file through the quality gate with jittered-backoff
 /// retries on transient (kUnavailable) failures, bounded by `deadline`.
 StatusOr<quality::GatedTrace> IngestWithRetry(const std::string& path,

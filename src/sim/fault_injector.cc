@@ -8,6 +8,7 @@
 
 #include "telemetry/perf_trace.h"
 #include "util/string_util.h"
+#include "workload/generator.h"
 
 namespace doppler::sim {
 
@@ -319,6 +320,44 @@ std::function<void(const char*)> StageLatencyPlan::HookFor(
       std::this_thread::sleep_for(std::chrono::duration<double>(delay));
     }
   };
+}
+
+DriftPlan::DriftPlan(std::uint64_t seed, double drift_fraction,
+                     double max_factor, std::size_t horizon_rows)
+    : seed_(seed),
+      drift_fraction_(std::clamp(drift_fraction, 0.0, 1.0)),
+      max_factor_(std::max(1.0, max_factor)),
+      horizon_rows_(std::max<std::size_t>(4, horizon_rows)) {}
+
+DriftPlan::Ramp DriftPlan::RampFor(
+    const std::string& key,
+    const std::vector<catalog::ResourceDim>& dims) const {
+  Ramp ramp;
+  if (dims.empty()) return ramp;
+  if (UnitFromHash(HashKey(seed_, key, "drift.pick")) >= drift_fraction_) {
+    return ramp;
+  }
+  ramp.active = true;
+  ramp.dim = dims[HashKey(seed_, key, "drift.dim") % dims.size()];
+  // Middle half of the horizon: late enough that the monitor has a
+  // baseline, early enough that ramped rows dominate the tail.
+  const std::size_t span = horizon_rows_ / 2;
+  ramp.start_row =
+      horizon_rows_ / 4 + HashKey(seed_, key, "drift.row") % span;
+  ramp.factor = 1.0 + UnitFromHash(HashKey(seed_, key, "drift.len")) *
+                          (max_factor_ - 1.0);
+  return ramp;
+}
+
+Status DriftPlan::ApplyTo(const std::string& key,
+                          telemetry::PerfTrace* trace) const {
+  if (trace == nullptr) {
+    return InvalidArgumentError("DriftPlan::ApplyTo requires a trace");
+  }
+  const Ramp ramp = RampFor(key, trace->PresentDims());
+  if (!ramp.active) return OkStatus();
+  return workload::RampDimension(trace, ramp.dim, ramp.start_row,
+                                 ramp.factor);
 }
 
 std::string CorruptBytes(const std::string& text, int num_flips, Rng* rng) {

@@ -1,11 +1,14 @@
 #ifndef DOPPLER_SIM_FAULT_INJECTOR_H_
 #define DOPPLER_SIM_FAULT_INJECTOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "catalog/resource.h"
+#include "telemetry/perf_trace.h"
 #include "util/csv.h"
 #include "util/random.h"
 #include "util/statusor.h"
@@ -123,6 +126,46 @@ class StageLatencyPlan {
   std::uint64_t seed_;
   double delay_fraction_;
   double max_delay_seconds_;
+};
+
+/// Deterministic workload-drift plan for streaming soaks: for each key
+/// (customer id) a pure hash of (seed, key) decides whether the stream
+/// drifts, on which present dimension, where the ramp starts inside the
+/// horizon, and how hard. Like the plans above, decisions are
+/// schedule-independent — any batch slicing of the same underlying rows
+/// sees the same ramp at the same absolute row — so a drift soak can
+/// assert the monitor trips at exactly the planned tick.
+class DriftPlan {
+ public:
+  /// A fraction `drift_fraction` of keys ramp one dimension by a factor
+  /// in (1, max_factor], starting at a hashed row in the middle half of
+  /// [0, horizon_rows).
+  DriftPlan(std::uint64_t seed, double drift_fraction, double max_factor,
+            std::size_t horizon_rows);
+
+  struct Ramp {
+    bool active = false;
+    catalog::ResourceDim dim = catalog::ResourceDim::kCpu;
+    /// First ramped row (absolute row index into the key's stream).
+    std::size_t start_row = 0;
+    /// Multiplier applied to rows [start_row, horizon).
+    double factor = 1.0;
+  };
+
+  /// The key's ramp, with the dimension drawn from `dims` (inactive when
+  /// the key is not chosen or `dims` is empty). Pure in (seed, key, dims).
+  Ramp RampFor(const std::string& key,
+               const std::vector<catalog::ResourceDim>& dims) const;
+
+  /// Applies the key's ramp to `trace` in place (dimension drawn from the
+  /// trace's present dims); no-op for unchosen keys.
+  Status ApplyTo(const std::string& key, telemetry::PerfTrace* trace) const;
+
+ private:
+  std::uint64_t seed_;
+  double drift_fraction_;
+  double max_factor_;
+  std::size_t horizon_rows_;
 };
 
 }  // namespace doppler::sim

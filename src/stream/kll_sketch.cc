@@ -1,0 +1,96 @@
+#include "stream/kll_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace doppler::stream {
+
+KllSketch::KllSketch(std::size_t k, std::uint64_t seed)
+    : k_(std::max<std::size_t>(8, k)), rng_(seed) {
+  levels_.emplace_back();
+  levels_.front().reserve(k_);
+}
+
+std::size_t KllSketch::retained() const {
+  std::size_t total = 0;
+  for (const std::vector<double>& level : levels_) total += level.size();
+  return total;
+}
+
+void KllSketch::Add(double value) {
+  levels_.front().push_back(value);
+  ++count_;
+  CompactCascade();
+}
+
+void KllSketch::CompactLevel(std::size_t h) {
+  // Grow first: emplace_back can reallocate levels_, so references into it
+  // must only be taken afterwards.
+  if (h + 1 == levels_.size()) levels_.emplace_back();
+  std::vector<double>& level = levels_[h];
+  std::vector<double>& next = levels_[h + 1];
+  std::sort(level.begin(), level.end());
+  // Seeded coin: keep the items at offset, offset+2, ... — each survivor
+  // stands for itself and a discarded neighbour, shifting any rank by at
+  // most one item weight, hence the += 2^h on the tracked bound.
+  const std::size_t offset =
+      static_cast<std::size_t>(rng_.NextUint64() & 1u);
+  for (std::size_t i = offset; i < level.size(); i += 2) {
+    next.push_back(level[i]);
+  }
+  level.clear();
+  rank_error_bound_ += std::uint64_t{1} << h;
+}
+
+void KllSketch::CompactCascade() {
+  for (std::size_t h = 0; h < levels_.size(); ++h) {
+    if (levels_[h].size() >= k_) CompactLevel(h);
+  }
+}
+
+void KllSketch::Merge(const KllSketch& other) {
+  if (other.levels_.size() > levels_.size()) {
+    levels_.resize(other.levels_.size());
+  }
+  for (std::size_t h = 0; h < other.levels_.size(); ++h) {
+    levels_[h].insert(levels_[h].end(), other.levels_[h].begin(),
+                      other.levels_[h].end());
+  }
+  count_ += other.count_;
+  rank_error_bound_ += other.rank_error_bound_;
+  CompactCascade();
+}
+
+double KllSketch::EstimateRank(double value) const {
+  double rank = 0.0;
+  for (std::size_t h = 0; h < levels_.size(); ++h) {
+    const double weight = std::ldexp(1.0, static_cast<int>(h));
+    for (double item : levels_[h]) {
+      if (item < value) rank += weight;
+    }
+  }
+  return rank;
+}
+
+double KllSketch::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+
+  // Gather (value, weight), sort by value, walk the cumulative weight.
+  std::vector<std::pair<double, double>> items;
+  items.reserve(retained());
+  for (std::size_t h = 0; h < levels_.size(); ++h) {
+    const double weight = std::ldexp(1.0, static_cast<int>(h));
+    for (double item : levels_[h]) items.emplace_back(item, weight);
+  }
+  std::sort(items.begin(), items.end());
+  double cumulative = 0.0;
+  for (const auto& [value, weight] : items) {
+    cumulative += weight;
+    if (cumulative >= target) return value;
+  }
+  return items.back().first;
+}
+
+}  // namespace doppler::stream

@@ -1,0 +1,83 @@
+#ifndef DOPPLER_STREAM_KLL_SKETCH_H_
+#define DOPPLER_STREAM_KLL_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace doppler::stream {
+
+/// Bounded-memory streaming quantile sketch in the KLL/MRL compactor style
+/// (DESIGN.md §13): levels of buffers where a level-h item stands for 2^h
+/// stream items. Appends land in level 0; a level that reaches the
+/// per-level budget `k` is sorted and compacted — every other item (from a
+/// seeded coin-flip offset) survives to level h+1 at doubled weight.
+///
+/// The sketch tracks its own DETERMINISTIC worst-case rank error: one
+/// compaction at level h can shift any value's weighted rank by at most
+/// 2^h, so `rank_error_bound()` accumulates exactly that per compaction.
+/// EstimateRank is then guaranteed within the bound of the exact rank —
+/// an assertable invariant, not a probabilistic one — which is what the
+/// adversarial error-bound tests lock. With per-level budget k the bound
+/// grows as O((n/k)·log(n/k)) while `retained()` stays O(k·log(n/k)).
+///
+/// Sketches are mergeable: Merge concatenates level-wise and re-compacts;
+/// counts add, bounds add, so merge order changes which items survive but
+/// never the guarantee (merge(a,b) and merge(b,a) both answer within the
+/// summed bound — the associativity-within-bound property tests lock).
+///
+/// The sketch summarises the LIFETIME stream: unlike the windowed exact
+/// caches it cannot evict, which is exactly its role — the fallback the
+/// CustomerWindow switches to when the configured window exceeds the row
+/// budget that keeps exact per-row state affordable.
+class KllSketch {
+ public:
+  /// `k` is the per-level item budget (clamped to >= 8); `seed` drives the
+  /// compaction coin so a given insertion order is fully deterministic.
+  explicit KllSketch(std::size_t k = 200, std::uint64_t seed = 0);
+
+  /// Stream items summarised so far.
+  std::uint64_t count() const { return count_; }
+
+  /// Deterministic worst-case absolute rank error of EstimateRank.
+  std::uint64_t rank_error_bound() const { return rank_error_bound_; }
+
+  /// Items currently held across all levels.
+  std::size_t retained() const;
+
+  /// Number of levels (max item weight is 2^(num_levels()-1)).
+  std::size_t num_levels() const { return levels_.size(); }
+
+  void Add(double value);
+
+  /// Folds `other` into this sketch (same `k` expected; `other`'s items
+  /// keep their weights). Counts and error bounds add.
+  void Merge(const KllSketch& other);
+
+  /// Estimated number of stream items strictly less than `value`; within
+  /// rank_error_bound() of the exact count.
+  double EstimateRank(double value) const;
+
+  /// Value whose estimated rank first reaches q*count (clamped q). The
+  /// exact rank of the result is within rank_error_bound() plus the
+  /// returned item's own weight (≤ 2^(num_levels()-1)) of q*count.
+  double Quantile(double q) const;
+
+ private:
+  /// Sorts level h and promotes every other item to level h+1.
+  void CompactLevel(std::size_t h);
+  /// Compacts any level at or over budget, cascading upward.
+  void CompactCascade();
+
+  std::size_t k_;
+  Rng rng_;
+  std::uint64_t count_ = 0;
+  std::uint64_t rank_error_bound_ = 0;
+  std::vector<std::vector<double>> levels_;
+};
+
+}  // namespace doppler::stream
+
+#endif  // DOPPLER_STREAM_KLL_SKETCH_H_

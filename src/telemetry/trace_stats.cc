@@ -12,7 +12,14 @@ const TraceStatsCache::DimEntry& TraceStatsCache::Entry(
     catalog::ResourceDim dim) const {
   std::lock_guard<std::mutex> lock(mu_);
   DimEntry& entry = entries_[Index(dim)];
-  if (entry.built) return entry;
+  // A generation mismatch means the trace was mutated since the entry was
+  // built: rebuild in place (the vectors are refilled, so references
+  // handed out before the mutation stay valid and see fresh data) instead
+  // of serving stale sorted order.
+  if (entry.built && entry.generation == trace_->generation()) return entry;
+  entry.sorted.clear();
+  entry.argsort.clear();
+  entry.mean = entry.stddev = entry.min = entry.max = 0.0;
   if (trace_->Has(dim)) {
     const std::vector<double>& values = trace_->Values(dim);
     // One sort per dimension: order the row indices, then gather the sorted
@@ -39,6 +46,7 @@ const TraceStatsCache::DimEntry& TraceStatsCache::Entry(
     entry.max = entry.sorted.empty() ? 0.0 : entry.sorted.back();
   }
   entry.built = true;
+  entry.generation = trace_->generation();
   return entry;
 }
 

@@ -22,12 +22,16 @@ namespace doppler::telemetry {
 /// built lazily on first access, under a mutex, so concurrent workers of a
 /// parallel curve build or fleet assessment may share one cache safely.
 ///
-/// Invalidation contract (DESIGN.md §7): a trace must not be mutated while
-/// a cache over it is alive. There is no invalidation hook on purpose —
-/// traces are frozen once they enter the assessment pipeline, and the cache
-/// object's lifetime is one assessment. Every value is computed by the same
-/// stats:: routines the uncached paths use, so cached and uncached results
-/// are bit-identical.
+/// Invalidation contract (DESIGN.md §7, hardened in §13): a trace must not
+/// be mutated while a cache over it is being read CONCURRENTLY. Sequential
+/// mutation is tolerated: every entry records the trace generation it was
+/// built against (PerfTrace::generation()) and rebuilds on the next access
+/// after the trace moved on, so a mutated trace invalidates the memo
+/// instead of serving stale sorted order. References handed out earlier
+/// stay valid (the entry's vectors are refilled in place) and read the
+/// fresh contents. Every value is computed by the same stats:: routines
+/// the uncached paths use, so cached and uncached results are
+/// bit-identical.
 class TraceStatsCache {
  public:
   /// Borrows `trace`, which must outlive the cache and stay unmutated.
@@ -61,6 +65,9 @@ class TraceStatsCache {
  private:
   struct DimEntry {
     bool built = false;
+    /// PerfTrace::generation() at build time; a mismatch on access means
+    /// the trace was mutated and the entry rebuilds before serving.
+    std::uint64_t generation = 0;
     std::vector<double> sorted;
     std::vector<std::uint32_t> argsort;
     double mean = 0.0;

@@ -147,4 +147,21 @@ telemetry::DemandSource MakeDemandSource(const WorkloadSpec& spec,
   };
 }
 
+Status RampDimension(telemetry::PerfTrace* trace, catalog::ResourceDim dim,
+                     std::size_t start_row, double factor) {
+  if (trace == nullptr) {
+    return InvalidArgumentError("RampDimension requires a trace");
+  }
+  if (!trace->Has(dim)) {
+    return InvalidArgumentError(
+        "RampDimension: trace lacks dimension '" +
+        std::string(catalog::ResourceDimName(dim)) + "'");
+  }
+  std::vector<double> values = trace->Values(dim);
+  for (std::size_t i = start_row; i < values.size(); ++i) {
+    values[i] *= factor;
+  }
+  return trace->SetSeries(dim, std::move(values));
+}
+
 }  // namespace doppler::workload

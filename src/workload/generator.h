@@ -56,6 +56,13 @@ StatusOr<telemetry::PerfTrace> GenerateTrace(const WorkloadSpec& spec,
 telemetry::DemandSource MakeDemandSource(const WorkloadSpec& spec,
                                          double horizon_days, Rng* rng);
 
+/// Scales rows [start_row, num_samples) of one dimension by `factor` in
+/// place — the structural "the workload grew mid-stream" edit that drift
+/// scenarios (sim::DriftPlan) build on. A start_row at or past the end is
+/// a no-op. Fails when the dimension is absent.
+Status RampDimension(telemetry::PerfTrace* trace, catalog::ResourceDim dim,
+                     std::size_t start_row, double factor);
+
 }  // namespace doppler::workload
 
 #endif  // DOPPLER_WORKLOAD_GENERATOR_H_

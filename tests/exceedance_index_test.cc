@@ -508,5 +508,63 @@ TEST(ScanCounterTest, SamplesScannedReflectsRowsActuallyVisited) {
             3 * trace.num_samples());
 }
 
+// Regression guard for the eviction/mutation hazard (DESIGN.md §13): the
+// streaming monitor mutates a window trace between assessments while the
+// stats cache and exceedance index built over it stay alive. Before the
+// generation counter, both caches kept serving sorted state and memoized
+// bitsets from the PREVIOUS window contents.
+TEST(GenerationInvalidationTest, StatsCacheRebuildsAfterTraceMutation) {
+  telemetry::PerfTrace trace = MakeTrace(7, 64);
+  const telemetry::TraceStatsCache stats(trace);
+  const double stale_max = stats.Max(ResourceDim::kCpu);
+  const std::uint64_t built_at = trace.generation();
+
+  // Replace the CPU series with a shifted copy; every order statistic moves.
+  std::vector<double> shifted = trace.Values(ResourceDim::kCpu);
+  for (double& v : shifted) v += 100.0;
+  ASSERT_TRUE(trace.SetSeries(ResourceDim::kCpu, std::move(shifted)).ok());
+  ASSERT_GT(trace.generation(), built_at);
+
+  EXPECT_EQ(stats.Max(ResourceDim::kCpu), stale_max + 100.0);
+  EXPECT_EQ(stats.Min(ResourceDim::kCpu),
+            *std::min_element(trace.Values(ResourceDim::kCpu).begin(),
+                              trace.Values(ResourceDim::kCpu).end()));
+  // The sorted view handed out before the mutation reads fresh contents.
+  const std::vector<double>& sorted = stats.Sorted(ResourceDim::kCpu);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  EXPECT_GE(sorted.front(), 100.0);
+}
+
+TEST(GenerationInvalidationTest, IndexDropsStaleMemoAfterTraceMutation) {
+  // Both borrow modes: argsort borrowed from a stats cache, and the
+  // index's own locally sorted copies.
+  for (const bool with_stats : {true, false}) {
+    telemetry::PerfTrace trace = MakeTrace(11, 96);
+    const telemetry::TraceStatsCache stats(trace);
+    const ExceedanceIndex index(trace, TraceDims(trace),
+                                with_stats ? &stats : nullptr);
+    const double capacity = trace.Values(ResourceDim::kCpu)[3];
+    const std::size_t stale_count =
+        index.SetFor(ResourceDim::kCpu, capacity).count;
+
+    // Push every CPU demand above the capacity: the exceedance set must
+    // become the full window, not the memoized pre-mutation suffix.
+    std::vector<double> raised = trace.Values(ResourceDim::kCpu);
+    for (double& v : raised) v += 1000.0;
+    ASSERT_TRUE(trace.SetSeries(ResourceDim::kCpu, std::move(raised)).ok());
+
+    const ExceedanceSet& fresh = index.SetFor(ResourceDim::kCpu, capacity);
+    EXPECT_EQ(fresh.count, trace.num_samples()) << "with_stats="
+                                                << with_stats;
+    EXPECT_NE(fresh.count, stale_count);
+
+    // The union path flows through the refreshed sets too.
+    ResourceVector capacities;
+    capacities.Set(ResourceDim::kCpu, capacity);
+    capacities.Set(ResourceDim::kMemoryGb, 1e12);
+    EXPECT_EQ(index.CountExceedingUnion(capacities), trace.num_samples());
+  }
+}
+
 }  // namespace
 }  // namespace doppler

@@ -41,7 +41,7 @@ import argparse
 import json
 import sys
 
-DEFAULT_COUNTERS = ["ppm.samples_scanned"]
+DEFAULT_COUNTERS = ["ppm.samples_scanned", "stream.rows_patched"]
 DEFAULT_EXACT_COUNTERS = [
     "serve.admitted", "serve.shed", "serve.expired", "obs.flight.recorded",
 ]

@@ -6,8 +6,9 @@
 #      exec thread-pool / fleet determinism suite, the compiled-catalog
 #      / staged-pipeline suites (many workers reading the one shared
 #      compiled snapshot), the exceedance-index suite (shared memo under
-#      concurrent curve evaluation), and the serve suite (admission
-#      queue, deadlines, RCU snapshot swaps).
+#      concurrent curve evaluation), the serve suite (admission queue,
+#      deadlines, RCU snapshot swaps), and the stream suite (readers
+#      racing the appender on a customer window).
 # Usage: tools/check.sh [build-dir] (default build-asan; the TSan tree
 # lands next to it with a -tsan suffix).
 #
@@ -20,13 +21,14 @@
 # container where wall time is not. After an INTENDED cost change,
 # refresh the baseline:
 #   ./build/bench/bench_perf_engine \
-#     --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_FleetAssess|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead' \
+#     --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_FleetAssess|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead|BM_StreamAppendAssess|BM_RebuildAssess' \
 #     --benchmark_out=BENCH_pipeline.json --benchmark_out_format=json
 #
 # Soak mode: tools/check.sh --soak [build-dir] (default build-soak)
-# builds the serve suite under ThreadSanitizer and repeats the
-# deterministic overload soak (concurrent submitters + snapshot swaps +
-# pre-expired deadlines) so races in the serving path fail loudly.
+# builds the serve and stream suites under ThreadSanitizer and repeats
+# the deterministic soaks (concurrent submitters + snapshot swaps +
+# pre-expired deadlines; stream readers racing the appender) so races in
+# the serving and streaming paths fail loudly.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -38,7 +40,7 @@ if [[ "${1:-}" == "--bench" ]]; then
   fresh_json="$(mktemp --suffix=.json)"
   trap 'rm -f "${fresh_json}"' EXIT
   "${bench_build_dir}/bench/bench_perf_engine" \
-    --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead' \
+    --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead|BM_StreamAppendAssess|BM_RebuildAssess' \
     --benchmark_out="${fresh_json}" --benchmark_out_format=json
   python3 "${repo_root}/tools/bench_check.py" \
     "${repo_root}/BENCH_pipeline.json" "${fresh_json}"
@@ -50,12 +52,15 @@ if [[ "${1:-}" == "--soak" ]]; then
   cmake -B "${soak_dir}" -S "${repo_root}" \
     -DDOPPLER_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "${soak_dir}" -j"$(nproc)" --target serve_test
+  cmake --build "${soak_dir}" -j"$(nproc)" --target serve_test stream_test
   # The whole serve suite runs once (queue saturation, deadline expiry,
   # hot swap), then the overload soak repeats to widen the interleaving
-  # space TSan observes.
+  # space TSan observes. The stream soak does the same for readers racing
+  # the customer-window appender.
   TSAN_OPTIONS="halt_on_error=1" "${soak_dir}/tests/serve_test"
   TSAN_OPTIONS="halt_on_error=1" "${soak_dir}/tests/serve_test" \
+    --gtest_filter='*Soak*' --gtest_repeat=5
+  TSAN_OPTIONS="halt_on_error=1" "${soak_dir}/tests/stream_test" \
     --gtest_filter='*Soak*' --gtest_repeat=5
   exit 0
 fi
@@ -92,7 +97,7 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${tsan_dir}" -j"$(nproc)" \
   --target obs_test obs_flight_test exec_test compiled_catalog_test \
-  pipeline_stage_test exceedance_index_test serve_test
+  pipeline_stage_test exceedance_index_test serve_test stream_test
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_flight_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/exec_test"
@@ -100,3 +105,4 @@ TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/compiled_catalog_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/pipeline_stage_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/exceedance_index_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/serve_test"
+TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/stream_test"

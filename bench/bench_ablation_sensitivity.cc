@@ -32,6 +32,8 @@ int main() {
 
   const catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
   const catalog::DefaultPricing pricing;
+  const catalog::CompiledCatalog compiled =
+      catalog::CompiledCatalog::Compile(catalog, &pricing);
   const core::NonParametricEstimator estimator;
 
   bench::FleetConfig config;
@@ -91,13 +93,14 @@ int main() {
   gen5.hardware = {catalog::HardwareGen::kGen5};
   gen5.include_sql_mi = false;
   const catalog::SkuCatalog gen5_catalog = catalog::BuildAzureLikeCatalog(gen5);
+  const catalog::CompiledCatalog gen5_compiled = bench::CompileTierSubset(
+      gen5_catalog, catalog::Deployment::kSqlDb,
+      catalog::ServiceTier::kGeneralPurpose, &pricing);
   const core::PricePerformanceCurve curve = bench::Unwrap(
       core::PricePerformanceCurve::Build(
           trace,
-          gen5_catalog.ForDeploymentAndTier(
-              catalog::Deployment::kSqlDb,
-              catalog::ServiceTier::kGeneralPurpose),
-          pricing, estimator),
+          gen5_compiled.ForDeployment(catalog::Deployment::kSqlDb).view(),
+          gen5_compiled.pricing(), estimator),
       "curve");
 
   std::puts("\n(2) LargestPerformanceIncrease epsilon sweep (pick moves with "
@@ -152,8 +155,8 @@ int main() {
         catalog::UniformLayout(300.0, files);
     const catalog::LayoutLimits limits = bench::Unwrap(
         catalog::ComputeLayoutLimits(layout), "layout limits");
-    StatusOr<core::MiFilterResult> filtered =
-        core::FilterMiCandidates(catalog, layout, mi_trace);
+    StatusOr<core::MiCompiledFilterResult> filtered =
+        core::FilterMiCandidates(compiled, layout, mi_trace);
     std::string tiers;
     for (const auto& tier : limits.tiers) {
       if (!tiers.empty()) tiers += "+";
@@ -165,7 +168,9 @@ int main() {
       gp_label = filtered->restricted_to_bc ? "no (BC only)" : "yes";
       StatusOr<core::PricePerformanceCurve> curve =
           core::PricePerformanceCurve::Build(mi_trace, filtered->candidates,
-                                             pricing, estimator);
+                                             compiled.pricing(), estimator,
+                                             nullptr, nullptr,
+                                             &compiled.target());
       if (curve.ok()) {
         StatusOr<core::PricePerformancePoint> best =
             curve->CheapestFullySatisfying();

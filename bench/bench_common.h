@@ -12,6 +12,7 @@
 #include <string>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "catalog/pricing.h"
 #include "core/backtest.h"
 #include "core/recommender.h"
@@ -54,8 +55,10 @@ inline StatusOr<core::BacktestDataset> BuildFleetDataset(
   DOPPLER_ASSIGN_OR_RETURN(std::vector<workload::SyntheticCustomer> fleet,
                            workload::GeneratePopulation(options));
   Rng rng(config.seed ^ 0x5bf03635ULL);
-  return core::BuildBacktestDataset(std::move(fleet), catalog, pricing,
-                                    estimator, &rng);
+  const catalog::CompiledCatalog compiled =
+      catalog::CompiledCatalog::Compile(catalog, &pricing);
+  return core::BuildBacktestDataset(std::move(fleet), compiled, estimator,
+                                    &rng);
 }
 
 /// A fully wired Doppler engine for one deployment: catalog, pricing,
@@ -64,6 +67,7 @@ inline StatusOr<core::BacktestDataset> BuildFleetDataset(
 struct Engine {
   catalog::SkuCatalog catalog;
   catalog::DefaultPricing pricing;
+  std::unique_ptr<catalog::CompiledCatalog> compiled;
   core::NonParametricEstimator estimator;
   core::GroupModel group_model;
   std::unique_ptr<core::CustomerProfiler> profiler;
@@ -87,10 +91,26 @@ inline std::unique_ptr<Engine> MakeEngine(catalog::Deployment deployment,
   engine->profiler = std::make_unique<core::CustomerProfiler>(
       std::make_shared<core::ThresholdingStrategy>(),
       workload::ProfilingDims(deployment));
+  engine->compiled = std::make_unique<catalog::CompiledCatalog>(
+      catalog::CompiledCatalog::Compile(engine->catalog, &engine->pricing));
   engine->recommender = std::make_unique<core::ElasticRecommender>(
-      &engine->catalog, &engine->pricing, &engine->estimator,
-      engine->profiler.get(), &engine->group_model);
+      engine->compiled.get(), &engine->estimator, engine->profiler.get(),
+      &engine->group_model);
   return engine;
+}
+
+/// Compiles one (deployment, tier) slice of `catalog` into its own
+/// snapshot — benches that plot a single ladder build curves over this
+/// subset. `pricing` is borrowed and must outlive the snapshot.
+inline catalog::CompiledCatalog CompileTierSubset(
+    const catalog::SkuCatalog& catalog, catalog::Deployment deployment,
+    catalog::ServiceTier tier, const catalog::PricingService* pricing) {
+  catalog::SkuCatalog subset;
+  for (const catalog::Sku& sku :
+       catalog.ForDeploymentAndTier(deployment, tier)) {
+    subset.Add(sku);
+  }
+  return catalog::CompiledCatalog::Compile(std::move(subset), pricing);
 }
 
 /// Exits with a message when a StatusOr fails (benches are straight-line

@@ -87,11 +87,13 @@ int main() {
 
     auto best_of = [&](const catalog::SkuCatalog& cat)
         -> StatusOr<core::PricePerformancePoint> {
+      const catalog::CompiledCatalog compiled =
+          catalog::CompiledCatalog::Compile(cat, &pricing);
       DOPPLER_ASSIGN_OR_RETURN(
           core::PricePerformanceCurve curve,
           core::PricePerformanceCurve::Build(
-              trace, cat.ForDeployment(Deployment::kSqlDb), pricing,
-              estimator));
+              trace, compiled.ForDeployment(Deployment::kSqlDb).view(),
+              compiled.pricing(), estimator));
       return curve.CheapestFullySatisfying();
     };
 

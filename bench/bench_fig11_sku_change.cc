@@ -58,8 +58,10 @@ int main() {
   const catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
   const catalog::DefaultPricing pricing;
   const core::NonParametricEstimator estimator;
-  const std::vector<catalog::Sku> candidates =
-      catalog.ForDeployment(Deployment::kSqlDb);
+  const catalog::CompiledCatalog compiled =
+      catalog::CompiledCatalog::Compile(catalog, &pricing);
+  const catalog::CompiledView candidates =
+      compiled.ForDeployment(Deployment::kSqlDb).view();
 
   const telemetry::PerfTrace before = Phase(false, 111);
   const telemetry::PerfTrace after = Phase(true, 112);

@@ -55,12 +55,13 @@ int main() {
       catalog::BuildAzureLikeCatalog(catalog_options);
   const catalog::DefaultPricing pricing;
   const core::NonParametricEstimator estimator;
+  const catalog::CompiledCatalog compiled = bench::CompileTierSubset(
+      catalog, catalog::Deployment::kSqlDb,
+      catalog::ServiceTier::kGeneralPurpose, &pricing);
   const core::PricePerformanceCurve curve = bench::Unwrap(
       core::PricePerformanceCurve::Build(
-          trace,
-          catalog.ForDeploymentAndTier(catalog::Deployment::kSqlDb,
-                                       catalog::ServiceTier::kGeneralPurpose),
-          pricing, estimator),
+          trace, compiled.ForDeployment(catalog::Deployment::kSqlDb).view(),
+          compiled.pricing(), estimator),
       "curve build");
 
   std::cout << "(b) " << dma::RenderCurveReport(curve, 16) << "\n";

@@ -67,6 +67,9 @@ int main() {
   const catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
   const catalog::DefaultPricing pricing;
   const core::NonParametricEstimator estimator;
+  const catalog::CompiledCatalog gp_compiled = bench::CompileTierSubset(
+      catalog, Deployment::kSqlDb, catalog::ServiceTier::kGeneralPurpose,
+      &pricing);
 
   // ---- Fig. 8: one curve per shape.
   for (core::CurveShape shape :
@@ -75,10 +78,8 @@ int main() {
     const telemetry::PerfTrace trace = ExampleTrace(shape);
     const core::PricePerformanceCurve curve = bench::Unwrap(
         core::PricePerformanceCurve::Build(
-            trace,
-            catalog.ForDeploymentAndTier(Deployment::kSqlDb,
-                                         catalog::ServiceTier::kGeneralPurpose),
-            pricing, estimator),
+            trace, gp_compiled.ForDeployment(Deployment::kSqlDb).view(),
+            gp_compiled.pricing(), estimator),
         "curve build");
     std::printf("--- intended shape: %s; classified: %s ---\n",
                 core::CurveShapeName(shape),

@@ -22,6 +22,8 @@
 #include <benchmark/benchmark.h>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
+#include "catalog/target.h"
 #include "core/negotiability.h"
 #include "core/price_performance.h"
 #include "core/recommender.h"
@@ -114,6 +116,19 @@ const catalog::SkuCatalog& Catalog() {
   return *kCatalog;
 }
 
+const catalog::DefaultPricing& Pricing() {
+  static const auto* const kPricing = new catalog::DefaultPricing();
+  return *kPricing;
+}
+
+// The shared compiled snapshot the curve/recommender benches read — one
+// compile per process, like the pipeline does.
+const catalog::CompiledCatalog& Compiled() {
+  static const auto* const kCompiled = new catalog::CompiledCatalog(
+      catalog::CompiledCatalog::Compile(Catalog(), &Pricing()));
+  return *kCompiled;
+}
+
 const core::GroupModel& OfflineModel() {
   static const core::GroupModel* const kModel = [] {
     StatusOr<core::GroupModel> model = dma::FitGroupModelOffline(
@@ -198,13 +213,12 @@ template <typename Estimator>
 void CurveOverCatalog(benchmark::State& state) {
   const telemetry::PerfTrace trace =
       MakeTrace(static_cast<int>(state.range(0)), 2);
-  const catalog::DefaultPricing pricing;
   const Estimator estimator;
-  const std::vector<catalog::Sku> candidates =
-      Catalog().ForDeployment(catalog::Deployment::kSqlDb);
+  const catalog::CompiledView candidates =
+      Compiled().ForDeployment(catalog::Deployment::kSqlDb).view();
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::PricePerformanceCurve::Build(
-        trace, candidates, pricing, estimator));
+        trace, candidates, Compiled().pricing(), estimator));
   }
   state.SetLabel(std::to_string(candidates.size()) + " SKUs");
 }
@@ -318,12 +332,11 @@ BENCHMARK(BM_StrategyStl)->Unit(benchmark::kMillisecond);
 
 void BM_EndToEndRecommendation(benchmark::State& state) {
   const telemetry::PerfTrace trace = MakeTrace(14, 4);
-  const catalog::DefaultPricing pricing;
   const core::NonParametricEstimator estimator;
   const core::CustomerProfiler profiler(
       std::make_shared<core::ThresholdingStrategy>(),
       workload::ProfilingDims(catalog::Deployment::kSqlDb));
-  const core::ElasticRecommender recommender(&Catalog(), &pricing, &estimator,
+  const core::ElasticRecommender recommender(&Compiled(), &estimator,
                                              &profiler, &OfflineModel());
   for (auto _ : state) {
     benchmark::DoNotOptimize(recommender.RecommendDb(trace));
@@ -439,6 +452,55 @@ void BM_FleetAssess(benchmark::State& state) {
   state.SetLabel(std::to_string(jobs) + " jobs, 8-customer fleet");
 }
 BENCHMARK(BM_FleetAssess)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// ---- Cross-target curve build: one snapshot + curve per registered
+// deployment target (the `doppler assess --targets ...` shape). The gate
+// locks `catalog.targets_compiled` exactly (snapshots per iteration is a
+// pure function of the registry) and the per-target throttling-kernel
+// work as `ppm.samples_scanned.<target-id>` tolerance counters, so a
+// ladder or kernel change that silently inflates ONE target's evaluation
+// cost fails even when the blended total stays flat.
+
+void BM_CrossTargetCurve(benchmark::State& state) {
+  const telemetry::PerfTrace trace = MakeTrace(7, 21);
+  const catalog::DefaultPricing pricing;
+  const core::NonParametricEstimator estimator;
+  const std::vector<catalog::TargetSpec>& specs =
+      catalog::TargetRegistry::BuiltIns().specs();
+  const auto* compiled_counter =
+      obs::DefaultMetrics().GetCounter("catalog.targets_compiled");
+  const auto* scanned_counter =
+      obs::DefaultMetrics().GetCounter("ppm.samples_scanned");
+  const std::uint64_t compiled_before = compiled_counter->Value();
+  std::vector<std::uint64_t> scanned_per_target(specs.size(), 0);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const std::uint64_t scanned_before = scanned_counter->Value();
+      const catalog::CompiledCatalog compiled =
+          catalog::CompiledCatalog::CompileTarget(specs[i], &pricing);
+      StatusOr<core::PricePerformanceCurve> curve =
+          core::PricePerformanceCurve::Build(
+              trace, compiled.ForDeployment(specs[i].deployment).view(),
+              pricing, estimator);
+      benchmark::DoNotOptimize(curve);
+      if (!curve.ok()) std::abort();
+      scanned_per_target[i] += scanned_counter->Value() - scanned_before;
+    }
+  }
+  state.counters["catalog.targets_compiled"] = benchmark::Counter(
+      static_cast<double>(compiled_counter->Value() - compiled_before) /
+      static_cast<double>(state.iterations()));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    state.counters["ppm.samples_scanned." + specs[i].id] =
+        benchmark::Counter(static_cast<double>(scanned_per_target[i]) /
+                           static_cast<double>(state.iterations()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(specs.size()));
+  state.SetLabel(std::to_string(specs.size()) +
+                 " targets, snapshot + curve per target");
+}
+BENCHMARK(BM_CrossTargetCurve)->Unit(benchmark::kMillisecond);
 
 // ---- Serving-path overload: a deterministic admission-control scenario
 // whose serve.* counters the bench gate locks down next to the engine's

@@ -81,8 +81,7 @@ int main() {
       "no SKU at all");
 
   auto engine = bench::MakeEngine(Deployment::kSqlDb);
-  const core::BaselineRecommender baseline(&engine->catalog, &engine->pricing,
-                                           0.95);
+  const core::BaselineRecommender baseline(engine->compiled.get(), 0.95);
 
   TablePrinter table({"Instance", "Doppler SKU", "Doppler meets latency?",
                       "Baseline SKU", "Baseline meets latency?"});

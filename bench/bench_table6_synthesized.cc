@@ -106,9 +106,15 @@ int main() {
   // Fig. 12: the curve over the four SKUs, from the history.
   const catalog::DefaultPricing pricing;
   const core::NonParametricEstimator estimator;
+  catalog::SkuCatalog table6_catalog;
+  for (const catalog::Sku& sku : Table6Skus()) table6_catalog.Add(sku);
+  const catalog::CompiledCatalog table6_compiled =
+      catalog::CompiledCatalog::Compile(std::move(table6_catalog), &pricing);
   const core::PricePerformanceCurve curve = bench::Unwrap(
-      core::PricePerformanceCurve::Build(history, Table6Skus(), pricing,
-                                         estimator),
+      core::PricePerformanceCurve::Build(
+          history,
+          table6_compiled.ForDeployment(catalog::Deployment::kSqlDb).view(),
+          table6_compiled.pricing(), estimator),
       "curve");
   std::puts("\nFigure 12 - price-performance curve for the synthesized "
             "workload:");

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "core/drift.h"
 #include "core/forecast.h"
 #include "util/random.h"
@@ -53,8 +54,10 @@ int main() {
       doppler::catalog::BuildAzureLikeCatalog();
   const doppler::catalog::DefaultPricing pricing;
   const doppler::core::NonParametricEstimator estimator;
-  const std::vector<doppler::catalog::Sku> candidates =
-      catalog.ForDeployment(Deployment::kSqlDb);
+  const doppler::catalog::CompiledCatalog compiled =
+      doppler::catalog::CompiledCatalog::Compile(catalog, &pricing);
+  const doppler::catalog::CompiledView candidates =
+      compiled.ForDeployment(Deployment::kSqlDb).view();
 
   std::printf("Tenant database on %s, 30 days of telemetry.\n\n",
               current_sku.c_str());

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "core/recommender.h"
 #include "core/rightsizing.h"
 #include "dma/preprocess.h"
@@ -74,10 +75,13 @@ int main() {
       doppler::FormatDollars(pricing.MonthlyCost(*current_sku), 0).c_str(),
       telemetry.num_samples());
 
-  // Build the price-performance curve over all SQL DB SKUs.
+  // Build the price-performance curve over all SQL DB SKUs (through the
+  // compiled snapshot — the only supported path).
+  const doppler::catalog::CompiledCatalog compiled =
+      doppler::catalog::CompiledCatalog::Compile(catalog, &pricing);
   auto curve = doppler::core::PricePerformanceCurve::Build(
-      telemetry, catalog.ForDeployment(Deployment::kSqlDb), pricing,
-      estimator);
+      telemetry, compiled.ForDeployment(Deployment::kSqlDb).view(),
+      compiled.pricing(), estimator);
   if (!curve.ok()) {
     std::cerr << curve.status() << "\n";
     return 1;

@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "core/recommender.h"
 #include "dma/preprocess.h"
 #include "sim/replayer.h"
@@ -86,8 +87,10 @@ int main() {
   const doppler::core::CustomerProfiler profiler(
       std::make_shared<doppler::core::ThresholdingStrategy>(),
       doppler::workload::ProfilingDims(Deployment::kSqlDb));
+  const doppler::catalog::CompiledCatalog compiled =
+      doppler::catalog::CompiledCatalog::Compile(catalog, &pricing);
   const doppler::core::ElasticRecommender recommender(
-      &catalog, &pricing, &estimator, &profiler, &*group_model);
+      &compiled, &estimator, &profiler, &*group_model);
   auto rec = recommender.RecommendDb(history);
   if (!rec.ok()) {
     std::cerr << rec.status() << "\n";

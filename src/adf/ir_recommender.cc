@@ -85,13 +85,15 @@ StatusOr<IrRecommendation> RecommendIntegrationRuntime(
     return InvalidArgumentError("monthly run-hours must be positive");
   }
   DOPPLER_ASSIGN_OR_RETURN(telemetry::PerfTrace trace, TraceFromRuns(runs));
-  const catalog::SkuCatalog ladder = BuildIrCatalog();
   const AdfPricing pricing(monthly_run_hours);
+  const catalog::CompiledCatalog compiled =
+      catalog::CompiledCatalog::Compile(BuildIrCatalog(), &pricing);
   const core::NonParametricEstimator estimator;
   DOPPLER_ASSIGN_OR_RETURN(
       core::PricePerformanceCurve curve,
-      core::PricePerformanceCurve::Build(trace, ladder.skus(), pricing,
-                                         estimator));
+      core::PricePerformanceCurve::Build(
+          trace, compiled.ForDeployment(catalog::Deployment::kSqlDb).view(),
+          compiled.pricing(), estimator));
   DOPPLER_ASSIGN_OR_RETURN(core::PricePerformancePoint point,
                            curve.ClosestBelowTarget(overload_tolerance));
   IrRecommendation recommendation;

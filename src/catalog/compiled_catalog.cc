@@ -3,14 +3,23 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace doppler::catalog {
 
 CompiledCatalog CompiledCatalog::Compile(SkuCatalog catalog,
-                                         const PricingService* pricing) {
+                                         const PricingService* pricing,
+                                         const TargetSpec* target) {
+  static obs::Counter* const kTargetsCompiled =
+      obs::DefaultMetrics().GetCounter("catalog.targets_compiled");
+  kTargetsCompiled->Increment();
+
+  if (target == nullptr) target = &AzureDbTargetSpec();
   CompiledCatalog compiled;
   compiled.catalog_ = std::move(catalog);
   compiled.pricing_ = pricing;
-  compiled.disk_tiers_ = PremiumDiskTiers();
+  compiled.target_ = target;
+  compiled.disk_tiers_ = target->storage_tiers();
 
   for (const Sku& sku : compiled.catalog_.skus()) {
     const auto slot = static_cast<std::size_t>(static_cast<int>(sku.deployment));
@@ -22,6 +31,7 @@ CompiledCatalog CompiledCatalog::Compile(SkuCatalog catalog,
   }
 
   for (CompiledDeployment& deployment : compiled.deployments_) {
+    deployment.target_ = target;
     // Cheapest-first by the BILLED monthly price (ties by id): exactly the
     // order PricePerformanceCurve::Build used to re-establish per request,
     // so a curve built over a compiled view needs no re-sort.
@@ -52,6 +62,11 @@ CompiledCatalog CompiledCatalog::Compile(SkuCatalog catalog,
     }
   }
   return compiled;
+}
+
+CompiledCatalog CompiledCatalog::CompileTarget(const TargetSpec& target,
+                                               const PricingService* pricing) {
+  return Compile(target.build_catalog(), pricing, &target);
 }
 
 StatusOr<PremiumDiskTier> CompiledCatalog::DiskTierForFileSize(

@@ -11,6 +11,7 @@
 #include "catalog/pricing.h"
 #include "catalog/resource.h"
 #include "catalog/sku.h"
+#include "catalog/target.h"
 #include "util/statusor.h"
 
 namespace doppler::catalog {
@@ -36,8 +37,9 @@ struct CompiledEntry {
 class CompiledView {
  public:
   CompiledView() = default;
-  CompiledView(const CompiledEntry* data, std::size_t size)
-      : data_(data), size_(size) {}
+  CompiledView(const CompiledEntry* data, std::size_t size,
+               const TargetSpec* target = nullptr)
+      : data_(data), size_(size), target_(target) {}
 
   const CompiledEntry* begin() const { return data_; }
   const CompiledEntry* end() const { return data_ + size_; }
@@ -45,9 +47,15 @@ class CompiledView {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// The target spec the snapshot behind this view was compiled for
+  /// (nullptr only for hand-built views); the curve builder reads its
+  /// per-trace repricing hook.
+  const TargetSpec* target() const { return target_; }
+
  private:
   const CompiledEntry* data_ = nullptr;
   std::size_t size_ = 0;
+  const TargetSpec* target_ = nullptr;
 };
 
 /// One deployment's candidate set, pre-sorted cheapest-first (monthly
@@ -57,7 +65,9 @@ class CompiledView {
 /// layout batch capacity kernels scan directly.
 class CompiledDeployment {
  public:
-  CompiledView view() const { return CompiledView(entries_.data(), entries_.size()); }
+  CompiledView view() const {
+    return CompiledView(entries_.data(), entries_.size(), target_);
+  }
   const std::vector<CompiledEntry>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
@@ -86,6 +96,9 @@ class CompiledDeployment {
   std::vector<CompiledEntry> entries_;
   std::array<std::vector<double>, kNumResourceDims> capacity_rows_;
   std::array<std::vector<double>, kNumResourceDims> distinct_capacities_;
+  /// Back-pointer to the owning snapshot's target spec, stamped into every
+  /// view handed out.
+  const TargetSpec* target_ = nullptr;
 };
 
 /// An immutable, serving-oriented snapshot of the SKU search space
@@ -103,9 +116,18 @@ class CompiledCatalog {
   /// Compiles `catalog` (copied into the snapshot, so the snapshot is
   /// self-contained) against `pricing`, which is BORROWED and must outlive
   /// the snapshot — usage-based (serverless) pricing is resolved per trace
-  /// through it.
+  /// through it. `target` (BORROWED; built-in specs have static storage)
+  /// selects the deployment target whose storage-tier table and per-trace
+  /// repricing hook the snapshot carries; nullptr compiles for the Azure
+  /// DB/MI spec, which reproduces the pre-registry behaviour exactly.
   static CompiledCatalog Compile(SkuCatalog catalog,
-                                 const PricingService* pricing);
+                                 const PricingService* pricing,
+                                 const TargetSpec* target = nullptr);
+
+  /// Convenience: compiles `target`'s own catalog (spec builder) against
+  /// `pricing`.
+  static CompiledCatalog CompileTarget(const TargetSpec& target,
+                                       const PricingService* pricing);
 
   CompiledCatalog(CompiledCatalog&&) = default;
   CompiledCatalog& operator=(CompiledCatalog&&) = default;
@@ -125,8 +147,12 @@ class CompiledCatalog {
   /// The borrowed billing interface the snapshot was compiled against.
   const PricingService& pricing() const { return *pricing_; }
 
-  /// Premium-disk tier ladder (paper Table 2), snapshotted from
-  /// PremiumDiskTiers() at compile time.
+  /// The target spec the snapshot was compiled for (never null; defaults
+  /// to the Azure DB/MI spec).
+  const TargetSpec& target() const { return *target_; }
+
+  /// The target's storage tier ladder (Azure premium disks / AWS gp3-io2
+  /// volumes), snapshotted at compile time.
   const std::vector<PremiumDiskTier>& disk_tiers() const { return disk_tiers_; }
 
   /// Smallest snapshotted tier holding `file_size_gib` — the compiled
@@ -144,6 +170,7 @@ class CompiledCatalog {
 
   SkuCatalog catalog_;
   const PricingService* pricing_ = nullptr;
+  const TargetSpec* target_ = nullptr;
   std::array<CompiledDeployment, kNumDeployments> deployments_;
   std::vector<PremiumDiskTier> disk_tiers_;
 };

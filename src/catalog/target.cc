@@ -1,0 +1,193 @@
+#include "catalog/target.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace doppler::catalog {
+
+const char* PricingModelName(PricingModel model) {
+  switch (model) {
+    case PricingModel::kPayGo:
+      return "pay-go";
+    case PricingModel::kReserved:
+      return "reserved";
+    case PricingModel::kServerless:
+      return "serverless";
+  }
+  return "?";
+}
+
+namespace {
+
+// The pre-registry repricing rule, now the Azure spec's hook: usage-billed
+// (serverless) SKUs re-price by the workload's mean CPU through the billing
+// interface; provisioned SKUs keep their compiled price (negative return).
+// The AWS spec shares it — Aurora-Serverless-style SKUs carry the same
+// `serverless` usage-billing shape.
+double RepriceUsageBilled(const Sku& sku, double mean_cpu_vcores,
+                          const PricingService& pricing) {
+  if (!sku.serverless || mean_cpu_vcores <= 0.0) return -1.0;
+  return pricing.MonthlyCostForUsage(sku, mean_cpu_vcores);
+}
+
+std::vector<ResourceDim> AllDims() {
+  return std::vector<ResourceDim>(kAllResourceDims.begin(),
+                                  kAllResourceDims.end());
+}
+
+// ---------------------------------------------------------------------------
+// AWS-RDS/Aurora-shaped ladder. Shapes are calibrated the same way the
+// Azure ladder is (public instance tables, rounded): db.m-style general
+// purpose and db.r-style memory-optimized rows backed by EBS, plus an
+// Aurora-Serverless-v2-style usage-billed ladder. All rows land in the
+// kSqlDb slot of the target's own catalog — deployment slots are
+// per-catalog, and a snapshot only ever serves one target.
+// ---------------------------------------------------------------------------
+
+Sku MakeRdsSku(ServiceTier tier, int vcores) {
+  Sku sku;
+  sku.deployment = Deployment::kSqlDb;
+  sku.tier = tier;
+  sku.hardware = HardwareGen::kGen5;
+  sku.vcores = vcores;
+  if (tier == ServiceTier::kBusinessCritical) {
+    // db.r-style memory-optimized row on io2: 8 GB/vCore, provisioned
+    // IOPS, low latency.
+    sku.max_memory_gb = 8.0 * vcores;
+    sku.max_iops = std::min(3000.0 * vcores, 256000.0);
+    sku.max_log_rate_mbps = std::min(10.0 * vcores, 150.0);
+    sku.min_io_latency_ms = 1.0;
+    sku.price_per_hour = 0.60 * vcores;
+    sku.id = "RDS_R6I_" + std::to_string(vcores);
+  } else {
+    // db.m-style general-purpose row on gp3: 4 GB/vCore, volume-limited
+    // IOPS, gp3 latency.
+    sku.max_memory_gb = 4.0 * vcores;
+    sku.max_iops = std::min(500.0 * vcores, 16000.0);
+    sku.max_log_rate_mbps = std::min(4.0 * vcores, 80.0);
+    sku.min_io_latency_ms = 4.0;
+    sku.price_per_hour = 0.226 * vcores;
+    sku.id = "RDS_M6I_" + std::to_string(vcores);
+  }
+  sku.max_data_gb = std::min(2048.0 + 512.0 * vcores, 65536.0);
+  sku.max_workers = 100.0 * vcores;
+  return sku;
+}
+
+// Aurora-Serverless-v2-style row: usage-billed per ACU-hour (1 ACU ~ a
+// 2 GB slice; rounded here to a vCore-equivalent rate), auto-scaling
+// between max/8 and max capacity.
+Sku MakeAuroraServerlessSku(int max_vcores) {
+  Sku sku = MakeRdsSku(ServiceTier::kGeneralPurpose, max_vcores);
+  sku.serverless = true;
+  sku.min_vcores = std::max(0.5, max_vcores / 8.0);
+  sku.price_per_vcore_hour = 0.24;
+  sku.price_per_hour = sku.price_per_vcore_hour * max_vcores;
+  sku.id = "AURORA_SLS_" + std::to_string(max_vcores);
+  return sku;
+}
+
+}  // namespace
+
+SkuCatalog BuildAwsRdsLikeCatalog() {
+  static const int kRdsVcores[] = {2, 4, 8, 16, 32, 48, 64, 96, 128};
+  static const int kServerlessMaxVcores[] = {1, 2, 4, 8, 16, 32};
+  SkuCatalog catalog;
+  for (ServiceTier tier :
+       {ServiceTier::kGeneralPurpose, ServiceTier::kBusinessCritical}) {
+    for (int vcores : kRdsVcores) catalog.Add(MakeRdsSku(tier, vcores));
+  }
+  for (int max_vcores : kServerlessMaxVcores) {
+    catalog.Add(MakeAuroraServerlessSku(max_vcores));
+  }
+  return catalog;
+}
+
+const std::vector<PremiumDiskTier>& AwsStorageTiers() {
+  // gp3 volumes scale baseline IOPS/throughput with size; io2 Block
+  // Express takes over past the gp3 ceiling. Same ladder contract as the
+  // Azure premium-disk table: smallest tier first, (min, max] size ranges.
+  static const std::vector<PremiumDiskTier> kTiers = {
+      {"gp3-small", 0.0, 256.0, 3000.0, 125.0},
+      {"gp3-medium", 256.0, 1024.0, 6000.0, 250.0},
+      {"gp3-large", 1024.0, 4096.0, 12000.0, 500.0},
+      {"gp3-max", 4096.0, 16384.0, 16000.0, 1000.0},
+      {"io2-1", 16384.0, 32768.0, 64000.0, 2000.0},
+      {"io2-2", 32768.0, 65536.0, 256000.0, 4000.0},
+  };
+  return kTiers;
+}
+
+const TargetSpec& AzureDbTargetSpec() {
+  static const TargetSpec* const kSpec = [] {
+    auto* spec = new TargetSpec();
+    spec->id = "azure-db";
+    spec->display_name = "Azure SQL Database";
+    spec->deployment = Deployment::kSqlDb;
+    spec->build_catalog = [] { return BuildAzureLikeCatalog(); };
+    spec->storage_tiers = [] { return PremiumDiskTiers(); };
+    spec->reprice_for_trace = &RepriceUsageBilled;
+    spec->pricing_models = {
+        {PricingModel::kPayGo, 0.0, {}},
+        {PricingModel::kReserved, 0.33, {}},
+        {PricingModel::kServerless, 0.0, {}},
+    };
+    spec->capacity_dims = AllDims();
+    return spec;
+  }();
+  return *kSpec;
+}
+
+const TargetSpec& AwsRdsTargetSpec() {
+  static const TargetSpec* const kSpec = [] {
+    auto* spec = new TargetSpec();
+    spec->id = "aws-rds";
+    spec->display_name = "AWS RDS/Aurora";
+    spec->deployment = Deployment::kSqlDb;
+    spec->build_catalog = [] { return BuildAwsRdsLikeCatalog(); };
+    spec->storage_tiers = [] { return AwsStorageTiers(); };
+    spec->reprice_for_trace = &RepriceUsageBilled;
+    TargetPricingModel serverless;
+    serverless.model = PricingModel::kServerless;
+    serverless.autoscale.headroom = 1.25;
+    serverless.autoscale.ema_alpha = 0.30;
+    serverless.autoscale.price_premium = 1.3;
+    spec->pricing_models = {
+        {PricingModel::kPayGo, 0.0, {}},
+        {PricingModel::kReserved, 0.40, {}},
+        serverless,
+    };
+    spec->capacity_dims = AllDims();
+    return spec;
+  }();
+  return *kSpec;
+}
+
+const TargetRegistry& TargetRegistry::BuiltIns() {
+  static const TargetRegistry* const kRegistry = [] {
+    auto* registry = new TargetRegistry();
+    registry->Register(AzureDbTargetSpec());
+    registry->Register(AwsRdsTargetSpec());
+    return registry;
+  }();
+  return *kRegistry;
+}
+
+void TargetRegistry::Register(TargetSpec spec) {
+  for (TargetSpec& existing : specs_) {
+    if (existing.id == spec.id) {
+      existing = std::move(spec);
+      return;
+    }
+  }
+  specs_.push_back(std::move(spec));
+}
+
+const TargetSpec* TargetRegistry::Find(const std::string& id) const {
+  for (const TargetSpec& spec : specs_) {
+    if (spec.id == id) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace doppler::catalog

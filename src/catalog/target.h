@@ -1,0 +1,145 @@
+#ifndef DOPPLER_CATALOG_TARGET_H_
+#define DOPPLER_CATALOG_TARGET_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/premium_disk.h"
+#include "catalog/pricing.h"
+#include "catalog/resource.h"
+#include "catalog/sku.h"
+
+namespace doppler::catalog {
+
+/// Deployment-target registry (ROADMAP item 5): the offering layer is no
+/// longer hard-wired to the Azure SQL DB/MI shape. A TargetSpec bundles
+/// everything the engine needs to reason about one cloud offering family —
+/// its SKU ladder, its storage-tier table, its per-trace repricing rule and
+/// the pricing models a recommendation should be costed under — and
+/// CompiledCatalog snapshots one spec at a time. The Azure DB/MI target is
+/// the first registered spec and reproduces the pre-registry behaviour
+/// byte for byte; further specs (the built-in AWS-RDS/Aurora-shaped ladder,
+/// or test-registered ones) reuse the whole curve/filter/recommender stack
+/// unchanged through the CompiledView interface.
+
+/// How a recommendation on a target can be billed. Every target carries
+/// pay-as-you-go; reserved capacity and serverless autoscale are per-target
+/// properties surfaced in the cross-target TCO comparison.
+enum class PricingModel {
+  kPayGo,       ///< List price, billed per provisioned hour.
+  kReserved,    ///< Reserved-capacity commitment at a fractional discount.
+  kServerless,  ///< Usage-billed autoscaling compute (simulated; see
+                ///< core/autoscale.h and the moving-capacity probability).
+};
+
+const char* PricingModelName(PricingModel model);
+
+/// Knobs of the deterministic serverless autoscale simulation: capacity
+/// follows an exponentially-smoothed view of CPU demand with headroom,
+/// clamped to the SKU's scale range. The lag is what makes serverless
+/// throttling a MOVING-capacity question (paper Eq. 1 with R_cpu a
+/// function of t) instead of a constant-capacity one.
+struct ServerlessAutoscalePolicy {
+  /// Scale floor as a fraction of the SKU's max vCores (used when the SKU
+  /// record itself carries no serverless floor).
+  double min_vcores_fraction = 0.125;
+  /// Capacity provisioned per unit of smoothed demand (>1 keeps a burst
+  /// buffer).
+  double headroom = 1.2;
+  /// EMA smoothing factor in (0, 1]: higher tracks demand faster, lower
+  /// models a laggier autoscaler.
+  double ema_alpha = 0.35;
+  /// Per-vCore-hour premium over the provisioned rate, applied when the
+  /// simulated SKU is not natively usage-billed.
+  double price_premium = 1.4;
+};
+
+/// One pricing model a target offers, with its model-specific knobs.
+struct TargetPricingModel {
+  PricingModel model = PricingModel::kPayGo;
+  /// Fractional discount in [0, 1) for kReserved.
+  double reserved_discount = 0.0;
+  /// Autoscale simulation knobs for kServerless.
+  ServerlessAutoscalePolicy autoscale;
+};
+
+/// Per-trace repricing hook: given a SKU, the workload's mean CPU demand in
+/// vCores, and the snapshot's billing interface, returns the monthly bill
+/// that should REPLACE the compiled (usage-independent) price — or a
+/// negative value to keep the compiled price. This generalises the old
+/// hard-coded "serverless SKUs re-price by mean CPU" special case in the
+/// curve builder into a target property: the curve build calls the hook per
+/// candidate and re-sorts only when some hook call actually repriced.
+using RepriceForTraceFn = double (*)(const Sku& sku, double mean_cpu_vcores,
+                                     const PricingService& pricing);
+
+/// One deployment target. Specs are value types: the registry owns its
+/// specs, and CompiledCatalog borrows a spec pointer that must outlive the
+/// snapshot (built-in specs have static storage duration).
+struct TargetSpec {
+  /// Stable registry key, e.g. "azure-db", "aws-rds".
+  std::string id;
+  /// Human-readable label for reports, e.g. "Azure SQL Database".
+  std::string display_name;
+  /// The deployment slot this target's recommendations are drawn from
+  /// (its catalog may still carry SKUs for other slots).
+  Deployment deployment = Deployment::kSqlDb;
+  /// Builds the target's SKU ladder.
+  std::function<SkuCatalog()> build_catalog;
+  /// The target's storage-tier table (Azure premium disks, AWS gp3/io2
+  /// volumes): drives the MI-style file-layout limits for snapshots of
+  /// this target.
+  std::function<std::vector<PremiumDiskTier>()> storage_tiers;
+  /// Per-trace repricing rule; nullptr = no usage-based repricing.
+  RepriceForTraceFn reprice_for_trace = nullptr;
+  /// Pricing models to cost recommendations under, pay-go first.
+  std::vector<TargetPricingModel> pricing_models;
+  /// The resource dimensions this target's capacity model prices
+  /// (informational; surfaced by `doppler targets`).
+  std::vector<ResourceDim> capacity_dims;
+};
+
+/// The registered Azure SQL DB/MI spec — also the default target
+/// CompiledCatalog::Compile snapshots when no spec is given, so every
+/// pre-registry call site keeps its exact behaviour (same catalog builder
+/// family, same premium-disk table, same serverless repricing rule).
+const TargetSpec& AzureDbTargetSpec();
+
+/// The built-in AWS-RDS/Aurora-shaped spec: a db.m/db.r-style vCore ladder
+/// (plus an Aurora-Serverless-style usage-billed ladder) with gp3/io2-style
+/// storage tiers.
+const TargetSpec& AwsRdsTargetSpec();
+
+/// The AWS-shaped catalog behind AwsRdsTargetSpec (exposed for tests and
+/// benches). SKUs land in the kSqlDb deployment slot of their own catalog.
+SkuCatalog BuildAwsRdsLikeCatalog();
+
+/// gp3/io2-style volume ladder, smallest first, same contract as
+/// PremiumDiskTiers().
+const std::vector<PremiumDiskTier>& AwsStorageTiers();
+
+/// An ordered collection of target specs keyed by id.
+class TargetRegistry {
+ public:
+  /// The process-wide built-ins ("azure-db", "aws-rds"), in registration
+  /// order. Constructed once; safe for concurrent reads.
+  static const TargetRegistry& BuiltIns();
+
+  /// Registers a spec (replacing any existing spec with the same id).
+  void Register(TargetSpec spec);
+
+  /// Spec by id; nullptr when unknown. Pointers stay valid while the
+  /// registry is alive and no further Register call replaces the spec.
+  const TargetSpec* Find(const std::string& id) const;
+
+  const std::vector<TargetSpec>& specs() const { return specs_; }
+
+ private:
+  std::vector<TargetSpec> specs_;
+};
+
+}  // namespace doppler::catalog
+
+#endif  // DOPPLER_CATALOG_TARGET_H_

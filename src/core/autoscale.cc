@@ -1,0 +1,63 @@
+#include "core/autoscale.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "catalog/resource.h"
+
+namespace doppler::core {
+
+StatusOr<AutoscaleSimulation> SimulateServerlessAutoscale(
+    const telemetry::PerfTrace& trace, const catalog::Sku& sku,
+    const catalog::ServerlessAutoscalePolicy& policy) {
+  if (trace.num_samples() == 0) {
+    return InvalidArgumentError("performance trace is empty");
+  }
+  if (!trace.Has(catalog::ResourceDim::kCpu)) {
+    return InvalidArgumentError(
+        "autoscale simulation needs a CPU demand column");
+  }
+  if (sku.vcores <= 0) {
+    return InvalidArgumentError("SKU has no positive vCore count");
+  }
+
+  const std::vector<double>& demand =
+      trace.Values(catalog::ResourceDim::kCpu);
+  const double max_vcores = static_cast<double>(sku.vcores);
+  const double floor_vcores =
+      sku.serverless && sku.min_vcores > 0.0
+          ? sku.min_vcores
+          : policy.min_vcores_fraction * max_vcores;
+
+  AutoscaleSimulation result;
+  result.capacity.dim = catalog::ResourceDim::kCpu;
+  std::vector<double>& provisioned = result.capacity.capacity;
+  provisioned.resize(demand.size());
+
+  // Causal fold: row t is provisioned from the EMA of demand through row
+  // t-1; the EMA then absorbs row t for the next step.
+  double ema = demand[0];
+  provisioned[0] =
+      std::clamp(policy.headroom * demand[0], floor_vcores, max_vcores);
+  double sum = provisioned[0];
+  for (std::size_t t = 1; t < demand.size(); ++t) {
+    provisioned[t] =
+        std::clamp(policy.headroom * ema, floor_vcores, max_vcores);
+    sum += provisioned[t];
+    ema = policy.ema_alpha * demand[t] + (1.0 - policy.ema_alpha) * ema;
+  }
+  result.mean_provisioned_vcores = sum / static_cast<double>(demand.size());
+
+  // Usage bill: natively usage-billed SKUs carry their own per-vCore-hour
+  // rate; provisioned SKUs costed as-if-serverless derive one from the
+  // hourly rate plus the policy premium.
+  const double rate_per_vcore_hour =
+      sku.serverless && sku.price_per_vcore_hour > 0.0
+          ? sku.price_per_vcore_hour
+          : (sku.price_per_hour / max_vcores) * policy.price_premium;
+  result.monthly_cost =
+      result.mean_provisioned_vcores * rate_per_vcore_hour * 730.0;
+  return result;
+}
+
+}  // namespace doppler::core

@@ -1,0 +1,48 @@
+#ifndef DOPPLER_CORE_AUTOSCALE_H_
+#define DOPPLER_CORE_AUTOSCALE_H_
+
+#include "catalog/sku.h"
+#include "catalog/target.h"
+#include "core/throttling.h"
+#include "telemetry/perf_trace.h"
+#include "util/statusor.h"
+
+namespace doppler::core {
+
+/// Output of the deterministic serverless autoscale simulation: the per-row
+/// provisioned CPU capacity (the MOVING capacity the throttling estimator
+/// evaluates paper Eq. 1 against), and the usage bill it implies.
+struct AutoscaleSimulation {
+  /// Provisioned vCores at each trace row (dim = kCpu).
+  MovingCapacity capacity;
+  /// Time-average of the provisioned series, in vCores.
+  double mean_provisioned_vcores = 0.0;
+  /// Monthly bill for the provisioned capacity: mean vCores x the SKU's
+  /// per-vCore-hour rate (derived from the hourly rate, times the policy
+  /// premium, when the SKU is not natively usage-billed) x 730 h.
+  double monthly_cost = 0.0;
+};
+
+/// Simulates a serverless autoscaler following the trace's CPU demand
+/// (paper Eq. 1 extension; DESIGN.md §14): provisioned capacity tracks an
+/// exponentially-smoothed view of demand with headroom, clamped to the
+/// SKU's scale range [floor, sku.vcores] where the floor is the SKU's own
+/// serverless floor (sku.min_vcores) or policy.min_vcores_fraction of max
+/// for provisioned SKUs being costed as-if-serverless.
+///
+/// The smoothing is causal: row t provisions against the EMA of demand up
+/// to row t-1 (row 0 sees its own demand — the autoscaler's initial
+/// sizing), so a burst outruns the autoscaler for ~1/ema_alpha rows. That
+/// lag is exactly why serverless throttling must be evaluated against the
+/// moving series rather than the scale ceiling.
+///
+/// Deterministic: a pure fold over the CPU column. Fails with
+/// INVALID_ARGUMENT when the trace is empty or lacks a CPU column, or when
+/// the SKU has no positive vCore count.
+StatusOr<AutoscaleSimulation> SimulateServerlessAutoscale(
+    const telemetry::PerfTrace& trace, const catalog::Sku& sku,
+    const catalog::ServerlessAutoscalePolicy& policy);
+
+}  // namespace doppler::core
+
+#endif  // DOPPLER_CORE_AUTOSCALE_H_

@@ -50,7 +50,7 @@ StatusOr<PricePerformancePoint> OverProvisionedChoice(
 
 StatusOr<BacktestDataset> BuildBacktestDataset(
     std::vector<workload::SyntheticCustomer> fleet,
-    const catalog::SkuCatalog& catalog, const catalog::PricingService& pricing,
+    const catalog::CompiledCatalog& compiled,
     const ThrottlingEstimator& estimator, Rng* rng) {
   if (fleet.empty()) return InvalidArgumentError("fleet is empty");
   if (rng == nullptr) return InvalidArgumentError("rng must not be null");
@@ -65,16 +65,17 @@ StatusOr<BacktestDataset> BuildBacktestDataset(
     if (customer.deployment == Deployment::kSqlDb) {
       DOPPLER_ASSIGN_OR_RETURN(
           curve, PricePerformanceCurve::Build(
-                     customer.trace, catalog.ForDeployment(Deployment::kSqlDb),
-                     pricing, estimator));
+                     customer.trace,
+                     compiled.ForDeployment(Deployment::kSqlDb).view(),
+                     compiled.pricing(), estimator));
     } else {
       DOPPLER_ASSIGN_OR_RETURN(
-          MiFilterResult filtered,
-          FilterMiCandidates(catalog, customer.layout, customer.trace));
+          MiCompiledFilterResult filtered,
+          FilterMiCandidates(compiled, customer.layout, customer.trace));
       DOPPLER_ASSIGN_OR_RETURN(
-          curve, PricePerformanceCurve::Build(customer.trace,
-                                              filtered.candidates, pricing,
-                                              estimator));
+          curve, PricePerformanceCurve::Build(
+                     customer.trace, filtered.candidates, compiled.pricing(),
+                     estimator, nullptr, nullptr, &compiled.target()));
     }
 
     LabeledCustomer labeled;

@@ -5,8 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "catalog/catalog.h"
-#include "catalog/pricing.h"
+#include "catalog/compiled_catalog.h"
 #include "core/negotiability.h"
 #include "core/price_performance.h"
 #include "core/profiler.h"
@@ -42,10 +41,12 @@ struct BacktestDataset {
 };
 
 /// Builds the dataset: generates curves for every customer (via the MI
-/// premium-disk path for MI fleets) and assigns chosen SKUs.
+/// storage-tier path for MI fleets) over the compiled snapshot and assigns
+/// chosen SKUs. Curves copy their SKUs, so the dataset safely outlives the
+/// snapshot.
 StatusOr<BacktestDataset> BuildBacktestDataset(
     std::vector<workload::SyntheticCustomer> fleet,
-    const catalog::SkuCatalog& catalog, const catalog::PricingService& pricing,
+    const catalog::CompiledCatalog& compiled,
     const ThrottlingEstimator& estimator, Rng* rng);
 
 /// How customers are grouped from their negotiability summaries.

@@ -5,7 +5,7 @@
 namespace doppler::core {
 
 StatusOr<DriftReport> DetectSkuDrift(const telemetry::PerfTrace& trace,
-                                     const std::vector<catalog::Sku>& candidates,
+                                     catalog::CompiledView candidates,
                                      const catalog::PricingService& pricing,
                                      const ThrottlingEstimator& estimator,
                                      const std::string& current_sku_id,

@@ -38,11 +38,12 @@ struct DriftOptions {
   double tolerance = 0.05;
 };
 
-/// Runs the comparison. Fails when the trace is too short to split (each
-/// window needs at least two samples), the candidate list is empty, or the
-/// current SKU is not among the candidates.
+/// Runs the comparison over a compiled candidate view. Fails when the
+/// trace is too short to split (each window needs at least two samples),
+/// the candidate list is empty, or the current SKU is not among the
+/// candidates.
 StatusOr<DriftReport> DetectSkuDrift(const telemetry::PerfTrace& trace,
-                                     const std::vector<catalog::Sku>& candidates,
+                                     catalog::CompiledView candidates,
                                      const catalog::PricingService& pricing,
                                      const ThrottlingEstimator& estimator,
                                      const std::string& current_sku_id,

@@ -185,4 +185,55 @@ std::size_t ExceedanceIndex::CountExceedingUnion(
   return count;
 }
 
+std::size_t ExceedanceIndex::CountExceedingUnionMoving(
+    const ResourceVector& capacities, ResourceDim moving_dim,
+    const std::vector<double>& moving_capacity) const {
+  static obs::Counter* const kSamples =
+      obs::DefaultMetrics().GetCounter("ppm.samples_scanned");
+
+  // Seed the union with the moving dimension's exceedance set, built by a
+  // direct per-row compare (same strict comparisons as the memoized sets:
+  // ResourceVector::Exceeds semantics). Every row is read once, charged
+  // below — a deterministic function of the query, not of scheduling.
+  const std::vector<double>& demand = trace_->Values(moving_dim);
+  const bool inverted = catalog::IsInvertedDim(moving_dim);
+  thread_local std::vector<std::uint64_t> union_words;
+  union_words.assign(num_words_, 0);
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < num_rows_; ++r) {
+    const bool exceeds = inverted ? demand[r] < moving_capacity[r]
+                                  : demand[r] > moving_capacity[r];
+    if (exceeds) {
+      union_words[r >> 6] |= std::uint64_t{1} << (r & 63);
+      ++count;
+    }
+  }
+  kSamples->Increment(num_rows_);
+
+  // OR in the constant dimensions' memoized sets, exactly as the constant
+  // union does. The moving dimension's constant entry (if any) is
+  // superseded by the series, so it is skipped here.
+  std::size_t words_touched = 0;
+  for (ResourceDim dim : covered_dims_) {
+    if (count >= num_rows_) break;
+    if (dim == moving_dim || !capacities.Has(dim)) continue;
+    const ExceedanceSet& set = SetFor(dim, capacities.Get(dim));
+    if (set.count == 0) continue;
+    const std::uint64_t* const words = set.words.data();
+    for (std::size_t w = 0; w < num_words_; ++w) {
+      const std::uint64_t prev = union_words[w];
+      if (prev == ~std::uint64_t{0}) continue;
+      const std::uint64_t merged = prev | words[w];
+      if (merged != prev) {
+        count += static_cast<std::size_t>(std::popcount(merged ^ prev));
+        union_words[w] = merged;
+      }
+    }
+    words_touched += num_words_;
+  }
+  CountUnionWords(words_touched);
+  TrimScratch(union_words);
+  return count;
+}
+
 }  // namespace doppler::core

@@ -112,6 +112,22 @@ class ExceedanceIndex {
   std::size_t CountExceedingUnion(
       const catalog::ResourceVector& capacities) const;
 
+  /// Moving-capacity union (the serverless autoscale extension of Eq. 1):
+  /// like CountExceedingUnion, but `moving_dim`'s limit at row r is
+  /// `moving_capacity[r]` instead of a constant. The moving dimension's
+  /// exceedance set cannot be memoized (it depends on the whole series), so
+  /// it is built by a direct row-vs-row compare seeding the union scratch
+  /// (its row reads are charged to `ppm.samples_scanned`); the constant
+  /// dimensions then OR in their memoized sets exactly as the constant
+  /// union does, skipping `moving_dim` and dimensions absent from
+  /// `capacities`. Exact integer counting over the same row set as a
+  /// row-major scan. Preconditions: the trace models `moving_dim` and the
+  /// series length equals num_rows().
+  std::size_t CountExceedingUnionMoving(
+      const catalog::ResourceVector& capacities,
+      catalog::ResourceDim moving_dim,
+      const std::vector<double>& moving_capacity) const;
+
   /// Covered dimensions in enum order.
   const std::vector<catalog::ResourceDim>& covered_dims() const {
     return covered_dims_;

@@ -32,8 +32,7 @@ double LinearSlopePerSample(const std::vector<double>& values) {
 }
 
 StatusOr<GrowthForecast> ForecastUpgrades(
-    const telemetry::PerfTrace& trace,
-    const std::vector<catalog::Sku>& candidates,
+    const telemetry::PerfTrace& trace, catalog::CompiledView candidates,
     const catalog::PricingService& pricing,
     const ThrottlingEstimator& estimator, const std::string& current_sku_id,
     const ForecastOptions& options) {

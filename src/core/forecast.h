@@ -51,11 +51,11 @@ struct ForecastOptions {
   bool freeze_latency = true;
 };
 
-/// Fits growth from `trace` and walks the horizon. `current_sku_id` may be
+/// Fits growth from `trace` and walks the horizon, re-evaluating the curve
+/// over a compiled candidate view at each month. `current_sku_id` may be
 /// empty (no outgrow analysis). Fails on an empty trace or horizon < 1.
 StatusOr<GrowthForecast> ForecastUpgrades(
-    const telemetry::PerfTrace& trace,
-    const std::vector<catalog::Sku>& candidates,
+    const telemetry::PerfTrace& trace, catalog::CompiledView candidates,
     const catalog::PricingService& pricing,
     const ThrottlingEstimator& estimator, const std::string& current_sku_id,
     const ForecastOptions& options = {});

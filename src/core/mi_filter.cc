@@ -124,43 +124,6 @@ void CountMiFilterOutcome(std::size_t num_candidates, bool restricted_to_bc) {
 
 }  // namespace
 
-StatusOr<MiFilterResult> FilterMiCandidates(
-    const catalog::SkuCatalog& catalog, const catalog::FileLayout& layout,
-    const telemetry::PerfTrace& trace, const MiFilterOptions& options) {
-  if (trace.num_samples() == 0) {
-    return InvalidArgumentError("performance trace is empty");
-  }
-  DOPPLER_TRACE_SPAN("ppm.mi_filter");
-  DOPPLER_ASSIGN_OR_RETURN(catalog::LayoutLimits limits,
-                           catalog::ComputeLayoutLimits(layout));
-  const MiRequirements req =
-      ComputeMiRequirements(trace, limits, options, nullptr);
-
-  MiFilterResult result;
-  result.layout_limits = limits;
-  result.restricted_to_bc = !req.gp_layout_ok;
-
-  const std::vector<Sku> mi_skus = catalog.ForDeployment(Deployment::kSqlMi);
-  if (mi_skus.empty()) {
-    return FailedPreconditionError("catalog contains no SQL MI SKUs");
-  }
-
-  for (const Sku& sku : mi_skus) {
-    double iops_limit = -1.0;
-    if (KeepMiCandidate(sku, req, limits, options, &iops_limit)) {
-      result.candidates.push_back({sku, iops_limit});
-    }
-  }
-
-  if (result.candidates.empty()) {
-    return NotFoundError(
-        "no MI SKU can host the layout (storage need " +
-        std::to_string(req.storage_need) + " GB)");
-  }
-  CountMiFilterOutcome(result.candidates.size(), result.restricted_to_bc);
-  return result;
-}
-
 StatusOr<MiCompiledFilterResult> FilterMiCandidates(
     const catalog::CompiledCatalog& compiled, const catalog::FileLayout& layout,
     const telemetry::PerfTrace& trace, const MiFilterOptions& options,

@@ -30,43 +30,30 @@ struct MiFilterOptions {
   double mib_per_io = 0.0625;  // 64 KiB pages.
 };
 
-/// Step 1 output: the relevant MI candidates with their effective IOPS
-/// limits already resolved (Step 2), ready for curve building.
-struct MiFilterResult {
-  std::vector<Candidate> candidates;
+/// Step 1 output: candidates borrow their CompiledEntry from the snapshot
+/// (valid for its lifetime), in the snapshot's cheapest-first order, with
+/// their effective IOPS limits already resolved (Step 2), ready for curve
+/// building.
+struct MiCompiledFilterResult {
+  std::vector<CompiledCandidateRef> candidates;
   /// True when no General Purpose layout met the IOPS/throughput bar and
   /// the search was restricted to Business Critical (paper Step 1).
   bool restricted_to_bc = false;
-  /// The premium-disk limits implied by the file layout.
+  /// The storage-tier limits implied by the file layout.
   catalog::LayoutLimits layout_limits;
 };
 
-/// Step 1 output on the compiled-snapshot path: candidates borrow their
-/// CompiledEntry from the snapshot (valid for its lifetime) instead of
-/// copying SKUs, in the snapshot's cheapest-first order.
-struct MiCompiledFilterResult {
-  std::vector<CompiledCandidateRef> candidates;
-  bool restricted_to_bc = false;
-  catalog::LayoutLimits layout_limits;
-};
-
-/// Runs Steps 1-2 for a workload migrating to SQL MI:
-///  1. Resolve each data file to its premium-disk tier and sum the
-///     per-disk IOPS/throughput limits.
+/// Runs Steps 1-2 for a workload migrating to SQL MI, over the snapshot's
+/// pre-sorted MI view and its precomputed storage-tier table — no catalog
+/// copy, no SKU copies:
+///  1. Resolve each data file to its storage tier and sum the per-disk
+///     IOPS/throughput limits.
 ///  2. Keep GP SKUs whose max data size covers the layout at 100% and
 ///     whose layout-derived limits satisfy >= 95% of the workload's IOPS
 ///     and throughput samples. If none qualifies, restrict to BC SKUs
 ///     (whose local-SSD limits come from the SKU record instead).
 ///  3. GP candidates carry the layout IOPS sum as their effective limit.
 /// Fails when the catalog has no MI SKUs or the layout is unplaceable.
-StatusOr<MiFilterResult> FilterMiCandidates(
-    const catalog::SkuCatalog& catalog, const catalog::FileLayout& layout,
-    const telemetry::PerfTrace& trace, const MiFilterOptions& options = {});
-
-/// Compiled-snapshot path: identical Steps 1-3 over the snapshot's
-/// pre-sorted MI view and its precomputed premium-disk table — no catalog
-/// copy, no SKU copies. Selects the same candidate set (same order) as the
-/// SkuCatalog overload for the catalog the snapshot was compiled from.
 /// A non-null `stats` cache over this trace resolves the IOPS satisfaction
 /// fraction by binary search on the memoized sorted series (an identical
 /// integer count, so the keep/drop decisions cannot change).

@@ -23,95 +23,6 @@ const char* CurveShapeName(CurveShape shape) {
   return "?";
 }
 
-StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
-    const telemetry::PerfTrace& trace, const std::vector<Candidate>& candidates,
-    const catalog::PricingService& pricing,
-    const ThrottlingEstimator& estimator, exec::ThreadPool* executor,
-    const telemetry::TraceStatsCache* stats) {
-  if (candidates.empty()) {
-    return InvalidArgumentError("no candidate SKUs for curve building");
-  }
-  if (trace.num_samples() == 0) {
-    return InvalidArgumentError("performance trace is empty");
-  }
-  DOPPLER_TRACE_SPAN("ppm.curve_build");
-  static obs::Counter* const kSkusEvaluated =
-      obs::DefaultMetrics().GetCounter("ppm.skus_evaluated");
-  kSkusEvaluated->Increment(candidates.size());
-  DOPPLER_LOG(kDebug) << "building price-performance curve over "
-                      << candidates.size() << " SKUs, "
-                      << trace.num_samples() << " samples";
-
-  // Mean CPU demand feeds usage-based (serverless) billing; 0 when the
-  // trace carries no CPU counter (pricing then assumes the worst case).
-  double mean_cpu = 0.0;
-  if (trace.Has(catalog::ResourceDim::kCpu)) {
-    const std::vector<double>& cpu = trace.Values(catalog::ResourceDim::kCpu);
-    for (double v : cpu) mean_cpu += v;
-    mean_cpu /= static_cast<double>(cpu.size());
-  }
-
-  // One batch call scores every candidate: the estimator sees the whole
-  // capacity set at once, so index-backed estimators amortise their
-  // per-trace state across candidates; the executor fan-out (and the
-  // bit-identical-at-any-thread-count guarantee) lives inside the batch
-  // API now. Prices are filled serially — they are cheap table lookups.
-  std::vector<catalog::ResourceVector> capacity_vectors;
-  capacity_vectors.reserve(candidates.size());
-  for (const Candidate& candidate : candidates) {
-    capacity_vectors.push_back(
-        candidate.iops_limit >= 0.0
-            ? candidate.sku.CapacitiesWithIopsLimit(candidate.iops_limit)
-            : candidate.sku.Capacities());
-  }
-  DOPPLER_ASSIGN_OR_RETURN(const std::vector<double> probabilities,
-                           estimator.EstimateCurveProbabilities(
-                               trace, capacity_vectors, executor, stats));
-
-  PricePerformanceCurve curve;
-  curve.points_.resize(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const Candidate& candidate = candidates[i];
-    PricePerformancePoint& point = curve.points_[i];
-    point.sku = candidate.sku;
-    point.monthly_price =
-        candidate.sku.serverless && mean_cpu > 0.0
-            ? pricing.MonthlyCostForUsage(candidate.sku, mean_cpu)
-            : pricing.MonthlyCost(candidate.sku);
-    point.throttling_probability = probabilities[i];
-    point.performance = 1.0 - probabilities[i];
-  }
-
-  // Price order, ties broken by id for determinism.
-  std::sort(curve.points_.begin(), curve.points_.end(),
-            [](const PricePerformancePoint& a, const PricePerformancePoint& b) {
-              if (a.monthly_price != b.monthly_price) {
-                return a.monthly_price < b.monthly_price;
-              }
-              return a.sku.id < b.sku.id;
-            });
-
-  // Monotone envelope: spending more never reports less performance.
-  double best = 0.0;
-  for (PricePerformancePoint& point : curve.points_) {
-    best = std::max(best, point.performance);
-    point.performance = best;
-  }
-  return curve;
-}
-
-StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
-    const telemetry::PerfTrace& trace,
-    const std::vector<catalog::Sku>& candidates,
-    const catalog::PricingService& pricing,
-    const ThrottlingEstimator& estimator, exec::ThreadPool* executor,
-    const telemetry::TraceStatsCache* stats) {
-  std::vector<Candidate> wrapped;
-  wrapped.reserve(candidates.size());
-  for (const catalog::Sku& sku : candidates) wrapped.push_back({sku, -1.0});
-  return Build(trace, wrapped, pricing, estimator, executor, stats);
-}
-
 // Uniform accessor over the two compiled candidate sources: a whole
 // deployment view (no IOPS overrides) or a filtered ref list (MI path).
 // Avoids materialising a ref vector for the common DB route.
@@ -119,6 +30,8 @@ struct PricePerformanceCurve::CompiledSpan {
   const catalog::CompiledEntry* entries = nullptr;
   const CompiledCandidateRef* refs = nullptr;
   std::size_t count = 0;
+  /// The target whose reprice_for_trace hook applies; nullptr = none.
+  const catalog::TargetSpec* target = nullptr;
 
   const catalog::CompiledEntry& entry(std::size_t i) const {
     return refs != nullptr ? *refs[i].entry : entries[i];
@@ -147,12 +60,17 @@ StatusOr<PricePerformanceCurve> PricePerformanceCurve::BuildCompiled(
                       << " compiled SKUs, " << trace.num_samples()
                       << " samples";
 
+  // Mean CPU demand feeds the target's per-trace repricing hook (usage-
+  // billed serverless SKUs); 0 when the trace carries no CPU counter
+  // (pricing then assumes the worst case).
   double mean_cpu = 0.0;
   if (trace.Has(catalog::ResourceDim::kCpu)) {
     const std::vector<double>& cpu = trace.Values(catalog::ResourceDim::kCpu);
     for (double v : cpu) mean_cpu += v;
     mean_cpu /= static_cast<double>(cpu.size());
   }
+  const catalog::RepriceForTraceFn reprice =
+      span.target != nullptr ? span.target->reprice_for_trace : nullptr;
 
   // Batch scoring over the memoized capacity vectors (with the MI route's
   // per-candidate IOPS overrides applied first); see the Candidate overload
@@ -173,31 +91,26 @@ StatusOr<PricePerformanceCurve> PricePerformanceCurve::BuildCompiled(
   PricePerformanceCurve curve;
   std::vector<PricePerformancePoint>& points = curve.points_;
   points.resize(span.count);
+  // A hook re-price (negative return = keep the compiled price)
+  // invalidates the memoized price order; when every candidate keeps its
+  // compiled price the pre-sorted order stands and the sort is skipped.
+  bool repriced = false;
   for (std::size_t i = 0; i < span.count; ++i) {
     const catalog::CompiledEntry& entry = span.entry(i);
     PricePerformancePoint& point = points[i];
     point.sku = *entry.sku;
-    point.monthly_price =
-        entry.sku->serverless && mean_cpu > 0.0
-            ? pricing.MonthlyCostForUsage(*entry.sku, mean_cpu)
-            : entry.monthly_price;
+    const double hook_price =
+        reprice != nullptr ? reprice(*entry.sku, mean_cpu, pricing) : -1.0;
+    point.monthly_price = hook_price >= 0.0 ? hook_price : entry.monthly_price;
+    repriced |= hook_price >= 0.0;
     point.throttling_probability = probabilities[i];
     point.performance = 1.0 - probabilities[i];
   }
 
-  // A usage-billed SKU re-priced against the trace invalidates the
-  // memoized price order; provisioned SKUs keep their compiled price, so
-  // the pre-sorted order stands and the sort can be skipped entirely.
-  bool repriced = false;
-  if (mean_cpu > 0.0) {
-    for (std::size_t i = 0; i < span.count && !repriced; ++i) {
-      repriced = span.entry(i).sku->serverless;
-    }
-  }
   if (repriced) {
-    // Same comparator the Candidate path applies unconditionally; compiled
-    // entries arrive pre-sorted by it, so the sort is needed only when a
-    // serverless re-price perturbed the order.
+    // Same (monthly price, id) comparator the compile step sorted by;
+    // compiled entries arrive pre-sorted, so the sort is needed only when
+    // a hook re-price perturbed the order.
     std::sort(
         points.begin(), points.end(),
         [](const PricePerformancePoint& a, const PricePerformancePoint& b) {
@@ -224,6 +137,7 @@ StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
   CompiledSpan span;
   span.entries = candidates.begin();
   span.count = candidates.size();
+  span.target = candidates.target();
   return BuildCompiled(trace, span, pricing, estimator, executor, stats);
 }
 
@@ -232,10 +146,12 @@ StatusOr<PricePerformanceCurve> PricePerformanceCurve::Build(
     const std::vector<CompiledCandidateRef>& candidates,
     const catalog::PricingService& pricing,
     const ThrottlingEstimator& estimator, exec::ThreadPool* executor,
-    const telemetry::TraceStatsCache* stats) {
+    const telemetry::TraceStatsCache* stats,
+    const catalog::TargetSpec* target) {
   CompiledSpan span;
   span.refs = candidates.data();
   span.count = candidates.size();
+  span.target = target;
   return BuildCompiled(trace, span, pricing, estimator, executor, stats);
 }
 

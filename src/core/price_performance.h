@@ -18,21 +18,13 @@ class ThreadPool;
 
 namespace doppler::core {
 
-/// A candidate SKU for curve building, with an optional MI file-layout
-/// IOPS override (paper §3.2 Step 2: the GP MI IOPS limit is the sum of the
-/// per-file premium-disk limits, not the SKU record's number).
-struct Candidate {
-  catalog::Sku sku;
-  /// Effective IOPS limit; negative means "use sku.max_iops".
-  double iops_limit = -1.0;
-};
-
-/// The zero-copy counterpart of Candidate for the compiled-snapshot path:
-/// borrows a CompiledEntry (valid for the snapshot's lifetime) instead of
-/// copying the Sku, plus the same optional MI IOPS override.
+/// A candidate for curve building on the compiled-snapshot path: borrows a
+/// CompiledEntry (valid for the snapshot's lifetime), plus an optional MI
+/// file-layout IOPS override (paper §3.2 Step 2: the GP MI IOPS limit is
+/// the sum of the per-file storage-tier limits, not the SKU record's
+/// number). Negative `iops_limit` means "use the memoized capacities".
 struct CompiledCandidateRef {
   const catalog::CompiledEntry* entry = nullptr;
-  /// Effective IOPS limit; negative means "use the memoized capacities".
   double iops_limit = -1.0;
 };
 
@@ -66,38 +58,19 @@ const char* CurveShapeName(CurveShape shape);
 /// probability, sorted by monthly price (paper §3.2, Fig. 4b).
 class PricePerformanceCurve {
  public:
-  /// Builds the curve for `trace` over `candidates`. Fails when the
-  /// candidate list or trace is empty, or when estimation fails. Scoring
-  /// goes through the estimator's batch API
-  /// (ThrottlingEstimator::EstimateCurveProbabilities): with a non-null
-  /// `executor` candidates are partitioned across the pool (each one is
-  /// scored into its own slot by index, so the result is bit-identical to
-  /// the serial path at any thread count), and a non-null `stats` cache
-  /// over this trace lets index-backed estimators reuse its memoized
-  /// argsort instead of re-sorting.
-  static StatusOr<PricePerformanceCurve> Build(
-      const telemetry::PerfTrace& trace,
-      const std::vector<Candidate>& candidates,
-      const catalog::PricingService& pricing,
-      const ThrottlingEstimator& estimator,
-      exec::ThreadPool* executor = nullptr,
-      const telemetry::TraceStatsCache* stats = nullptr);
-
-  /// Convenience overload over plain SKUs (no IOPS overrides).
-  static StatusOr<PricePerformanceCurve> Build(
-      const telemetry::PerfTrace& trace,
-      const std::vector<catalog::Sku>& candidates,
-      const catalog::PricingService& pricing,
-      const ThrottlingEstimator& estimator,
-      exec::ThreadPool* executor = nullptr,
-      const telemetry::TraceStatsCache* stats = nullptr);
-
-  /// Compiled-snapshot path over a whole deployment view: reads the
-  /// memoized monthly prices and capacity vectors, performs no catalog
-  /// copy and — because compiled entries are already in (billed price, id)
-  /// order — no per-request sort unless a usage-billed (serverless) SKU
-  /// re-priced against the trace. Produces bit-identical curves to the
-  /// Candidate overload for the same catalog and pricing.
+  /// Builds the curve for `trace` over a whole compiled deployment view:
+  /// reads the memoized monthly prices and capacity vectors, performs no
+  /// catalog copy and — because compiled entries are already in (billed
+  /// price, id) order — no per-request sort unless the view's target
+  /// repriced a candidate against the trace (TargetSpec::reprice_for_trace,
+  /// e.g. usage-billed serverless SKUs). Fails when the candidate list or
+  /// trace is empty, or when estimation fails. Scoring goes through the
+  /// estimator's batch API (ThrottlingEstimator::EstimateCurveProbabilities):
+  /// with a non-null `executor` candidates are partitioned across the pool
+  /// (each one is scored into its own slot by index, so the result is
+  /// bit-identical to the serial path at any thread count), and a non-null
+  /// `stats` cache over this trace lets index-backed estimators reuse its
+  /// memoized argsort instead of re-sorting.
   static StatusOr<PricePerformanceCurve> Build(
       const telemetry::PerfTrace& trace, catalog::CompiledView candidates,
       const catalog::PricingService& pricing,
@@ -107,14 +80,16 @@ class PricePerformanceCurve {
 
   /// Compiled-snapshot path over a filtered subset (the MI route, where
   /// each candidate carries a layout-derived IOPS override). `candidates`
-  /// must preserve the compiled view's relative order.
+  /// must preserve the compiled view's relative order. `target` supplies
+  /// the per-trace repricing hook (nullptr = no repricing).
   static StatusOr<PricePerformanceCurve> Build(
       const telemetry::PerfTrace& trace,
       const std::vector<CompiledCandidateRef>& candidates,
       const catalog::PricingService& pricing,
       const ThrottlingEstimator& estimator,
       exec::ThreadPool* executor = nullptr,
-      const telemetry::TraceStatsCache* stats = nullptr);
+      const telemetry::TraceStatsCache* stats = nullptr,
+      const catalog::TargetSpec* target = nullptr);
 
   /// Points ordered by ascending monthly price.
   const std::vector<PricePerformancePoint>& points() const { return points_; }

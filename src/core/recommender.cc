@@ -60,28 +60,6 @@ ElasticRecommender::ElasticRecommender(const catalog::CompiledCatalog* compiled,
     : ElasticRecommender(compiled, estimator, profiler, group_model,
                          Options()) {}
 
-ElasticRecommender::ElasticRecommender(const catalog::SkuCatalog* catalog,
-                                       const catalog::PricingService* pricing,
-                                       const ThrottlingEstimator* estimator,
-                                       const CustomerProfiler* profiler,
-                                       const GroupModel* group_model,
-                                       Options options)
-    : owned_compiled_(std::make_unique<catalog::CompiledCatalog>(
-          catalog::CompiledCatalog::Compile(*catalog, pricing))),
-      compiled_(owned_compiled_.get()),
-      estimator_(estimator),
-      profiler_(profiler),
-      group_model_(group_model),
-      options_(options) {}
-
-ElasticRecommender::ElasticRecommender(const catalog::SkuCatalog* catalog,
-                                       const catalog::PricingService* pricing,
-                                       const ThrottlingEstimator* estimator,
-                                       const CustomerProfiler* profiler,
-                                       const GroupModel* group_model)
-    : ElasticRecommender(catalog, pricing, estimator, profiler, group_model,
-                         Options()) {}
-
 StatusOr<Recommendation> ElasticRecommender::RecommendDb(
     const telemetry::PerfTrace& trace,
     const telemetry::TraceStatsCache* stats) const {
@@ -107,7 +85,7 @@ StatusOr<Recommendation> ElasticRecommender::RecommendMi(
       PricePerformanceCurve curve,
       PricePerformanceCurve::Build(trace, filtered.candidates,
                                    compiled_->pricing(), *estimator_,
-                                   executor_, stats));
+                                   executor_, stats, &compiled_->target()));
   DOPPLER_ASSIGN_OR_RETURN(Recommendation recommendation,
                            SelectFromCurve(std::move(curve), trace, stats));
   if (filtered.restricted_to_bc) {
@@ -220,14 +198,6 @@ StatusOr<Recommendation> ElasticRecommender::SelectFromCurve(
 BaselineRecommender::BaselineRecommender(
     const catalog::CompiledCatalog* compiled, double quantile)
     : compiled_(compiled), quantile_(quantile) {}
-
-BaselineRecommender::BaselineRecommender(const catalog::SkuCatalog* catalog,
-                                         const catalog::PricingService* pricing,
-                                         double quantile)
-    : owned_compiled_(std::make_unique<catalog::CompiledCatalog>(
-          catalog::CompiledCatalog::Compile(*catalog, pricing))),
-      compiled_(owned_compiled_.get()),
-      quantile_(quantile) {}
 
 StatusOr<ResourceVector> BaselineRecommender::ScalarRequirements(
     const telemetry::PerfTrace& trace,

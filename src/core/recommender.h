@@ -77,22 +77,6 @@ class ElasticRecommender {
                      const CustomerProfiler* profiler,
                      const GroupModel* group_model);
 
-  /// Legacy constructors: compile an owned snapshot of `catalog` against
-  /// `pricing` (both borrowed, must outlive the recommender). Convenient
-  /// for one-shot callers; long-lived services should share one
-  /// CompiledCatalog across recommenders instead.
-  ElasticRecommender(const catalog::SkuCatalog* catalog,
-                     const catalog::PricingService* pricing,
-                     const ThrottlingEstimator* estimator,
-                     const CustomerProfiler* profiler,
-                     const GroupModel* group_model, Options options);
-
-  ElasticRecommender(const catalog::SkuCatalog* catalog,
-                     const catalog::PricingService* pricing,
-                     const ThrottlingEstimator* estimator,
-                     const CustomerProfiler* profiler,
-                     const GroupModel* group_model);
-
   /// Optional execution pool for the per-SKU curve build; nullptr (the
   /// default) keeps the serial path. The pool is borrowed and must outlive
   /// the recommender. Results are bit-identical with or without it.
@@ -121,8 +105,6 @@ class ElasticRecommender {
       PricePerformanceCurve curve, const telemetry::PerfTrace& trace,
       const telemetry::TraceStatsCache* stats) const;
 
-  /// Set only by the legacy constructors; compiled_ points at it then.
-  std::unique_ptr<const catalog::CompiledCatalog> owned_compiled_;
   const catalog::CompiledCatalog* compiled_;
   const ThrottlingEstimator* estimator_;
   const CustomerProfiler* profiler_;
@@ -142,12 +124,6 @@ class BaselineRecommender {
   explicit BaselineRecommender(const catalog::CompiledCatalog* compiled,
                                double quantile = 0.95);
 
-  /// Legacy constructor: compiles an owned snapshot of `catalog` against
-  /// `pricing` (both borrowed, must outlive the recommender).
-  BaselineRecommender(const catalog::SkuCatalog* catalog,
-                      const catalog::PricingService* pricing,
-                      double quantile = 0.95);
-
   StatusOr<Recommendation> Recommend(
       const telemetry::PerfTrace& trace, catalog::Deployment deployment,
       const telemetry::TraceStatsCache* stats = nullptr) const;
@@ -160,8 +136,6 @@ class BaselineRecommender {
       const telemetry::TraceStatsCache* stats = nullptr) const;
 
  private:
-  /// Set only by the legacy constructor; compiled_ points at it then.
-  std::unique_ptr<const catalog::CompiledCatalog> owned_compiled_;
   const catalog::CompiledCatalog* compiled_;
   double quantile_;
 };

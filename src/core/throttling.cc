@@ -110,6 +110,63 @@ StatusOr<std::vector<double>> ThrottlingEstimator::EstimateCurveProbabilities(
   return EstimateCurveProbabilities(trace, capacities, executor, stats);
 }
 
+namespace {
+
+// Validates a moving-capacity query and returns the constant dimensions
+// that take part (shared between trace and capacities, minus the moving
+// dimension, whose constant entry — if any — is superseded by the series).
+StatusOr<std::vector<ResourceDim>> MovingConstantDims(
+    const telemetry::PerfTrace& trace, const ResourceVector& capacities,
+    const MovingCapacity& moving) {
+  if (trace.num_samples() == 0) {
+    return InvalidArgumentError("performance trace is empty");
+  }
+  if (!trace.Has(moving.dim)) {
+    return InvalidArgumentError(
+        "trace does not model the moving-capacity dimension");
+  }
+  if (moving.capacity.size() != trace.num_samples()) {
+    return InvalidArgumentError(
+        "moving-capacity series length does not match the trace");
+  }
+  std::vector<ResourceDim> dims;
+  for (ResourceDim dim : catalog::kAllResourceDims) {
+    if (dim != moving.dim && trace.Has(dim) && capacities.Has(dim)) {
+      dims.push_back(dim);
+    }
+  }
+  return dims;
+}
+
+}  // namespace
+
+StatusOr<double> ThrottlingEstimator::ProbabilityMoving(
+    const telemetry::PerfTrace& trace, const catalog::ResourceVector& capacities,
+    const MovingCapacity& moving) const {
+  DOPPLER_ASSIGN_OR_RETURN(const std::vector<ResourceDim> const_dims,
+                           MovingConstantDims(trace, capacities, moving));
+  const std::size_t n = trace.num_samples();
+  const std::vector<double>& moving_demand = trace.Values(moving.dim);
+  const bool moving_inverted = catalog::IsInvertedDim(moving.dim);
+
+  // Definitional row-major scan (the oracle the index-backed override is
+  // pinned against): a row is throttled when the moving dimension exceeds
+  // its per-row limit or any constant dimension exceeds its fixed limit.
+  std::size_t throttled = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    bool any = moving_inverted ? moving_demand[t] < moving.capacity[t]
+                               : moving_demand[t] > moving.capacity[t];
+    for (std::size_t k = 0; k < const_dims.size() && !any; ++k) {
+      any = catalog::ResourceVector::Exceeds(const_dims[k],
+                                             trace.Values(const_dims[k])[t],
+                                             capacities.Get(const_dims[k]));
+    }
+    throttled += any;
+  }
+  CountEvaluation((const_dims.size() + 1) * n);
+  return static_cast<double>(throttled) / static_cast<double>(n);
+}
+
 StatusOr<double> NonParametricEstimator::Probability(
     const telemetry::PerfTrace& trace,
     const ResourceVector& capacities) const {
@@ -225,6 +282,21 @@ NonParametricEstimator::EstimateCurveProbabilities(
         CountEvaluation(0);
         return static_cast<double>(index.CountExceedingUnion(candidate)) / n;
       });
+}
+
+StatusOr<double> NonParametricEstimator::ProbabilityMoving(
+    const telemetry::PerfTrace& trace, const catalog::ResourceVector& capacities,
+    const MovingCapacity& moving) const {
+  DOPPLER_ASSIGN_OR_RETURN(const std::vector<ResourceDim> const_dims,
+                           MovingConstantDims(trace, capacities, moving));
+  // Index the constant dimensions only; the moving dimension's set is
+  // built per call inside the union (its capacity series defeats the
+  // per-capacity memo). Row visits are charged there and at memo misses.
+  const ExceedanceIndex index(trace, const_dims);
+  CountEvaluation(0);
+  return static_cast<double>(index.CountExceedingUnionMoving(
+             capacities, moving.dim, moving.capacity)) /
+         static_cast<double>(trace.num_samples());
 }
 
 StatusOr<const stats::GaussianKde*> KdeEstimator::FittedKde(

@@ -19,6 +19,18 @@ class ThreadPool;
 
 namespace doppler::core {
 
+/// A per-row capacity series for ONE dimension: capacity[t] is the limit in
+/// force at the trace's t-th sample. This is how serverless autoscale enters
+/// paper Eq. 1 — the provisioned capacity R_cpu becomes a function of time
+/// (the simulated autoscaler lags demand; core/autoscale.h), so the
+/// exceedance test for that dimension compares row against row instead of
+/// row against a constant.
+struct MovingCapacity {
+  catalog::ResourceDim dim = catalog::ResourceDim::kCpu;
+  /// One entry per trace sample, same row order as the trace columns.
+  std::vector<double> capacity;
+};
+
 /// Estimates the probability that a workload would hit resource throttling
 /// on a target with the given capacities (paper Eq. 1):
 ///
@@ -64,6 +76,20 @@ class ThrottlingEstimator {
       exec::ThreadPool* executor = nullptr,
       const telemetry::TraceStatsCache* stats = nullptr) const;
 
+  /// Paper Eq. 1 with ONE dimension's capacity a function of time (the
+  /// serverless autoscale extension): P(any dimension exceeds its limit)
+  /// where `moving.dim`'s limit at row t is `moving.capacity[t]` and every
+  /// other dimension keeps its constant limit from `capacities` (a constant
+  /// entry for `moving.dim`, if present, is superseded by the series). The
+  /// base implementation is the definitional row-major scan; overrides must
+  /// stay bit-identical to it. Fails with INVALID_ARGUMENT when the series
+  /// length differs from the trace, the trace lacks `moving.dim`, the trace
+  /// is empty, or no dimension is shared.
+  virtual StatusOr<double> ProbabilityMoving(
+      const telemetry::PerfTrace& trace,
+      const catalog::ResourceVector& capacities,
+      const MovingCapacity& moving) const;
+
   /// Human-readable estimator name for benchmark output.
   virtual const char* name() const = 0;
 };
@@ -96,6 +122,15 @@ class NonParametricEstimator : public ThrottlingEstimator {
       exec::ThreadPool* executor = nullptr,
       const telemetry::TraceStatsCache* stats = nullptr) const override;
   using ThrottlingEstimator::EstimateCurveProbabilities;
+
+  /// Index-backed moving-capacity path: the constant dimensions reuse the
+  /// memoized exceedance bitsets; the moving dimension builds its bitset by
+  /// a direct row-vs-row compare (ExceedanceIndex::CountExceedingUnionMoving).
+  /// Bit-identical to the base row-major scan.
+  StatusOr<double> ProbabilityMoving(
+      const telemetry::PerfTrace& trace,
+      const catalog::ResourceVector& capacities,
+      const MovingCapacity& moving) const override;
 
   const char* name() const override { return "non-parametric"; }
 };

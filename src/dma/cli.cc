@@ -12,6 +12,7 @@
 #include "catalog/catalog.h"
 #include "core/drift.h"
 #include "core/forecast.h"
+#include "dma/multi_target.h"
 #include "dma/pipeline.h"
 #include "exec/fleet_assessor.h"
 #include "obs/flight_recorder.h"
@@ -48,11 +49,14 @@ Commands:
   assess    --trace F [--target db|mi] [--catalog F] [--profiles F]
             [--layout F] [--current-sku ID] [--confidence] [--json]
             [--quality strict|repair|permissive]
+            [--targets id,id]   cross-target comparison instead (see below)
+  targets                                 list the deployment-target registry
   assess-batch --traces DIR [--jobs N] [--target db|mi] [--catalog F]
             [--profiles F] [--quality strict|repair|permissive] [--json]
             [--timings] [--out F]
   serve     --spool DIR [--jobs N] [--queue-depth N] [--deadline-ms N]
-            [--target db|mi] [--catalog F] [--profiles F] [--confidence]
+            [--target db|mi] [--targets id,id] [--catalog F] [--profiles F]
+            [--confidence]
             [--quality strict|repair|permissive] [--json] [--out F]
             [--watch-catalog F] [--rounds N] [--poll-ms N]
             [--journal-out F] [--stats-interval-ms N] [--stats-out F]
@@ -81,6 +85,15 @@ log_rate/io_latency/storage/workers columns (any subset).
 --quality selects how assess treats dirty telemetry: strict rejects the
 first defect, repair (default) fixes and records every intervention,
 permissive records without repairing.
+
+assess --targets compares registered deployment targets instead of
+assessing one catalog: each id (see `doppler targets`) is compiled into
+its own snapshot, recommended against, and costed under every pricing
+model the target offers (pay-go, reserved, serverless autoscale — the
+serverless row simulates a lagging autoscaler and evaluates throttling
+against the provisioned-capacity series, not the scale ceiling). serve
+--targets additionally compiles one snapshot per id under the same epoch
+swap, so every target serves from one catalog generation.
 
 assess-batch assesses every *.csv under --traces (sorted by name; the file
 name is the customer id) across --jobs workers (default: one per hardware
@@ -235,6 +248,83 @@ StatusOr<int> RunFitProfiles(const CliOptions& options, std::ostream& out) {
   return 0;
 }
 
+StatusOr<int> RunTargets(const CliOptions& options, std::ostream& out) {
+  if (options.Has("json")) {
+    JsonWriter json;
+    json.BeginArray();
+    for (const catalog::TargetSpec& spec :
+         catalog::TargetRegistry::BuiltIns().specs()) {
+      json.BeginObject();
+      json.Key("id").String(spec.id);
+      json.Key("display_name").String(spec.display_name);
+      json.Key("deployment")
+          .String(catalog::DeploymentName(spec.deployment));
+      json.Key("skus").Int(static_cast<long long>(spec.build_catalog().size()));
+      json.Key("storage_tiers")
+          .Int(static_cast<long long>(spec.storage_tiers().size()));
+      json.Key("pricing_models").BeginArray();
+      for (const catalog::TargetPricingModel& model : spec.pricing_models) {
+        json.String(catalog::PricingModelName(model.model));
+      }
+      json.EndArray();
+      json.Key("capacity_dims").BeginArray();
+      for (catalog::ResourceDim dim : spec.capacity_dims) {
+        json.String(catalog::ResourceDimName(dim));
+      }
+      json.EndArray();
+      json.EndObject();
+    }
+    json.EndArray();
+    out << json.str() << "\n";
+    return 0;
+  }
+  TablePrinter table({"id", "Target", "Deployment", "SKUs", "Storage tiers",
+                      "Pricing models"});
+  for (const catalog::TargetSpec& spec :
+       catalog::TargetRegistry::BuiltIns().specs()) {
+    std::string models;
+    for (const catalog::TargetPricingModel& model : spec.pricing_models) {
+      if (!models.empty()) models += ", ";
+      models += catalog::PricingModelName(model.model);
+    }
+    table.AddRow({spec.id, spec.display_name,
+                  catalog::DeploymentName(spec.deployment),
+                  std::to_string(spec.build_catalog().size()),
+                  std::to_string(spec.storage_tiers().size()), models});
+  }
+  table.Print(out);
+  return 0;
+}
+
+// The `assess --targets` path: one trace, several registered targets,
+// rendered as the cross-target comparison.
+StatusOr<int> RunAssessTargets(const CliOptions& options,
+                               const telemetry::PerfTrace& trace,
+                               std::ostream& out) {
+  DOPPLER_ASSIGN_OR_RETURN(
+      const std::vector<const catalog::TargetSpec*> targets,
+      ResolveTargets(options.Get("targets")));
+  if (!options.Has("json")) {
+    out << "(comparing " << targets.size()
+        << " targets; each fits its group model offline, this takes a "
+           "moment)\n";
+  }
+  DOPPLER_ASSIGN_OR_RETURN(const CrossTargetReport report,
+                           AssessAcrossTargets(trace, targets));
+  if (options.Has("json")) {
+    out << RenderCrossTargetJson(report) << "\n";
+  } else {
+    out << RenderCrossTargetReport(report);
+  }
+  // Exit 1 when some (not all) targets failed, mirroring assess-batch's
+  // partial-failure contract.
+  int failed = 0;
+  for (const TargetAssessment& target : report.targets) {
+    if (!target.status.ok()) ++failed;
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 StatusOr<int> RunAssess(const CliOptions& options, std::ostream& out) {
   const std::string trace_path = options.Get("trace");
   if (trace_path.empty()) {
@@ -251,6 +341,9 @@ StatusOr<int> RunAssess(const CliOptions& options, std::ostream& out) {
   gate.policy = policy;
   DOPPLER_ASSIGN_OR_RETURN(quality::GatedTrace gated,
                            quality::ReadTraceFileGated(trace_path, gate));
+  if (options.Has("targets")) {
+    return RunAssessTargets(options, gated.trace, out);
+  }
   DOPPLER_ASSIGN_OR_RETURN(catalog::Deployment deployment,
                            ParseDeployment(options.Get("target", "db")));
   DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
@@ -463,6 +556,39 @@ StatusOr<std::shared_ptr<const SkuRecommendationPipeline>> BuildSnapshot(
       std::move(pipeline));
 }
 
+// Builds one pipeline per requested target id (serve --targets): each
+// target's own catalog is compiled into its own CompiledCatalog snapshot,
+// with a group model fitted offline on that catalog. The list is
+// published under one SnapshotRegistry epoch, so every target serves from
+// the same generation.
+StatusOr<serve::TargetPipelineList> BuildTargetPipelines(
+    const std::string& target_ids) {
+  DOPPLER_ASSIGN_OR_RETURN(
+      const std::vector<const catalog::TargetSpec*> specs,
+      ResolveTargets(target_ids));
+  serve::TargetPipelineList pipelines;
+  pipelines.reserve(specs.size());
+  for (const catalog::TargetSpec* spec : specs) {
+    catalog::SkuCatalog skus = spec->build_catalog();
+    const catalog::DefaultPricing pricing;
+    const core::NonParametricEstimator estimator;
+    DOPPLER_ASSIGN_OR_RETURN(
+        core::GroupModel profiles,
+        FitGroupModelOffline(skus, pricing, estimator, spec->deployment,
+                             /*num_customers=*/120, /*seed=*/11));
+    SkuRecommendationPipeline::Config config;
+    config.target = spec;
+    DOPPLER_ASSIGN_OR_RETURN(
+        SkuRecommendationPipeline pipeline,
+        SkuRecommendationPipeline::Create(
+            {std::move(skus), std::move(profiles)}, config));
+    pipelines.emplace_back(spec->id,
+                           std::make_shared<const SkuRecommendationPipeline>(
+                               std::move(pipeline)));
+  }
+  return pipelines;
+}
+
 StatusOr<int> RunServe(const CliOptions& options, std::ostream& out) {
   const std::string spool_dir = options.Get("spool");
   if (spool_dir.empty()) {
@@ -547,7 +673,20 @@ StatusOr<int> RunServe(const CliOptions& options, std::ostream& out) {
       ResolveProfiles(options, skus, spool_options.target, out));
   DOPPLER_ASSIGN_OR_RETURN(auto initial,
                            BuildSnapshot(std::move(skus), profiles));
-  serve::SnapshotRegistry registry(std::move(initial));
+  serve::TargetPipelineList target_pipelines;
+  if (options.Has("targets")) {
+    DOPPLER_ASSIGN_OR_RETURN(target_pipelines,
+                             BuildTargetPipelines(options.Get("targets")));
+  }
+  serve::SnapshotRegistry registry(std::move(initial), target_pipelines);
+  if (!target_pipelines.empty() && !options.Has("json")) {
+    out << "(serving " << target_pipelines.size()
+        << " target snapshots under epoch 1:";
+    for (const auto& [id, pipeline] : target_pipelines) {
+      out << " " << id << "=" << pipeline->catalog().size() << " SKUs";
+    }
+    out << ")\n";
+  }
   serve::AssessmentService service(&registry, service_options);
 
   std::unique_ptr<obs::MetricsSnapshotter> snapshotter;
@@ -584,7 +723,11 @@ StatusOr<int> RunServe(const CliOptions& options, std::ostream& out) {
           StatusOr<std::shared_ptr<const SkuRecommendationPipeline>> next =
               BuildSnapshot(std::move(*fresh), profiles);
           if (next.ok()) {
-            const std::uint64_t epoch = registry.Swap(std::move(*next));
+            // The per-target pipelines ride along into the new epoch: the
+            // watch file reprices the primary catalog only, and the swap
+            // republishes the whole set atomically.
+            const std::uint64_t epoch =
+                registry.Swap(std::move(*next), target_pipelines);
             if (!quiet) {
               out << "(swapped catalog snapshot to epoch " << epoch << ")\n";
             }
@@ -824,15 +967,17 @@ StatusOr<int> RunForecast(const CliOptions& options, std::ostream& out) {
   }
   DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
   const catalog::DefaultPricing pricing;
+  const catalog::CompiledCatalog compiled =
+      catalog::CompiledCatalog::Compile(std::move(skus), &pricing);
   const core::NonParametricEstimator estimator;
   core::ForecastOptions forecast_options;
   forecast_options.horizon_months = months;
   DOPPLER_ASSIGN_OR_RETURN(
       core::GrowthForecast forecast,
-      core::ForecastUpgrades(trace,
-                             skus.ForDeployment(catalog::Deployment::kSqlDb),
-                             pricing, estimator, options.Get("current-sku"),
-                             forecast_options));
+      core::ForecastUpgrades(
+          trace, compiled.ForDeployment(catalog::Deployment::kSqlDb).view(),
+          compiled.pricing(), estimator, options.Get("current-sku"),
+          forecast_options));
   TablePrinter table({"Month", "Right-sized SKU", "Monthly",
                       "Current-SKU throttling"});
   for (const core::HorizonPoint& point : forecast.timeline) {
@@ -864,6 +1009,8 @@ StatusOr<int> RunDrift(const CliOptions& options, std::ostream& out) {
                            telemetry::ReadTraceFile(trace_path));
   DOPPLER_ASSIGN_OR_RETURN(catalog::SkuCatalog skus, ResolveCatalog(options));
   const catalog::DefaultPricing pricing;
+  const catalog::CompiledCatalog compiled =
+      catalog::CompiledCatalog::Compile(std::move(skus), &pricing);
   const core::NonParametricEstimator estimator;
   core::DriftOptions drift_options;
   if (options.Has("recent-fraction")) {
@@ -873,9 +1020,9 @@ StatusOr<int> RunDrift(const CliOptions& options, std::ostream& out) {
   }
   DOPPLER_ASSIGN_OR_RETURN(
       core::DriftReport report,
-      core::DetectSkuDrift(trace,
-                           skus.ForDeployment(catalog::Deployment::kSqlDb),
-                           pricing, estimator, current_sku, drift_options));
+      core::DetectSkuDrift(
+          trace, compiled.ForDeployment(catalog::Deployment::kSqlDb).view(),
+          compiled.pricing(), estimator, current_sku, drift_options));
   out << "Baseline-window throttling on " << current_sku << ": "
       << FormatPercent(report.baseline_probability, 1) << "\n";
   out << "Recent-window throttling:  "
@@ -1017,6 +1164,7 @@ StatusOr<int> RunCli(const CliOptions& options, std::ostream& out) {
   if (options.command == "catalog") return RunCatalog(options, out);
   if (options.command == "fit-profiles") return RunFitProfiles(options, out);
   if (options.command == "assess") return RunAssess(options, out);
+  if (options.command == "targets") return RunTargets(options, out);
   if (options.command == "assess-batch") return RunAssessBatch(options, out);
   if (options.command == "serve") return RunServe(options, out);
   if (options.command == "monitor") return RunMonitor(options, out);

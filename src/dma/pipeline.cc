@@ -95,7 +95,8 @@ StatusOr<SkuRecommendationPipeline> SkuRecommendationPipeline::Create(
   // Every assessment afterwards reads borrowed views of this snapshot.
   pipeline.compiled_ = std::make_unique<const catalog::CompiledCatalog>(
       catalog::CompiledCatalog::Compile(std::move(inputs.catalog),
-                                        pipeline.pricing_.get()));
+                                        pipeline.pricing_.get(),
+                                        config.target));
   pipeline.estimator_ = std::make_unique<core::NonParametricEstimator>();
   pipeline.group_model_ =
       std::make_unique<core::GroupModel>(std::move(inputs.group_model));

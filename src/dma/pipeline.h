@@ -76,6 +76,10 @@ class SkuRecommendationPipeline {
     /// size before placing the default MI layout on premium disks, so the
     /// provisioned file is not 100% full on day one.
     double mi_layout_headroom = 1.1;
+    /// Deployment target the catalog is compiled for (BORROWED; built-in
+    /// specs have static storage). nullptr compiles for the Azure DB/MI
+    /// spec — the pre-registry behaviour, byte for byte.
+    const catalog::TargetSpec* target = nullptr;
   };
 
   /// Builds a pipeline around the shipped static inputs.

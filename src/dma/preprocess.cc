@@ -83,10 +83,11 @@ StatusOr<core::GroupModel> FitGroupModelOffline(
                            workload::GeneratePopulation(population_options));
 
   Rng rng(seed ^ 0xd1b54a32d192ed03ULL);
+  const catalog::CompiledCatalog compiled =
+      catalog::CompiledCatalog::Compile(catalog, &pricing);
   DOPPLER_ASSIGN_OR_RETURN(
       core::BacktestDataset dataset,
-      core::BuildBacktestDataset(std::move(fleet), catalog, pricing, estimator,
-                                 &rng));
+      core::BuildBacktestDataset(std::move(fleet), compiled, estimator, &rng));
 
   const core::ThresholdingStrategy strategy;
   const std::vector<catalog::ResourceDim> dims =

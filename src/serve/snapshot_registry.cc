@@ -10,18 +10,22 @@ namespace {
 
 std::shared_ptr<const ServingSnapshot> MakeSnapshot(
     std::uint64_t epoch,
-    std::shared_ptr<const dma::SkuRecommendationPipeline> pipeline) {
+    std::shared_ptr<const dma::SkuRecommendationPipeline> pipeline,
+    TargetPipelineList target_pipelines) {
   auto snapshot = std::make_shared<ServingSnapshot>();
   snapshot->epoch = epoch;
   snapshot->pipeline = std::move(pipeline);
+  snapshot->target_pipelines = std::move(target_pipelines);
   return snapshot;
 }
 
 }  // namespace
 
 SnapshotRegistry::SnapshotRegistry(
-    std::shared_ptr<const dma::SkuRecommendationPipeline> initial)
-    : current_(MakeSnapshot(1, std::move(initial))) {
+    std::shared_ptr<const dma::SkuRecommendationPipeline> initial,
+    TargetPipelineList target_pipelines)
+    : current_(MakeSnapshot(1, std::move(initial),
+                            std::move(target_pipelines))) {
   epoch_.store(1, std::memory_order_release);
   // Publish the initial epoch too, so a stats snapshot taken before the
   // first Swap already shows epoch 1 instead of a missing gauge.
@@ -38,7 +42,8 @@ ServingSnapshot SnapshotRegistry::Acquire() const {
 }
 
 std::uint64_t SnapshotRegistry::Swap(
-    std::shared_ptr<const dma::SkuRecommendationPipeline> next) {
+    std::shared_ptr<const dma::SkuRecommendationPipeline> next,
+    TargetPipelineList target_pipelines) {
   std::uint64_t epoch = 0;
   // The outgoing snapshot is released outside the lock: if this swap
   // drops the last pin, the old pipeline's destructor must not run with
@@ -48,7 +53,8 @@ std::uint64_t SnapshotRegistry::Swap(
     std::lock_guard<std::mutex> lock(mu_);
     epoch = epoch_.load(std::memory_order_relaxed) + 1;
     outgoing = std::move(current_);
-    current_ = MakeSnapshot(epoch, std::move(next));
+    current_ = MakeSnapshot(epoch, std::move(next),
+                            std::move(target_pipelines));
     epoch_.store(epoch, std::memory_order_release);
   }
   outgoing.reset();

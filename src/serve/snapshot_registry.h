@@ -5,10 +5,19 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "dma/pipeline.h"
 
 namespace doppler::serve {
+
+/// Additional per-target pipelines of one serving generation, in the
+/// deterministic order the targets were requested: each entry is (target
+/// id, pipeline compiled for that TargetSpec's catalog).
+using TargetPipelineList = std::vector<
+    std::pair<std::string, std::shared_ptr<const dma::SkuRecommendationPipeline>>>;
 
 /// One immutable serving generation: the compiled pipeline (which owns the
 /// CompiledCatalog snapshot, pricing, recommenders and SKU-scoring pool)
@@ -18,6 +27,11 @@ struct ServingSnapshot {
   std::uint64_t epoch = 0;
   /// Immutable after construction; safe to read from any worker.
   std::shared_ptr<const dma::SkuRecommendationPipeline> pipeline;
+  /// Per-target pipelines published under the SAME epoch (one
+  /// CompiledCatalog per requested target; `doppler serve --targets`).
+  /// Empty for single-target serving. Readers pin the whole set with one
+  /// Acquire(), so every target answers from the same generation.
+  TargetPipelineList target_pipelines;
 };
 
 /// RCU-style holder of the current serving snapshot. Readers Acquire() a
@@ -38,9 +52,11 @@ struct ServingSnapshot {
 /// assessment.
 class SnapshotRegistry {
  public:
-  /// Installs the initial snapshot as epoch 1.
+  /// Installs the initial snapshot as epoch 1, together with any
+  /// per-target pipelines that should share its epoch.
   explicit SnapshotRegistry(
-      std::shared_ptr<const dma::SkuRecommendationPipeline> initial);
+      std::shared_ptr<const dma::SkuRecommendationPipeline> initial,
+      TargetPipelineList target_pipelines = {});
 
   SnapshotRegistry(const SnapshotRegistry&) = delete;
   SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
@@ -48,11 +64,13 @@ class SnapshotRegistry {
   /// Pins the current snapshot (one refcount bump under mu_).
   ServingSnapshot Acquire() const;
 
-  /// Publishes `next` as the new current snapshot and returns its epoch.
-  /// Writers are expected to be rare (a reprice, a SIGHUP); concurrent
-  /// swaps serialise on mu_ and each still gets a unique epoch.
+  /// Publishes `next` (and its per-target pipelines) as the new current
+  /// snapshot and returns its epoch. Writers are expected to be rare (a
+  /// reprice, a SIGHUP); concurrent swaps serialise on mu_ and each still
+  /// gets a unique epoch.
   std::uint64_t Swap(
-      std::shared_ptr<const dma::SkuRecommendationPipeline> next);
+      std::shared_ptr<const dma::SkuRecommendationPipeline> next,
+      TargetPipelineList target_pipelines = {});
 
   /// Epoch of the snapshot Swap installed most recently (1 = initial).
   std::uint64_t current_epoch() const {

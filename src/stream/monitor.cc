@@ -252,7 +252,7 @@ StatusOr<MonitorEvent> StreamMonitor::Ingest(
     // short trace is not a monitoring failure.
     StatusOr<core::DriftReport> report = core::DetectSkuDrift(
         request.database_traces.front(),
-        pipeline_->catalog().ForDeployment(options_.target), pricing_,
+        pipeline_->compiled().ForDeployment(options_.target).view(), pricing_,
         estimator_, options_.current_sku_id, options_.sku_drift);
     if (report.ok()) event.sku_drift = std::move(*report);
   }

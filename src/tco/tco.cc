@@ -48,7 +48,9 @@ StatusOr<TcoComparison> CompareTco(
 
   for (const CloudPriceBook& book : books) {
     const catalog::DefaultPricing pricing(book.price_multiplier);
-    const core::ElasticRecommender recommender(&catalog, &pricing, &estimator,
+    const catalog::CompiledCatalog compiled =
+        catalog::CompiledCatalog::Compile(catalog, &pricing);
+    const core::ElasticRecommender recommender(&compiled, &estimator,
                                                &profiler, &groups);
     StatusOr<core::Recommendation> recommendation =
         recommender.RecommendDb(trace);

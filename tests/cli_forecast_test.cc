@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "core/forecast.h"
 #include "dma/cli.h"
 #include "telemetry/trace_io.h"
@@ -51,12 +52,13 @@ telemetry::PerfTrace GrowingTrace(double growth_per_window,
 class ForecastFixture : public ::testing::Test {
  protected:
   ForecastFixture()
-      : catalog_(catalog::BuildAzureLikeCatalog()),
-        candidates_(catalog_.ForDeployment(Deployment::kSqlDb)) {}
+      : compiled_(catalog::CompiledCatalog::Compile(
+            catalog::BuildAzureLikeCatalog(), &pricing_)),
+        candidates_(compiled_.ForDeployment(Deployment::kSqlDb).view()) {}
 
-  catalog::SkuCatalog catalog_;
-  std::vector<catalog::Sku> candidates_;
   catalog::DefaultPricing pricing_;
+  catalog::CompiledCatalog compiled_;
+  catalog::CompiledView candidates_;
   core::NonParametricEstimator estimator_;
 };
 

@@ -1,8 +1,9 @@
-// Unit and parity tests for the compiled catalog snapshot: price order,
-// the SoA capacity matrix against the Sku records, the precomputed
-// premium-disk limit table against premium_disk.cc, and bit-for-bit
-// agreement between the compiled engine paths (curve build, MI filter,
-// recommenders) and the legacy SkuCatalog+Pricing paths.
+// Unit tests for the compiled catalog snapshot: price order, the SoA
+// capacity matrix against the Sku records, the precomputed premium-disk
+// limit table against premium_disk.cc, and bit-for-bit determinism of the
+// compiled engine paths (curve build, MI filter, recommenders) across
+// independently compiled snapshots, including the target's per-trace
+// serverless repricing hook.
 
 #include <algorithm>
 #include <utility>
@@ -24,10 +25,8 @@
 namespace doppler::catalog {
 namespace {
 
-using core::Candidate;
 using core::CompiledCandidateRef;
 using core::MiCompiledFilterResult;
-using core::MiFilterResult;
 using core::PricePerformanceCurve;
 
 const std::array<Deployment, 2> kPopulatedDeployments = {Deployment::kSqlDb,
@@ -202,34 +201,41 @@ TEST(CompiledCatalogTest, EntriesStayValidAfterMove) {
   EXPECT_LT(entry.sku, skus.data() + skus.size());
 }
 
-// ----------------------------------------------- Engine-path parity.
+// ------------------------------------------ Engine-path determinism.
 
-TEST(CompiledCatalogTest, CurveParityWithLegacyCandidatePath) {
-  const SkuCatalog catalog = BuildAzureLikeCatalog();
+TEST(CompiledCatalogTest, CurveIdenticalAcrossIndependentSnapshots) {
   const DefaultPricing pricing;
-  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+  const CompiledCatalog first =
+      CompiledCatalog::Compile(BuildAzureLikeCatalog(), &pricing);
+  const CompiledCatalog second =
+      CompiledCatalog::Compile(BuildAzureLikeCatalog(), &pricing);
   const core::NonParametricEstimator estimator;
   const telemetry::PerfTrace trace = MixedTrace();
 
-  StatusOr<PricePerformanceCurve> legacy = PricePerformanceCurve::Build(
-      trace, catalog.ForDeployment(Deployment::kSqlDb), pricing, estimator);
-  StatusOr<PricePerformanceCurve> fast = PricePerformanceCurve::Build(
-      trace, compiled.ForDeployment(Deployment::kSqlDb).view(), pricing,
+  StatusOr<PricePerformanceCurve> a = PricePerformanceCurve::Build(
+      trace, first.ForDeployment(Deployment::kSqlDb).view(), pricing,
       estimator);
-  ASSERT_TRUE(legacy.ok());
-  ASSERT_TRUE(fast.ok());
-  ASSERT_EQ(legacy->size(), fast->size());
-  for (std::size_t i = 0; i < legacy->size(); ++i) {
-    const core::PricePerformancePoint& a = legacy->points()[i];
-    const core::PricePerformancePoint& b = fast->points()[i];
-    EXPECT_EQ(a.sku.id, b.sku.id) << "point " << i;
-    EXPECT_DOUBLE_EQ(a.monthly_price, b.monthly_price);
-    EXPECT_DOUBLE_EQ(a.throttling_probability, b.throttling_probability);
-    EXPECT_DOUBLE_EQ(a.performance, b.performance);
+  StatusOr<PricePerformanceCurve> b = PricePerformanceCurve::Build(
+      trace, second.ForDeployment(Deployment::kSqlDb).view(), pricing,
+      estimator);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    const core::PricePerformancePoint& pa = a->points()[i];
+    const core::PricePerformancePoint& pb = b->points()[i];
+    EXPECT_EQ(pa.sku.id, pb.sku.id) << "point " << i;
+    EXPECT_DOUBLE_EQ(pa.monthly_price, pb.monthly_price);
+    EXPECT_DOUBLE_EQ(pa.throttling_probability, pb.throttling_probability);
+    EXPECT_DOUBLE_EQ(pa.performance, pb.performance);
+    // Memoized billing matches the billing interface for provisioned SKUs.
+    if (!pa.sku.serverless) {
+      EXPECT_DOUBLE_EQ(pa.monthly_price, pricing.MonthlyCost(pa.sku));
+    }
   }
 }
 
-TEST(CompiledCatalogTest, CurveParityWithServerlessReprice) {
+TEST(CompiledCatalogTest, CurveServerlessRepriceMatchesTargetHook) {
   CatalogOptions options;
   options.include_serverless = true;
   const SkuCatalog catalog = BuildAzureLikeCatalog(options);
@@ -239,56 +245,82 @@ TEST(CompiledCatalogTest, CurveParityWithServerlessReprice) {
   // CPU present => serverless SKUs re-price per trace, exercising the
   // compiled path's conditional re-sort.
   const telemetry::PerfTrace trace = MixedTrace();
+  // Mean of MixedTrace's CPU column {2, 6, 10, 14, 30, 4, 8, 2}.
+  const double mean_cpu = 76.0 / 8.0;
 
-  StatusOr<PricePerformanceCurve> legacy = PricePerformanceCurve::Build(
-      trace, catalog.ForDeployment(Deployment::kSqlDb), pricing, estimator);
-  StatusOr<PricePerformanceCurve> fast = PricePerformanceCurve::Build(
+  StatusOr<PricePerformanceCurve> curve = PricePerformanceCurve::Build(
       trace, compiled.ForDeployment(Deployment::kSqlDb).view(), pricing,
       estimator);
-  ASSERT_TRUE(legacy.ok());
-  ASSERT_TRUE(fast.ok());
-  ASSERT_EQ(legacy->size(), fast->size());
-  for (std::size_t i = 0; i < legacy->size(); ++i) {
-    EXPECT_EQ(legacy->points()[i].sku.id, fast->points()[i].sku.id)
-        << "point " << i;
-    EXPECT_DOUBLE_EQ(legacy->points()[i].monthly_price,
-                     fast->points()[i].monthly_price);
+  ASSERT_TRUE(curve.ok());
+  const TargetSpec& target = compiled.target();
+  ASSERT_NE(target.reprice_for_trace, nullptr);
+  bool saw_serverless = false;
+  for (std::size_t i = 0; i < curve->size(); ++i) {
+    const core::PricePerformancePoint& point = curve->points()[i];
+    if (point.sku.serverless) {
+      saw_serverless = true;
+      // The usage-billed price the curve carries is exactly what the
+      // target's per-trace hook produces for this workload.
+      const double hook_price =
+          target.reprice_for_trace(point.sku, mean_cpu, pricing);
+      EXPECT_GE(hook_price, 0.0);
+      EXPECT_DOUBLE_EQ(point.monthly_price, hook_price) << point.sku.id;
+    }
+    // The conditional re-sort restores global price order after repricing.
+    if (i > 0) {
+      EXPECT_GE(point.monthly_price, curve->points()[i - 1].monthly_price);
+    }
   }
+  EXPECT_TRUE(saw_serverless);
 }
 
-TEST(CompiledCatalogTest, MiFilterParityWithLegacyPath) {
-  const SkuCatalog catalog = BuildAzureLikeCatalog();
+TEST(CompiledCatalogTest, MiFilterDeterministicAndLayoutDriven) {
   const DefaultPricing pricing;
-  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+  const CompiledCatalog first =
+      CompiledCatalog::Compile(BuildAzureLikeCatalog(), &pricing);
+  const CompiledCatalog second =
+      CompiledCatalog::Compile(BuildAzureLikeCatalog(), &pricing);
   const telemetry::PerfTrace trace = MixedTrace();
   const FileLayout layout = UniformLayout(300.0, 2);
 
-  StatusOr<MiFilterResult> legacy =
-      core::FilterMiCandidates(catalog, layout, trace);
-  StatusOr<MiCompiledFilterResult> fast =
-      core::FilterMiCandidates(compiled, layout, trace);
-  ASSERT_TRUE(legacy.ok());
-  ASSERT_TRUE(fast.ok());
-  EXPECT_EQ(legacy->restricted_to_bc, fast->restricted_to_bc);
-  EXPECT_DOUBLE_EQ(legacy->layout_limits.total_iops,
-                   fast->layout_limits.total_iops);
-  EXPECT_DOUBLE_EQ(legacy->layout_limits.total_throughput_mibps,
-                   fast->layout_limits.total_throughput_mibps);
-  ASSERT_EQ(legacy->candidates.size(), fast->candidates.size());
-  // Both paths iterate cheapest-first under DefaultPricing, so the kept
-  // sets line up index by index.
-  for (std::size_t i = 0; i < legacy->candidates.size(); ++i) {
-    EXPECT_EQ(legacy->candidates[i].sku.id, fast->candidates[i].entry->sku->id)
+  StatusOr<MiCompiledFilterResult> a =
+      core::FilterMiCandidates(first, layout, trace);
+  StatusOr<MiCompiledFilterResult> b =
+      core::FilterMiCandidates(second, layout, trace);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->restricted_to_bc, b->restricted_to_bc);
+  EXPECT_DOUBLE_EQ(a->layout_limits.total_iops, b->layout_limits.total_iops);
+  EXPECT_DOUBLE_EQ(a->layout_limits.total_throughput_mibps,
+                   b->layout_limits.total_throughput_mibps);
+  ASSERT_EQ(a->candidates.size(), b->candidates.size());
+  ASSERT_FALSE(a->candidates.empty());
+  for (std::size_t i = 0; i < a->candidates.size(); ++i) {
+    EXPECT_EQ(a->candidates[i].entry->sku->id, b->candidates[i].entry->sku->id)
         << "candidate " << i;
-    EXPECT_DOUBLE_EQ(legacy->candidates[i].iops_limit,
-                     fast->candidates[i].iops_limit);
+    EXPECT_DOUBLE_EQ(a->candidates[i].iops_limit, b->candidates[i].iops_limit);
+    // GP candidates carry the layout IOPS sum (Step 2); BC keeps the
+    // record's local-SSD limit (negative = memoized capacities).
+    if (a->candidates[i].entry->sku->tier == ServiceTier::kGeneralPurpose) {
+      EXPECT_DOUBLE_EQ(a->candidates[i].iops_limit,
+                       a->layout_limits.total_iops);
+    } else {
+      EXPECT_LT(a->candidates[i].iops_limit, 0.0);
+    }
+    // Candidates preserve the snapshot's cheapest-first order.
+    if (i > 0) {
+      EXPECT_GE(a->candidates[i].entry->monthly_price,
+                a->candidates[i - 1].entry->monthly_price);
+    }
   }
 }
 
-TEST(CompiledCatalogTest, RecommenderParityAcrossConstructors) {
-  const SkuCatalog catalog = BuildAzureLikeCatalog();
+TEST(CompiledCatalogTest, RecommendersIdenticalAcrossIndependentSnapshots) {
   const DefaultPricing pricing;
-  const CompiledCatalog compiled = CompiledCatalog::Compile(catalog, &pricing);
+  const CompiledCatalog first =
+      CompiledCatalog::Compile(BuildAzureLikeCatalog(), &pricing);
+  const CompiledCatalog second =
+      CompiledCatalog::Compile(BuildAzureLikeCatalog(), &pricing);
   const core::NonParametricEstimator estimator;
   auto strategy = std::make_shared<core::ThresholdingStrategy>(0.10);
   const core::CustomerProfiler profiler(
@@ -298,30 +330,29 @@ TEST(CompiledCatalogTest, RecommenderParityAcrossConstructors) {
   ASSERT_TRUE(group_model.ok());
   const telemetry::PerfTrace trace = MixedTrace();
 
-  const core::ElasticRecommender legacy(&catalog, &pricing, &estimator,
-                                        &profiler, &*group_model);
-  const core::ElasticRecommender fast(&compiled, &estimator, &profiler,
-                                      &*group_model);
-  StatusOr<core::Recommendation> legacy_rec = legacy.RecommendDb(trace);
-  StatusOr<core::Recommendation> fast_rec = fast.RecommendDb(trace);
-  ASSERT_TRUE(legacy_rec.ok());
-  ASSERT_TRUE(fast_rec.ok());
-  EXPECT_EQ(legacy_rec->sku.id, fast_rec->sku.id);
-  EXPECT_DOUBLE_EQ(legacy_rec->monthly_cost, fast_rec->monthly_cost);
-  EXPECT_DOUBLE_EQ(legacy_rec->throttling_probability,
-                   fast_rec->throttling_probability);
-  EXPECT_EQ(legacy_rec->rationale, fast_rec->rationale);
+  const core::ElasticRecommender rec_a(&first, &estimator, &profiler,
+                                       &*group_model);
+  const core::ElasticRecommender rec_b(&second, &estimator, &profiler,
+                                       &*group_model);
+  StatusOr<core::Recommendation> a = rec_a.RecommendDb(trace);
+  StatusOr<core::Recommendation> b = rec_b.RecommendDb(trace);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->sku.id, b->sku.id);
+  EXPECT_DOUBLE_EQ(a->monthly_cost, b->monthly_cost);
+  EXPECT_DOUBLE_EQ(a->throttling_probability, b->throttling_probability);
+  EXPECT_EQ(a->rationale, b->rationale);
 
-  const core::BaselineRecommender legacy_base(&catalog, &pricing);
-  const core::BaselineRecommender fast_base(&compiled);
-  StatusOr<core::Recommendation> legacy_pick =
-      legacy_base.Recommend(trace, Deployment::kSqlDb);
-  StatusOr<core::Recommendation> fast_pick =
-      fast_base.Recommend(trace, Deployment::kSqlDb);
-  ASSERT_EQ(legacy_pick.ok(), fast_pick.ok());
-  if (legacy_pick.ok()) {
-    EXPECT_EQ(legacy_pick->sku.id, fast_pick->sku.id);
-    EXPECT_DOUBLE_EQ(legacy_pick->monthly_cost, fast_pick->monthly_cost);
+  const core::BaselineRecommender base_a(&first);
+  const core::BaselineRecommender base_b(&second);
+  StatusOr<core::Recommendation> pick_a =
+      base_a.Recommend(trace, Deployment::kSqlDb);
+  StatusOr<core::Recommendation> pick_b =
+      base_b.Recommend(trace, Deployment::kSqlDb);
+  ASSERT_EQ(pick_a.ok(), pick_b.ok());
+  if (pick_a.ok()) {
+    EXPECT_EQ(pick_a->sku.id, pick_b->sku.id);
+    EXPECT_DOUBLE_EQ(pick_a->monthly_cost, pick_b->monthly_cost);
   }
 }
 

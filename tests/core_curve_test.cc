@@ -2,10 +2,12 @@
 // curves, curve heuristics, and the MI premium-disk filter.
 
 #include <cmath>
+#include <utility>
 
 #include <gtest/gtest.h>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "core/heuristics.h"
 #include "core/mi_filter.h"
 #include "core/price_performance.h"
@@ -32,6 +34,19 @@ ResourceVector CpuCap(double cap) {
   ResourceVector capacities;
   capacities.Set(ResourceDim::kCpu, cap);
   return capacities;
+}
+
+// Compiles an ad-hoc SKU list into a snapshot so these tests exercise the
+// same compiled path production uses; `pricing` must outlive the result.
+catalog::CompiledCatalog CompileSkus(std::vector<Sku> skus,
+                                     const catalog::PricingService* pricing) {
+  catalog::SkuCatalog cat;
+  for (Sku& sku : skus) cat.Add(std::move(sku));
+  return catalog::CompiledCatalog::Compile(std::move(cat), pricing);
+}
+
+catalog::CompiledView DbView(const catalog::CompiledCatalog& compiled) {
+  return compiled.ForDeployment(Deployment::kSqlDb).view();
 }
 
 // ------------------------------------------------------------ Estimators.
@@ -165,8 +180,9 @@ TEST(CurveTest, PointsSortedByPriceAndMonotone) {
   const telemetry::PerfTrace trace = CpuTrace(cpu);
   const catalog::DefaultPricing pricing;
   const NonParametricEstimator estimator;
+  const catalog::CompiledCatalog compiled = CompileSkus(LadderSkus(), &pricing);
   StatusOr<PricePerformanceCurve> curve =
-      PricePerformanceCurve::Build(trace, LadderSkus(), pricing, estimator);
+      PricePerformanceCurve::Build(trace, DbView(compiled), pricing, estimator);
   ASSERT_TRUE(curve.ok());
   ASSERT_EQ(curve->size(), 5u);
   for (std::size_t i = 1; i < curve->size(); ++i) {
@@ -188,8 +204,10 @@ TEST(CurveTest, MonotoneEnvelopeLiftsDominatedPoints) {
   const telemetry::PerfTrace trace = CpuTrace(std::vector<double>(100, 11.0));
   const catalog::DefaultPricing pricing;
   const NonParametricEstimator estimator;
+  const catalog::CompiledCatalog compiled =
+      CompileSkus(std::move(skus), &pricing);
   StatusOr<PricePerformanceCurve> curve =
-      PricePerformanceCurve::Build(trace, skus, pricing, estimator);
+      PricePerformanceCurve::Build(trace, DbView(compiled), pricing, estimator);
   ASSERT_TRUE(curve.ok());
   for (const PricePerformancePoint& point : curve->points()) {
     EXPECT_DOUBLE_EQ(point.performance, 1.0);
@@ -201,17 +219,18 @@ TEST(CurveTest, MonotoneEnvelopeLiftsDominatedPoints) {
 TEST(CurveTest, ClassifiesFlatSimpleComplex) {
   const catalog::DefaultPricing pricing;
   const NonParametricEstimator estimator;
+  const catalog::CompiledCatalog compiled = CompileSkus(LadderSkus(), &pricing);
 
   // Flat: trivial demand.
   StatusOr<PricePerformanceCurve> flat = PricePerformanceCurve::Build(
-      CpuTrace(std::vector<double>(100, 0.5)), LadderSkus(), pricing,
+      CpuTrace(std::vector<double>(100, 0.5)), DbView(compiled), pricing,
       estimator);
   ASSERT_TRUE(flat.ok());
   EXPECT_EQ(flat->Classify(), CurveShape::kFlat);
 
   // Simple: constant demand of 5 cores splits the ladder 0%/100%.
   StatusOr<PricePerformanceCurve> simple = PricePerformanceCurve::Build(
-      CpuTrace(std::vector<double>(100, 5.0)), LadderSkus(), pricing,
+      CpuTrace(std::vector<double>(100, 5.0)), DbView(compiled), pricing,
       estimator);
   ASSERT_TRUE(simple.ok());
   EXPECT_EQ(simple->Classify(), CurveShape::kSimple);
@@ -221,7 +240,7 @@ TEST(CurveTest, ClassifiesFlatSimpleComplex) {
   std::vector<double> spread;
   for (int i = 0; i < 1000; ++i) spread.push_back(rng.Uniform(0.0, 12.0));
   StatusOr<PricePerformanceCurve> complex_curve = PricePerformanceCurve::Build(
-      CpuTrace(spread), LadderSkus(), pricing, estimator);
+      CpuTrace(spread), DbView(compiled), pricing, estimator);
   ASSERT_TRUE(complex_curve.ok());
   EXPECT_EQ(complex_curve->Classify(), CurveShape::kComplex);
 }
@@ -229,8 +248,9 @@ TEST(CurveTest, ClassifiesFlatSimpleComplex) {
 TEST(CurveTest, CheapestFullySatisfying) {
   const catalog::DefaultPricing pricing;
   const NonParametricEstimator estimator;
+  const catalog::CompiledCatalog compiled = CompileSkus(LadderSkus(), &pricing);
   StatusOr<PricePerformanceCurve> curve = PricePerformanceCurve::Build(
-      CpuTrace(std::vector<double>(100, 5.0)), LadderSkus(), pricing,
+      CpuTrace(std::vector<double>(100, 5.0)), DbView(compiled), pricing,
       estimator);
   ASSERT_TRUE(curve.ok());
   StatusOr<PricePerformancePoint> point = curve->CheapestFullySatisfying();
@@ -239,7 +259,7 @@ TEST(CurveTest, CheapestFullySatisfying) {
 
   // Nothing satisfies a 100-core demand.
   StatusOr<PricePerformanceCurve> hopeless = PricePerformanceCurve::Build(
-      CpuTrace(std::vector<double>(100, 100.0)), LadderSkus(), pricing,
+      CpuTrace(std::vector<double>(100, 100.0)), DbView(compiled), pricing,
       estimator);
   ASSERT_TRUE(hopeless.ok());
   EXPECT_EQ(hopeless->CheapestFullySatisfying().status().code(),
@@ -252,8 +272,9 @@ TEST(CurveTest, ClosestBelowTargetImplementsEq456) {
   for (int i = 0; i < 2000; ++i) spread.push_back(rng.Uniform(0.0, 12.0));
   const catalog::DefaultPricing pricing;
   const NonParametricEstimator estimator;
+  const catalog::CompiledCatalog compiled = CompileSkus(LadderSkus(), &pricing);
   StatusOr<PricePerformanceCurve> curve = PricePerformanceCurve::Build(
-      CpuTrace(spread), LadderSkus(), pricing, estimator);
+      CpuTrace(spread), DbView(compiled), pricing, estimator);
   ASSERT_TRUE(curve.ok());
 
   StatusOr<PricePerformancePoint> pick = curve->ClosestBelowTarget(0.5);
@@ -269,8 +290,8 @@ TEST(CurveTest, ClosestBelowTargetImplementsEq456) {
 
   // Unreachable target: fall back to the most performant point.
   const telemetry::PerfTrace heavy = CpuTrace(std::vector<double>(100, 50.0));
-  StatusOr<PricePerformanceCurve> throttled_curve =
-      PricePerformanceCurve::Build(heavy, LadderSkus(), pricing, estimator);
+  StatusOr<PricePerformanceCurve> throttled_curve = PricePerformanceCurve::Build(
+      heavy, DbView(compiled), pricing, estimator);
   ASSERT_TRUE(throttled_curve.ok());
   StatusOr<PricePerformancePoint> fallback =
       throttled_curve->ClosestBelowTarget(0.001);
@@ -281,8 +302,9 @@ TEST(CurveTest, ClosestBelowTargetImplementsEq456) {
 TEST(CurveTest, FindAndIndexBySku) {
   const catalog::DefaultPricing pricing;
   const NonParametricEstimator estimator;
+  const catalog::CompiledCatalog compiled = CompileSkus(LadderSkus(), &pricing);
   StatusOr<PricePerformanceCurve> curve = PricePerformanceCurve::Build(
-      CpuTrace(std::vector<double>(10, 1.0)), LadderSkus(), pricing,
+      CpuTrace(std::vector<double>(10, 1.0)), DbView(compiled), pricing,
       estimator);
   ASSERT_TRUE(curve.ok());
   StatusOr<std::size_t> index = curve->IndexOfSku("L2");
@@ -294,12 +316,13 @@ TEST(CurveTest, FindAndIndexBySku) {
 TEST(CurveTest, RejectsEmptyInputs) {
   const catalog::DefaultPricing pricing;
   const NonParametricEstimator estimator;
-  EXPECT_FALSE(PricePerformanceCurve::Build(CpuTrace({1.0}),
-                                            std::vector<Sku>{}, pricing,
-                                            estimator)
+  const catalog::CompiledCatalog empty = CompileSkus({}, &pricing);
+  EXPECT_FALSE(PricePerformanceCurve::Build(CpuTrace({1.0}), DbView(empty),
+                                            pricing, estimator)
                    .ok());
+  const catalog::CompiledCatalog ladder = CompileSkus(LadderSkus(), &pricing);
   EXPECT_FALSE(PricePerformanceCurve::Build(telemetry::PerfTrace(),
-                                            LadderSkus(), pricing, estimator)
+                                            DbView(ladder), pricing, estimator)
                    .ok());
 }
 
@@ -313,15 +336,20 @@ TEST(CurveTest, MiIopsOverrideChangesProbability) {
   sku.price_per_hour = 1.0;
   const catalog::DefaultPricing pricing;
   const NonParametricEstimator estimator;
+  const catalog::CompiledCatalog compiled = CompileSkus({sku}, &pricing);
+  const catalog::CompiledView view = DbView(compiled);
+  ASSERT_EQ(view.size(), 1u);
 
-  StatusOr<PricePerformanceCurve> with_record = PricePerformanceCurve::Build(
-      trace, std::vector<Sku>{sku}, pricing, estimator);
+  StatusOr<PricePerformanceCurve> with_record =
+      PricePerformanceCurve::Build(trace, view, pricing, estimator);
   ASSERT_TRUE(with_record.ok());
   EXPECT_DOUBLE_EQ(with_record->points()[0].throttling_probability, 0.0);
 
   // One P10 file: 500 IOPS effective -> always throttled.
+  const std::vector<CompiledCandidateRef> overridden = {{&view[0], 500.0}};
   StatusOr<PricePerformanceCurve> with_layout = PricePerformanceCurve::Build(
-      trace, std::vector<Candidate>{{sku, 500.0}}, pricing, estimator);
+      trace, overridden, pricing, estimator, nullptr, nullptr,
+      &compiled.target());
   ASSERT_TRUE(with_layout.ok());
   EXPECT_DOUBLE_EQ(with_layout->points()[0].throttling_probability, 1.0);
 }
@@ -354,8 +382,10 @@ PricePerformanceCurve CraftedCurve(const std::vector<double>& caps,
   EXPECT_TRUE(trace.SetSeries(ResourceDim::kMemoryGb, std::move(memory)).ok());
   const catalog::DefaultPricing pricing;
   const NonParametricEstimator estimator;
-  StatusOr<PricePerformanceCurve> curve =
-      PricePerformanceCurve::Build(trace, skus, pricing, estimator);
+  const catalog::CompiledCatalog compiled =
+      CompileSkus(std::move(skus), &pricing);
+  StatusOr<PricePerformanceCurve> curve = PricePerformanceCurve::Build(
+      trace, DbView(compiled), pricing, estimator);
   EXPECT_TRUE(curve.ok());
   return *std::move(curve);
 }
@@ -422,7 +452,9 @@ TEST(HeuristicsTest, EmptyCurveRejected) {
 
 class MiFilterFixture : public ::testing::Test {
  protected:
-  MiFilterFixture() : catalog_(catalog::BuildAzureLikeCatalog()) {}
+  MiFilterFixture()
+      : compiled_(catalog::CompiledCatalog::Compile(
+            catalog::BuildAzureLikeCatalog(), &pricing_)) {}
 
   telemetry::PerfTrace TraceWithIops(double iops, double storage) {
     telemetry::PerfTrace trace;
@@ -433,21 +465,22 @@ class MiFilterFixture : public ::testing::Test {
     return trace;
   }
 
-  catalog::SkuCatalog catalog_;
+  catalog::DefaultPricing pricing_;
+  catalog::CompiledCatalog compiled_;
 };
 
 TEST_F(MiFilterFixture, GpCandidatesGetLayoutIopsSum) {
   // 3 x 100 GiB files -> 3 x P10 -> 1500 IOPS; demand 1000 IOPS: 100%
   // satisfied.
   const catalog::FileLayout layout = catalog::UniformLayout(300.0, 3);
-  StatusOr<MiFilterResult> result = FilterMiCandidates(
-      catalog_, layout, TraceWithIops(1000.0, 300.0));
+  StatusOr<MiCompiledFilterResult> result = FilterMiCandidates(
+      compiled_, layout, TraceWithIops(1000.0, 300.0));
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result->restricted_to_bc);
   EXPECT_DOUBLE_EQ(result->layout_limits.total_iops, 1500.0);
   bool saw_gp = false;
-  for (const Candidate& candidate : result->candidates) {
-    if (candidate.sku.tier == ServiceTier::kGeneralPurpose) {
+  for (const CompiledCandidateRef& candidate : result->candidates) {
+    if (candidate.entry->sku->tier == ServiceTier::kGeneralPurpose) {
       saw_gp = true;
       EXPECT_DOUBLE_EQ(candidate.iops_limit, 1500.0);
     } else {
@@ -460,23 +493,23 @@ TEST_F(MiFilterFixture, GpCandidatesGetLayoutIopsSum) {
 TEST_F(MiFilterFixture, IopsShortfallRestrictsToBc) {
   // One 100 GiB file -> P10 -> 500 IOPS; demand 5000 IOPS misses 95%.
   const catalog::FileLayout layout = catalog::UniformLayout(100.0, 1);
-  StatusOr<MiFilterResult> result =
-      FilterMiCandidates(catalog_, layout, TraceWithIops(5000.0, 100.0));
+  StatusOr<MiCompiledFilterResult> result =
+      FilterMiCandidates(compiled_, layout, TraceWithIops(5000.0, 100.0));
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->restricted_to_bc);
-  for (const Candidate& candidate : result->candidates) {
-    EXPECT_EQ(candidate.sku.tier, ServiceTier::kBusinessCritical);
+  for (const CompiledCandidateRef& candidate : result->candidates) {
+    EXPECT_EQ(candidate.entry->sku->tier, ServiceTier::kBusinessCritical);
   }
 }
 
 TEST_F(MiFilterFixture, StorageRequirementFiltersSmallSkus) {
   // A 5 TB estate: only SKUs with >= 5 TB max data survive.
   const catalog::FileLayout layout = catalog::UniformLayout(5000.0, 4);
-  StatusOr<MiFilterResult> result =
-      FilterMiCandidates(catalog_, layout, TraceWithIops(2000.0, 5000.0));
+  StatusOr<MiCompiledFilterResult> result =
+      FilterMiCandidates(compiled_, layout, TraceWithIops(2000.0, 5000.0));
   ASSERT_TRUE(result.ok());
-  for (const Candidate& candidate : result->candidates) {
-    EXPECT_GE(candidate.sku.max_data_gb, 5000.0);
+  for (const CompiledCandidateRef& candidate : result->candidates) {
+    EXPECT_GE(candidate.entry->sku->max_data_gb, 5000.0);
   }
 }
 
@@ -484,24 +517,24 @@ TEST_F(MiFilterFixture, UnplaceableLayoutFails) {
   catalog::FileLayout layout;
   layout.files = {{"huge.mdf", 9000.0}};  // Above P60.
   EXPECT_FALSE(
-      FilterMiCandidates(catalog_, layout, TraceWithIops(100.0, 9000.0)).ok());
+      FilterMiCandidates(compiled_, layout, TraceWithIops(100.0, 9000.0)).ok());
 }
 
 TEST_F(MiFilterFixture, ObservedStorageOverridesLayoutSize) {
   // Layout says 100 GB but telemetry shows 6 TB allocated: all BC (max
   // 4 TB) are excluded, and only large GP SKUs survive.
   const catalog::FileLayout layout = catalog::UniformLayout(100.0, 1);
-  StatusOr<MiFilterResult> result =
-      FilterMiCandidates(catalog_, layout, TraceWithIops(100.0, 6000.0));
+  StatusOr<MiCompiledFilterResult> result =
+      FilterMiCandidates(compiled_, layout, TraceWithIops(100.0, 6000.0));
   ASSERT_TRUE(result.ok());
-  for (const Candidate& candidate : result->candidates) {
-    EXPECT_GE(candidate.sku.max_data_gb, 6000.0);
-    EXPECT_EQ(candidate.sku.tier, ServiceTier::kGeneralPurpose);
+  for (const CompiledCandidateRef& candidate : result->candidates) {
+    EXPECT_GE(candidate.entry->sku->max_data_gb, 6000.0);
+    EXPECT_EQ(candidate.entry->sku->tier, ServiceTier::kGeneralPurpose);
   }
 }
 
 TEST_F(MiFilterFixture, EmptyTraceRejected) {
-  EXPECT_FALSE(FilterMiCandidates(catalog_, catalog::UniformLayout(100, 1),
+  EXPECT_FALSE(FilterMiCandidates(compiled_, catalog::UniformLayout(100, 1),
                                   telemetry::PerfTrace())
                    .ok());
 }
@@ -525,11 +558,12 @@ TEST_P(CurveMonotonicityProperty, EnvelopeAlwaysMonotone) {
       workload::GenerateTrace(spec, 3.0, &rng);
   ASSERT_TRUE(trace.ok());
 
-  const catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
   const catalog::DefaultPricing pricing;
   const NonParametricEstimator estimator;
+  const catalog::CompiledCatalog compiled = catalog::CompiledCatalog::Compile(
+      catalog::BuildAzureLikeCatalog(), &pricing);
   StatusOr<PricePerformanceCurve> curve = PricePerformanceCurve::Build(
-      *trace, catalog.ForDeployment(Deployment::kSqlDb), pricing, estimator);
+      *trace, DbView(compiled), pricing, estimator);
   ASSERT_TRUE(curve.ok());
   for (std::size_t i = 1; i < curve->size(); ++i) {
     ASSERT_GE(curve->points()[i].performance,

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "core/backtest.h"
 #include "core/negotiability.h"
 #include "core/profiler.h"
@@ -197,6 +198,8 @@ class BacktestFixture : public ::testing::Test {
   static void SetUpTestSuite() {
     catalog_ = new catalog::SkuCatalog(catalog::BuildAzureLikeCatalog());
     pricing_ = new catalog::DefaultPricing();
+    compiled_ = new catalog::CompiledCatalog(
+        catalog::CompiledCatalog::Compile(*catalog_, pricing_));
     estimator_ = new NonParametricEstimator();
 
     workload::PopulationOptions options;
@@ -209,7 +212,7 @@ class BacktestFixture : public ::testing::Test {
     ASSERT_TRUE(fleet.ok());
     Rng rng(99);
     StatusOr<BacktestDataset> dataset = BuildBacktestDataset(
-        *std::move(fleet), *catalog_, *pricing_, *estimator_, &rng);
+        *std::move(fleet), *compiled_, *estimator_, &rng);
     ASSERT_TRUE(dataset.ok());
     dataset_ = new BacktestDataset(*std::move(dataset));
   }
@@ -217,6 +220,7 @@ class BacktestFixture : public ::testing::Test {
   static void TearDownTestSuite() {
     delete dataset_;
     delete estimator_;
+    delete compiled_;
     delete pricing_;
     delete catalog_;
     dataset_ = nullptr;
@@ -224,12 +228,14 @@ class BacktestFixture : public ::testing::Test {
 
   static catalog::SkuCatalog* catalog_;
   static catalog::DefaultPricing* pricing_;
+  static catalog::CompiledCatalog* compiled_;
   static NonParametricEstimator* estimator_;
   static BacktestDataset* dataset_;
 };
 
 catalog::SkuCatalog* BacktestFixture::catalog_ = nullptr;
 catalog::DefaultPricing* BacktestFixture::pricing_ = nullptr;
+catalog::CompiledCatalog* BacktestFixture::compiled_ = nullptr;
 NonParametricEstimator* BacktestFixture::estimator_ = nullptr;
 BacktestDataset* BacktestFixture::dataset_ = nullptr;
 
@@ -346,12 +352,12 @@ TEST(BacktestTest, RejectsEmptyInputs) {
   BacktestDataset empty;
   const ThresholdingStrategy strategy;
   EXPECT_FALSE(RunBacktest(empty, strategy, BacktestOptions()).ok());
-  catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
   catalog::DefaultPricing pricing;
+  const catalog::CompiledCatalog compiled = catalog::CompiledCatalog::Compile(
+      catalog::BuildAzureLikeCatalog(), &pricing);
   NonParametricEstimator estimator;
   Rng rng(1);
-  EXPECT_FALSE(
-      BuildBacktestDataset({}, catalog, pricing, estimator, &rng).ok());
+  EXPECT_FALSE(BuildBacktestDataset({}, compiled, estimator, &rng).ok());
 }
 
 }  // namespace

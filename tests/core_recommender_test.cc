@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "core/confidence.h"
 #include "core/recommender.h"
 #include "core/rightsizing.h"
@@ -37,17 +38,20 @@ class RecommenderFixture : public ::testing::Test {
     mi_profiler_ = new CustomerProfiler(
         std::make_shared<ThresholdingStrategy>(),
         workload::ProfilingDims(Deployment::kSqlMi));
-    recommender_ = new ElasticRecommender(catalog_, pricing_, estimator_,
-                                          db_profiler_, group_model_);
-    mi_recommender_ = new ElasticRecommender(catalog_, pricing_, estimator_,
+    compiled_ = new catalog::CompiledCatalog(
+        catalog::CompiledCatalog::Compile(*catalog_, pricing_));
+    recommender_ = new ElasticRecommender(compiled_, estimator_, db_profiler_,
+                                          group_model_);
+    mi_recommender_ = new ElasticRecommender(compiled_, estimator_,
                                              mi_profiler_, group_model_);
-    baseline_ = new BaselineRecommender(catalog_, pricing_);
+    baseline_ = new BaselineRecommender(compiled_);
   }
 
   static void TearDownTestSuite() {
     delete baseline_;
     delete mi_recommender_;
     delete recommender_;
+    delete compiled_;
     delete mi_profiler_;
     delete db_profiler_;
     delete group_model_;
@@ -98,6 +102,7 @@ class RecommenderFixture : public ::testing::Test {
 
   static catalog::SkuCatalog* catalog_;
   static catalog::DefaultPricing* pricing_;
+  static catalog::CompiledCatalog* compiled_;
   static NonParametricEstimator* estimator_;
   static GroupModel* group_model_;
   static CustomerProfiler* db_profiler_;
@@ -109,6 +114,7 @@ class RecommenderFixture : public ::testing::Test {
 
 catalog::SkuCatalog* RecommenderFixture::catalog_ = nullptr;
 catalog::DefaultPricing* RecommenderFixture::pricing_ = nullptr;
+catalog::CompiledCatalog* RecommenderFixture::compiled_ = nullptr;
 NonParametricEstimator* RecommenderFixture::estimator_ = nullptr;
 GroupModel* RecommenderFixture::group_model_ = nullptr;
 CustomerProfiler* RecommenderFixture::db_profiler_ = nullptr;
@@ -220,7 +226,7 @@ TEST_F(RecommenderFixture, BaselinePicksCheapestSatisfying) {
 }
 
 TEST_F(RecommenderFixture, BaselineMaxQuantileMoreConservative) {
-  const BaselineRecommender max_baseline(catalog_, pricing_, 1.0);
+  const BaselineRecommender max_baseline(compiled_, 1.0);
   const telemetry::PerfTrace trace = SpikyTrace(7);
   StatusOr<Recommendation> p95 =
       baseline_->Recommend(trace, Deployment::kSqlDb);

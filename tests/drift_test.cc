@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "core/drift.h"
 #include "dma/resource_report.h"
 #include "util/random.h"
@@ -50,12 +51,13 @@ telemetry::PerfTrace JumpTrace(double jump, double recent_fraction,
 class DriftFixture : public ::testing::Test {
  protected:
   DriftFixture()
-      : catalog_(catalog::BuildAzureLikeCatalog()),
-        candidates_(catalog_.ForDeployment(Deployment::kSqlDb)) {}
+      : compiled_(catalog::CompiledCatalog::Compile(
+            catalog::BuildAzureLikeCatalog(), &pricing_)),
+        candidates_(compiled_.ForDeployment(Deployment::kSqlDb).view()) {}
 
-  catalog::SkuCatalog catalog_;
-  std::vector<catalog::Sku> candidates_;
   catalog::DefaultPricing pricing_;
+  catalog::CompiledCatalog compiled_;
+  catalog::CompiledView candidates_;
   core::NonParametricEstimator estimator_;
 };
 

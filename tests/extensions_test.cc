@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "core/feedback.h"
 #include "core/throttling.h"
 #include "dma/preprocess.h"
@@ -132,10 +133,12 @@ TEST(ServerlessCurveTest, SpikyWorkloadPrefersServerless) {
   const catalog::SkuCatalog extended =
       catalog::BuildAzureLikeCatalog(ExtendedOptions());
   const catalog::DefaultPricing pricing;
+  const catalog::CompiledCatalog compiled =
+      catalog::CompiledCatalog::Compile(extended, &pricing);
   const core::NonParametricEstimator estimator;
   StatusOr<core::PricePerformanceCurve> curve =
       core::PricePerformanceCurve::Build(
-          *trace, extended.ForDeployment(Deployment::kSqlDb), pricing,
+          *trace, compiled.ForDeployment(Deployment::kSqlDb).view(), pricing,
           estimator);
   ASSERT_TRUE(curve.ok());
   StatusOr<core::PricePerformancePoint> best =
@@ -155,8 +158,8 @@ TEST(ServerlessCurveTest, SpikyWorkloadPrefersServerless) {
   ASSERT_TRUE(busy_trace.ok());
   StatusOr<core::PricePerformanceCurve> busy_curve =
       core::PricePerformanceCurve::Build(
-          *busy_trace, extended.ForDeployment(Deployment::kSqlDb), pricing,
-          estimator);
+          *busy_trace, compiled.ForDeployment(Deployment::kSqlDb).view(),
+          pricing, estimator);
   ASSERT_TRUE(busy_curve.ok());
   StatusOr<core::PricePerformancePoint> busy_best =
       busy_curve->CheapestFullySatisfying();
@@ -174,10 +177,12 @@ TEST(ExtendedCurveTest, HugeEstateLandsOnHyperscale) {
   const catalog::SkuCatalog extended =
       catalog::BuildAzureLikeCatalog(ExtendedOptions());
   const catalog::DefaultPricing pricing;
+  const catalog::CompiledCatalog compiled =
+      catalog::CompiledCatalog::Compile(extended, &pricing);
   const core::NonParametricEstimator estimator;
   StatusOr<core::PricePerformanceCurve> curve =
       core::PricePerformanceCurve::Build(
-          trace, extended.ForDeployment(Deployment::kSqlDb), pricing,
+          trace, compiled.ForDeployment(Deployment::kSqlDb).view(), pricing,
           estimator);
   ASSERT_TRUE(curve.ok());
   StatusOr<core::PricePerformancePoint> best =
@@ -507,12 +512,13 @@ TEST(SourcesTest, ForeignTraceFeedsTheEngine) {
   StatusOr<telemetry::PerfTrace> trace =
       sources::TraceFromAwrCsv(AwrCsv());
   ASSERT_TRUE(trace.ok());
-  const catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
   const catalog::DefaultPricing pricing;
+  const catalog::CompiledCatalog compiled = catalog::CompiledCatalog::Compile(
+      catalog::BuildAzureLikeCatalog(), &pricing);
   const core::NonParametricEstimator estimator;
   StatusOr<core::PricePerformanceCurve> curve =
       core::PricePerformanceCurve::Build(
-          *trace, catalog.ForDeployment(Deployment::kSqlDb), pricing,
+          *trace, compiled.ForDeployment(Deployment::kSqlDb).view(), pricing,
           estimator);
   ASSERT_TRUE(curve.ok());
   EXPECT_TRUE(curve->CheapestFullySatisfying().ok());

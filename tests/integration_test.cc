@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "core/backtest.h"
 #include "core/recommender.h"
 #include "dma/pipeline.h"
@@ -58,6 +59,8 @@ TEST(EndToEnd, SynthesizeReplayValidatesRecommendation) {
   // Recommend from the history.
   const catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
   const catalog::DefaultPricing pricing;
+  const catalog::CompiledCatalog compiled =
+      catalog::CompiledCatalog::Compile(catalog, &pricing);
   const core::NonParametricEstimator estimator;
   StatusOr<core::GroupModel> model = dma::FitGroupModelOffline(
       catalog, pricing, estimator, Deployment::kSqlDb, 60, 21);
@@ -65,8 +68,8 @@ TEST(EndToEnd, SynthesizeReplayValidatesRecommendation) {
   const core::CustomerProfiler profiler(
       std::make_shared<core::ThresholdingStrategy>(),
       workload::ProfilingDims(Deployment::kSqlDb));
-  const core::ElasticRecommender recommender(&catalog, &pricing, &estimator,
-                                             &profiler, &*model);
+  const core::ElasticRecommender recommender(&compiled, &estimator, &profiler,
+                                             &*model);
   StatusOr<core::Recommendation> rec = recommender.RecommendDb(*history);
   ASSERT_TRUE(rec.ok());
 
@@ -178,8 +181,10 @@ TEST(EndToEnd, SkuChangeDetectedByCurves) {
   const telemetry::PerfTrace before = make_trace(0.6, 150.0, 7.5, 1);
   const telemetry::PerfTrace after = make_trace(3.5, 9000.0, 2.2, 2);
 
-  const std::vector<catalog::Sku> candidates =
-      catalog.ForDeployment(Deployment::kSqlDb);
+  const catalog::CompiledCatalog compiled =
+      catalog::CompiledCatalog::Compile(catalog, &pricing);
+  const catalog::CompiledView candidates =
+      compiled.ForDeployment(Deployment::kSqlDb).view();
   StatusOr<core::PricePerformanceCurve> curve_before =
       core::PricePerformanceCurve::Build(before, candidates, pricing,
                                          estimator);
@@ -222,10 +227,12 @@ TEST(EndToEnd, MiBacktestSmallScale) {
 
   const catalog::SkuCatalog catalog = catalog::BuildAzureLikeCatalog();
   const catalog::DefaultPricing pricing;
+  const catalog::CompiledCatalog compiled =
+      catalog::CompiledCatalog::Compile(catalog, &pricing);
   const core::NonParametricEstimator estimator;
   Rng rng(556);
   StatusOr<core::BacktestDataset> dataset = core::BuildBacktestDataset(
-      *std::move(fleet), catalog, pricing, estimator, &rng);
+      *std::move(fleet), compiled, estimator, &rng);
   ASSERT_TRUE(dataset.ok());
 
   // Every labelled choice is an MI SKU.

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "catalog/catalog.h"
+#include "catalog/compiled_catalog.h"
 #include "exec/thread_pool.h"
 #include "core/negotiability.h"
 #include "core/price_performance.h"
@@ -55,21 +56,26 @@ class EngineProperty : public ::testing::TestWithParam<std::uint64_t> {
   static void SetUpTestSuite() {
     catalog_ = new catalog::SkuCatalog(catalog::BuildAzureLikeCatalog());
     pricing_ = new catalog::DefaultPricing();
+    compiled_ = new catalog::CompiledCatalog(
+        catalog::CompiledCatalog::Compile(*catalog_, pricing_));
     estimator_ = new core::NonParametricEstimator();
   }
   static void TearDownTestSuite() {
     delete estimator_;
+    delete compiled_;
     delete pricing_;
     delete catalog_;
   }
 
   static catalog::SkuCatalog* catalog_;
   static catalog::DefaultPricing* pricing_;
+  static catalog::CompiledCatalog* compiled_;
   static core::NonParametricEstimator* estimator_;
 };
 
 catalog::SkuCatalog* EngineProperty::catalog_ = nullptr;
 catalog::DefaultPricing* EngineProperty::pricing_ = nullptr;
+catalog::CompiledCatalog* EngineProperty::compiled_ = nullptr;
 core::NonParametricEstimator* EngineProperty::estimator_ = nullptr;
 
 // The non-parametric estimate and the thresholding profile depend only on
@@ -114,13 +120,17 @@ TEST_P(EngineProperty, ProbabilityMonotoneInCapacity) {
 // which SKU any selection rule picks.
 TEST_P(EngineProperty, SelectionInvariantToUniformPriceScaling) {
   const telemetry::PerfTrace trace = RandomTrace(GetParam());
+  // The snapshot memoizes billed prices, so the scaled billing needs its
+  // own compilation — exactly how a reprice rolls out in production.
   const catalog::DefaultPricing expensive(3.0);
-  const std::vector<catalog::Sku> candidates =
-      catalog_->ForDeployment(Deployment::kSqlDb);
+  const catalog::CompiledCatalog recompiled =
+      catalog::CompiledCatalog::Compile(*catalog_, &expensive);
   StatusOr<core::PricePerformanceCurve> base = core::PricePerformanceCurve::
-      Build(trace, candidates, *pricing_, *estimator_);
+      Build(trace, compiled_->ForDeployment(Deployment::kSqlDb).view(),
+            *pricing_, *estimator_);
   StatusOr<core::PricePerformanceCurve> scaled = core::PricePerformanceCurve::
-      Build(trace, candidates, expensive, *estimator_);
+      Build(trace, recompiled.ForDeployment(Deployment::kSqlDb).view(),
+            expensive, *estimator_);
   ASSERT_TRUE(base.ok());
   ASSERT_TRUE(scaled.ok());
   // Same SKU order along the curve.
@@ -152,13 +162,19 @@ TEST_P(EngineProperty, MoreCandidatesNeverWorsenTheBestBuy) {
   const telemetry::PerfTrace trace = RandomTrace(GetParam());
   const std::vector<catalog::Sku> all =
       catalog_->ForDeployment(Deployment::kSqlDb);
-  std::vector<catalog::Sku> half;
-  for (std::size_t i = 0; i < all.size(); i += 2) half.push_back(all[i]);
+  catalog::SkuCatalog half;
+  for (std::size_t i = 0; i < all.size(); i += 2) half.Add(all[i]);
+  const catalog::CompiledCatalog half_compiled =
+      catalog::CompiledCatalog::Compile(std::move(half), pricing_);
 
   StatusOr<core::PricePerformanceCurve> full_curve =
-      core::PricePerformanceCurve::Build(trace, all, *pricing_, *estimator_);
+      core::PricePerformanceCurve::Build(
+          trace, compiled_->ForDeployment(Deployment::kSqlDb).view(),
+          *pricing_, *estimator_);
   StatusOr<core::PricePerformanceCurve> half_curve =
-      core::PricePerformanceCurve::Build(trace, half, *pricing_, *estimator_);
+      core::PricePerformanceCurve::Build(
+          trace, half_compiled.ForDeployment(Deployment::kSqlDb).view(),
+          *pricing_, *estimator_);
   ASSERT_TRUE(full_curve.ok());
   ASSERT_TRUE(half_curve.ok());
   StatusOr<core::PricePerformancePoint> full_best =
@@ -232,8 +248,8 @@ TEST_P(EngineProperty, RecommendationRespectsGroupConstraint) {
   const core::CustomerProfiler profiler(
       std::make_shared<core::ThresholdingStrategy>(),
       workload::ProfilingDims(Deployment::kSqlDb));
-  const core::ElasticRecommender recommender(catalog_, pricing_, estimator_,
-                                             &profiler, model);
+  const core::ElasticRecommender recommender(compiled_, estimator_, &profiler,
+                                             model);
   const telemetry::PerfTrace trace = RandomTrace(GetParam());
   StatusOr<core::Recommendation> rec = recommender.RecommendDb(trace);
   ASSERT_TRUE(rec.ok());
@@ -400,7 +416,7 @@ TEST_P(EngineProperty, TraceStatsCacheIsBitIdenticalToDirectComputation) {
   }
 
   // Baseline scalar requirements: same quantiles either way.
-  const core::BaselineRecommender baseline(catalog_, pricing_);
+  const core::BaselineRecommender baseline(compiled_);
   StatusOr<catalog::ResourceVector> direct = baseline.ScalarRequirements(trace);
   StatusOr<catalog::ResourceVector> memoized =
       baseline.ScalarRequirements(trace, &cache);

@@ -41,9 +41,15 @@ import argparse
 import json
 import sys
 
-DEFAULT_COUNTERS = ["ppm.samples_scanned", "stream.rows_patched"]
+DEFAULT_COUNTERS = [
+    "ppm.samples_scanned",
+    "ppm.samples_scanned.azure-db",
+    "ppm.samples_scanned.aws-rds",
+    "stream.rows_patched",
+]
 DEFAULT_EXACT_COUNTERS = [
     "serve.admitted", "serve.shed", "serve.expired", "obs.flight.recorded",
+    "catalog.targets_compiled",
 ]
 
 

@@ -14,14 +14,17 @@
 #
 # Bench-regression mode: tools/check.sh --bench [build-dir] (default
 # build) builds bench_perf_engine, runs the assessment + exceedance-index
-# + serve-overload benchmarks, and compares the per-curve evaluation-cost
-# counters (ppm.samples_scanned) and the serving-path admission counters
-# (serve.admitted/shed/expired) against the committed BENCH_pipeline.json
+# + serve-overload + cross-target benchmarks, and compares the per-curve
+# evaluation-cost counters (ppm.samples_scanned, plus the per-target
+# ppm.samples_scanned.<target-id> splits), the snapshot-compile count
+# (catalog.targets_compiled, exact) and the serving-path admission
+# counters (serve.admitted/shed/expired) against the committed
+# BENCH_pipeline.json
 # via tools/bench_check.py. Counter-based, so it is stable on the 1-CPU
 # container where wall time is not. After an INTENDED cost change,
 # refresh the baseline:
 #   ./build/bench/bench_perf_engine \
-#     --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_FleetAssess|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead|BM_StreamAppendAssess|BM_RebuildAssess' \
+#     --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_FleetAssess|BM_CrossTargetCurve|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead|BM_StreamAppendAssess|BM_RebuildAssess' \
 #     --benchmark_out=BENCH_pipeline.json --benchmark_out_format=json
 #
 # Soak mode: tools/check.sh --soak [build-dir] (default build-soak)
@@ -40,7 +43,7 @@ if [[ "${1:-}" == "--bench" ]]; then
   fresh_json="$(mktemp --suffix=.json)"
   trap 'rm -f "${fresh_json}"' EXIT
   "${bench_build_dir}/bench/bench_perf_engine" \
-    --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead|BM_StreamAppendAssess|BM_RebuildAssess' \
+    --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_CrossTargetCurve|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead|BM_StreamAppendAssess|BM_RebuildAssess' \
     --benchmark_out="${fresh_json}" --benchmark_out_format=json
   python3 "${repo_root}/tools/bench_check.py" \
     "${repo_root}/BENCH_pipeline.json" "${fresh_json}"
@@ -97,11 +100,13 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${tsan_dir}" -j"$(nproc)" \
   --target obs_test obs_flight_test exec_test compiled_catalog_test \
+  target_test \
   pipeline_stage_test exceedance_index_test serve_test stream_test
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_flight_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/exec_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/compiled_catalog_test"
+TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/target_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/pipeline_stage_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/exceedance_index_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/serve_test"

@@ -40,7 +40,9 @@
 #include "stream/stream_index.h"
 #include "stream/stream_stats.h"
 #include "stream/streaming_trace.h"
+#include "util/aligned.h"
 #include "util/deadline.h"
+#include "util/kernels/kernels.h"
 #include "util/random.h"
 #include "workload/generator.h"
 #include "workload/population.h"
@@ -292,6 +294,99 @@ BENCHMARK(BM_ExceedanceIndexScalarScan)
     ->Arg(7)
     ->Arg(30)
     ->Unit(benchmark::kMicrosecond);
+
+// ---- Kernel-layer microbenches (DESIGN.md §15): the dispatched SIMD
+// variant against its forced-scalar twin, same data, same process. The
+// bench gate (tools/check.sh --bench) locks the union pair's wall-time
+// ratio via bench_check.py --speedup — a within-run ratio, so it holds on
+// machines where absolute times do not.
+
+// The best non-scalar table, or nullptr on hosts without one.
+const kernels::KernelOps* SimdKernels() {
+  const kernels::KernelOps& best = kernels::SelectKernels(nullptr);
+  return std::string(best.name) == "scalar" ? nullptr : &best;
+}
+
+void RunUnionKernelBench(benchmark::State& state,
+                         const kernels::KernelOps& ops) {
+  const std::size_t num_words = static_cast<std::size_t>(state.range(0));
+  // Several sparse sets (3-AND thins bits to ~12%) so the union grows
+  // without saturating: the kernel sees fresh bits on every pass, like a
+  // dense multi-dimension curve evaluation.
+  constexpr std::size_t kNumSets = 6;
+  Rng rng(11);
+  std::vector<AlignedVector<std::uint64_t>> sets(
+      kNumSets, AlignedVector<std::uint64_t>(num_words));
+  for (auto& set : sets) {
+    for (auto& word : set) {
+      word = rng.NextUint64() & rng.NextUint64() & rng.NextUint64();
+    }
+  }
+  AlignedVector<std::uint64_t> acc(num_words);
+  for (auto _ : state) {
+    std::fill(acc.begin(), acc.end(), 0);
+    std::size_t count = 0;
+    for (const auto& set : sets) {
+      count += ops.union_count(acc.data(), set.data(), num_words);
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(kNumSets * num_words * sizeof(std::uint64_t)));
+  state.SetLabel(ops.name);
+}
+
+void BM_UnionKernelScalar(benchmark::State& state) {
+  RunUnionKernelBench(state,
+                      *kernels::KernelOpsFor(kernels::KernelIsa::kScalar));
+}
+BENCHMARK(BM_UnionKernelScalar)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_UnionKernelSimd(benchmark::State& state) {
+  const kernels::KernelOps* ops = SimdKernels();
+  if (ops == nullptr) {
+    state.SkipWithError("no SIMD kernel variant on this host");
+    return;
+  }
+  RunUnionKernelBench(state, *ops);
+}
+BENCHMARK(BM_UnionKernelSimd)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void RunKdeBatchBench(benchmark::State& state,
+                      const kernels::KernelOps& ops) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  AlignedVector<double> sample(n);
+  for (auto& v : sample) v = rng.Normal(50.0, 12.0);
+  double x = 30.0;
+  for (auto _ : state) {
+    // Sweep the query point so the transcendental inputs vary.
+    x = x < 70.0 ? x + 0.25 : 30.0;
+    const double cdf = ops.kde_cdf_sum(sample.data(), n, x, 3.5);
+    const double density = ops.kde_density_sum(sample.data(), n, x, 3.5);
+    benchmark::DoNotOptimize(cdf);
+    benchmark::DoNotOptimize(density);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.SetLabel(ops.name);
+}
+
+void BM_KdeBatchScalar(benchmark::State& state) {
+  RunKdeBatchBench(state,
+                   *kernels::KernelOpsFor(kernels::KernelIsa::kScalar));
+}
+BENCHMARK(BM_KdeBatchScalar)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_KdeBatchSimd(benchmark::State& state) {
+  const kernels::KernelOps* ops = SimdKernels();
+  if (ops == nullptr) {
+    state.SkipWithError("no SIMD kernel variant on this host");
+    return;
+  }
+  RunKdeBatchBench(state, *ops);
+}
+BENCHMARK(BM_KdeBatchSimd)->Arg(4096)->Unit(benchmark::kMicrosecond);
 
 // ---- Negotiability strategies (the Table 4 cost axis).
 

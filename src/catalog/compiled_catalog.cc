@@ -43,7 +43,7 @@ CompiledCatalog CompiledCatalog::Compile(SkuCatalog catalog,
                 return a.sku->id < b.sku->id;
               });
     for (ResourceDim dim : kAllResourceDims) {
-      std::vector<double>& row =
+      AlignedVector<double>& row =
           deployment.capacity_rows_[static_cast<std::size_t>(
               static_cast<int>(dim))];
       row.reserve(deployment.entries_.size());
@@ -55,7 +55,7 @@ CompiledCatalog CompiledCatalog::Compile(SkuCatalog catalog,
       std::vector<double>& distinct =
           deployment.distinct_capacities_[static_cast<std::size_t>(
               static_cast<int>(dim))];
-      distinct = row;
+      distinct.assign(row.begin(), row.end());
       std::sort(distinct.begin(), distinct.end());
       distinct.erase(std::unique(distinct.begin(), distinct.end()),
                      distinct.end());

@@ -12,6 +12,7 @@
 #include "catalog/resource.h"
 #include "catalog/sku.h"
 #include "catalog/target.h"
+#include "util/aligned.h"
 #include "util/statusor.h"
 
 namespace doppler::catalog {
@@ -74,8 +75,10 @@ class CompiledDeployment {
 
   /// Contiguous capacity row for one dimension: element i is candidate i's
   /// capacity in `dim` (candidates in price order). All seven dimensions
-  /// are materialised — Sku::Capacities() sets every one.
-  const std::vector<double>& CapacityRow(ResourceDim dim) const {
+  /// are materialised — Sku::Capacities() sets every one. Rows are
+  /// cache-line aligned (util/aligned.h) so the batch kernels' vector
+  /// loads never straddle a line.
+  const AlignedVector<double>& CapacityRow(ResourceDim dim) const {
     return capacity_rows_[static_cast<std::size_t>(static_cast<int>(dim))];
   }
 
@@ -94,7 +97,7 @@ class CompiledDeployment {
   friend class CompiledCatalog;
 
   std::vector<CompiledEntry> entries_;
-  std::array<std::vector<double>, kNumResourceDims> capacity_rows_;
+  std::array<AlignedVector<double>, kNumResourceDims> capacity_rows_;
   std::array<std::vector<double>, kNumResourceDims> distinct_capacities_;
   /// Back-pointer to the owning snapshot's target spec, stamped into every
   /// view handed out.

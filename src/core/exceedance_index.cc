@@ -1,10 +1,12 @@
 #include "core/exceedance_index.h"
 
 #include <algorithm>
-#include <bit>
+#include <cassert>
 #include <numeric>
 
 #include "obs/metrics.h"
+#include "util/aligned.h"
+#include "util/kernels/kernels.h"
 
 namespace doppler::core {
 
@@ -101,6 +103,7 @@ const ExceedanceSet& ExceedanceIndex::SetFor(ResourceDim dim,
     // cache accessors forces the cache's own generation-checked rebuild,
     // so both borrower and owner converge on the mutated data.
     state.memo.clear();
+    state.arena.Reset();
     if (stats_ != nullptr) {
       state.sorted = &stats_->Sorted(dim);
       state.perm = &stats_->Argsort(dim);
@@ -116,32 +119,38 @@ const ExceedanceSet& ExceedanceIndex::SetFor(ResourceDim dim,
   }
 
   // Exceeding rows are one contiguous run of the sorted permutation.
-  // Normal dimension: demand > C, the suffix past upper_bound (strict
-  // comparison leaves rows tied at the capacity out). Inverted dimension:
-  // demand < C, the prefix before lower_bound.
+  // Normal dimension: demand > C, the suffix of rows above the capacity
+  // (strict comparison leaves rows tied at the capacity out). Inverted
+  // dimension: demand < C, the prefix of rows below it. The run boundary
+  // comes from the sorted-scan hybrid: a branch-free count kernel for
+  // short columns, binary search otherwise — same integer either way.
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
   const std::vector<double>& sorted = *state.sorted;
   std::size_t begin = 0;
   std::size_t end = num_rows_;
   if (catalog::IsInvertedDim(dim)) {
-    end = static_cast<std::size_t>(
-        std::lower_bound(sorted.begin(), sorted.end(), capacity) -
-        sorted.begin());
+    end = kernels::SortedCountBelow(ops, sorted.data(), num_rows_, capacity);
   } else {
-    begin = static_cast<std::size_t>(
-        std::upper_bound(sorted.begin(), sorted.end(), capacity) -
-        sorted.begin());
+    begin = num_rows_ -
+            kernels::SortedCountAbove(ops, sorted.data(), num_rows_, capacity);
   }
 
+  // The bitset lives in this dimension's arena: cache-line aligned, zeroed
+  // at allocation (padding bits included), stable until the next
+  // generation drop.
   ExceedanceSet set;
-  set.words.assign(num_words_, 0);
+  std::uint64_t* const words = state.arena.Allocate(num_words_);
+  set.words = words;
+  set.num_words = num_words_;
   set.count = end - begin;
   const std::uint32_t* const perm = state.perm->data();
   for (std::size_t j = begin; j < end; ++j) {
     const std::uint32_t row = perm[j];
-    set.words[row >> 6] |= std::uint64_t{1} << (row & 63);
+    words[row >> 6] |= std::uint64_t{1} << (row & 63);
   }
+  assert(kernels::PaddingBitsAreZero(words, num_words_, num_rows_));
   CountIndexMiss(set.count);
-  return state.memo.emplace(capacity, std::move(set)).first->second;
+  return state.memo.emplace(capacity, set).first->second;
 }
 
 std::size_t ExceedanceIndex::CountExceedingUnion(
@@ -158,26 +167,19 @@ std::size_t ExceedanceIndex::CountExceedingUnion(
   // Single participating dimension: the memoized popcount is the answer.
   if (num_sets == 1) return sets[0]->count;
 
-  // Word-wise OR accumulation; the popcount of newly-set bits per word
-  // gives the union size without a final pass. Already-saturated words are
-  // skipped, and a dimension cannot grow a saturated union (early exit).
-  thread_local std::vector<std::uint64_t> union_words;
+  // Word-wise OR accumulation through the dispatched union kernel; the
+  // popcount of newly-set bits per set gives the union size without a
+  // final pass, saturated words are skipped inside the kernel, and a
+  // dimension cannot grow a saturated union (early exit).
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
+  thread_local AlignedVector<std::uint64_t> union_words;
   union_words.assign(num_words_, 0);
   std::size_t count = 0;
   std::size_t words_touched = 0;
   for (std::size_t k = 0; k < num_sets && count < num_rows_; ++k) {
     const ExceedanceSet& set = *sets[k];
     if (set.count == 0) continue;
-    const std::uint64_t* const words = set.words.data();
-    for (std::size_t w = 0; w < num_words_; ++w) {
-      const std::uint64_t prev = union_words[w];
-      if (prev == ~std::uint64_t{0}) continue;
-      const std::uint64_t merged = prev | words[w];
-      if (merged != prev) {
-        count += static_cast<std::size_t>(std::popcount(merged ^ prev));
-        union_words[w] = merged;
-      }
-    }
+    count += ops.union_count(union_words.data(), set.words, num_words_);
     words_touched += num_words_;
   }
   CountUnionWords(words_touched);
@@ -191,23 +193,23 @@ std::size_t ExceedanceIndex::CountExceedingUnionMoving(
   static obs::Counter* const kSamples =
       obs::DefaultMetrics().GetCounter("ppm.samples_scanned");
 
-  // Seed the union with the moving dimension's exceedance set, built by a
-  // direct per-row compare (same strict comparisons as the memoized sets:
-  // ResourceVector::Exceeds semantics). Every row is read once, charged
-  // below — a deterministic function of the query, not of scheduling.
+  // Seed the union with the moving dimension's exceedance set, built by
+  // the row-vs-row bitset kernel (same strict comparisons as the memoized
+  // sets: ResourceVector::Exceeds semantics). Every row is read once,
+  // charged below — a deterministic function of the query, not of
+  // scheduling.
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
   const std::vector<double>& demand = trace_->Values(moving_dim);
   const bool inverted = catalog::IsInvertedDim(moving_dim);
-  thread_local std::vector<std::uint64_t> union_words;
+  thread_local AlignedVector<std::uint64_t> union_words;
   union_words.assign(num_words_, 0);
-  std::size_t count = 0;
-  for (std::size_t r = 0; r < num_rows_; ++r) {
-    const bool exceeds = inverted ? demand[r] < moving_capacity[r]
-                                  : demand[r] > moving_capacity[r];
-    if (exceeds) {
-      union_words[r >> 6] |= std::uint64_t{1} << (r & 63);
-      ++count;
-    }
-  }
+  std::size_t count =
+      inverted ? ops.bitset_below(demand.data(), moving_capacity.data(),
+                                  num_rows_, union_words.data())
+               : ops.bitset_above(demand.data(), moving_capacity.data(),
+                                  num_rows_, union_words.data());
+  assert(
+      kernels::PaddingBitsAreZero(union_words.data(), num_words_, num_rows_));
   kSamples->Increment(num_rows_);
 
   // OR in the constant dimensions' memoized sets, exactly as the constant
@@ -219,16 +221,7 @@ std::size_t ExceedanceIndex::CountExceedingUnionMoving(
     if (dim == moving_dim || !capacities.Has(dim)) continue;
     const ExceedanceSet& set = SetFor(dim, capacities.Get(dim));
     if (set.count == 0) continue;
-    const std::uint64_t* const words = set.words.data();
-    for (std::size_t w = 0; w < num_words_; ++w) {
-      const std::uint64_t prev = union_words[w];
-      if (prev == ~std::uint64_t{0}) continue;
-      const std::uint64_t merged = prev | words[w];
-      if (merged != prev) {
-        count += static_cast<std::size_t>(std::popcount(merged ^ prev));
-        union_words[w] = merged;
-      }
-    }
+    count += ops.union_count(union_words.data(), set.words, num_words_);
     words_touched += num_words_;
   }
   CountUnionWords(words_touched);

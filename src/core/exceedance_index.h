@@ -11,6 +11,7 @@
 #include "catalog/resource.h"
 #include "telemetry/perf_trace.h"
 #include "telemetry/trace_stats.h"
+#include "util/kernels/bitset_arena.h"
 
 namespace doppler::core {
 
@@ -25,19 +26,26 @@ namespace doppler::core {
 inline constexpr std::size_t kScratchRetainBytes = std::size_t{1} << 20;
 
 /// Applies the policy above to one scratch vector: keep the buffer when its
-/// footprint is within kScratchRetainBytes, release it otherwise.
-template <typename T>
-void TrimScratch(std::vector<T>& scratch) {
+/// footprint is within kScratchRetainBytes, release it otherwise. Allocator-
+/// generic so cache-aligned scratch (util/aligned.h) gets the same policy.
+template <typename T, typename Alloc>
+void TrimScratch(std::vector<T, Alloc>& scratch) {
   if (scratch.capacity() * sizeof(T) > kScratchRetainBytes) {
-    scratch = std::vector<T>();
+    scratch = std::vector<T, Alloc>();
   }
 }
 
 /// One memoized exceedance set: the rows of a trace whose demand in one
 /// dimension exceeds one capacity value, packed 64 rows per word (row r is
-/// bit r%64 of word r/64; padding bits past the last row are zero).
+/// bit r%64 of word r/64; padding bits past the last row are zero). The
+/// words live in the owning dimension's BitsetArena — 64-byte aligned,
+/// zero-padded at birth, stable until the memo generation is dropped — so
+/// the set itself is just a view. The pointer is non-const because the
+/// streaming index patches memoized sets bit-by-bit in place; offline
+/// callers only read through it.
 struct ExceedanceSet {
-  std::vector<std::uint64_t> words;
+  std::uint64_t* words = nullptr;
+  std::size_t num_words = 0;
   /// Popcount over `words` — the number of exceeding rows.
   std::size_t count = 0;
 };
@@ -150,6 +158,10 @@ class ExceedanceIndex {
     // std::map for node stability: SetFor hands out references that must
     // survive later insertions by other workers.
     mutable std::map<double, ExceedanceSet> memo;
+    // Backing store for the memoized bitsets: cache-line-aligned spans,
+    // zeroed (padding bits included) at allocation, reclaimed wholesale by
+    // Reset() when a trace mutation drops the memo. Guarded by `mu`.
+    mutable kernels::BitsetArena arena;
   };
 
   static constexpr std::size_t Index(catalog::ResourceDim dim) {

@@ -12,6 +12,8 @@
 #include "obs/metrics.h"
 #include "stats/kde.h"
 #include "stats/normal.h"
+#include "util/aligned.h"
+#include "util/kernels/kernels.h"
 #include "util/random.h"
 
 namespace doppler::core {
@@ -182,44 +184,35 @@ StatusOr<double> NonParametricEstimator::Probability(
   // result is bit-for-bit the same at any scan order.
   const telemetry::DemandColumns matrix = trace.Columns(dims);
 
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
+
   // Single shared dimension: no mark buffer needed, pure count.
   if (matrix.num_columns == 1) {
     const double* const column = matrix.column(0);
     const double capacity = capacities.Get(matrix.dim(0));
-    std::size_t throttled = 0;
-    if (catalog::IsInvertedDim(matrix.dim(0))) {
-      for (std::size_t i = 0; i < n; ++i) throttled += column[i] < capacity;
-    } else {
-      for (std::size_t i = 0; i < n; ++i) throttled += column[i] > capacity;
-    }
+    const std::size_t throttled = catalog::IsInvertedDim(matrix.dim(0))
+                                      ? ops.count_below(column, n, capacity)
+                                      : ops.count_above(column, n, capacity);
     CountEvaluation(n);
     return static_cast<double>(throttled) / static_cast<double>(n);
   }
 
   // Reused per thread so the hot loop never allocates after warm-up; each
   // worker of a parallel curve build gets its own buffer.
-  thread_local std::vector<unsigned char> throttled_rows;
+  thread_local AlignedVector<unsigned char> throttled_rows;
   throttled_rows.assign(n, 0);
   std::size_t throttled = 0;
   std::size_t columns_scanned = 0;
   for (std::size_t k = 0; k < matrix.num_columns; ++k) {
     const double* const column = matrix.column(k);
     const double capacity = capacities.Get(matrix.dim(k));
-    if (catalog::IsInvertedDim(matrix.dim(k))) {
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!throttled_rows[i] && column[i] < capacity) {
-          throttled_rows[i] = 1;
-          ++throttled;
-        }
-      }
-    } else {
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!throttled_rows[i] && column[i] > capacity) {
-          throttled_rows[i] = 1;
-          ++throttled;
-        }
-      }
-    }
+    // The mark kernel counts only NEWLY marked rows, so whichever column
+    // marks a row first counts it — exactly the scalar loop's behaviour.
+    throttled += catalog::IsInvertedDim(matrix.dim(k))
+                     ? ops.mark_below(column, n, capacity,
+                                      throttled_rows.data())
+                     : ops.mark_above(column, n, capacity,
+                                      throttled_rows.data());
     // Early-exit union test: once every row is throttled no further
     // dimension can change the count.
     ++columns_scanned;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/statusor.h"
 
 namespace doppler::stats {
@@ -32,10 +33,13 @@ class GaussianKde {
   double bandwidth() const { return bandwidth_; }
 
  private:
-  GaussianKde(std::vector<double> sample, double bandwidth)
-      : sample_(std::move(sample)), bandwidth_(bandwidth) {}
+  GaussianKde(const std::vector<double>& sample, double bandwidth)
+      : sample_(sample.begin(), sample.end()), bandwidth_(bandwidth) {}
 
-  std::vector<double> sample_;
+  // Cache-line aligned so the batched kernel's vector loads never straddle
+  // a line; evaluation runs through the dispatched KDE kernels
+  // (util/kernels/kernels.h), bit-identical across implementations.
+  AlignedVector<double> sample_;
   double bandwidth_;
 };
 

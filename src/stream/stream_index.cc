@@ -1,9 +1,11 @@
 #include "stream/stream_index.h"
 
 #include <algorithm>
-#include <bit>
+#include <cassert>
 
 #include "obs/metrics.h"
+#include "util/aligned.h"
+#include "util/kernels/kernels.h"
 
 namespace doppler::stream {
 
@@ -78,30 +80,33 @@ const core::ExceedanceSet& StreamIndex::SetFor(catalog::ResourceDim dim,
   // First sight of this capacity: the exceeding rows are one contiguous
   // run of the stats sorted order (suffix for normal dims, prefix for
   // inverted), exactly as in the offline index — materialise their SLOTS.
+  // Same sorted-scan hybrid as the offline boundary.
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
   const std::vector<double>& sorted = stats_->Sorted(dim);
   const std::vector<std::uint64_t>& seqs = stats_->SortedSeqs(dim);
   std::size_t begin = 0;
   std::size_t end = sorted.size();
   if (catalog::IsInvertedDim(dim)) {
-    end = static_cast<std::size_t>(
-        std::lower_bound(sorted.begin(), sorted.end(), capacity) -
-        sorted.begin());
+    end = kernels::SortedCountBelow(ops, sorted.data(), sorted.size(),
+                                    capacity);
   } else {
-    begin = static_cast<std::size_t>(
-        std::upper_bound(sorted.begin(), sorted.end(), capacity) -
-        sorted.begin());
+    begin = sorted.size() - kernels::SortedCountAbove(ops, sorted.data(),
+                                                      sorted.size(), capacity);
   }
 
   core::ExceedanceSet set;
-  set.words.assign(num_words_, 0);
+  std::uint64_t* const words = state.arena.Allocate(num_words_);
+  set.words = words;
+  set.num_words = num_words_;
   set.count = end - begin;
   for (std::size_t j = begin; j < end; ++j) {
     const std::size_t slot = trace_->SlotOf(seqs[j]);
-    set.words[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    words[slot >> 6] |= std::uint64_t{1} << (slot & 63);
   }
+  assert(kernels::PaddingBitsAreZero(words, num_words_, trace_->capacity()));
   CountIndexMiss();
   CountRowsPatched(set.count);
-  return state.memo.emplace(capacity, std::move(set)).first->second;
+  return state.memo.emplace(capacity, set).first->second;
 }
 
 std::size_t StreamIndex::CountExceedingUnion(
@@ -115,20 +120,16 @@ std::size_t StreamIndex::CountExceedingUnion(
   if (num_sets == 0) return 0;
   if (num_sets == 1) return sets[0]->count;
 
+  // Same dispatched union kernel as the offline index — the loop used to
+  // be a hand copy of core::ExceedanceIndex's and is now literally the
+  // same code path.
+  const kernels::KernelOps& ops = kernels::ActiveKernels();
   const std::size_t live = trace_->size();
-  thread_local std::vector<std::uint64_t> union_words;
+  thread_local AlignedVector<std::uint64_t> union_words;
   union_words.assign(num_words_, 0);
   std::size_t count = 0;
   for (std::size_t k = 0; k < num_sets && count < live; ++k) {
-    const std::uint64_t* const words = sets[k]->words.data();
-    for (std::size_t w = 0; w < num_words_; ++w) {
-      const std::uint64_t prev = union_words[w];
-      const std::uint64_t merged = prev | words[w];
-      if (merged != prev) {
-        count += static_cast<std::size_t>(std::popcount(merged ^ prev));
-        union_words[w] = merged;
-      }
-    }
+    count += ops.union_count(union_words.data(), sets[k]->words, num_words_);
   }
   core::TrimScratch(union_words);
   return count;

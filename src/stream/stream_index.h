@@ -10,6 +10,7 @@
 #include "core/exceedance_index.h"
 #include "stream/stream_stats.h"
 #include "stream/streaming_trace.h"
+#include "util/kernels/bitset_arena.h"
 
 namespace doppler::stream {
 
@@ -79,6 +80,11 @@ class StreamIndex {
     // std::map for node stability: SetFor hands out references that must
     // survive later memo insertions.
     std::map<double, core::ExceedanceSet> memo;
+    // Backing store for the memoized bitsets — the same cache-line-aligned
+    // arena the offline index uses. Stream memo entries live for the
+    // index's lifetime (patched, never rebuilt), so the arena only grows
+    // with distinct capacities and is never Reset().
+    kernels::BitsetArena arena;
   };
 
   static constexpr std::size_t Index(catalog::ResourceDim dim) {

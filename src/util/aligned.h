@@ -1,0 +1,56 @@
+#ifndef DOPPLER_UTIL_ALIGNED_H_
+#define DOPPLER_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace doppler {
+
+/// Minimal over-aligned allocator for hot-path containers. The SIMD kernel
+/// layer (util/kernels/) reads its operands with vector loads; starting
+/// every column on its own cache line keeps those loads from straddling
+/// lines and lets the hardware prefetcher stream one row without pulling
+/// its neighbours. Alignment must be a power of two and at least
+/// alignof(T).
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment below the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  bool operator==(const AlignedAllocator&) const { return true; }
+  bool operator!=(const AlignedAllocator&) const { return false; }
+};
+
+/// A std::vector whose storage starts on a cache-line boundary. Iterates,
+/// indexes, and resizes exactly like std::vector<T>; only the allocator
+/// (and therefore the type) differs, so consumers that held
+/// `const std::vector<T>&` must hold `const AlignedVector<T>&` (or auto&)
+/// instead.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace doppler
+
+#endif  // DOPPLER_UTIL_ALIGNED_H_

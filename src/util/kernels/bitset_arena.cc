@@ -1,0 +1,67 @@
+#include "util/kernels/bitset_arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace doppler::kernels {
+
+namespace {
+
+constexpr std::size_t kCacheLineBytes = 64;
+
+std::uint64_t* NewAlignedWords(std::size_t num_words) {
+  return static_cast<std::uint64_t*>(::operator new(
+      num_words * sizeof(std::uint64_t), std::align_val_t{kCacheLineBytes}));
+}
+
+void DeleteAlignedWords(std::uint64_t* words) {
+  ::operator delete(words, std::align_val_t{kCacheLineBytes});
+}
+
+}  // namespace
+
+BitsetArena::~BitsetArena() {
+  for (Block& block : blocks_) DeleteAlignedWords(block.words);
+}
+
+BitsetArena::Block* BitsetArena::BlockWithRoom(std::size_t num_words) {
+  if (!blocks_.empty()) {
+    Block& last = blocks_.back();
+    if (last.capacity - last.used >= num_words) return &last;
+  }
+  std::size_t capacity =
+      blocks_.empty() ? kInitialBlockWords
+                      : std::min(blocks_.back().capacity * 2, kMaxBlockWords);
+  if (capacity < num_words) capacity = num_words;
+  Block block;
+  block.words = NewAlignedWords(capacity);
+  block.capacity = capacity;
+  capacity_words_ += capacity;
+  blocks_.push_back(block);
+  return &blocks_.back();
+}
+
+std::uint64_t* BitsetArena::Allocate(std::size_t num_words) {
+  // Round to a cache line so consecutive spans never share one and every
+  // span starts 64-byte aligned within its (64-byte-aligned) block.
+  const std::size_t rounded =
+      (num_words + kLineWords - 1) / kLineWords * kLineWords;
+  Block* block = BlockWithRoom(rounded == 0 ? kLineWords : rounded);
+  std::uint64_t* span = block->words + block->used;
+  const std::size_t take = rounded == 0 ? kLineWords : rounded;
+  block->used += take;
+  allocated_words_ += take;
+  // Zero the span: operator new gives dirty memory, and after Reset() the
+  // block may hold a previous generation's bits. This establishes the
+  // padding-bit invariant the union kernels depend on.
+  std::memset(span, 0, take * sizeof(std::uint64_t));
+  return span;
+}
+
+void BitsetArena::Reset() {
+  for (Block& block : blocks_) block.used = 0;
+  allocated_words_ = 0;
+}
+
+}  // namespace doppler::kernels

@@ -1,0 +1,26 @@
+#ifndef DOPPLER_UTIL_KERNELS_KERNELS_IMPL_H_
+#define DOPPLER_UTIL_KERNELS_KERNELS_IMPL_H_
+
+#include "util/kernels/kernels.h"
+
+// Internal wiring between the per-ISA translation units and the dispatch
+// shim. Each variant lives in its own .cc so CMake can attach the ISA
+// flags to exactly that file (never globally — the rest of the binary
+// must run on the baseline architecture). A variant that was not compiled
+// in returns nullptr; the dispatcher additionally gates compiled-in
+// variants on runtime CPU feature detection.
+
+namespace doppler::kernels::internal {
+
+const KernelOps& ScalarOps();
+
+/// nullptr unless the translation unit was built with AVX2 enabled.
+const KernelOps* Avx2Ops();
+
+/// nullptr unless the translation unit was built for AArch64 (NEON is
+/// baseline there, so no extra flags are involved).
+const KernelOps* NeonOps();
+
+}  // namespace doppler::kernels::internal
+
+#endif  // DOPPLER_UTIL_KERNELS_KERNELS_IMPL_H_

@@ -98,7 +98,7 @@ TEST(CompiledCatalogTest, CapacityMatrixMatchesSkuFields) {
   for (Deployment deployment : kPopulatedDeployments) {
     const CompiledDeployment& dep = compiled.ForDeployment(deployment);
     for (ResourceDim dim : kAllResourceDims) {
-      const std::vector<double>& row = dep.CapacityRow(dim);
+      const auto& row = dep.CapacityRow(dim);
       ASSERT_EQ(row.size(), dep.size());
       for (std::size_t i = 0; i < dep.size(); ++i) {
         const ResourceVector from_sku = dep.entries()[i].sku->Capacities();

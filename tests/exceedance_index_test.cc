@@ -119,7 +119,8 @@ TEST(ExceedanceIndexTest, PaddingBitsStayZero) {
   const ExceedanceSet& all =
       index.SetFor(ResourceDim::kCpu, -1.0);  // every row exceeds
   ASSERT_EQ(all.count, trace.num_samples());
-  const std::uint64_t last_word = all.words.back();
+  ASSERT_GE(all.num_words, 1u);
+  const std::uint64_t last_word = all.words[all.num_words - 1];
   for (std::size_t bit = trace.num_samples() % 64; bit < 64; ++bit) {
     EXPECT_EQ((last_word >> bit) & 1u, 0u) << "padding bit " << bit;
   }
@@ -360,7 +361,8 @@ TEST_F(BatchEvaluationTest, MissesBoundedByDistinctCapacityTable) {
   // DistinctCapacities is the sorted-unique view of CapacityRow.
   std::size_t distinct_total = 0;
   for (ResourceDim dim : catalog::kAllResourceDims) {
-    std::vector<double> expected = deployment.CapacityRow(dim);
+    const auto& row = deployment.CapacityRow(dim);
+    std::vector<double> expected(row.begin(), row.end());
     std::sort(expected.begin(), expected.end());
     expected.erase(std::unique(expected.begin(), expected.end()),
                    expected.end());

@@ -10,7 +10,7 @@ fresh value above baseline * (1 + tolerance) means the change genuinely
 does more throttling-kernel work per curve, not that the machine was
 busy.
 
-Two comparison modes:
+Three comparison modes:
   - tolerance counters (--counter): cost counters may not GROW beyond
     baseline * (1 + tolerance); shrinking is an improvement, not a
     failure.
@@ -21,11 +21,18 @@ Two comparison modes:
     BM_FlightRecorderOverhead) must match the baseline EXACTLY in both
     directions — any drift means the admission, deadline, or recording
     semantics changed, which is never a machine artifact.
+  - wall-time speedup (--speedup FAST:SLOW:RATIO): within the FRESH run
+    only, benchmark FAST's real_time must be at most SLOW's / RATIO —
+    e.g. the dispatched SIMD union kernel against its forced-scalar
+    twin. Comparing two benchmarks from the SAME process run cancels
+    machine speed, so this is meaningful even where absolute times are
+    not. The pair is skipped (with a note) when either side is missing
+    or reported an error (e.g. the SIMD variant on a CPU without it).
 
 Usage:
     tools/bench_check.py BASELINE.json FRESH.json \
         [--counter ppm.samples_scanned] [--exact-counter serve.shed] \
-        [--tolerance 0.05]
+        [--tolerance 0.05] [--speedup BM_Fast:BM_Slow:1.10]
 
 Benchmarks present only in one file are reported but are not failures
 (new benchmarks land before their baseline is refreshed); a counter that
@@ -89,6 +96,11 @@ def main():
     parser.add_argument(
         "--tolerance", type=float, default=0.05,
         help="allowed relative growth over baseline (default 0.05 = 5%%)")
+    parser.add_argument(
+        "--speedup", action="append", dest="speedups",
+        metavar="FAST:SLOW:RATIO",
+        help="require fresh real_time(FAST) <= real_time(SLOW) / RATIO "
+             "(repeatable; compares within the fresh run only)")
     args = parser.parse_args()
     counters = args.counters or DEFAULT_COUNTERS
     exact_counters = args.exact_counters or DEFAULT_EXACT_COUNTERS
@@ -144,6 +156,39 @@ def main():
                     f"deadline semantics changed)")
     for name in sorted(set(fresh) - set(baseline)):
         print(f"note: {name} only in fresh run (no baseline yet)")
+
+    for spec in args.speedups or []:
+        parts = spec.rsplit(":", 1)
+        if len(parts) != 2 or ":" not in parts[0]:
+            raise SystemExit(f"error: malformed --speedup '{spec}' "
+                             f"(expected FAST:SLOW:RATIO)")
+        pair, ratio_text = parts
+        fast_name, slow_name = pair.split(":", 1)
+        try:
+            ratio = float(ratio_text)
+        except ValueError:
+            raise SystemExit(f"error: malformed --speedup ratio in '{spec}'")
+        skipped = None
+        for side in (fast_name, slow_name):
+            if side not in fresh:
+                skipped = f"{side} not in fresh run"
+            elif fresh[side].get("error_occurred"):
+                skipped = f"{side} reported an error (unsupported here?)"
+        if skipped is not None:
+            print(f"note: speedup {fast_name} vs {slow_name} skipped: "
+                  f"{skipped}")
+            continue
+        fast_time = float(fresh[fast_name]["real_time"])
+        slow_time = float(fresh[slow_name]["real_time"])
+        compared += 1
+        achieved = slow_time / fast_time if fast_time > 0 else float("inf")
+        verdict = "ok" if achieved >= ratio else "REGRESSION"
+        print(f"{verdict}: speedup {fast_name} vs {slow_name} "
+              f"achieved={achieved:.2f}x required={ratio:.2f}x")
+        if achieved < ratio:
+            failures.append(
+                f"{fast_name}: only {achieved:.2f}x faster than "
+                f"{slow_name} (required {ratio:.2f}x)")
 
     if compared == 0:
         print("error: no comparable (benchmark, counter) pairs", file=sys.stderr)

@@ -24,7 +24,7 @@
 # container where wall time is not. After an INTENDED cost change,
 # refresh the baseline:
 #   ./build/bench/bench_perf_engine \
-#     --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_FleetAssess|BM_CrossTargetCurve|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead|BM_StreamAppendAssess|BM_RebuildAssess' \
+#     --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_CrossTargetCurve|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead|BM_StreamAppendAssess|BM_RebuildAssess|BM_UnionKernel|BM_KdeBatch' \
 #     --benchmark_out=BENCH_pipeline.json --benchmark_out_format=json
 #
 # Soak mode: tools/check.sh --soak [build-dir] (default build-soak)
@@ -43,10 +43,15 @@ if [[ "${1:-}" == "--bench" ]]; then
   fresh_json="$(mktemp --suffix=.json)"
   trap 'rm -f "${fresh_json}"' EXIT
   "${bench_build_dir}/bench/bench_perf_engine" \
-    --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_CrossTargetCurve|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead|BM_StreamAppendAssess|BM_RebuildAssess' \
+    --benchmark_filter='BM_PipelineAssess|BM_CompiledAssess|BM_CrossTargetCurve|BM_ExceedanceIndex|BM_ServeOverload|BM_FlightRecorderOverhead|BM_StreamAppendAssess|BM_RebuildAssess|BM_UnionKernel|BM_KdeBatch' \
     --benchmark_out="${fresh_json}" --benchmark_out_format=json
+  # Counter comparison against the committed baseline, plus the kernel
+  # layer's within-run wall-time gate: the dispatched SIMD union kernel
+  # must beat its forced-scalar twin by >=1.25x wherever a SIMD variant
+  # exists (the pair is skipped on scalar-only hosts).
   python3 "${repo_root}/tools/bench_check.py" \
-    "${repo_root}/BENCH_pipeline.json" "${fresh_json}"
+    "${repo_root}/BENCH_pipeline.json" "${fresh_json}" \
+    --speedup 'BM_UnionKernelSimd/4096:BM_UnionKernelScalar/4096:1.25'
   exit 0
 fi
 
@@ -90,6 +95,14 @@ export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
 export ASAN_OPTIONS="detect_leaks=1"
 ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
 
+# Forced-scalar pass: the same kernel-touching suites with the dispatcher
+# pinned to the scalar reference (DOPPLER_KERNEL=scalar), so a host whose
+# SIMD path masks a scalar bug — or vice versa — still fails here.
+DOPPLER_KERNEL=scalar "${build_dir}/tests/kernel_test"
+DOPPLER_KERNEL=scalar "${build_dir}/tests/exceedance_index_test"
+DOPPLER_KERNEL=scalar "${build_dir}/tests/stream_test"
+DOPPLER_KERNEL=scalar "${build_dir}/tests/property_test"
+
 # ThreadSanitizer pass over the concurrency-sensitive suites: the
 # lock-free metrics/tracer tests and the exec thread-pool / parallel fleet
 # assessment tests. Only these targets are built, so run the binaries
@@ -99,12 +112,13 @@ cmake -B "${tsan_dir}" -S "${repo_root}" \
   -DDOPPLER_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${tsan_dir}" -j"$(nproc)" \
-  --target obs_test obs_flight_test exec_test compiled_catalog_test \
-  target_test \
+  --target obs_test obs_flight_test exec_test kernel_test \
+  compiled_catalog_test target_test \
   pipeline_stage_test exceedance_index_test serve_test stream_test
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/obs_flight_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/exec_test"
+TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/kernel_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/compiled_catalog_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/target_test"
 TSAN_OPTIONS="halt_on_error=1" "${tsan_dir}/tests/pipeline_stage_test"
